@@ -1,0 +1,174 @@
+//! Ablations of Cloud4Home design choices called out in DESIGN.md.
+//!
+//! Not a paper figure: these quantify the individual mechanisms —
+//! metadata path-caching, the replication factor, the decision policies,
+//! and blocking vs. non-blocking stores.
+//!
+//! Run with: `cargo bench -p c4h-bench --bench ablations`
+
+use std::time::Duration;
+
+use c4h_bench::{banner, mean_std, ms};
+use cloud4home::{
+    Cloud4Home, Config, NodeId, NodeSpec, Object, RoutePolicy, ServiceKind, StorePolicy,
+};
+
+/// A 32-node overlay (multi-hop prefix routing) with configurable cache
+/// size and small leaf sets.
+fn wide_config(seed: u64, cache_capacity: usize) -> Config {
+    let mut config = Config::paper_testbed(seed);
+    config.chimera.cache_capacity = cache_capacity;
+    config.chimera.leaf_size = 2;
+    config.nodes.clear();
+    for i in 0..31 {
+        config.nodes.push(NodeSpec::netbook(&format!("wide-{i}")));
+    }
+    let mut d = NodeSpec::desktop("wide-desktop");
+    d.services = vec![ServiceKind::Transcode];
+    config.nodes.push(d);
+    config
+}
+
+fn cache_ablation() {
+    println!("\n--- metadata path caching (32-node overlay, repeated lookups) ---");
+    println!("{:<12} {:>14} {:>12}", "cache", "mean dht (ms)", "cache hits");
+    for (label, capacity) in [("off", 0usize), ("on (128)", 128)] {
+        let mut home = Cloud4Home::new(wide_config(3000, capacity));
+        for i in 0..8u64 {
+            let obj = Object::synthetic(&format!("abl/c{i}"), i, 128 << 10, "doc");
+            let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+            home.run_until_complete(op).expect_ok();
+        }
+        // Repeat the SAME client→object lookups: replies cache at the
+        // intermediate hops of each path, so later rounds short-circuit.
+        let mut dht_ms = Vec::new();
+        for _round in 0..4 {
+            for i in 0..8u64 {
+                let client = NodeId(((i as usize) * 2 + 1) % 32);
+                let op = home.fetch_object(client, &format!("abl/c{i}"));
+                let r = home.run_until_complete(op);
+                r.expect_ok();
+                dht_ms.push(ms(r.breakdown.dht));
+            }
+        }
+        let (mean, _) = mean_std(&dht_ms);
+        let (hits, _) = home.cache_stats();
+        println!("{label:<12} {mean:>14.1} {hits:>12}");
+    }
+}
+
+fn replication_ablation() {
+    println!("\n--- replication factor vs crash survival ---");
+    println!("{:<14} {:>22}", "replication", "metadata survived");
+    for factor in [0usize, 1, 2] {
+        let mut config = Config::paper_testbed(3100 + factor as u64);
+        config.chimera.replication = factor;
+        let mut home = Cloud4Home::new(config);
+        let n = 18u64;
+        for i in 0..n {
+            let obj = Object::synthetic(&format!("abl/r{i}"), i, 64 << 10, "doc");
+            let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+            home.run_until_complete(op).expect_ok();
+        }
+        home.crash_node(NodeId(4));
+        home.run_for(Duration::from_secs(12));
+        let mut ok = 0;
+        for i in 0..n {
+            let op = home.fetch_object(NodeId(2), &format!("abl/r{i}"));
+            if home.run_until_complete(op).outcome.is_ok() {
+                ok += 1;
+            }
+        }
+        println!("{factor:<14} {:>18}/{n}", ok);
+    }
+}
+
+fn policy_ablation() {
+    println!("\n--- decision policies on a transcode batch ---");
+    println!(
+        "{:<14} {:>12} {:>22}",
+        "policy", "mean (s)", "ran on battery node"
+    );
+    for (label, policy) in [
+        ("performance", RoutePolicy::Performance),
+        ("balanced", RoutePolicy::Balanced),
+        ("battery", RoutePolicy::BatterySaver),
+    ] {
+        let mut config = Config::paper_testbed(3200);
+        // Several providers: two netbooks + the desktop.
+        config.nodes[0].services = vec![ServiceKind::Transcode];
+        config.nodes[1].services = vec![ServiceKind::Transcode];
+        let mut home = Cloud4Home::new(config);
+        let mut totals = Vec::new();
+        let mut on_battery = 0;
+        for i in 0..6u64 {
+            let name = format!("abl/p{i}.avi");
+            let obj = Object::synthetic(&name, i, 2 << 20, "avi");
+            let op = home.store_object(NodeId(3), obj, StorePolicy::ForceHome, true);
+            home.run_until_complete(op).expect_ok();
+            let op = home.process_object(NodeId(3), &name, ServiceKind::Transcode, policy);
+            let r = home.run_until_complete(op);
+            let out = r.expect_ok().clone();
+            totals.push(r.total().as_secs_f64());
+            if out
+                .exec_target
+                .as_deref()
+                .is_some_and(|t| t.starts_with("netbook"))
+            {
+                on_battery += 1;
+            }
+        }
+        let (mean, _) = mean_std(&totals);
+        println!("{label:<14} {mean:>12.2} {on_battery:>18}/6");
+    }
+}
+
+fn blocking_ablation() {
+    println!("\n--- blocking vs non-blocking stores (1 MiB, home) ---");
+    let mut home = Cloud4Home::new(Config::paper_testbed(3300));
+    let mut blocking = Vec::new();
+    let mut non_blocking = Vec::new();
+    for i in 0..5u64 {
+        let a = Object::synthetic(&format!("abl/b{i}"), i, 1 << 20, "doc");
+        let op = home.store_object(NodeId(0), a, StorePolicy::ForceHome, true);
+        blocking.push(ms(home.run_until_complete(op).total()));
+        let b = Object::synthetic(&format!("abl/nb{i}"), i + 100, 1 << 20, "doc");
+        let op = home.store_object(NodeId(0), b, StorePolicy::ForceHome, false);
+        non_blocking.push(ms(home.run_until_complete(op).total()));
+    }
+    let (bm, _) = mean_std(&blocking);
+    let (nm, _) = mean_std(&non_blocking);
+    println!("blocking     {bm:>10.1} ms");
+    println!("non-blocking {nm:>10.1} ms   (ack saved: {:.1} ms)", bm - nm);
+}
+
+fn channel_page_ablation() {
+    println!("\n--- XenSocket page size (paper: \"up to 2 MB if the devices have larger memory\") ---");
+    println!("{:<16} {:>22}", "pages", "20 MiB fetch (ms)");
+    for (label, cfg) in [
+        ("32 x 4 KiB", c4h_vmm::XenChannelConfig::prototype()),
+        ("8 x 2 MiB", c4h_vmm::XenChannelConfig::large_pages()),
+    ] {
+        let mut config = Config::paper_testbed(3400);
+        for n in &mut config.nodes {
+            n.channel = cfg;
+        }
+        let mut home = Cloud4Home::new(config);
+        let obj = Object::synthetic("abl/page.bin", 1, 20 << 20, "avi");
+        let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+        let op = home.fetch_object(NodeId(2), "abl/page.bin");
+        let r = home.run_until_complete(op);
+        r.expect_ok();
+        println!("{label:<16} {:>22.0}", ms(r.total()));
+    }
+}
+
+fn main() {
+    banner("Ablations", "mechanism-level studies of Cloud4Home design choices");
+    cache_ablation();
+    replication_ablation();
+    policy_ablation();
+    blocking_ablation();
+    channel_page_ablation();
+}

@@ -1,0 +1,93 @@
+//! Figure 4 — "Home vs remote cloud latency."
+//!
+//! The paper plots fetch and store latency (with variability bars) against
+//! object size for data placed in the home cloud versus Amazon S3 over the
+//! campus wireless network: remote latencies are both far higher and far
+//! more variable, increasingly so for larger objects.
+//!
+//! Run with: `cargo bench -p c4h-bench --bench fig4_home_vs_remote`
+
+use c4h_bench::{banner, mean_std};
+use cloud4home::{Cloud4Home, Config, NodeId, Object, StorePolicy};
+
+const SIZES_MB: [u64; 5] = [1, 5, 10, 20, 50];
+const TRIALS: usize = 4;
+
+struct Series {
+    rows: Vec<(u64, f64, f64)>, // (size, mean s, std s)
+}
+
+fn main() {
+    banner(
+        "Figure 4",
+        "home vs remote cloud access latency and variability (seconds)",
+    );
+    let mut home = Cloud4Home::new(Config::paper_testbed(1002));
+    // home store, home fetch, cloud store, cloud fetch
+    let mut series: [Series; 4] = std::array::from_fn(|_| Series { rows: vec![] });
+
+    for mb in SIZES_MB {
+        let mut home_store = Vec::new();
+        let mut home_fetch = Vec::new();
+        let mut cloud_store = Vec::new();
+        let mut cloud_fetch = Vec::new();
+        for trial in 0..TRIALS {
+            // Home: dataset distributed across nodes ("data accesses are
+            // made to both on-node and off-node storage").
+            let name = format!("fig4/home-{mb}-{trial}.bin");
+            let owner = NodeId(trial % 5);
+            let reader = NodeId((trial + 2) % 5);
+            let obj = Object::synthetic(&name, mb * 7 + trial as u64, mb << 20, "avi");
+            let op = home.store_object(owner, obj, StorePolicy::ForceHome, true);
+            home_store.push(home.run_until_complete(op).total().as_secs_f64());
+            let op = home.fetch_object(reader, &name);
+            home_fetch.push(home.run_until_complete(op).total().as_secs_f64());
+
+            // Remote cloud.
+            let name = format!("fig4/cloud-{mb}-{trial}.bin");
+            let obj = Object::synthetic(&name, mb * 13 + trial as u64, mb << 20, "avi");
+            let op = home.store_object(owner, obj, StorePolicy::ForceCloud, true);
+            cloud_store.push(home.run_until_complete(op).total().as_secs_f64());
+            let op = home.fetch_object(reader, &name);
+            cloud_fetch.push(home.run_until_complete(op).total().as_secs_f64());
+        }
+        for (s, xs) in [
+            (0, &home_store),
+            (1, &home_fetch),
+            (2, &cloud_store),
+            (3, &cloud_fetch),
+        ] {
+            let (m, sd) = mean_std(xs);
+            series[s].rows.push((mb, m, sd));
+        }
+    }
+
+    println!(
+        "{:>6} | {:>16} {:>16} | {:>18} {:>18}",
+        "size", "home store", "home fetch", "cloud store", "cloud fetch"
+    );
+    println!("{}", "-".repeat(84));
+    for i in 0..SIZES_MB.len() {
+        let (mb, hs, hss) = series[0].rows[i];
+        let (_, hf, hfs) = series[1].rows[i];
+        let (_, cs, css) = series[2].rows[i];
+        let (_, cf, cfs) = series[3].rows[i];
+        println!(
+            "{mb:>4}MB | {hs:>8.2} ±{hss:>5.2}s {hf:>8.2} ±{hfs:>5.2}s | {cs:>9.1} ±{css:>6.1}s {cf:>9.1} ±{cfs:>6.1}s"
+        );
+    }
+
+    // Shape assertions the paper's narrative makes.
+    let last = SIZES_MB.len() - 1;
+    let cloud_over_home = series[3].rows[last].1 / series[1].rows[last].1;
+    let cloud_var = series[3].rows[last].2 / series[3].rows[last].1;
+    let home_var = series[1].rows[last].2 / series[1].rows[last].1.max(1e-9);
+    println!(
+        "\ncloud/home fetch latency at {} MB: {cloud_over_home:.0}x; relative variability: cloud {:.2} vs home {:.2}",
+        SIZES_MB[last], cloud_var, home_var
+    );
+    println!(
+        "store > fetch on the cloud path (upload 4.5 vs download 6.5 Mbps): {} ",
+        series[2].rows[last].1 > series[3].rows[last].1
+    );
+}

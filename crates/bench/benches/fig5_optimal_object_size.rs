@@ -1,0 +1,81 @@
+//! Figure 5 — "Remote Cloud - optimal object size."
+//!
+//! The paper stores eDonkey-derived objects of a single size class into the
+//! remote cloud and measures average throughput per object size, two ways:
+//! Method 1 keeps the *total bytes* per class constant; Method 2 keeps the
+//! *file count* constant. Both curves rise with object size (window ramp-up
+//! amortizes) to an optimum near 20 MB, then fall (ISP shaping of long
+//! transfers).
+//!
+//! Run with: `cargo bench -p c4h-bench --bench fig5_optimal_object_size`
+
+use c4h_bench::banner;
+use cloud4home::{Cloud4Home, Config, NodeId, Object, StorePolicy};
+
+const SIZES_MB: [u64; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+/// Method 1: constant bytes per size class.
+const METHOD1_TOTAL_MB: u64 = 120;
+/// Method 2: constant file count per size class.
+const METHOD2_FILES: usize = 3;
+
+/// Average throughput (Mbit/s) over sequential cloud fetches of `count`
+/// objects of `mb` MB each.
+fn measure(home: &mut Cloud4Home, tag: &str, mb: u64, count: usize) -> f64 {
+    // Stage the objects in the cloud.
+    for i in 0..count {
+        let name = format!("fig5/{tag}-{mb}-{i}.bin");
+        let obj = Object::synthetic(&name, mb * 1000 + i as u64, mb << 20, "avi");
+        let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    // Replay the access trace: sequential fetches, one at a time.
+    let mut total_secs = 0.0;
+    let mut total_bytes = 0u64;
+    for i in 0..count {
+        let name = format!("fig5/{tag}-{mb}-{i}.bin");
+        let op = home.fetch_object(NodeId(1 + i % 4), &name);
+        let r = home.run_until_complete(op);
+        r.expect_ok();
+        total_secs += r.total().as_secs_f64();
+        total_bytes += mb << 20;
+    }
+    total_bytes as f64 * 8.0 / 1e6 / total_secs
+}
+
+fn main() {
+    banner(
+        "Figure 5",
+        "remote-cloud throughput vs object size (Mbit/s); optimum ≈ 20 MB",
+    );
+    let mut home = Cloud4Home::new(Config::paper_testbed(1003));
+    println!(
+        "{:>7} | {:>18} {:>18}",
+        "size", "Method 1 (Mbit/s)", "Method 2 (Mbit/s)"
+    );
+    println!("{}", "-".repeat(50));
+    let mut m1 = Vec::new();
+    let mut m2 = Vec::new();
+    for mb in SIZES_MB {
+        let count1 = (METHOD1_TOTAL_MB / mb).max(1) as usize;
+        let t1 = measure(&mut home, "m1", mb, count1);
+        let t2 = measure(&mut home, "m2", mb, METHOD2_FILES);
+        m1.push(t1);
+        m2.push(t2);
+        println!("{mb:>5}MB | {t1:>18.2} {t2:>18.2}");
+    }
+    let best1 = SIZES_MB[m1
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0];
+    let best2 = SIZES_MB[m2
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0];
+    println!(
+        "\noptimal object size: Method 1 = {best1} MB, Method 2 = {best2} MB (paper: ≈20 MB)"
+    );
+}

@@ -1,0 +1,103 @@
+//! Figure 7 — "Importance of service placement."
+//!
+//! The surveillance pipeline (CPU-intensive FDet followed by
+//! memory-intensive FRec) is measured for image sizes 0.25–2 MB on three
+//! deployments, from the perspective of the low-end Atom node S1:
+//!
+//! * **S1** — a 512 MB, one-VCPU VM on a 1.3 GHz dual-core Atom (the
+//!   requester/owner: no data movement);
+//! * **S2** — a 128 MB multi-VCPU VM on a 1.8 GHz quad-core desktop;
+//! * **S3** — an extra-large EC2 instance (5 × 2.9 GHz, 14 GB).
+//!
+//! Paper shape: S1 wins for the smallest images (movement dominates), S2
+//! wins in the middle, and at 2 MB S2's small VM thrashes on FRec while S3
+//! wins despite the WAN movement cost.
+//!
+//! Run with: `cargo bench -p c4h-bench --bench fig7_service_placement`
+
+use c4h_bench::banner;
+use c4h_vmm::{PlatformSpec, VmSpec};
+use cloud4home::{
+    Cloud4Home, Config, NodeId, NodeSpec, Object, Placement, ServiceKind, StorePolicy,
+};
+
+const SIZES_KIB: [u64; 4] = [256, 512, 1024, 2048];
+
+fn build() -> Cloud4Home {
+    let mut config = Config::paper_testbed(1007);
+    config.nodes.clear();
+    // S1: the requesting low-end Atom.
+    let mut s1 = NodeSpec::netbook("S1");
+    s1.platform = PlatformSpec::atom_s1();
+    s1.service_vm = VmSpec::new(512, 1);
+    s1.services = vec![ServiceKind::FaceDetect, ServiceKind::FaceRecognize];
+    config.nodes.push(s1);
+    // S2: the quad-core desktop with a deliberately small VM.
+    let mut s2 = NodeSpec::desktop("S2");
+    s2.platform = PlatformSpec::desktop_s2();
+    s2.service_vm = VmSpec::new(128, 4);
+    s2.services = vec![ServiceKind::FaceDetect, ServiceKind::FaceRecognize];
+    config.nodes.push(s2);
+    // S3 is the cloud instance (paper's extra-large EC2) — already in the
+    // default CloudSpec.
+    Cloud4Home::new(config)
+}
+
+/// Runs the FDet → FRec pipeline pinned at `placement`, returning
+/// `(detect_s, recognize_s, movement_s)`.
+fn pipeline(home: &mut Cloud4Home, name: &str, placement: Placement) -> (f64, f64, f64) {
+    let op = home.process_object_at(NodeId(0), name, ServiceKind::FaceDetect, placement);
+    let det = home.run_until_complete(op);
+    det.expect_ok();
+    let op = home.process_object_at(NodeId(0), name, ServiceKind::FaceRecognize, placement);
+    let rec = home.run_until_complete(op);
+    rec.expect_ok();
+    let movement = det.breakdown.inter_node + rec.breakdown.inter_node;
+    (
+        det.total().as_secs_f64(),
+        rec.total().as_secs_f64(),
+        movement.as_secs_f64(),
+    )
+}
+
+fn main() {
+    banner(
+        "Figure 7",
+        "surveillance pipeline (FDet+FRec) cost by placement, from S1",
+    );
+    let mut home = build();
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} | {:>8}",
+        "image", "S1 (s)", "S2 (s)", "S3 (s)", "winner"
+    );
+    println!("{}", "-".repeat(62));
+    let mut winners = Vec::new();
+    for (i, kib) in SIZES_KIB.into_iter().enumerate() {
+        let name = format!("fig7/img-{kib}.jpg");
+        let obj = Object::synthetic(&name, i as u64 + 1, kib << 10, "jpeg");
+        let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+
+        let (d1, r1, _) = pipeline(&mut home, &name, Placement::Pin(NodeId(0)));
+        let (d2, r2, _) = pipeline(&mut home, &name, Placement::Pin(NodeId(1)));
+        let (d3, r3, m3) = pipeline(&mut home, &name, Placement::Cloud);
+        let totals = [(d1 + r1, "S1"), (d2 + r2, "S2"), (d3 + r3, "S3")];
+        let winner = totals
+            .iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap()
+            .1;
+        winners.push(winner);
+        println!(
+            "{:>5}KiB | {:>10.2} {:>10.2} {:>10.2} | {winner:>8}   (S3 movement {:.1}s)",
+            kib,
+            d1 + r1,
+            d2 + r2,
+            d3 + r3,
+            m3
+        );
+    }
+    println!(
+        "\npaper shape: S1 wins smallest, S2 the middle, S3 the largest — got {winners:?}"
+    );
+}

@@ -1,0 +1,78 @@
+//! Shared helpers for the Cloud4Home experiment harness.
+//!
+//! Every paper table and figure has a dedicated bench target under
+//! `benches/` (run with `cargo bench -p c4h-bench --bench <name>`); this
+//! library holds the statistics and scheduling utilities they share.
+
+use std::time::Duration;
+
+use cloud4home::{Cloud4Home, OpId, OpReport};
+
+/// Sample mean and (population) standard deviation.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "mean_std of empty sample");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Runs the simulation until any of `pending` completes; returns its index
+/// and report.
+///
+/// Used by closed-loop multi-stream workloads (Figure 6's client threads):
+/// each completion immediately triggers the stream's next request.
+///
+/// # Panics
+///
+/// Panics if `pending` is empty or the simulation stalls.
+pub fn run_until_any(home: &mut Cloud4Home, pending: &[OpId]) -> (usize, OpReport) {
+    assert!(!pending.is_empty(), "no pending operations");
+    loop {
+        for (i, &op) in pending.iter().enumerate() {
+            if let Some(r) = home.take_report(op) {
+                return (i, r);
+            }
+        }
+        home.run_for(Duration::from_millis(200));
+    }
+}
+
+/// Formats a duration in milliseconds with fixed width.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, paper: &str) {
+    println!("==================================================================");
+    println!("{id}: {paper}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn mean_std_rejects_empty() {
+        mean_std(&[]);
+    }
+
+    #[test]
+    fn ms_converts() {
+        assert_eq!(ms(Duration::from_millis(250)), 250.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! EC2-like compute instances.
+//!
+//! The paper deploys its face detection/recognition pipeline "in an extra
+//! large EC2 para-virtualized instance with five 2.9 GHZ CPUs with 14 GB
+//! memory" and compares against home-node execution. [`Ec2Fleet`] tracks
+//! the provisioned instances: each is a [`Machine`] (platform + domains)
+//! plus the set of service ids deployed on it. Execution timing reuses the
+//! same [`c4h_vmm::exec_time`] model as home nodes — the cloud's advantage
+//! is bigger hardware, not different physics.
+
+use std::collections::BTreeSet;
+
+use c4h_vmm::{Machine, PlatformSpec, VmSpec};
+
+/// Identifier of a provisioned instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u32);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i-{:08x}", self.0)
+    }
+}
+
+/// One provisioned compute instance.
+#[derive(Debug)]
+pub struct Ec2Instance {
+    /// The instance id.
+    pub id: InstanceId,
+    /// The virtualized host (instance VMs are spawned onto it).
+    pub machine: Machine,
+    /// Service ids deployed on this instance.
+    pub services: BTreeSet<u32>,
+}
+
+/// The set of instances provisioned in the remote cloud.
+///
+/// # Examples
+///
+/// ```
+/// use c4h_cloud::Ec2Fleet;
+/// use c4h_vmm::{PlatformSpec, VmSpec};
+///
+/// let mut fleet = Ec2Fleet::new();
+/// let id = fleet.launch(PlatformSpec::ec2_extra_large(), VmSpec::new(12 * 1024, 5));
+/// fleet.deploy_service(id, 2).unwrap();
+/// assert!(fleet.instances_with_service(2).contains(&id));
+/// ```
+#[derive(Debug, Default)]
+pub struct Ec2Fleet {
+    instances: Vec<Ec2Instance>,
+    next_id: u32,
+}
+
+/// Error addressing a fleet instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoSuchInstance(pub InstanceId);
+
+impl std::fmt::Display for NoSuchInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no such instance: {}", self.0)
+    }
+}
+
+impl std::error::Error for NoSuchInstance {}
+
+impl Ec2Fleet {
+    /// Creates an empty fleet.
+    pub fn new() -> Self {
+        Ec2Fleet::default()
+    }
+
+    /// Launches an instance on the given platform; its service VM gets
+    /// `vm` resources.
+    pub fn launch(&mut self, platform: PlatformSpec, vm: VmSpec) -> InstanceId {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        let mut machine = Machine::new(platform, VmSpec::new(512, 1));
+        machine
+            .spawn_guest(vm)
+            .expect("instance service VM must fit its own platform");
+        self.instances.push(Ec2Instance {
+            id,
+            machine,
+            services: BTreeSet::new(),
+        });
+        id
+    }
+
+    /// Number of provisioned instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether no instances are provisioned.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Looks up an instance.
+    pub fn instance(&self, id: InstanceId) -> Option<&Ec2Instance> {
+        self.instances.iter().find(|i| i.id == id)
+    }
+
+    /// Deploys a service onto an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoSuchInstance`] if the id is unknown.
+    pub fn deploy_service(&mut self, id: InstanceId, service_id: u32) -> Result<(), NoSuchInstance> {
+        let inst = self
+            .instances
+            .iter_mut()
+            .find(|i| i.id == id)
+            .ok_or(NoSuchInstance(id))?;
+        inst.services.insert(service_id);
+        Ok(())
+    }
+
+    /// Instances providing a service.
+    pub fn instances_with_service(&self, service_id: u32) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|i| i.services.contains(&service_id))
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// All instances.
+    pub fn iter(&self) -> impl Iterator<Item = &Ec2Instance> {
+        self.instances.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_and_lookup() {
+        let mut fleet = Ec2Fleet::new();
+        assert!(fleet.is_empty());
+        let id = fleet.launch(PlatformSpec::ec2_extra_large(), VmSpec::new(8192, 5));
+        assert_eq!(fleet.len(), 1);
+        let inst = fleet.instance(id).unwrap();
+        assert_eq!(inst.machine.platform().cores, 5);
+        // Service VM exists beside dom0.
+        assert_eq!(inst.machine.domains().len(), 2);
+    }
+
+    #[test]
+    fn service_deployment_filters() {
+        let mut fleet = Ec2Fleet::new();
+        let a = fleet.launch(PlatformSpec::ec2_extra_large(), VmSpec::new(4096, 4));
+        let b = fleet.launch(PlatformSpec::ec2_extra_large(), VmSpec::new(4096, 4));
+        fleet.deploy_service(a, 7).unwrap();
+        assert_eq!(fleet.instances_with_service(7), vec![a]);
+        assert!(fleet.instances_with_service(9).is_empty());
+        fleet.deploy_service(b, 7).unwrap();
+        assert_eq!(fleet.instances_with_service(7), vec![a, b]);
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let mut fleet = Ec2Fleet::new();
+        let err = fleet.deploy_service(InstanceId(99), 1).unwrap_err();
+        assert_eq!(err, NoSuchInstance(InstanceId(99)));
+        assert!(err.to_string().contains("i-00000063"));
+        assert!(fleet.instance(InstanceId(99)).is_none());
+    }
+
+    #[test]
+    fn instance_ids_are_unique_and_display() {
+        let mut fleet = Ec2Fleet::new();
+        let a = fleet.launch(PlatformSpec::ec2_extra_large(), VmSpec::new(1024, 2));
+        let b = fleet.launch(PlatformSpec::ec2_extra_large(), VmSpec::new(1024, 2));
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "i-00000000");
+        assert_eq!(fleet.iter().count(), 2);
+    }
+}

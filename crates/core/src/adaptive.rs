@@ -1,0 +1,242 @@
+//! Adaptive store placement — the paper's learning extension.
+//!
+//! "In our current implementation, these policies are represented as a set
+//! of statically encoded rules. Our future work will explore opportunities
+//! to associate learning methods and support dynamic adaptations."
+//!
+//! [`AdaptivePlacement`] is that extension: it keeps exponentially weighted
+//! throughput estimates for home and cloud placements from the operation
+//! reports the application already receives, and derives a concrete
+//! [`StorePolicy`] per object by predicting which placement completes
+//! sooner — biased toward the home cloud when space permits, and spilling
+//! to the cloud when the home estimate says local space pressure or
+//! degraded LAN conditions make it slower. Because it learns from observed
+//! completions, it tracks changing network conditions (the paper's open
+//! issue (iv)) without reconfiguration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::Object;
+use crate::policy::StorePolicy;
+use crate::report::OpReport;
+
+/// Exponentially weighted moving average of an observed rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaRate {
+    bps: f64,
+    alpha: f64,
+    samples: u64,
+}
+
+impl EwmaRate {
+    /// Creates an estimator with a prior rate (bytes/second).
+    pub fn with_prior(prior_bps: f64, alpha: f64) -> Self {
+        assert!(prior_bps > 0.0, "prior rate must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        EwmaRate {
+            bps: prior_bps,
+            alpha,
+            samples: 0,
+        }
+    }
+
+    /// Folds in one observation.
+    pub fn observe(&mut self, bytes: u64, secs: f64) {
+        if secs <= 0.0 || bytes == 0 {
+            return;
+        }
+        let rate = bytes as f64 / secs;
+        self.bps = self.alpha * rate + (1.0 - self.alpha) * self.bps;
+        self.samples += 1;
+    }
+
+    /// The current rate estimate, bytes/second.
+    pub fn bps(&self) -> f64 {
+        self.bps
+    }
+
+    /// Number of observations folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Predicted seconds to move `bytes` at the current estimate.
+    pub fn predict_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bps
+    }
+}
+
+/// A placement learner deriving store policies from observed completions.
+///
+/// # Examples
+///
+/// ```
+/// use cloud4home::{AdaptivePlacement, Object, StorePolicy};
+///
+/// let mut learner = AdaptivePlacement::new();
+/// let obj = Object::synthetic("x", 1, 4 << 20, "doc");
+/// // With the default priors the home cloud wins for ordinary objects.
+/// assert_eq!(learner.policy_for(&obj), StorePolicy::ForceHome);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePlacement {
+    home: EwmaRate,
+    cloud: EwmaRate,
+    /// Prefer the cloud once the home estimate is this many times slower.
+    cloud_bias: f64,
+}
+
+impl Default for AdaptivePlacement {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptivePlacement {
+    /// Creates a learner with priors matching the testbed's nominal rates
+    /// (≈10 MB/s home, ≈0.15 MB/s cloud).
+    pub fn new() -> Self {
+        AdaptivePlacement {
+            home: EwmaRate::with_prior(10.0e6, 0.3),
+            cloud: EwmaRate::with_prior(0.15e6, 0.3),
+            cloud_bias: 1.0,
+        }
+    }
+
+    /// Creates a learner with explicit priors (bytes/second).
+    pub fn with_priors(home_bps: f64, cloud_bps: f64) -> Self {
+        AdaptivePlacement {
+            home: EwmaRate::with_prior(home_bps, 0.3),
+            cloud: EwmaRate::with_prior(cloud_bps, 0.3),
+            cloud_bias: 1.0,
+        }
+    }
+
+    /// Current `(home, cloud)` throughput estimates in bytes/second.
+    pub fn estimates_bps(&self) -> (f64, f64) {
+        (self.home.bps(), self.cloud.bps())
+    }
+
+    /// Folds a completed store or fetch report into the estimates.
+    ///
+    /// Failed operations are ignored; service executions should not be fed
+    /// in (their time is compute, not transfer).
+    pub fn observe(&mut self, report: &OpReport) {
+        let Ok(out) = &report.outcome else { return };
+        let secs = report.total().as_secs_f64();
+        if out.via_cloud {
+            self.cloud.observe(out.bytes, secs);
+        } else {
+            self.home.observe(out.bytes, secs);
+        }
+    }
+
+    /// Derives the placement for one object: whichever placement predicts
+    /// the sooner completion, with privacy overriding everything (private
+    /// objects never leave the home cloud).
+    pub fn policy_for(&self, object: &Object) -> StorePolicy {
+        if object.private || object.content_type == "mp3" {
+            return StorePolicy::ForceHome;
+        }
+        let bytes = object.size_bytes();
+        let home = self.home.predict_secs(bytes);
+        let cloud = self.cloud.predict_secs(bytes) * self.cloud_bias;
+        if cloud < home {
+            StorePolicy::ForceCloud
+        } else {
+            StorePolicy::ForceHome
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Breakdown, OpId, OpOutput};
+    use c4h_simnet::SimTime;
+    use std::time::Duration;
+
+    fn report(bytes: u64, secs: u64, via_cloud: bool) -> OpReport {
+        OpReport {
+            id: OpId(1),
+            kind: "store",
+            object: "x".into(),
+            submitted: SimTime::ZERO,
+            completed: SimTime::ZERO + Duration::from_secs(secs),
+            breakdown: Breakdown::default(),
+            outcome: Ok(OpOutput {
+                bytes,
+                via_cloud,
+                exec_target: None,
+                summary: None,
+                listing: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let mut e = EwmaRate::with_prior(1.0e6, 0.5);
+        for _ in 0..20 {
+            e.observe(10 << 20, 1.0); // ~10.5 MB/s observed
+        }
+        assert!(e.bps() > 9.0e6, "estimate {:.0} should approach 10 MB/s", e.bps());
+        assert_eq!(e.samples(), 20);
+        // Degenerate observations are ignored.
+        e.observe(0, 1.0);
+        e.observe(100, 0.0);
+        assert_eq!(e.samples(), 20);
+    }
+
+    #[test]
+    fn default_learner_prefers_home() {
+        let learner = AdaptivePlacement::new();
+        let obj = Object::synthetic("x", 1, 8 << 20, "avi");
+        assert_eq!(learner.policy_for(&obj), StorePolicy::ForceHome);
+    }
+
+    #[test]
+    fn learner_switches_when_home_degrades() {
+        // Start with a wrong prior: home looks slower than the cloud.
+        let mut learner = AdaptivePlacement::with_priors(0.01e6, 0.5e6);
+        let obj = Object::synthetic("x", 1, 8 << 20, "avi");
+        assert_eq!(learner.policy_for(&obj), StorePolicy::ForceCloud);
+        // Observed home operations are actually fast; cloud ones slow.
+        for _ in 0..10 {
+            learner.observe(&report(8 << 20, 1, false)); // 8 MB/s home
+            learner.observe(&report(8 << 20, 60, true)); // 0.13 MB/s cloud
+        }
+        assert_eq!(
+            learner.policy_for(&obj),
+            StorePolicy::ForceHome,
+            "estimates {:?} should have flipped the decision",
+            learner.estimates_bps()
+        );
+    }
+
+    #[test]
+    fn privacy_overrides_learning() {
+        // Even with a learner convinced the cloud is faster…
+        let learner = AdaptivePlacement::with_priors(0.001e6, 100.0e6);
+        let song = Object::synthetic("s.mp3", 1, 1 << 20, "mp3");
+        assert_eq!(learner.policy_for(&song), StorePolicy::ForceHome);
+        let secret = Object::synthetic("x", 1, 1 << 20, "doc").private();
+        assert_eq!(learner.policy_for(&secret), StorePolicy::ForceHome);
+    }
+
+    #[test]
+    fn failed_reports_are_ignored() {
+        let mut learner = AdaptivePlacement::new();
+        let before = learner.estimates_bps();
+        let mut r = report(1 << 20, 1, true);
+        r.outcome = Err(crate::report::OpError::NotFound("x".into()));
+        learner.observe(&r);
+        assert_eq!(learner.estimates_bps(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_prior_is_rejected() {
+        EwmaRate::with_prior(0.0, 0.5);
+    }
+}

@@ -1,0 +1,382 @@
+//! `c4h` — an interactive shell for driving a Cloud4Home deployment.
+//!
+//! Builds the paper-testbed home cloud and accepts commands on stdin (so it
+//! works both interactively and fed from a script):
+//!
+//! ```text
+//! cargo run -p cloud4home --bin c4h
+//! c4h> store netbook-0 photos/a.jpg 2MB jpeg
+//! c4h> fetch desktop photos/a.jpg
+//! c4h> process netbook-0 photos/a.jpg face-detect
+//! c4h> status
+//! ```
+//!
+//! Type `help` for the full command list.
+
+use std::io::{self, BufRead, Write};
+use std::time::Duration;
+
+use cloud4home::{
+    Cloud4Home, Config, NodeId, Object, Placement, RoutePolicy, ServiceKind, StorePolicy,
+};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut home = Cloud4Home::new(Config::paper_testbed(seed));
+    println!(
+        "cloud4home shell — {} nodes + cloud, seed {seed}. Type `help`.",
+        home.node_count()
+    );
+
+    let stdin = io::stdin();
+    let interactive = atty_guess();
+    loop {
+        if interactive {
+            print!("c4h> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match run_command(&mut home, &line) {
+            CommandResult::Continue => {}
+            CommandResult::Quit => break,
+            CommandResult::Output(text) => println!("{text}"),
+            CommandResult::Error(text) => println!("error: {text}"),
+        }
+    }
+}
+
+/// Best-effort interactivity guess without platform-specific calls: scripts
+/// usually set `C4H_BATCH=1`.
+fn atty_guess() -> bool {
+    std::env::var_os("C4H_BATCH").is_none()
+}
+
+/// Outcome of one shell command.
+#[derive(Debug, PartialEq)]
+enum CommandResult {
+    Continue,
+    Quit,
+    Output(String),
+    Error(String),
+}
+
+/// Parses and executes one command line.
+fn run_command(home: &mut Cloud4Home, line: &str) -> CommandResult {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some(&cmd) = tokens.first() else {
+        return CommandResult::Continue;
+    };
+    match cmd {
+        "help" => CommandResult::Output(HELP.trim_end().to_owned()),
+        "quit" | "exit" => CommandResult::Quit,
+        "status" => CommandResult::Output(status(home)),
+        "run" => match tokens.get(1).and_then(|t| parse_duration(t)) {
+            Some(d) => {
+                home.run_for(d);
+                CommandResult::Output(format!("advanced to {}", home.now()))
+            }
+            None => CommandResult::Error("usage: run <duration, e.g. 10s>".into()),
+        },
+        "store" => store(home, &tokens),
+        "fetch" => simple_op(home, &tokens, "fetch"),
+        "delete" => simple_op(home, &tokens, "delete"),
+        "list" => simple_op(home, &tokens, "list"),
+        "process" => process(home, &tokens),
+        "crash" | "leave" | "rejoin" => churn(home, &tokens, cmd),
+        "wan" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
+            Some(f) if f > 0.0 && f <= 1.0 => {
+                home.set_wan_quality(f);
+                CommandResult::Output(format!("WAN quality set to {f}"))
+            }
+            _ => CommandResult::Error("usage: wan <factor in (0,1]>".into()),
+        },
+        "loss" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
+            Some(p) if (0.0..1.0).contains(&p) => {
+                home.set_message_loss(p);
+                CommandResult::Output(format!("message loss set to {p}"))
+            }
+            _ => CommandResult::Error("usage: loss <probability in [0,1)>".into()),
+        },
+        other => CommandResult::Error(format!("unknown command `{other}`; try `help`")),
+    }
+}
+
+const HELP: &str = "\
+commands:
+  store <node> <name> <size> <type> [home|cloud|auto]   store an object
+  fetch <node> <name>                                   fetch an object
+  process <node> <name> <service> [node|cloud|auto]     run a service
+  delete <node> <name>                                  delete an object
+  list <node> <dir>                                     list a directory
+  status                                                deployment snapshot
+  run <duration>                                        advance virtual time
+  crash|leave|rejoin <node>                             churn a node
+  wan <factor> / loss <p>                               network conditions
+  help / quit
+sizes: 512KB, 2MB …  durations: 500ms, 10s, 2m
+services: face-detect, face-recognize, x264-convert, archive-compress";
+
+fn status(home: &Cloud4Home) -> String {
+    let mut out = format!("virtual time {}\n", home.now());
+    for i in 0..home.node_count() {
+        out.push_str(&format!(
+            "  {:<12} {:>3} objects\n",
+            home.node_name(NodeId(i)),
+            home.objects_on(NodeId(i))
+        ));
+    }
+    let stats = home.stats();
+    let (hits, misses) = home.cache_stats();
+    out.push_str(&format!(
+        "  ops {}  flows {}  envelopes {}  cache {hits}/{}",
+        stats.ops_completed,
+        stats.flows_started,
+        stats.envelopes_delivered,
+        hits + misses
+    ));
+    out
+}
+
+fn node_by_name(home: &Cloud4Home, name: &str) -> Option<NodeId> {
+    (0..home.node_count())
+        .map(NodeId)
+        .find(|&id| home.node_name(id) == name)
+}
+
+/// Parses sizes like `512KB`, `2MB`, `1024`.
+fn parse_size(s: &str) -> Option<u64> {
+    let upper = s.to_ascii_uppercase();
+    let (digits, mult) = if let Some(d) = upper.strip_suffix("GB") {
+        (d, 1u64 << 30)
+    } else if let Some(d) = upper.strip_suffix("MB") {
+        (d, 1 << 20)
+    } else if let Some(d) = upper.strip_suffix("KB") {
+        (d, 1 << 10)
+    } else if let Some(d) = upper.strip_suffix('B') {
+        (d, 1)
+    } else {
+        (upper.as_str(), 1)
+    };
+    digits.trim().parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// Parses durations like `500ms`, `10s`, `2m`.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let lower = s.to_ascii_lowercase();
+    if let Some(d) = lower.strip_suffix("ms") {
+        return d.parse::<u64>().ok().map(Duration::from_millis);
+    }
+    if let Some(d) = lower.strip_suffix('s') {
+        return d.parse::<u64>().ok().map(Duration::from_secs);
+    }
+    if let Some(d) = lower.strip_suffix('m') {
+        return d.parse::<u64>().ok().map(|m| Duration::from_secs(m * 60));
+    }
+    None
+}
+
+fn parse_service(s: &str) -> Option<ServiceKind> {
+    Some(match s {
+        "face-detect" => ServiceKind::FaceDetect,
+        "face-recognize" => ServiceKind::FaceRecognize,
+        "x264-convert" | "transcode" => ServiceKind::Transcode,
+        "archive-compress" | "compress" => ServiceKind::Compress,
+        _ => return None,
+    })
+}
+
+fn store(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
+    let usage = "usage: store <node> <name> <size> <type> [home|cloud|auto]";
+    let (Some(&node), Some(&name), Some(&size), Some(&ctype)) =
+        (tokens.get(1), tokens.get(2), tokens.get(3), tokens.get(4))
+    else {
+        return CommandResult::Error(usage.into());
+    };
+    let Some(client) = node_by_name(home, node) else {
+        return CommandResult::Error(format!("no node named `{node}`"));
+    };
+    let Some(bytes) = parse_size(size) else {
+        return CommandResult::Error(format!("bad size `{size}`"));
+    };
+    let policy = match tokens.get(5).copied().unwrap_or("auto") {
+        "home" => StorePolicy::ForceHome,
+        "cloud" => StorePolicy::ForceCloud,
+        "auto" => StorePolicy::MandatoryFirst,
+        other => return CommandResult::Error(format!("bad placement `{other}`")),
+    };
+    let object = Object::synthetic(name, bytes ^ 0xC4, bytes, ctype);
+    let op = home.store_object(client, object, policy, true);
+    let report = home.run_until_complete(op);
+    CommandResult::Output(describe(&report))
+}
+
+fn simple_op(home: &mut Cloud4Home, tokens: &[&str], kind: &str) -> CommandResult {
+    let (Some(&node), Some(&name)) = (tokens.get(1), tokens.get(2)) else {
+        return CommandResult::Error(format!("usage: {kind} <node> <name>"));
+    };
+    let Some(client) = node_by_name(home, node) else {
+        return CommandResult::Error(format!("no node named `{node}`"));
+    };
+    let op = match kind {
+        "fetch" => home.fetch_object(client, name),
+        "delete" => home.delete_object(client, name),
+        "list" => home.list_objects(client, name),
+        _ => unreachable!("caller passes a known kind"),
+    };
+    let report = home.run_until_complete(op);
+    CommandResult::Output(describe(&report))
+}
+
+fn process(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
+    let usage = "usage: process <node> <name> <service> [node-name|cloud|auto]";
+    let (Some(&node), Some(&name), Some(&svc)) = (tokens.get(1), tokens.get(2), tokens.get(3))
+    else {
+        return CommandResult::Error(usage.into());
+    };
+    let Some(client) = node_by_name(home, node) else {
+        return CommandResult::Error(format!("no node named `{node}`"));
+    };
+    let Some(service) = parse_service(svc) else {
+        return CommandResult::Error(format!("unknown service `{svc}`"));
+    };
+    let op = match tokens.get(4).copied().unwrap_or("auto") {
+        "auto" => home.process_object(client, name, service, RoutePolicy::Performance),
+        "cloud" => home.process_object_at(client, name, service, Placement::Cloud),
+        target => match node_by_name(home, target) {
+            Some(pin) => home.process_object_at(client, name, service, Placement::Pin(pin)),
+            None => return CommandResult::Error(format!("no node named `{target}`")),
+        },
+    };
+    let report = home.run_until_complete(op);
+    CommandResult::Output(describe(&report))
+}
+
+fn churn(home: &mut Cloud4Home, tokens: &[&str], cmd: &str) -> CommandResult {
+    let Some(&node) = tokens.get(1) else {
+        return CommandResult::Error(format!("usage: {cmd} <node>"));
+    };
+    let Some(id) = node_by_name(home, node) else {
+        return CommandResult::Error(format!("no node named `{node}`"));
+    };
+    match cmd {
+        "crash" => home.crash_node(id),
+        "leave" => home.leave_node(id),
+        "rejoin" => home.rejoin_node(id),
+        _ => unreachable!("caller passes a known kind"),
+    }
+    CommandResult::Output(format!("{cmd} {node}: done"))
+}
+
+fn describe(report: &cloud4home::OpReport) -> String {
+    match &report.outcome {
+        Ok(out) => {
+            let mut s = format!(
+                "{} {} ok in {:.1} ms ({} bytes{})",
+                report.kind,
+                report.object,
+                report.total().as_secs_f64() * 1e3,
+                out.bytes,
+                if out.via_cloud { ", via cloud" } else { "" }
+            );
+            if let Some(t) = &out.exec_target {
+                s.push_str(&format!(", ran on {t}"));
+            }
+            if let Some(sum) = &out.summary {
+                s.push_str(&format!(" — {sum}"));
+            }
+            if let Some(listing) = &out.listing {
+                for n in listing {
+                    s.push_str(&format!("\n    {n}"));
+                }
+            }
+            s
+        }
+        Err(e) => format!("{} {} failed: {e}", report.kind, report.object),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> Cloud4Home {
+        Cloud4Home::new(Config::paper_testbed(900))
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(parse_size("2MB"), Some(2 << 20));
+        assert_eq!(parse_size("512kb"), Some(512 << 10));
+        assert_eq!(parse_size("64"), Some(64));
+        assert_eq!(parse_size("1GB"), Some(1 << 30));
+        assert_eq!(parse_size("xyz"), None);
+        assert_eq!(parse_duration("500ms"), Some(Duration::from_millis(500)));
+        assert_eq!(parse_duration("10s"), Some(Duration::from_secs(10)));
+        assert_eq!(parse_duration("2m"), Some(Duration::from_secs(120)));
+        assert_eq!(parse_duration("nope"), None);
+        assert_eq!(parse_service("transcode"), Some(ServiceKind::Transcode));
+        assert_eq!(parse_service("bogus"), None);
+    }
+
+    #[test]
+    fn full_session_through_the_shell() {
+        let mut home = shell();
+        let script = [
+            "store netbook-0 cam/a.jpg 512KB jpeg home",
+            "fetch desktop cam/a.jpg",
+            "process netbook-0 cam/a.jpg face-detect auto",
+            "list netbook-0 cam",
+            "delete netbook-0 cam/a.jpg",
+            "status",
+        ];
+        for line in script {
+            match run_command(&mut home, line) {
+                CommandResult::Output(text) => {
+                    assert!(!text.contains("failed"), "`{line}` -> {text}");
+                }
+                other => panic!("`{line}` -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut home = shell();
+        for line in [
+            "store nobody x 1MB doc",
+            "store netbook-0 x huge doc",
+            "fetch netbook-0",
+            "process netbook-0 x bogus-svc",
+            "wan 2.0",
+            "loss abc",
+            "frobnicate",
+        ] {
+            assert!(
+                matches!(run_command(&mut home, line), CommandResult::Error(_)),
+                "`{line}` should error"
+            );
+        }
+        // Blank lines and quit.
+        assert_eq!(run_command(&mut home, "   "), CommandResult::Continue);
+        assert_eq!(run_command(&mut home, "quit"), CommandResult::Quit);
+    }
+
+    #[test]
+    fn knobs_and_run_work() {
+        let mut home = shell();
+        assert!(matches!(run_command(&mut home, "wan 0.5"), CommandResult::Output(_)));
+        assert!(matches!(run_command(&mut home, "loss 0.1"), CommandResult::Output(_)));
+        assert!(matches!(run_command(&mut home, "run 5s"), CommandResult::Output(_)));
+        assert!(matches!(run_command(&mut home, "crash netbook-4"), CommandResult::Output(_)));
+        assert!(matches!(run_command(&mut home, "rejoin netbook-4"), CommandResult::Output(_)));
+        assert!(matches!(run_command(&mut home, "help"), CommandResult::Output(_)));
+    }
+}

@@ -1,0 +1,275 @@
+//! Home-cloud configuration and the paper-testbed preset.
+
+use std::time::Duration;
+
+use c4h_chimera::ChimeraConfig;
+use c4h_resources::{BatteryConfig, MonitorConfig};
+use c4h_vmm::{PlatformSpec, VmSpec, XenChannelConfig};
+use serde::{Deserialize, Serialize};
+
+/// Handle of a home-cloud node within a [`Cloud4Home`](crate::Cloud4Home)
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A service deployable on nodes or cloud instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// CPU-intensive face detection.
+    FaceDetect,
+    /// Memory-intensive face recognition (with a resident training set).
+    FaceRecognize,
+    /// x264-style media conversion.
+    Transcode,
+    /// Lossless archival compression.
+    Compress,
+}
+
+impl ServiceKind {
+    /// The service's stable wire id.
+    pub fn id(self) -> u32 {
+        match self {
+            ServiceKind::FaceDetect => 1,
+            ServiceKind::FaceRecognize => 2,
+            ServiceKind::Transcode => 3,
+            ServiceKind::Compress => 4,
+        }
+    }
+
+    /// The service's registered name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::FaceDetect => "face-detect",
+            ServiceKind::FaceRecognize => "face-recognize",
+            ServiceKind::Transcode => "x264-convert",
+            ServiceKind::Compress => "archive-compress",
+        }
+    }
+}
+
+/// Configuration of one home-cloud node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node name (also its identity in the overlay).
+    pub name: String,
+    /// The physical platform.
+    pub platform: PlatformSpec,
+    /// Resource grant of the VM that executes services.
+    pub service_vm: VmSpec,
+    /// Mandatory bin capacity, bytes.
+    pub mandatory_bytes: u64,
+    /// Voluntary bin capacity, bytes.
+    pub voluntary_bytes: u64,
+    /// Battery model for portable devices.
+    pub battery: Option<BatteryConfig>,
+    /// Services deployed on this node.
+    pub services: Vec<ServiceKind>,
+    /// Whether this node hosts the public-cloud interface module.
+    pub gateway: bool,
+    /// Mean ambient CPU load.
+    pub ambient_load: f64,
+    /// Guest ↔ dom0 shared-memory channel configuration ("the receiver
+    /// allocates thirty two 4 KB pages … the page size can be increased up
+    /// to 2 MB if the devices have larger memory").
+    pub channel: XenChannelConfig,
+}
+
+impl NodeSpec {
+    /// A testbed Atom netbook node.
+    pub fn netbook(name: &str) -> Self {
+        NodeSpec {
+            name: name.to_owned(),
+            platform: PlatformSpec::atom_netbook(),
+            service_vm: VmSpec::new(512, 1),
+            mandatory_bytes: 2 << 30,
+            voluntary_bytes: 8 << 30,
+            battery: Some(BatteryConfig::default()),
+            services: vec![],
+            gateway: false,
+            ambient_load: 0.12,
+            channel: XenChannelConfig::prototype(),
+        }
+    }
+
+    /// The testbed quad-core desktop node.
+    pub fn desktop(name: &str) -> Self {
+        NodeSpec {
+            name: name.to_owned(),
+            platform: PlatformSpec::desktop_quad(),
+            service_vm: VmSpec::new(1024, 4),
+            mandatory_bytes: 20 << 30,
+            voluntary_bytes: 60 << 30,
+            battery: None,
+            services: vec![],
+            gateway: true,
+            ambient_load: 0.08,
+            channel: XenChannelConfig::prototype(),
+        }
+    }
+
+    /// Builder-style: set deployed services.
+    pub fn with_services(mut self, services: &[ServiceKind]) -> Self {
+        self.services = services.to_vec();
+        self
+    }
+
+    /// Builder-style: set the service VM grant.
+    pub fn with_service_vm(mut self, vm: VmSpec) -> Self {
+        self.service_vm = vm;
+        self
+    }
+}
+
+/// Remote public-cloud configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudSpec {
+    /// S3 bucket objects are stored under.
+    pub bucket: String,
+    /// The compute instance platform (the paper's extra-large EC2).
+    pub instance_platform: PlatformSpec,
+    /// The instance's service VM grant.
+    pub instance_vm: VmSpec,
+    /// Services deployed in the cloud.
+    pub services: Vec<ServiceKind>,
+}
+
+impl Default for CloudSpec {
+    fn default() -> Self {
+        CloudSpec {
+            bucket: "home-bucket".into(),
+            instance_platform: PlatformSpec::ec2_extra_large(),
+            instance_vm: VmSpec::new(12 * 1024, 5),
+            services: vec![
+                ServiceKind::FaceDetect,
+                ServiceKind::FaceRecognize,
+                ServiceKind::Transcode,
+                ServiceKind::Compress,
+            ],
+        }
+    }
+}
+
+/// Command- and IPC-level timing constants.
+///
+/// Calibrated so a one-hop metadata lookup in a six-node home cloud costs
+/// the 12–16 ms Table I reports (VStore++ ↔ Chimera IPC plus per-hop
+/// processing dominates the sub-millisecond LAN latency).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// VStore++ ↔ Chimera IPC cost, charged at request issue and completion.
+    pub chimera_ipc: Duration,
+    /// Per-message Chimera processing at a receiving node.
+    pub chimera_proc: Duration,
+    /// Dom0 command-packet handling cost.
+    pub command_proc: Duration,
+    /// Direct node-to-node object request handling (non-DHT control
+    /// message).
+    pub peer_request: Duration,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            chimera_ipc: Duration::from_millis(2),
+            chimera_proc: Duration::from_micros(3600),
+            command_proc: Duration::from_micros(1500),
+            peer_request: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Complete home-cloud configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Home nodes (at least one; the first bootstraps the overlay).
+    pub nodes: Vec<NodeSpec>,
+    /// Remote cloud, if reachable.
+    pub cloud: Option<CloudSpec>,
+    /// Overlay tunables.
+    pub chimera: ChimeraConfig,
+    /// Resource-monitor period.
+    pub monitor: MonitorConfig,
+    /// IPC/command timing constants.
+    pub timing: TimingConfig,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Bytes of synthetic training imagery behind the face-recognition
+    /// service's resident set.
+    pub training_bytes: u64,
+}
+
+impl Config {
+    /// The paper's testbed: five Atom netbooks plus one desktop (the
+    /// gateway), with surveillance services on the desktop and one netbook,
+    /// media conversion on the desktop, and the full service set in the
+    /// cloud.
+    pub fn paper_testbed(seed: u64) -> Self {
+        let mut nodes = Vec::new();
+        for i in 0..5 {
+            let mut n = NodeSpec::netbook(&format!("netbook-{i}"));
+            if i == 0 {
+                n.services = vec![ServiceKind::FaceDetect, ServiceKind::FaceRecognize];
+            }
+            if i == 1 {
+                n.services = vec![ServiceKind::Transcode];
+            }
+            nodes.push(n);
+        }
+        nodes.push(NodeSpec::desktop("desktop").with_services(&[
+            ServiceKind::FaceDetect,
+            ServiceKind::FaceRecognize,
+            ServiceKind::Transcode,
+        ]));
+        Config {
+            nodes,
+            cloud: Some(CloudSpec::default()),
+            chimera: ChimeraConfig::default(),
+            monitor: MonitorConfig::default(),
+            timing: TimingConfig::default(),
+            seed,
+            training_bytes: 60 << 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Config::paper_testbed(1);
+        assert_eq!(c.nodes.len(), 6);
+        assert_eq!(c.nodes.iter().filter(|n| n.gateway).count(), 1);
+        assert!(c.cloud.is_some());
+        // Netbooks are battery powered, the desktop is not.
+        assert!(c.nodes[0].battery.is_some());
+        assert!(c.nodes[5].battery.is_none());
+    }
+
+    #[test]
+    fn service_kind_ids_are_stable() {
+        assert_eq!(ServiceKind::FaceDetect.id(), 1);
+        assert_eq!(ServiceKind::FaceRecognize.id(), 2);
+        assert_eq!(ServiceKind::Transcode.id(), 3);
+        assert_eq!(ServiceKind::Compress.id(), 4);
+        assert_eq!(ServiceKind::Transcode.name(), "x264-convert");
+        assert_eq!(ServiceKind::Compress.name(), "archive-compress");
+    }
+
+    #[test]
+    fn node_builders_compose() {
+        let n = NodeSpec::netbook("n")
+            .with_services(&[ServiceKind::Transcode])
+            .with_service_vm(VmSpec::new(128, 4));
+        assert_eq!(n.services, vec![ServiceKind::Transcode]);
+        assert_eq!(n.service_vm, VmSpec::new(128, 4));
+        assert_eq!(NodeId(3).to_string(), "node3");
+    }
+}

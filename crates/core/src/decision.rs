@@ -1,0 +1,229 @@
+//! The service-placement decision engine (`chimeraGetDecision`).
+//!
+//! "When an object needs to be stored or processed, VStore++ makes a
+//! chimeraGetDecision() call to obtain a list of nodes and for each node,
+//! queries the key-value store for the node's resource information. This
+//! information is used to determine the most suitable target node for a
+//! service request." The cost model follows the paper exactly: "this step
+//! considers the time to locate the target node, the associated data
+//! movement costs for the argument … object, and the service processing
+//! requirements and execution time", with "constant target-location time"
+//! and movement approximated "by considering the movement of the argument
+//! object only".
+//!
+//! The runtime gathers the candidate set (issuing the DHT resource-record
+//! lookups, whose time is part of every measured result) and computes the
+//! per-candidate movement estimates; this module scores and chooses —
+//! a pure, unit-testable function of its inputs.
+
+use std::time::Duration;
+
+use c4h_services::{MinRequirements, ServiceDemand};
+use c4h_vmm::{exec_time, PlatformSpec, VmSpec};
+
+use crate::policy::RoutePolicy;
+
+/// The constant target-location time the paper assumes.
+pub const LOCATE_TIME: Duration = Duration::from_millis(10);
+
+/// One placement candidate, fully costed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate<T> {
+    /// Caller's handle for the node (returned by [`choose`]).
+    pub target: T,
+    /// Estimated movement time of the argument object to this candidate.
+    pub movement: Duration,
+    /// Estimated execution time on this candidate at its current load.
+    pub exec: Duration,
+    /// The candidate's current per-core CPU load (from its resource record).
+    pub cpu_load: f64,
+    /// Battery charge if battery-powered.
+    pub battery_pct: Option<f64>,
+    /// Whether the candidate satisfies the service profile's minimum
+    /// requirements.
+    pub meets_min: bool,
+}
+
+impl<T> Candidate<T> {
+    /// Total estimated completion time: locate + movement + execution.
+    pub fn completion_estimate(&self) -> Duration {
+        LOCATE_TIME + self.movement + self.exec
+    }
+}
+
+/// Estimates execution time for a service demand on a candidate node,
+/// given the load published in its resource record.
+pub fn estimate_exec(
+    demand: &ServiceDemand,
+    platform: &PlatformSpec,
+    service_vm: VmSpec,
+    cpu_load: f64,
+) -> Duration {
+    exec_time(demand.work, demand.exec, platform, service_vm, cpu_load)
+}
+
+/// Checks a candidate against the service profile's minimum requirements.
+pub fn meets_minimum(min: &MinRequirements, platform: &PlatformSpec, vm: VmSpec) -> bool {
+    vm.mem_mib >= min.min_mem_mib && platform.cpu_ghz >= min.min_cpu_ghz
+}
+
+/// Chooses the most suitable candidate under the routing policy.
+///
+/// Candidates failing their minimum requirements are considered only when
+/// no candidate passes. Under [`RoutePolicy::BatterySaver`], battery-powered
+/// candidates are avoided unless every candidate is battery-powered.
+/// Returns the index of the winner, or `None` for an empty slate.
+pub fn choose<T>(policy: RoutePolicy, candidates: &[Candidate<T>]) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let indices: Vec<usize> = (0..candidates.len()).collect();
+    // Tier 1: minimum requirements.
+    let qualified: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&i| candidates[i].meets_min)
+        .collect();
+    let pool = if qualified.is_empty() { indices } else { qualified };
+    // Tier 2: battery avoidance.
+    let pool = match policy {
+        RoutePolicy::BatterySaver => {
+            let mains: Vec<usize> = pool
+                .iter()
+                .copied()
+                .filter(|&i| candidates[i].battery_pct.is_none())
+                .collect();
+            if mains.is_empty() {
+                pool
+            } else {
+                mains
+            }
+        }
+        _ => pool,
+    };
+    // Tier 3: the policy's objective.
+    pool.into_iter().min_by(|&a, &b| {
+        let ca = &candidates[a];
+        let cb = &candidates[b];
+        match policy {
+            RoutePolicy::Performance | RoutePolicy::BatterySaver => ca
+                .completion_estimate()
+                .cmp(&cb.completion_estimate())
+                .then_with(|| a.cmp(&b)),
+            RoutePolicy::Balanced => ca
+                .cpu_load
+                .partial_cmp(&cb.cpu_load)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| ca.completion_estimate().cmp(&cb.completion_estimate()))
+                .then_with(|| a.cmp(&b)),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c4h_services::{FaceDetect, Service};
+
+    fn cand(movement_ms: u64, exec_ms: u64, load: f64, battery: Option<f64>) -> Candidate<&'static str> {
+        Candidate {
+            target: "n",
+            movement: Duration::from_millis(movement_ms),
+            exec: Duration::from_millis(exec_ms),
+            cpu_load: load,
+            battery_pct: battery,
+            meets_min: true,
+        }
+    }
+
+    #[test]
+    fn performance_minimizes_total_time() {
+        let cands = vec![
+            cand(100, 1000, 0.1, None), // 1.11 s
+            cand(500, 200, 0.9, None),  // 0.71 s — winner
+            cand(0, 900, 0.0, None),    // 0.91 s
+        ];
+        assert_eq!(choose(RoutePolicy::Performance, &cands), Some(1));
+    }
+
+    #[test]
+    fn balanced_prefers_idle_nodes() {
+        let cands = vec![
+            cand(0, 100, 0.8, None),
+            cand(0, 500, 0.1, None), // idler — winner despite slower exec
+        ];
+        assert_eq!(choose(RoutePolicy::Balanced, &cands), Some(1));
+    }
+
+    #[test]
+    fn battery_saver_avoids_portables_when_possible() {
+        let cands = vec![
+            cand(0, 100, 0.0, Some(40.0)), // fastest but on battery
+            cand(0, 300, 0.0, None),       // winner
+        ];
+        assert_eq!(choose(RoutePolicy::BatterySaver, &cands), Some(1));
+        // With only portables, the fastest portable wins.
+        let only_battery = vec![cand(0, 300, 0.0, Some(80.0)), cand(0, 100, 0.0, Some(20.0))];
+        assert_eq!(choose(RoutePolicy::BatterySaver, &only_battery), Some(1));
+    }
+
+    #[test]
+    fn minimum_requirements_gate_first() {
+        let mut fast = cand(0, 10, 0.0, None);
+        fast.meets_min = false;
+        let slow = cand(0, 500, 0.0, None);
+        assert_eq!(choose(RoutePolicy::Performance, &[fast.clone(), slow]), Some(1));
+        // When nobody qualifies, fall back to the best overall.
+        let mut slow2 = cand(0, 500, 0.0, None);
+        slow2.meets_min = false;
+        assert_eq!(choose(RoutePolicy::Performance, &[fast, slow2]), Some(0));
+    }
+
+    #[test]
+    fn empty_slate_returns_none() {
+        assert_eq!(choose::<&str>(RoutePolicy::Performance, &[]), None);
+    }
+
+    #[test]
+    fn completion_estimate_includes_locate_time() {
+        let c = cand(100, 200, 0.0, None);
+        assert_eq!(
+            c.completion_estimate(),
+            LOCATE_TIME + Duration::from_millis(300)
+        );
+    }
+
+    #[test]
+    fn exec_estimate_reflects_platform_difference() {
+        let fd = FaceDetect::new();
+        let demand = fd.demand(1 << 20);
+        let atom = estimate_exec(
+            &demand,
+            &PlatformSpec::atom_s1(),
+            VmSpec::new(512, 1),
+            0.0,
+        );
+        let ec2 = estimate_exec(
+            &demand,
+            &PlatformSpec::ec2_extra_large(),
+            VmSpec::new(4096, 5),
+            0.0,
+        );
+        assert!(ec2 < atom);
+    }
+
+    #[test]
+    fn min_requirements_check() {
+        let min = MinRequirements {
+            min_mem_mib: 96,
+            min_cpu_ghz: 1.0,
+        };
+        assert!(meets_minimum(&min, &PlatformSpec::desktop_quad(), VmSpec::new(128, 2)));
+        assert!(!meets_minimum(&min, &PlatformSpec::desktop_quad(), VmSpec::new(64, 2)));
+        let weak = PlatformSpec {
+            cpu_ghz: 0.5,
+            ..PlatformSpec::atom_s1()
+        };
+        assert!(!meets_minimum(&min, &weak, VmSpec::new(512, 1)));
+    }
+}

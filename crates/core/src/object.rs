@@ -1,0 +1,238 @@
+//! The VStore++ object model.
+//!
+//! VStore++ "is a virtualized storage service exposing an object-based file
+//! system interface … Internally, it uses a standard file system to
+//! represent objects, using a one-to-one mapping of objects to files."
+//! An [`Object`] pairs a unique name with a payload [`Blob`] and the
+//! metadata (content type, tags, privacy) that placement policies act on.
+//!
+//! Payloads come in two forms: [`Blob::Inline`] carries real bytes (small
+//! objects, service outputs), while [`Blob::Synthetic`] describes a large
+//! deterministic payload by seed and length so multi-hundred-megabyte
+//! experiment datasets never have to be materialized. Service kernels run
+//! on a deterministic sample window of synthetic blobs; cost models use the
+//! declared length.
+
+use bytes::Bytes;
+use c4h_kvstore::Acl;
+use serde::{Deserialize, Serialize};
+
+/// Maximum sample window generated from a synthetic blob for service
+/// kernels.
+pub const SAMPLE_WINDOW: usize = 64 * 1024;
+
+/// An object payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Blob {
+    /// Real bytes held in memory.
+    Inline(Bytes),
+    /// A deterministic synthetic payload described by `(seed, len)`.
+    Synthetic {
+        /// Content seed; equal seeds produce equal content.
+        seed: u64,
+        /// Payload length in bytes.
+        len: u64,
+    },
+}
+
+impl Blob {
+    /// An inline blob from bytes.
+    pub fn inline(bytes: impl Into<Bytes>) -> Self {
+        Blob::Inline(bytes.into())
+    }
+
+    /// A synthetic blob of `len` bytes with deterministic content.
+    pub fn synthetic(seed: u64, len: u64) -> Self {
+        Blob::Synthetic { seed, len }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Blob::Inline(b) => b.len() as u64,
+            Blob::Synthetic { len, .. } => *len,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A deterministic byte window for service kernels: inline blobs return
+    /// their full content (up to `max`), synthetic blobs generate their
+    /// first `min(max, len)` bytes.
+    pub fn sample(&self, max: usize) -> Vec<u8> {
+        match self {
+            Blob::Inline(b) => b[..b.len().min(max)].to_vec(),
+            Blob::Synthetic { seed, len } => {
+                let n = (*len).min(max as u64) as usize;
+                synth_bytes(*seed, n)
+            }
+        }
+    }
+
+    /// A content digest combining length and sampled bytes; equal blobs have
+    /// equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.len();
+        for b in self.sample(4096) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Deterministic synthetic content: textured pseudo-media bytes (short runs
+/// of similar values, like flat regions in imagery) from an xorshift stream.
+pub fn synth_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    // Scramble the seed so that nearby seeds produce unrelated streams.
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    if x == 0 {
+        x = 0x2545_F491_4F6C_DD1D;
+    }
+    let mut current = 128u8;
+    let mut run = 0u32;
+    while out.len() < len {
+        if run == 0 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            current = (x >> 24) as u8;
+            run = 1 + ((x >> 8) & 0x1F) as u32; // flat runs of 1..=32
+        }
+        out.push(current);
+        run -= 1;
+    }
+    out
+}
+
+/// A named object with its payload and policy-relevant metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Object {
+    /// The unique object name (hashed into the metadata key).
+    pub name: String,
+    /// The payload.
+    pub blob: Blob,
+    /// Content type, e.g. `"jpeg"`, `"avi"`, `"mp3"`.
+    pub content_type: String,
+    /// Context tags.
+    pub tags: Vec<String>,
+    /// Whether privacy policies must keep this object in the home cloud.
+    pub private: bool,
+    /// Who may fetch or process the object.
+    pub acl: Acl,
+}
+
+impl Object {
+    /// Creates an object with an inline payload.
+    pub fn new(name: &str, bytes: impl Into<Bytes>, content_type: &str) -> Self {
+        Object {
+            name: name.to_owned(),
+            blob: Blob::inline(bytes),
+            content_type: content_type.to_owned(),
+            tags: Vec::new(),
+            private: false,
+            acl: Acl::Public,
+        }
+    }
+
+    /// Creates an object with a synthetic payload of `len` bytes.
+    pub fn synthetic(name: &str, seed: u64, len: u64, content_type: &str) -> Self {
+        Object {
+            name: name.to_owned(),
+            blob: Blob::synthetic(seed, len),
+            content_type: content_type.to_owned(),
+            tags: Vec::new(),
+            private: false,
+            acl: Acl::Public,
+        }
+    }
+
+    /// Builder-style: restricts who may read the object.
+    pub fn with_acl(mut self, acl: Acl) -> Self {
+        self.acl = acl;
+        self
+    }
+
+    /// Builder-style: marks the object private.
+    pub fn private(mut self) -> Self {
+        self.private = true;
+        self
+    }
+
+    /// Builder-style: adds a tag.
+    pub fn with_tag(mut self, tag: &str) -> Self {
+        self.tags.push(tag.to_owned());
+        self
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.blob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_blob_reports_its_bytes() {
+        let b = Blob::inline(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.sample(10), vec![1, 2, 3]);
+        assert_eq!(b.sample(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn synthetic_blob_is_deterministic() {
+        let a = Blob::synthetic(42, 1 << 20);
+        let b = Blob::synthetic(42, 1 << 20);
+        assert_eq!(a.sample(1024), b.sample(1024));
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), Blob::synthetic(43, 1 << 20).digest());
+    }
+
+    #[test]
+    fn synthetic_blob_never_materializes_full_length() {
+        let huge = Blob::synthetic(7, 100 << 20);
+        assert_eq!(huge.len(), 100 << 20);
+        let sample = huge.sample(SAMPLE_WINDOW);
+        assert_eq!(sample.len(), SAMPLE_WINDOW);
+    }
+
+    #[test]
+    fn synth_content_has_texture() {
+        let bytes = synth_bytes(1, 10_000);
+        // Runs exist (compressible) but content is not constant.
+        let distinct: std::collections::HashSet<u8> = bytes.iter().copied().collect();
+        assert!(distinct.len() > 16, "content too flat");
+        let runs = bytes.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(runs > 1000, "content should have flat runs, got {runs}");
+    }
+
+    #[test]
+    fn object_builders_compose() {
+        let o = Object::synthetic("music/song.mp3", 1, 4 << 20, "mp3")
+            .private()
+            .with_tag("music");
+        assert!(o.private);
+        assert_eq!(o.tags, vec!["music"]);
+        assert_eq!(o.size_bytes(), 4 << 20);
+        let o2 = Object::new("note.txt", &b"hi"[..], "txt");
+        assert_eq!(o2.size_bytes(), 2);
+        assert!(!o2.private);
+    }
+
+    #[test]
+    fn empty_blob_is_empty() {
+        assert!(Blob::inline(Vec::new()).is_empty());
+        assert!(Blob::synthetic(1, 0).is_empty());
+        assert_eq!(Blob::synthetic(1, 0).sample(100).len(), 0);
+    }
+}

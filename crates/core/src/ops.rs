@@ -1,0 +1,1526 @@
+//! The VStore++ operation state machines.
+//!
+//! Each client operation — store, fetch, process, fetch+process — advances
+//! through explicit stages driven by runtime events: wakeups after charged
+//! delays (command handling, XenSocket copies, disk accesses, service
+//! execution), bulk-flow completions, and DHT completions. The stages
+//! mirror the paper's §III-B operation descriptions, and every stage
+//! attributes its elapsed virtual time to a [`Breakdown`] component so the
+//! harness can regenerate Table I.
+
+use std::time::Duration;
+
+use c4h_chimera::{DhtEvent, Key};
+use c4h_cloud::{S3Url, REQUEST_LATENCY};
+use c4h_kvstore::{directory_key, node_resource_key, object_key, parent_dir, service_key,
+    DirEntry, Location, ObjectMeta, Record, ResourceRecord, ServiceRecord};
+use c4h_services::{ServiceDemand, ServiceId, ServiceOutput};
+use c4h_simnet::{Addr, SimTime};
+use c4h_resources::Bin;
+
+use crate::config::{NodeId, ServiceKind};
+use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
+use crate::object::{Blob, Object, SAMPLE_WINDOW};
+use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
+use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport};
+use crate::runtime::Cloud4Home;
+
+/// Size of a command packet on the guest ↔ dom0 channel ("commands are
+/// usually less than 50 bytes").
+const COMMAND_BYTES: u64 = 48;
+
+/// Where a process operation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTarget {
+    /// A home-cloud node, by index.
+    Node(usize),
+    /// The remote cloud's compute instance.
+    Cloud,
+}
+
+/// Explicit placement request for process operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Run the full decision procedure (resource queries + scoring).
+    Auto,
+    /// Pin execution to a specific home node.
+    Pin(NodeId),
+    /// Pin execution to the remote cloud.
+    Cloud,
+}
+
+/// Inputs that advance an operation.
+#[derive(Debug)]
+pub(crate) enum OpInput {
+    /// A scheduled wake fired.
+    Wake,
+    /// The awaited bulk flow delivered its last byte.
+    FlowDone,
+    /// The awaited DHT request completed.
+    Dht(DhtEvent),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stage {
+    // --- store ---
+    StoreChannelIn,
+    StoreQueryPeers,
+    StoreFlowToPeer { peer: usize },
+    StoreDiskWrite { target: usize },
+    StoreFlowToCloud,
+    StoreCloudPut,
+    StoreMetaPut,
+    StoreDirPut,
+    StoreAck,
+    // --- fetch ---
+    FetchChannelIn,
+    FetchMetaGet,
+    FetchOwnerRequest { owner: usize },
+    FetchFlowHome { owner: usize },
+    FetchCloudRequest { url: S3Url },
+    FetchFlowCloud,
+    FetchDiskLocal,
+    FetchChannelOut,
+    // --- delete ---
+    DelChannelIn,
+    DelMetaGet,
+    DelDhtDelete,
+    DelRemoveBytes,
+    DelDirPut,
+    // --- list ---
+    ListChannelIn,
+    ListDirGet,
+    // --- process ---
+    ProcChannelIn,
+    ProcMetaGet,
+    ProcSvcGet,
+    ProcQueryResources,
+    ProcDecide,
+    ProcReadArg,
+    ProcMoveArg,
+    ProcExec,
+    ProcMoveResult,
+    ProcChannelOut,
+}
+
+/// One in-flight operation.
+#[derive(Debug)]
+pub(crate) struct Op {
+    pub(crate) id: OpId,
+    pub(crate) kind: &'static str,
+    pub(crate) client: usize,
+    pub(crate) submitted: SimTime,
+    pub(crate) name: String,
+    pub(crate) payload: Option<Object>,
+    pub(crate) blocking: bool,
+    pub(crate) store_policy: StorePolicy,
+    pub(crate) route: RoutePolicy,
+    pub(crate) placement: Placement,
+    pub(crate) service: Option<ServiceKind>,
+    /// Remaining services of a pipeline invocation (first = current).
+    pub(crate) pipeline: Vec<ServiceKind>,
+    pub(crate) pipeline_idx: usize,
+    pub(crate) stage: Stage,
+    pub(crate) breakdown: Breakdown,
+    pub(crate) phase_started: SimTime,
+    pub(crate) meta: Option<ObjectMeta>,
+    pub(crate) svc_record: Option<ServiceRecord>,
+    pub(crate) pending_gets: usize,
+    pub(crate) resources: Vec<ResourceRecord>,
+    pub(crate) staged: Option<Blob>,
+    pub(crate) exec_target: Option<ExecTarget>,
+    pub(crate) exec_demand: Option<ServiceDemand>,
+    pub(crate) output: Option<ServiceOutput>,
+    pub(crate) via_cloud: bool,
+    pub(crate) result_bytes: u64,
+    /// Metadata-request retries consumed (lossy-network recovery).
+    pub(crate) retries: u8,
+}
+
+impl Op {
+    fn new(id: OpId, kind: &'static str, client: usize, name: String, now: SimTime) -> Self {
+        Op {
+            id,
+            kind,
+            client,
+            submitted: now,
+            name,
+            payload: None,
+            blocking: true,
+            store_policy: StorePolicy::default(),
+            route: RoutePolicy::default(),
+            placement: Placement::Auto,
+            service: None,
+            pipeline: Vec::new(),
+            pipeline_idx: 0,
+            stage: Stage::StoreChannelIn,
+            breakdown: Breakdown::default(),
+            phase_started: now,
+            meta: None,
+            svc_record: None,
+            pending_gets: 0,
+            resources: Vec::new(),
+            staged: None,
+            exec_target: None,
+            exec_demand: None,
+            output: None,
+            via_cloud: false,
+            result_bytes: 0,
+            retries: 0,
+        }
+    }
+
+    /// Size of the object this operation moves.
+    fn object_bytes(&self) -> u64 {
+        self.payload
+            .as_ref()
+            .map(Object::size_bytes)
+            .or_else(|| self.meta.as_ref().map(|m| m.size_bytes))
+            .unwrap_or(0)
+    }
+}
+
+/// Maximum metadata-request retries per operation.
+const MAX_DHT_RETRIES: u8 = 2;
+
+/// Whether a DHT completion is a timeout (lost request or reply).
+fn dht_timed_out(input: &OpInput) -> bool {
+    match input {
+        OpInput::Dht(DhtEvent::GetCompleted { result, .. }) => {
+            matches!(result, Err(c4h_chimera::DhtError::Timeout))
+        }
+        OpInput::Dht(DhtEvent::PutCompleted { result, .. }) => {
+            matches!(result, Err(c4h_chimera::DhtError::Timeout))
+        }
+        OpInput::Dht(DhtEvent::DeleteCompleted { result, .. }) => {
+            matches!(result, Err(c4h_chimera::DhtError::Timeout))
+        }
+        _ => false,
+    }
+}
+
+/// Result of one state-machine step: `Some` completes the op.
+type StepOutcome = Option<Result<OpOutput, OpError>>;
+
+/// The aggregate demand of running a whole pipeline at one location: summed
+/// work, peak working set, and the final stage's output size. Returns
+/// `None` if any stage is not deployed there.
+fn combined_demand(
+    registry: &c4h_services::ServiceRegistry,
+    pipeline: &[ServiceKind],
+    input_bytes: u64,
+) -> Option<ServiceDemand> {
+    let mut total: Option<ServiceDemand> = None;
+    for kind in pipeline {
+        let svc = registry.get(ServiceId(kind.id()))?;
+        let d = svc.demand(input_bytes);
+        total = Some(match total {
+            None => d,
+            Some(mut t) => {
+                t.work += d.work;
+                t.exec.mem_required_mib = t.exec.mem_required_mib.max(d.exec.mem_required_mib);
+                t.exec.parallel_fraction = t.exec.parallel_fraction.min(d.exec.parallel_fraction);
+                t.output_bytes = d.output_bytes;
+                t
+            }
+        });
+    }
+    total
+}
+
+impl Cloud4Home {
+    // ------------------------------------------------------------------
+    // Public operation API
+    // ------------------------------------------------------------------
+
+    /// Stores an object from an application on `client`, placing it
+    /// according to `policy`. Blocking stores include the acknowledgement
+    /// round trip in their completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range or the node is offline.
+    pub fn store_object(
+        &mut self,
+        client: NodeId,
+        object: Object,
+        policy: StorePolicy,
+        blocking: bool,
+    ) -> OpId {
+        let i = self.require_live(client);
+        let id = self.alloc_op();
+        let now = self.now();
+        let mut op = Op::new(id, "store", i, object.name.clone(), now);
+        op.blocking = blocking;
+        op.store_policy = policy;
+        op.stage = Stage::StoreChannelIn;
+        // CreateObject + StoreObject: command packet, then the object
+        // crosses the guest → dom0 shared-memory channel.
+        let channel = self.nodes[i].channel_transfer(object.size_bytes());
+        op.payload = Some(object);
+        self.wake_in(id, self.config.timing.command_proc + channel);
+        self.ops.insert(id, op);
+        self.ensure_tick();
+        id
+    }
+
+    /// Fetches an object by name to an application on `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range or the node is offline.
+    pub fn fetch_object(&mut self, client: NodeId, name: &str) -> OpId {
+        let i = self.require_live(client);
+        let id = self.alloc_op();
+        let now = self.now();
+        let mut op = Op::new(id, "fetch", i, name.to_owned(), now);
+        op.stage = Stage::FetchChannelIn;
+        let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
+        self.wake_in(id, self.config.timing.command_proc + channel);
+        self.ops.insert(id, op);
+        self.ensure_tick();
+        id
+    }
+
+    /// Deletes an object: its metadata is removed from the key-value store
+    /// (with replicas and path caches expunged) and its bytes are removed
+    /// from whichever bin or bucket holds them.
+    ///
+    /// Only the node that stored the object may delete it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range or the node is offline.
+    pub fn delete_object(&mut self, client: NodeId, name: &str) -> OpId {
+        let i = self.require_live(client);
+        let id = self.alloc_op();
+        let now = self.now();
+        let mut op = Op::new(id, "delete", i, name.to_owned(), now);
+        op.stage = Stage::DelChannelIn;
+        let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
+        self.wake_in(id, self.config.timing.command_proc + channel);
+        self.ops.insert(id, op);
+        self.ensure_tick();
+        id
+    }
+
+    /// Lists the objects in a directory (the prefix before the final `/` of
+    /// each object name), reading the directory's chained entry record from
+    /// the key-value store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range or the node is offline.
+    pub fn list_objects(&mut self, client: NodeId, dir: &str) -> OpId {
+        let i = self.require_live(client);
+        let id = self.alloc_op();
+        let now = self.now();
+        let mut op = Op::new(id, "list", i, dir.to_owned(), now);
+        op.stage = Stage::ListChannelIn;
+        let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
+        self.wake_in(id, self.config.timing.command_proc + channel);
+        self.ops.insert(id, op);
+        self.ensure_tick();
+        id
+    }
+
+    /// Invokes a processing service on a stored object, choosing the
+    /// execution location with the full decision procedure under `route`.
+    pub fn process_object(
+        &mut self,
+        client: NodeId,
+        name: &str,
+        service: ServiceKind,
+        route: RoutePolicy,
+    ) -> OpId {
+        self.submit_process(client, name, service, Placement::Auto, route, "process")
+    }
+
+    /// Invokes a processing service at an explicitly pinned location
+    /// (used to measure individual placements, as in Figure 7).
+    pub fn process_object_at(
+        &mut self,
+        client: NodeId,
+        name: &str,
+        service: ServiceKind,
+        placement: Placement,
+    ) -> OpId {
+        self.submit_process(
+            client,
+            name,
+            service,
+            placement,
+            RoutePolicy::Performance,
+            "process",
+        )
+    }
+
+    /// Fetch joined with processing: per the paper, the requesting node
+    /// runs the service itself when capable, else the owner, else the
+    /// decision procedure picks among the remaining providers.
+    pub fn fetch_and_process(
+        &mut self,
+        client: NodeId,
+        name: &str,
+        service: ServiceKind,
+        route: RoutePolicy,
+    ) -> OpId {
+        self.submit_process(client, name, service, Placement::Auto, route, "fetch_process")
+    }
+
+    /// Runs a sequence of services on the object at a single dynamically
+    /// chosen location — the paper's surveillance pattern ("a process
+    /// operation may be invoked on a set of stored images, to first perform
+    /// face detection, and next face recognition"), with the argument moved
+    /// once and every pipeline step executed in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services` is empty, `client` is out of range, or the node
+    /// is offline.
+    pub fn process_pipeline(
+        &mut self,
+        client: NodeId,
+        name: &str,
+        services: &[ServiceKind],
+        route: RoutePolicy,
+    ) -> OpId {
+        assert!(!services.is_empty(), "pipeline needs at least one service");
+        let id = self.submit_process(
+            client,
+            name,
+            services[0],
+            Placement::Auto,
+            route,
+            "pipeline",
+        );
+        let op = self.ops.get_mut(&id).expect("just inserted");
+        op.pipeline = services.to_vec();
+        id
+    }
+
+    fn submit_process(
+        &mut self,
+        client: NodeId,
+        name: &str,
+        service: ServiceKind,
+        placement: Placement,
+        route: RoutePolicy,
+        kind: &'static str,
+    ) -> OpId {
+        let i = self.require_live(client);
+        let id = self.alloc_op();
+        let now = self.now();
+        let mut op = Op::new(id, kind, i, name.to_owned(), now);
+        op.service = Some(service);
+        op.pipeline = vec![service];
+        op.placement = placement;
+        op.route = route;
+        op.stage = Stage::ProcChannelIn;
+        let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
+        self.wake_in(id, self.config.timing.command_proc + channel);
+        self.ops.insert(id, op);
+        self.ensure_tick();
+        id
+    }
+
+    fn require_live(&self, client: NodeId) -> usize {
+        assert!(client.0 < self.nodes.len(), "no such node {client}");
+        assert!(self.nodes[client.0].alive, "{client} is offline");
+        client.0
+    }
+
+    // ------------------------------------------------------------------
+    // State machine driver
+    // ------------------------------------------------------------------
+
+    /// Fails an in-flight operation from outside its state machine
+    /// (e.g. its transfer peer crashed).
+    pub(crate) fn fail_op(&mut self, id: OpId, error: OpError) {
+        if let Some(op) = self.ops.remove(&id) {
+            self.complete_op(op, Err(error));
+        }
+    }
+
+    pub(crate) fn op_continue(&mut self, id: OpId, input: OpInput) {
+        let Some(mut op) = self.ops.remove(&id) else {
+            return;
+        };
+        let outcome = self.op_step(&mut op, input);
+        match outcome {
+            Some(result) => self.complete_op(op, result),
+            None => {
+                self.ops.insert(id, op);
+            }
+        }
+    }
+
+    fn complete_op(&mut self, op: Op, outcome: Result<OpOutput, OpError>) {
+        self.stats.ops_completed += 1;
+        let report = OpReport {
+            id: op.id,
+            kind: op.kind,
+            object: op.name,
+            submitted: op.submitted,
+            completed: self.now(),
+            breakdown: op.breakdown,
+            outcome,
+        };
+        self.reports.insert(op.id, report);
+    }
+
+    /// Marks the start of a new timing phase, returning the previous
+    /// phase's elapsed time.
+    fn phase(&self, op: &mut Op) -> Duration {
+        let now = self.now();
+        let elapsed = now
+            .checked_duration_since(op.phase_started)
+            .unwrap_or_default();
+        op.phase_started = now;
+        elapsed
+    }
+
+    fn op_step(&mut self, op: &mut Op, input: OpInput) -> StepOutcome {
+        // Lossy-network recovery: a timed-out metadata request is reissued
+        // (bounded) instead of failing the operation.
+        if dht_timed_out(&input) && op.retries < MAX_DHT_RETRIES && self.retry_dht(op) {
+            op.retries += 1;
+            return None;
+        }
+        match op.stage.clone() {
+            // ---------------- store ----------------
+            Stage::StoreChannelIn => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                self.store_decide_placement(op)
+            }
+            Stage::StoreQueryPeers => {
+                self.absorb_resource_reply(op, input);
+                if op.pending_gets > 0 {
+                    return None;
+                }
+                { let el = self.phase(op); op.breakdown.decision += el; }
+                self.store_pick_peer(op)
+            }
+            Stage::StoreFlowToPeer { peer } => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                let write = self.nodes[peer]
+                    .disk
+                    .write_time(op.object_bytes());
+                op.stage = Stage::StoreDiskWrite { target: peer };
+                self.wake_in(op.id, write);
+                None
+            }
+            Stage::StoreDiskWrite { target } => {
+                { let el = self.phase(op); op.breakdown.disk += el; }
+                self.store_install(op, target)
+            }
+            Stage::StoreFlowToCloud => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                op.stage = Stage::StoreCloudPut;
+                self.wake_in(op.id, REQUEST_LATENCY);
+                None
+            }
+            Stage::StoreCloudPut => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                let object = op.payload.as_ref().expect("store carries payload");
+                let cloud = self.cloud.as_mut().expect("cloud path requires a cloud");
+                let url = cloud
+                    .s3
+                    .put(
+                        &cloud.bucket.clone(),
+                        &object.name,
+                        object.blob.clone(),
+                        object.size_bytes(),
+                    )
+                    .expect("bucket exists");
+                op.via_cloud = true;
+                self.store_meta_put(op, Location::Cloud { url: url.to_string() })
+            }
+            Stage::StoreMetaPut => {
+                let OpInput::Dht(ev) = input else { return None };
+                let DhtEvent::PutCompleted { result, .. } = ev else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                // Append the object to its directory's entry chain.
+                let entry = DirEntry {
+                    name: op.name.clone(),
+                    tombstone: false,
+                };
+                let dir = parent_dir(&op.name).to_owned();
+                op.stage = Stage::StoreDirPut;
+                self.dht_chain_for_op(op.id, op.client, directory_key(&dir), entry.encode());
+                None
+            }
+            Stage::StoreDirPut => {
+                let OpInput::Dht(DhtEvent::PutCompleted { result, .. }) = input else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                if op.blocking {
+                    // "Blocking operations incur the cost of an additional
+                    // acknowledgement."
+                    let ack = self.nodes[op.client].channel_transfer(COMMAND_BYTES)
+                        + self.config.timing.command_proc;
+                    op.stage = Stage::StoreAck;
+                    self.wake_in(op.id, ack);
+                    None
+                } else {
+                    Some(Ok(self.store_output(op)))
+                }
+            }
+            Stage::StoreAck => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                Some(Ok(self.store_output(op)))
+            }
+
+            // ---------------- fetch ----------------
+            Stage::FetchChannelIn => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                op.stage = Stage::FetchMetaGet;
+                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                None
+            }
+            Stage::FetchMetaGet => {
+                let meta = match self.take_object_meta(op, input) {
+                    Ok(m) => m,
+                    Err(e) => return Some(Err(e)),
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                self.fetch_route_to_owner(op, meta)
+            }
+            Stage::FetchOwnerRequest { owner } => {
+                // Request handled; owner has read the object from disk.
+                op.stage = Stage::FetchFlowHome { owner };
+                let src = self.nodes[owner].addr;
+                let dst = self.nodes[op.client].addr;
+                self.phase(op);
+                self.start_flow_for_op(op.id, src, dst, op.object_bytes());
+                None
+            }
+            Stage::FetchFlowHome { owner } => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                match self.nodes[owner].objects.get(&op.name) {
+                    Some(blob) => {
+                        op.staged = Some(blob.clone());
+                        self.fetch_channel_out(op)
+                    }
+                    None => Some(Err(OpError::NotFound(op.name.clone()))),
+                }
+            }
+            Stage::FetchCloudRequest { url } => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                let cloud = self.cloud.as_mut().expect("cloud fetch requires a cloud");
+                match cloud.s3.get(&url) {
+                    Ok(obj) => {
+                        op.staged = Some(obj.payload.clone());
+                        op.via_cloud = true;
+                        op.stage = Stage::FetchFlowCloud;
+                        let dst = self.nodes[op.client].addr;
+                        let src = cloud.addr;
+                        let bytes = op.object_bytes();
+                        self.phase(op);
+                        self.start_flow_for_op(op.id, src, dst, bytes);
+                        None
+                    }
+                    Err(_) => Some(Err(OpError::NotFound(op.name.clone()))),
+                }
+            }
+            Stage::FetchFlowCloud => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                self.fetch_channel_out(op)
+            }
+            Stage::FetchDiskLocal => {
+                { let el = self.phase(op); op.breakdown.disk += el; }
+                match self.nodes[op.client].objects.get(&op.name) {
+                    Some(blob) => {
+                        op.staged = Some(blob.clone());
+                        self.fetch_channel_out(op)
+                    }
+                    None => Some(Err(OpError::NotFound(op.name.clone()))),
+                }
+            }
+            Stage::FetchChannelOut => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                Some(Ok(OpOutput {
+                    bytes: op.object_bytes(),
+                    via_cloud: op.via_cloud,
+                    exec_target: None,
+                    summary: None,
+                    listing: None,
+                }))
+            }
+
+            // ---------------- delete ----------------
+            Stage::DelChannelIn => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                op.stage = Stage::DelMetaGet;
+                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                None
+            }
+            Stage::DelMetaGet => {
+                let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                let meta = value
+                    .as_ref()
+                    .and_then(|v| Record::decode(v.latest()).ok())
+                    .and_then(|r| r.as_object().cloned());
+                let Some(meta) = meta else {
+                    return Some(Err(OpError::NotFound(op.name.clone())));
+                };
+                // Only the owner principal may delete.
+                if meta.owner != self.nodes[op.client].key {
+                    return Some(Err(OpError::AccessDenied(op.name.clone())));
+                }
+                op.meta = Some(meta);
+                op.stage = Stage::DelDhtDelete;
+                self.dht_delete_for_op(op.id, op.client, object_key(&op.name));
+                None
+            }
+            Stage::DelDhtDelete => {
+                let OpInput::Dht(DhtEvent::DeleteCompleted { result, .. }) = input else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                self.delete_remove_bytes(op)
+            }
+            Stage::DelRemoveBytes => {
+                { let el = self.phase(op); op.breakdown.disk += el; }
+                let entry = DirEntry {
+                    name: op.name.clone(),
+                    tombstone: true,
+                };
+                let dir = parent_dir(&op.name).to_owned();
+                op.stage = Stage::DelDirPut;
+                self.dht_chain_for_op(op.id, op.client, directory_key(&dir), entry.encode());
+                None
+            }
+            Stage::DelDirPut => {
+                let OpInput::Dht(DhtEvent::PutCompleted { result, .. }) = input else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(OpOutput {
+                    bytes: op.object_bytes(),
+                    via_cloud: op.via_cloud,
+                    exec_target: None,
+                    summary: None,
+                    listing: None,
+                }))
+            }
+
+            // ---------------- list ----------------
+            Stage::ListChannelIn => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                op.stage = Stage::ListDirGet;
+                self.dht_get_for_op(op.id, op.client, directory_key(&op.name));
+                None
+            }
+            Stage::ListDirGet => {
+                let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                let listing = match &value {
+                    Some(v) => DirEntry::fold_listing(v.versions().iter().map(Vec::as_slice)),
+                    None => Vec::new(),
+                };
+                Some(Ok(OpOutput {
+                    bytes: 0,
+                    via_cloud: false,
+                    exec_target: None,
+                    summary: Some(format!("{} objects", listing.len())),
+                    listing: Some(listing),
+                }))
+            }
+
+            // ---------------- process ----------------
+            Stage::ProcChannelIn => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                op.stage = Stage::ProcMetaGet;
+                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                None
+            }
+            Stage::ProcMetaGet => {
+                let meta = match self.take_object_meta(op, input) {
+                    Ok(m) => m,
+                    Err(e) => return Some(Err(e)),
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                op.meta = Some(meta);
+                let kind = op.service.expect("process carries a service");
+                op.stage = Stage::ProcSvcGet;
+                self.dht_get_for_op(op.id, op.client, service_key(kind.name(), kind.id()));
+                None
+            }
+            Stage::ProcSvcGet => {
+                let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
+                    return None;
+                };
+                { let el = self.phase(op); op.breakdown.dht += el; }
+                if let Err(e) = result {
+                    return Some(Err(e.into()));
+                }
+                let kind = op.service.expect("process carries a service");
+                let record = value
+                    .as_ref()
+                    .and_then(|v| Record::decode(v.latest()).ok())
+                    .and_then(|r| r.as_service().cloned());
+                let Some(record) = record else {
+                    return Some(Err(OpError::ServiceUnavailable(kind.id())));
+                };
+                op.svc_record = Some(record);
+                self.proc_resolve_placement(op)
+            }
+            Stage::ProcQueryResources => {
+                self.absorb_resource_reply(op, input);
+                if op.pending_gets > 0 {
+                    return None;
+                }
+                { let el = self.phase(op); op.breakdown.decision += el; }
+                self.proc_choose_target(op)
+            }
+            Stage::ProcDecide => {
+                { let el = self.phase(op); op.breakdown.decision += el; }
+                self.proc_move_argument(op)
+            }
+            Stage::ProcReadArg => {
+                { let el = self.phase(op); op.breakdown.disk += el; }
+                self.proc_start_move_flow(op)
+            }
+            Stage::ProcMoveArg => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                self.proc_start_exec(op)
+            }
+            Stage::ProcExec => {
+                { let el = self.phase(op); op.breakdown.exec += el; }
+                self.proc_finish_exec(op)
+            }
+            Stage::ProcMoveResult => {
+                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                self.proc_channel_out(op)
+            }
+            Stage::ProcChannelOut => {
+                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                Some(Ok(OpOutput {
+                    bytes: op.result_bytes,
+                    via_cloud: op.via_cloud,
+                    exec_target: Some(self.target_name(op.exec_target.expect("exec ran"))),
+                    summary: op.output.take().map(|o| o.summary),
+                    listing: None,
+                }))
+            }
+        }
+    }
+
+    /// Reissues the metadata request the current stage is waiting on.
+    /// Returns `false` for stages that tolerate missing replies themselves.
+    fn retry_dht(&mut self, op: &mut Op) -> bool {
+        match op.stage.clone() {
+            Stage::FetchMetaGet | Stage::ProcMetaGet | Stage::DelMetaGet => {
+                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                true
+            }
+            Stage::ProcSvcGet => {
+                let kind = op.service.expect("process carries a service");
+                self.dht_get_for_op(op.id, op.client, service_key(kind.name(), kind.id()));
+                true
+            }
+            Stage::StoreMetaPut => {
+                let meta = op.meta.clone().expect("set before the put");
+                self.dht_put_for_op(
+                    op.id,
+                    op.client,
+                    object_key(&op.name),
+                    Record::Object(meta).encode(),
+                );
+                true
+            }
+            Stage::StoreDirPut | Stage::DelDirPut => {
+                let entry = DirEntry {
+                    name: op.name.clone(),
+                    tombstone: matches!(op.stage, Stage::DelDirPut),
+                };
+                let dir = parent_dir(&op.name).to_owned();
+                self.dht_chain_for_op(op.id, op.client, directory_key(&dir), entry.encode());
+                true
+            }
+            Stage::DelDhtDelete => {
+                self.dht_delete_for_op(op.id, op.client, object_key(&op.name));
+                true
+            }
+            Stage::ListDirGet => {
+                self.dht_get_for_op(op.id, op.client, directory_key(&op.name));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Store helpers
+    // ------------------------------------------------------------------
+
+    fn store_decide_placement(&mut self, op: &mut Op) -> StepOutcome {
+        let object = op.payload.as_ref().expect("store carries payload");
+        let class = op.store_policy.classify(object);
+        let size = object.size_bytes();
+        match class {
+            PlacementClass::LocalFirst => {
+                if self.nodes[op.client].bins.fits(size, Bin::Mandatory) {
+                    let write = self.nodes[op.client].disk.write_time(size);
+                    op.stage = Stage::StoreDiskWrite { target: op.client };
+                    self.phase(op);
+                    self.wake_in(op.id, write);
+                    None
+                } else {
+                    self.store_query_peers(op)
+                }
+            }
+            PlacementClass::HomePeer => self.store_query_peers(op),
+            PlacementClass::RemoteCloud => {
+                if self.cloud.is_some() {
+                    self.store_go_cloud(op)
+                } else {
+                    self.store_query_peers(op)
+                }
+            }
+        }
+    }
+
+    /// Queries every live peer's resource record before picking a
+    /// voluntary-bin target.
+    fn store_query_peers(&mut self, op: &mut Op) -> StepOutcome {
+        self.phase(op);
+        op.resources.clear();
+        op.pending_gets = 0;
+        let peers: Vec<Key> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(j, n)| *j != op.client && n.alive)
+            .map(|(_, n)| n.key)
+            .collect();
+        if peers.is_empty() {
+            return self.store_spill_or_fail(op);
+        }
+        op.stage = Stage::StoreQueryPeers;
+        for key in peers {
+            op.pending_gets += 1;
+            self.dht_get_for_op(op.id, op.client, node_resource_key(&key.to_string()));
+        }
+        None
+    }
+
+    fn store_pick_peer(&mut self, op: &mut Op) -> StepOutcome {
+        let size = op.object_bytes();
+        let need_mib = size.div_ceil(1 << 20);
+        // Choose the peer advertising the most voluntary space that fits.
+        let best = op
+            .resources
+            .iter()
+            .filter(|r| r.voluntary_free_mib >= need_mib)
+            .max_by_key(|r| r.voluntary_free_mib)
+            .and_then(|r| self.node_index(r.node))
+            .filter(|&j| self.nodes[j].alive && j != op.client);
+        match best {
+            Some(peer) => {
+                op.stage = Stage::StoreFlowToPeer { peer };
+                let src = self.nodes[op.client].addr;
+                let dst = self.nodes[peer].addr;
+                self.phase(op);
+                self.start_flow_for_op(op.id, src, dst, size);
+                None
+            }
+            None => self.store_spill_or_fail(op),
+        }
+    }
+
+    fn store_spill_or_fail(&mut self, op: &mut Op) -> StepOutcome {
+        if op.store_policy.may_spill_to_cloud() && self.cloud.is_some() {
+            self.store_go_cloud(op)
+        } else {
+            Some(Err(OpError::NoSpace(op.name.clone())))
+        }
+    }
+
+    fn store_go_cloud(&mut self, op: &mut Op) -> StepOutcome {
+        op.stage = Stage::StoreFlowToCloud;
+        let src = self.nodes[op.client].addr;
+        let dst = self.cloud.as_ref().expect("checked by caller").addr;
+        let bytes = op.object_bytes();
+        self.phase(op);
+        self.start_flow_for_op(op.id, src, dst, bytes);
+        None
+    }
+
+    /// Writes the object into the target node's file system and bins, then
+    /// publishes its metadata.
+    fn store_install(&mut self, op: &mut Op, target: usize) -> StepOutcome {
+        let object = op.payload.as_ref().expect("store carries payload");
+        let bin = if target == op.client {
+            Bin::Mandatory
+        } else {
+            Bin::Voluntary
+        };
+        let size = object.size_bytes();
+        let name = object.name.clone();
+        // Re-storing an existing name overwrites it ("one-to-one mapping of
+        // objects to files": the file is replaced).
+        if self.nodes[target].bins.lookup(&name).is_some() {
+            self.nodes[target].bins.remove(&name);
+        }
+        if self.nodes[target].bins.store(&name, size, bin).is_err() {
+            // Stale resource record: the bin filled since we queried.
+            return self.store_spill_or_fail(op);
+        }
+        self.nodes[target]
+            .objects
+            .insert(name, object.blob.clone());
+        let location = Location::Home {
+            node: self.nodes[target].key,
+        };
+        self.store_meta_put(op, location)
+    }
+
+    fn store_meta_put(&mut self, op: &mut Op, location: Location) -> StepOutcome {
+        let object = op.payload.as_ref().expect("store carries payload");
+        let meta = ObjectMeta {
+            name: object.name.clone(),
+            size_bytes: object.size_bytes(),
+            content_type: object.content_type.clone(),
+            tags: object.tags.clone(),
+            location,
+            private: object.private,
+            owner: self.nodes[op.client].key,
+            acl: object.acl.clone(),
+            created_at_ns: self.now().as_nanos(),
+        };
+        op.meta = Some(meta.clone());
+        op.stage = Stage::StoreMetaPut;
+        self.phase(op);
+        self.dht_put_for_op(
+            op.id,
+            op.client,
+            object_key(&op.name),
+            Record::Object(meta).encode(),
+        );
+        None
+    }
+
+    fn store_output(&self, op: &Op) -> OpOutput {
+        OpOutput {
+            bytes: op.object_bytes(),
+            via_cloud: op.via_cloud,
+            exec_target: None,
+            summary: None,
+            listing: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch helpers
+    // ------------------------------------------------------------------
+
+    /// Extracts decoded object metadata from a DHT completion.
+    fn take_object_meta(&mut self, op: &mut Op, input: OpInput) -> Result<ObjectMeta, OpError> {
+        let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
+            return Err(OpError::Dht("unexpected completion".into()));
+        };
+        result.map_err(OpError::from)?;
+        let meta = value
+            .as_ref()
+            .and_then(|v| Record::decode(v.latest()).ok())
+            .and_then(|r| r.as_object().cloned())
+            .ok_or_else(|| OpError::NotFound(op.name.clone()))?;
+        // Access control: the reader must be permitted by the object's ACL.
+        if !meta.acl.permits(self.nodes[op.client].key, meta.owner) {
+            return Err(OpError::AccessDenied(op.name.clone()));
+        }
+        Ok(meta)
+    }
+
+    fn fetch_route_to_owner(&mut self, op: &mut Op, meta: ObjectMeta) -> StepOutcome {
+        op.meta = Some(meta.clone());
+        match meta.location {
+            Location::Home { node } => {
+                let Some(owner) = self.node_index(node).filter(|&j| self.nodes[j].alive) else {
+                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                };
+                if owner == op.client {
+                    let read = self.nodes[owner].disk.read_time(meta.size_bytes);
+                    op.stage = Stage::FetchDiskLocal;
+                    self.phase(op);
+                    self.wake_in(op.id, read);
+                } else {
+                    // Control message to the owner plus its disk read.
+                    let latency = self
+                        .net
+                        .topology()
+                        .message_latency(
+                            self.nodes[op.client].addr,
+                            self.nodes[owner].addr,
+                            &mut self.rng,
+                        )
+                        .unwrap_or_default();
+                    let read = self.nodes[owner].disk.read_time(meta.size_bytes);
+                    op.breakdown.disk += read;
+                    op.stage = Stage::FetchOwnerRequest { owner };
+                    self.phase(op);
+                    self.wake_in(op.id, latency + self.config.timing.peer_request + read);
+                }
+                None
+            }
+            Location::Cloud { ref url } => {
+                if self.cloud.is_none() {
+                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                }
+                let Some(url) = S3Url::parse(url) else {
+                    return Some(Err(OpError::NotFound(op.name.clone())));
+                };
+                op.stage = Stage::FetchCloudRequest { url };
+                self.phase(op);
+                self.wake_in(op.id, REQUEST_LATENCY);
+                None
+            }
+        }
+    }
+
+    /// Removes the deleted object's bytes from its bin or bucket, charging
+    /// the appropriate access costs.
+    fn delete_remove_bytes(&mut self, op: &mut Op) -> StepOutcome {
+        let meta = op.meta.clone().expect("set in DelMetaGet");
+        match &meta.location {
+            Location::Home { node } => {
+                let Some(owner) = self.node_index(*node).filter(|&j| self.nodes[j].alive) else {
+                    // Bytes are already unreachable; the metadata is gone,
+                    // which is the user-visible effect.
+                    return Some(Ok(OpOutput {
+                        bytes: meta.size_bytes,
+                        via_cloud: false,
+                        exec_target: None,
+                        summary: None,
+                        listing: None,
+                    }));
+                };
+                self.nodes[owner].objects.remove(&op.name);
+                self.nodes[owner].bins.remove(&op.name);
+                let latency = if owner == op.client {
+                    Duration::ZERO
+                } else {
+                    self.net
+                        .topology()
+                        .message_latency(
+                            self.nodes[op.client].addr,
+                            self.nodes[owner].addr,
+                            &mut self.rng,
+                        )
+                        .unwrap_or_default()
+                        + self.config.timing.peer_request
+                };
+                let unlink = self.nodes[owner].disk.access_latency;
+                op.stage = Stage::DelRemoveBytes;
+                self.phase(op);
+                self.wake_in(op.id, latency + unlink);
+                None
+            }
+            Location::Cloud { url } => {
+                if let (Some(cloud), Some(url)) = (self.cloud.as_mut(), S3Url::parse(url)) {
+                    let _ = cloud.s3.delete(&url);
+                    op.via_cloud = true;
+                }
+                op.stage = Stage::DelRemoveBytes;
+                self.phase(op);
+                self.wake_in(op.id, REQUEST_LATENCY);
+                None
+            }
+        }
+    }
+
+    fn fetch_channel_out(&mut self, op: &mut Op) -> StepOutcome {
+        let bytes = op.object_bytes();
+        let channel = self.nodes[op.client].channel_transfer(bytes);
+        op.stage = Stage::FetchChannelOut;
+        self.phase(op);
+        self.wake_in(op.id, channel);
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Process helpers
+    // ------------------------------------------------------------------
+
+    fn absorb_resource_reply(&mut self, op: &mut Op, input: OpInput) {
+        if let OpInput::Dht(DhtEvent::GetCompleted { value, .. }) = input {
+            op.pending_gets = op.pending_gets.saturating_sub(1);
+            if let Some(rec) = value
+                .as_ref()
+                .and_then(|v| Cloud4Home::decode_resource(v.latest()))
+            {
+                op.resources.push(rec);
+            }
+        }
+    }
+
+    /// Applies the paper's fetch+process short-circuits, then either pins
+    /// or launches the resource-query decision.
+    fn proc_resolve_placement(&mut self, op: &mut Op) -> StepOutcome {
+        let kind = op.service.expect("process carries a service");
+        let sid = ServiceId(kind.id());
+        let record = op.svc_record.clone().expect("set in ProcSvcGet");
+
+        if op.kind == "fetch_process" && op.placement == Placement::Auto {
+            // "It uses the service identifier to first determine if the
+            // requesting node is capable of executing the service itself."
+            if self.nodes[op.client].registry.provides(sid) {
+                op.placement = Placement::Pin(NodeId(op.client));
+            } else if let Some(Location::Home { node }) =
+                op.meta.as_ref().map(|m| m.location.clone())
+            {
+                // "Otherwise, the object owner checks whether it is capable
+                // of performing the required service."
+                if let Some(owner) = self.node_index(node) {
+                    if self.nodes[owner].alive && self.nodes[owner].registry.provides(sid) {
+                        op.placement = Placement::Pin(NodeId(owner));
+                    }
+                }
+            }
+        }
+
+        let provides_all = |reg: &c4h_services::ServiceRegistry, pipeline: &[ServiceKind]| {
+            pipeline.iter().all(|k| reg.provides(ServiceId(k.id())))
+        };
+        match op.placement {
+            Placement::Pin(node) => {
+                if !self.nodes[node.0].alive || !provides_all(&self.nodes[node.0].registry, &op.pipeline) {
+                    return Some(Err(OpError::ServiceUnavailable(kind.id())));
+                }
+                op.exec_target = Some(ExecTarget::Node(node.0));
+                op.stage = Stage::ProcDecide;
+                self.phase(op);
+                self.wake_in(op.id, LOCATE_TIME);
+                None
+            }
+            Placement::Cloud => {
+                if self.cloud.is_none() || !record.cloud_available {
+                    return Some(Err(OpError::ServiceUnavailable(kind.id())));
+                }
+                op.exec_target = Some(ExecTarget::Cloud);
+                op.stage = Stage::ProcDecide;
+                self.phase(op);
+                self.wake_in(op.id, LOCATE_TIME);
+                None
+            }
+            Placement::Auto => {
+                // Query each provider's resource record.
+                self.phase(op);
+                op.resources.clear();
+                op.pending_gets = 0;
+                let providers: Vec<Key> = record
+                    .providers
+                    .iter()
+                    .copied()
+                    .filter(|k| {
+                        self.node_index(*k)
+                            .is_some_and(|j| self.nodes[j].alive)
+                    })
+                    .collect();
+                if providers.is_empty() {
+                    if record.cloud_available && self.cloud.is_some() {
+                        op.exec_target = Some(ExecTarget::Cloud);
+                        op.stage = Stage::ProcDecide;
+                        self.wake_in(op.id, LOCATE_TIME);
+                        return None;
+                    }
+                    return Some(Err(OpError::ServiceUnavailable(kind.id())));
+                }
+                op.stage = Stage::ProcQueryResources;
+                for key in providers {
+                    op.pending_gets += 1;
+                    self.dht_get_for_op(op.id, op.client, node_resource_key(&key.to_string()));
+                }
+                None
+            }
+        }
+    }
+
+    /// Scores every candidate ("the time to locate the target node, the
+    /// associated data movement costs … and the service processing
+    /// requirements and execution time") and picks the winner.
+    fn proc_choose_target(&mut self, op: &mut Op) -> StepOutcome {
+        let kind = op.service.expect("process carries a service");
+        let sid = ServiceId(kind.id());
+        let record = op.svc_record.clone().expect("set in ProcSvcGet");
+        let size = op.object_bytes();
+        let owner_addr = self.owner_addr(op);
+
+        let mut candidates: Vec<Candidate<ExecTarget>> = Vec::new();
+        for rec in &op.resources {
+            let Some(j) = self.node_index(rec.node).filter(|&j| self.nodes[j].alive) else {
+                continue;
+            };
+            // The candidate must provide every pipeline stage.
+            let Some(demand) = combined_demand(&self.nodes[j].registry, &op.pipeline, size) else {
+                continue;
+            };
+            let svc = self.nodes[j]
+                .registry
+                .get(sid)
+                .cloned()
+                .expect("combined_demand verified the first stage");
+            let platform = self.nodes[j].machine.platform().clone();
+            let vm = self.nodes[j].service_vm;
+            candidates.push(Candidate {
+                target: ExecTarget::Node(j),
+                movement: self.estimate_transfer(owner_addr, self.nodes[j].addr, size),
+                exec: estimate_exec(&demand, &platform, vm, rec.cpu_load),
+                cpu_load: rec.cpu_load,
+                battery_pct: rec.battery_pct,
+                meets_min: meets_minimum(&svc.min_requirements(), &platform, vm),
+            });
+        }
+        if record.cloud_available {
+            if let Some(cloud) = &self.cloud {
+                if let (Some(_), Some(demand)) = (
+                    cloud.registry.get(sid),
+                    combined_demand(&cloud.registry, &op.pipeline, size),
+                ) {
+                    let platform = cloud
+                        .fleet
+                        .iter()
+                        .next()
+                        .expect("fleet has an instance")
+                        .machine
+                        .platform()
+                        .clone();
+                    candidates.push(Candidate {
+                        target: ExecTarget::Cloud,
+                        movement: self.estimate_transfer(owner_addr, cloud.addr, size),
+                        exec: estimate_exec(&demand, &platform, cloud.instance_vm, 0.15),
+                        cpu_load: 0.15,
+                        battery_pct: None,
+                        meets_min: true,
+                    });
+                }
+            }
+        }
+        let Some(winner) = choose(op.route, &candidates) else {
+            return Some(Err(OpError::ServiceUnavailable(kind.id())));
+        };
+        op.exec_target = Some(candidates[winner].target);
+        op.stage = Stage::ProcDecide;
+        self.phase(op);
+        self.wake_in(op.id, LOCATE_TIME);
+        None
+    }
+
+    /// The address currently holding the object's bytes.
+    fn owner_addr(&self, op: &Op) -> Addr {
+        match op.meta.as_ref().map(|m| &m.location) {
+            Some(Location::Home { node }) => self
+                .node_index(*node)
+                .map(|j| self.nodes[j].addr)
+                .unwrap_or(self.nodes[op.client].addr),
+            Some(Location::Cloud { .. }) => {
+                self.cloud.as_ref().map(|c| c.addr).unwrap_or(
+                    self.nodes[op.client].addr,
+                )
+            }
+            None => self.nodes[op.client].addr,
+        }
+    }
+
+    /// Stages the argument object: owner disk read, then a move flow when
+    /// the execution target differs from the owner.
+    fn proc_move_argument(&mut self, op: &mut Op) -> StepOutcome {
+        let meta = op.meta.clone().expect("set in ProcMetaGet");
+        match &meta.location {
+            Location::Home { node } => {
+                let Some(owner) = self.node_index(*node).filter(|&j| self.nodes[j].alive) else {
+                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                };
+                let Some(blob) = self.nodes[owner].objects.get(&op.name).cloned() else {
+                    return Some(Err(OpError::NotFound(op.name.clone())));
+                };
+                op.staged = Some(blob);
+                let read = self.nodes[owner].disk.read_time(meta.size_bytes);
+                op.stage = Stage::ProcReadArg;
+                self.phase(op);
+                self.wake_in(op.id, read);
+                None
+            }
+            Location::Cloud { url } => {
+                let Some(url) = S3Url::parse(url) else {
+                    return Some(Err(OpError::NotFound(op.name.clone())));
+                };
+                let cloud = self.cloud.as_mut().expect("cloud location requires cloud");
+                match cloud.s3.get(&url) {
+                    Ok(obj) => {
+                        op.staged = Some(obj.payload.clone());
+                        op.via_cloud = true;
+                        op.stage = Stage::ProcReadArg;
+                        self.phase(op);
+                        self.wake_in(op.id, REQUEST_LATENCY);
+                        None
+                    }
+                    Err(_) => Some(Err(OpError::NotFound(op.name.clone()))),
+                }
+            }
+        }
+    }
+
+    fn proc_start_move_flow(&mut self, op: &mut Op) -> StepOutcome {
+        let src = self.owner_addr(op);
+        let dst = self.target_addr(op.exec_target.expect("target chosen"));
+        if src == dst {
+            return self.proc_start_exec(op);
+        }
+        op.stage = Stage::ProcMoveArg;
+        self.phase(op);
+        self.start_flow_for_op(op.id, src, dst, op.object_bytes());
+        None
+    }
+
+    fn target_addr(&self, target: ExecTarget) -> Addr {
+        match target {
+            ExecTarget::Node(j) => self.nodes[j].addr,
+            ExecTarget::Cloud => self.cloud.as_ref().expect("cloud target").addr,
+        }
+    }
+
+    fn target_name(&self, target: ExecTarget) -> String {
+        match target {
+            ExecTarget::Node(j) => self.nodes[j].name.clone(),
+            ExecTarget::Cloud => "cloud".into(),
+        }
+    }
+
+    fn proc_start_exec(&mut self, op: &mut Op) -> StepOutcome {
+        let kind = op.pipeline.get(op.pipeline_idx).copied()
+            .or(op.service)
+            .expect("process carries a service");
+        let sid = ServiceId(kind.id());
+        let target = op.exec_target.expect("target chosen");
+        let size = op.object_bytes();
+        let (duration, demand) = match target {
+            ExecTarget::Node(j) => {
+                let svc = self.nodes[j]
+                    .registry
+                    .get(sid)
+                    .cloned()
+                    .expect("placement validated the service");
+                let demand = svc.demand(size);
+                let load = self.nodes[j].sampler.active_tasks() as f64
+                    + self.config.nodes[j].ambient_load;
+                let d = estimate_exec(
+                    &demand,
+                    &self.nodes[j].machine.platform().clone(),
+                    self.nodes[j].service_vm,
+                    load,
+                );
+                self.nodes[j]
+                    .sampler
+                    .task_started(demand.exec.mem_required_mib);
+                (d, demand)
+            }
+            ExecTarget::Cloud => {
+                let cloud = self.cloud.as_mut().expect("cloud target");
+                let svc = cloud
+                    .registry
+                    .get(sid)
+                    .cloned()
+                    .expect("placement validated the service");
+                let demand = svc.demand(size);
+                let platform = cloud
+                    .fleet
+                    .iter()
+                    .next()
+                    .expect("fleet has an instance")
+                    .machine
+                    .platform()
+                    .clone();
+                let load = cloud.active_tasks as f64 * 0.2 + 0.15;
+                let d = estimate_exec(&demand, &platform, cloud.instance_vm, load);
+                cloud.active_tasks += 1;
+                (d, demand)
+            }
+        };
+        op.exec_demand = Some(demand);
+        op.stage = Stage::ProcExec;
+        self.phase(op);
+        self.wake_in(op.id, duration);
+        None
+    }
+
+    fn proc_finish_exec(&mut self, op: &mut Op) -> StepOutcome {
+        let kind = op.pipeline.get(op.pipeline_idx).copied()
+            .or(op.service)
+            .expect("process carries a service");
+        let sid = ServiceId(kind.id());
+        let target = op.exec_target.expect("target chosen");
+        let demand = op.exec_demand.expect("set at exec start");
+        // Release the execution slot and run the real kernel on the staged
+        // sample.
+        let output = match target {
+            ExecTarget::Node(j) => {
+                self.nodes[j]
+                    .sampler
+                    .task_finished(demand.exec.mem_required_mib);
+                let svc = self.nodes[j].registry.get(sid).cloned().expect("deployed");
+                svc.run(&op.staged.as_ref().expect("argument staged").sample(SAMPLE_WINDOW))
+            }
+            ExecTarget::Cloud => {
+                let cloud = self.cloud.as_mut().expect("cloud target");
+                cloud.active_tasks = cloud.active_tasks.saturating_sub(1);
+                let svc = cloud.registry.get(sid).cloned().expect("deployed");
+                svc.run(&op.staged.as_ref().expect("argument staged").sample(SAMPLE_WINDOW))
+            }
+        };
+        op.result_bytes = demand.output_bytes.max(output.data.len() as u64);
+        op.output = Some(output);
+        // Pipeline: run the next service at the same target, no re-movement.
+        if op.pipeline_idx + 1 < op.pipeline.len() {
+            op.pipeline_idx += 1;
+            return self.proc_start_exec(op);
+        }
+        // Return the result to the requester.
+        let src = self.target_addr(target);
+        let dst = self.nodes[op.client].addr;
+        if src == dst {
+            self.proc_channel_out(op)
+        } else {
+            op.stage = Stage::ProcMoveResult;
+            self.phase(op);
+            self.start_flow_for_op(op.id, src, dst, op.result_bytes);
+            None
+        }
+    }
+
+    fn proc_channel_out(&mut self, op: &mut Op) -> StepOutcome {
+        let channel = self.nodes[op.client].channel_transfer(op.result_bytes);
+        op.stage = Stage::ProcChannelOut;
+        self.phase(op);
+        self.wake_in(op.id, channel);
+        None
+    }
+}

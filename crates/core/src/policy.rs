@@ -1,0 +1,156 @@
+//! Placement and routing policies.
+//!
+//! "Store operations provide strong controls – via policies – over where
+//! data is stored … the target location for the store operation is
+//! determined via the policy associated with the store" — and request
+//! routing takes a policy parameter too: "requests are routed to target
+//! nodes depending on overall service performance, vs. achieving balanced
+//! resource utilization or improved battery lives for portable devices."
+//!
+//! In the paper these are "a set of statically encoded rules";
+//! [`StorePolicy`] and [`RoutePolicy`] encode the rule sets the evaluation
+//! exercises. [`StorePolicy::classify`] is a pure function from object
+//! attributes to a [`PlacementClass`]; the decision engine then picks the
+//! concrete node within the class.
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::Object;
+
+/// The coarse placement target a store policy selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementClass {
+    /// The storing node's own mandatory bin (spilling to peers when full).
+    LocalFirst,
+    /// A home-cloud node's voluntary bin, chosen by the decision engine.
+    HomePeer,
+    /// The remote public cloud.
+    RemoteCloud,
+}
+
+/// Statically encoded store-placement rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum StorePolicy {
+    /// The default: the node's mandatory bin, spilling to voluntary peer
+    /// space, then to the cloud.
+    #[default]
+    MandatoryFirst,
+    /// Route objects at or above the threshold to the remote cloud, smaller
+    /// ones to the home cloud (the surveillance example stores images "on a
+    /// desktop in the home cloud vs. in the remote cloud based on their
+    /// size").
+    SizeThreshold {
+        /// Objects of at least this many bytes go to the cloud.
+        cloud_at_bytes: u64,
+    },
+    /// Privacy rule from Figure 6: private data (`.mp3` in the paper) stays
+    /// home; shareable data goes to the remote cloud.
+    Privacy,
+    /// Pin to the home cloud regardless of attributes.
+    ForceHome,
+    /// Pin to the remote cloud regardless of attributes.
+    ForceCloud,
+}
+
+impl StorePolicy {
+    /// Applies the rule set to an object.
+    pub fn classify(&self, object: &Object) -> PlacementClass {
+        match self {
+            StorePolicy::MandatoryFirst => PlacementClass::LocalFirst,
+            StorePolicy::SizeThreshold { cloud_at_bytes } => {
+                if object.size_bytes() >= *cloud_at_bytes {
+                    PlacementClass::RemoteCloud
+                } else {
+                    PlacementClass::LocalFirst
+                }
+            }
+            StorePolicy::Privacy => {
+                if object.private || object.content_type == "mp3" {
+                    PlacementClass::LocalFirst
+                } else {
+                    PlacementClass::RemoteCloud
+                }
+            }
+            StorePolicy::ForceHome => PlacementClass::LocalFirst,
+            StorePolicy::ForceCloud => PlacementClass::RemoteCloud,
+        }
+    }
+
+    /// Whether the policy permits spilling to the remote cloud when home
+    /// space runs out.
+    pub fn may_spill_to_cloud(&self) -> bool {
+        !matches!(self, StorePolicy::Privacy | StorePolicy::ForceHome)
+    }
+}
+
+/// The decision policy for routing process requests
+/// (`chimeraGetDecision`'s `policy` parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RoutePolicy {
+    /// Minimize estimated completion time (movement + queueing + execution).
+    #[default]
+    Performance,
+    /// Prefer lightly loaded nodes to balance utilization.
+    Balanced,
+    /// Avoid battery-powered nodes unless nothing else qualifies.
+    BatterySaver,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Object;
+
+    fn obj(size: u64, content_type: &str, private: bool) -> Object {
+        let mut o = Object::synthetic("t", 1, size, content_type);
+        o.private = private;
+        o
+    }
+
+    #[test]
+    fn default_is_mandatory_first() {
+        assert_eq!(StorePolicy::default(), StorePolicy::MandatoryFirst);
+        assert_eq!(
+            StorePolicy::MandatoryFirst.classify(&obj(1, "avi", false)),
+            PlacementClass::LocalFirst
+        );
+    }
+
+    #[test]
+    fn size_threshold_splits_by_size() {
+        let p = StorePolicy::SizeThreshold {
+            cloud_at_bytes: 10 << 20,
+        };
+        assert_eq!(p.classify(&obj(5 << 20, "jpeg", false)), PlacementClass::LocalFirst);
+        assert_eq!(p.classify(&obj(10 << 20, "jpeg", false)), PlacementClass::RemoteCloud);
+        assert_eq!(p.classify(&obj(50 << 20, "jpeg", false)), PlacementClass::RemoteCloud);
+    }
+
+    #[test]
+    fn privacy_keeps_mp3_and_private_home() {
+        let p = StorePolicy::Privacy;
+        assert_eq!(p.classify(&obj(5 << 20, "mp3", false)), PlacementClass::LocalFirst);
+        assert_eq!(p.classify(&obj(5 << 20, "avi", true)), PlacementClass::LocalFirst);
+        assert_eq!(p.classify(&obj(5 << 20, "avi", false)), PlacementClass::RemoteCloud);
+        assert!(!p.may_spill_to_cloud());
+    }
+
+    #[test]
+    fn forced_policies_ignore_attributes() {
+        assert_eq!(
+            StorePolicy::ForceCloud.classify(&obj(1, "mp3", true)),
+            PlacementClass::RemoteCloud
+        );
+        assert_eq!(
+            StorePolicy::ForceHome.classify(&obj(1 << 30, "avi", false)),
+            PlacementClass::LocalFirst
+        );
+        assert!(!StorePolicy::ForceHome.may_spill_to_cloud());
+        assert!(StorePolicy::MandatoryFirst.may_spill_to_cloud());
+    }
+
+    #[test]
+    fn route_policy_default_is_performance() {
+        assert_eq!(RoutePolicy::default(), RoutePolicy::Performance);
+    }
+}

@@ -1,0 +1,202 @@
+//! Operation reports and cost breakdowns.
+//!
+//! Every VStore++ operation completes with an [`OpReport`] carrying the
+//! virtual-time cost breakdown the paper's Table I tabulates: total time,
+//! inter-node transfer, inter-domain (XenSocket) transfer, DHT metadata
+//! access — plus the decision and execution components that Figures 7–8
+//! analyze.
+
+use std::time::Duration;
+
+use c4h_chimera::DhtError;
+use c4h_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Correlates a submitted operation with its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// Where time went during an operation (Table I's columns and more).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Guest VM ↔ dom0 shared-memory channel time ("inter domain").
+    pub inter_domain: Duration,
+    /// Node ↔ node and home ↔ cloud data movement ("inter node").
+    pub inter_node: Duration,
+    /// Metadata key-value store access time ("DHT lookup").
+    pub dht: Duration,
+    /// Placement decision time (resource queries + scoring).
+    pub decision: Duration,
+    /// Local file-system time at whichever node held the bytes.
+    pub disk: Duration,
+    /// Service execution time.
+    pub exec: Duration,
+}
+
+impl Breakdown {
+    /// The sum of all accounted components (the remainder of an operation's
+    /// total is queueing plus command processing).
+    pub fn accounted(&self) -> Duration {
+        self.inter_domain + self.inter_node + self.dht + self.decision + self.disk + self.exec
+    }
+}
+
+/// Successful operation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpOutput {
+    /// Bytes delivered to (or accepted from) the application.
+    pub bytes: u64,
+    /// Whether the remote cloud served or received the data.
+    pub via_cloud: bool,
+    /// Name of the node (or `"cloud"`) that executed a service, if any.
+    pub exec_target: Option<String>,
+    /// Service output summary, if a service ran.
+    pub summary: Option<String>,
+    /// Directory contents, for list operations.
+    pub listing: Option<Vec<String>>,
+}
+
+/// Operation failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpError {
+    /// No metadata exists for the object.
+    NotFound(String),
+    /// No bin (nor the cloud, under the policy) could hold the object.
+    NoSpace(String),
+    /// No reachable node provides the requested service.
+    ServiceUnavailable(u32),
+    /// A metadata operation failed.
+    Dht(String),
+    /// The object's owner is unreachable.
+    OwnerUnreachable(String),
+    /// The object's access-control list rejects the requesting node.
+    AccessDenied(String),
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::NotFound(n) => write!(f, "object not found: {n}"),
+            OpError::NoSpace(n) => write!(f, "no storage space for {n}"),
+            OpError::ServiceUnavailable(id) => write!(f, "service {id} unavailable"),
+            OpError::Dht(e) => write!(f, "metadata operation failed: {e}"),
+            OpError::OwnerUnreachable(n) => write!(f, "owner of {n} unreachable"),
+            OpError::AccessDenied(n) => write!(f, "access to {n} denied by its ACL"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<DhtError> for OpError {
+    fn from(e: DhtError) -> Self {
+        OpError::Dht(e.to_string())
+    }
+}
+
+/// The completed record of one operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpReport {
+    /// The operation.
+    pub id: OpId,
+    /// `"store"`, `"fetch"`, `"process"`, or `"fetch_process"`.
+    pub kind: &'static str,
+    /// The object operated on.
+    pub object: String,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// Cost components.
+    pub breakdown: Breakdown,
+    /// Success output or failure.
+    pub outcome: Result<OpOutput, OpError>,
+}
+
+impl OpReport {
+    /// Total operation latency.
+    pub fn total(&self) -> Duration {
+        self.completed - self.submitted
+    }
+
+    /// Unwraps a successful outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the error message if the operation failed.
+    pub fn expect_ok(&self) -> &OpOutput {
+        match &self.outcome {
+            Ok(o) => o,
+            Err(e) => panic!("{} on {} failed: {e}", self.kind, self.object),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accounts_components() {
+        let b = Breakdown {
+            inter_domain: Duration::from_millis(25),
+            inter_node: Duration::from_millis(100),
+            dht: Duration::from_millis(12),
+            decision: Duration::from_millis(5),
+            disk: Duration::from_millis(30),
+            exec: Duration::from_millis(0),
+        };
+        assert_eq!(b.accounted(), Duration::from_millis(172));
+    }
+
+    #[test]
+    fn report_total_is_elapsed() {
+        let r = OpReport {
+            id: OpId(1),
+            kind: "fetch",
+            object: "x".into(),
+            submitted: SimTime::from_millis(100),
+            completed: SimTime::from_millis(350),
+            breakdown: Breakdown::default(),
+            outcome: Ok(OpOutput {
+                bytes: 10,
+                via_cloud: false,
+                exec_target: None,
+                summary: None,
+                listing: None,
+            }),
+        };
+        assert_eq!(r.total(), Duration::from_millis(250));
+        assert_eq!(r.expect_ok().bytes, 10);
+        assert_eq!(OpId(1).to_string(), "op#1");
+    }
+
+    #[test]
+    #[should_panic(expected = "object not found")]
+    fn expect_ok_panics_on_failure() {
+        let r = OpReport {
+            id: OpId(2),
+            kind: "fetch",
+            object: "ghost".into(),
+            submitted: SimTime::ZERO,
+            completed: SimTime::ZERO,
+            breakdown: Breakdown::default(),
+            outcome: Err(OpError::NotFound("ghost".into())),
+        };
+        r.expect_ok();
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(OpError::NoSpace("x".into()).to_string().contains("x"));
+        assert!(OpError::ServiceUnavailable(3).to_string().contains('3'));
+        let e: OpError = DhtError::Timeout.into();
+        assert!(e.to_string().contains("timed out"));
+    }
+}

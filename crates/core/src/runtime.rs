@@ -1,0 +1,834 @@
+//! The Cloud4Home runtime: the discrete-event loop binding the overlay,
+//! network, virtualization, resource-monitoring, service, and cloud
+//! substrates into one home cloud.
+//!
+//! [`Cloud4Home`] owns one simulated deployment: a set of virtualized home
+//! nodes (each running a VStore++ daemon in dom0, a Chimera overlay node, a
+//! resource monitor, and its deployed services), plus an optional public
+//! cloud (S3-like storage and an EC2-like instance) behind the WAN. Client
+//! operations — store, fetch, process, fetch+process — are submitted
+//! against a node and advance as event-driven state machines
+//! (see [`crate::ops`]); each completes with an
+//! [`OpReport`](crate::report::OpReport) carrying the Table-I-style cost
+//! breakdown.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use c4h_chimera::{ChimeraNode, DhtEvent, Envelope, Key, OverwritePolicy, ReqId};
+use c4h_cloud::{Ec2Fleet, S3Store};
+use c4h_kvstore::{node_resource_key, service_key, Record, ResourceRecord, ServiceRecord};
+use c4h_resources::{BinWatcher, ResourceMonitor, ResourceSampler, SamplerConfig};
+use c4h_services::{
+    Compress, FaceDetect, FaceRecognize, Service, ServiceRegistry, TrainingSet, Transcode,
+};
+use c4h_simnet::{presets, Addr, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, SimTime};
+use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
+
+use crate::config::{Config, NodeId, ServiceKind};
+use crate::object::{synth_bytes, Blob};
+use crate::ops::{Op, OpInput};
+use crate::report::{OpId, OpReport};
+
+/// Address offset of the cloud site endpoint.
+const CLOUD_ADDR: Addr = Addr::new(10_000);
+
+/// Tick period driving overlay timers and resource publishing.
+const TICK_PERIOD: Duration = Duration::from_millis(500);
+
+/// One home node's full runtime state.
+#[derive(Debug)]
+pub(crate) struct NodeRt {
+
+    pub(crate) name: String,
+    pub(crate) addr: Addr,
+    pub(crate) key: Key,
+    pub(crate) machine: Machine,
+    pub(crate) service_vm: VmSpec,
+    pub(crate) channel: XenChannel,
+    pub(crate) grants: GrantTable,
+    pub(crate) disk: DiskModel,
+    pub(crate) chimera: ChimeraNode,
+    pub(crate) sampler: ResourceSampler,
+    pub(crate) bins: BinWatcher,
+    pub(crate) monitor: ResourceMonitor,
+    pub(crate) registry: ServiceRegistry,
+    /// The node's object file system (one file per object).
+    pub(crate) objects: HashMap<String, Blob>,
+    pub(crate) gateway: bool,
+    pub(crate) alive: bool,
+}
+
+/// The remote public cloud's runtime state.
+#[derive(Debug)]
+pub(crate) struct CloudRt {
+    pub(crate) addr: Addr,
+    pub(crate) bucket: String,
+    pub(crate) s3: S3Store<Blob>,
+    pub(crate) fleet: Ec2Fleet,
+    pub(crate) registry: ServiceRegistry,
+    pub(crate) instance_vm: VmSpec,
+    pub(crate) active_tasks: u32,
+}
+
+/// Events in the runtime's queue.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// An overlay envelope arrives at a node.
+    Deliver { to: usize, env: Envelope },
+    /// Periodic timers: overlay ticks + resource publishing.
+    Tick,
+    /// A delayed operation continuation.
+    OpWake { op: OpId },
+    /// A DHT request completed for an operation (after IPC cost).
+    DhtDone { op: OpId, ev: DhtEvent },
+}
+
+/// Who is waiting on a DHT request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DhtWaiter {
+    /// An operation continuation.
+    Op(OpId),
+    /// Background bookkeeping (resource publishing); result dropped.
+    Ignore,
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Completed operations.
+    pub ops_completed: u64,
+    /// Bulk transfer flows started.
+    pub flows_started: u64,
+    /// Overlay envelopes delivered.
+    pub envelopes_delivered: u64,
+}
+
+/// One simulated Cloud4Home deployment.
+///
+/// # Examples
+///
+/// ```
+/// use cloud4home::{Cloud4Home, Config, NodeId, Object, StorePolicy};
+///
+/// let mut home = Cloud4Home::new(Config::paper_testbed(42));
+/// let obj = Object::synthetic("photos/door.jpg", 7, 512 * 1024, "jpeg");
+/// let op = home.store_object(NodeId(0), obj, StorePolicy::MandatoryFirst, true);
+/// let report = home.run_until_complete(op);
+/// report.expect_ok();
+/// let op = home.fetch_object(NodeId(3), "photos/door.jpg");
+/// let report = home.run_until_complete(op);
+/// assert_eq!(report.expect_ok().bytes, 512 * 1024);
+/// ```
+#[derive(Debug)]
+pub struct Cloud4Home {
+    pub(crate) config: Config,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) net: FlowNet,
+    pub(crate) rng: DetRng,
+    pub(crate) nodes: Vec<NodeRt>,
+    pub(crate) cloud: Option<CloudRt>,
+    pub(crate) node_of_key: HashMap<Key, usize>,
+    pub(crate) ops: HashMap<OpId, Op>,
+    pub(crate) reports: HashMap<OpId, OpReport>,
+    pub(crate) dht_waiters: HashMap<(usize, ReqId), DhtWaiter>,
+    pub(crate) flow_waiters: HashMap<FlowId, OpId>,
+    pub(crate) flow_endpoints: HashMap<FlowId, (Addr, Addr)>,
+    pub(crate) next_op: u64,
+    pub(crate) stats: RunStats,
+    pub(crate) message_loss: f64,
+    tick_armed: bool,
+    tick_horizon: SimTime,
+}
+
+impl NodeRt {
+    /// Moves `bytes` across the guest ↔ dom0 shared-memory channel with the
+    /// full descriptor exchange the paper describes: the receiver grants a
+    /// page ring, the sender maps it, data is copied, and the grant is torn
+    /// down. Returns the transfer duration.
+    pub(crate) fn channel_transfer(&mut self, bytes: u64) -> Duration {
+        let pages = self.channel.config().pages;
+        let gref = self
+            .grants
+            .grant(DomId(1), pages, true)
+            .expect("bounded concurrent transfers per node");
+        self.grants.map(gref).expect("fresh grant maps");
+        let cost = self.channel.transfer(bytes);
+        self.grants.unmap(gref).expect("mapped above");
+        self.grants.revoke(gref).expect("unmapped above");
+        cost
+    }
+}
+
+impl Cloud4Home {
+    /// Builds and warms up a deployment: forms the overlay, publishes
+    /// service records, and seeds initial resource records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no nodes.
+    pub fn new(config: Config) -> Self {
+        assert!(!config.nodes.is_empty(), "need at least one home node");
+        let mut rng = DetRng::seed(config.seed);
+
+        // Topology: the paper testbed shape, one address per node.
+        let mut tb = presets::paper_testbed();
+        for (i, _) in config.nodes.iter().enumerate() {
+            tb.topology.attach(Addr::new(i as u64), tb.home);
+        }
+        tb.topology.attach(CLOUD_ADDR, tb.cloud);
+        let net = FlowNet::new(tb.topology);
+
+        // Shared face-recognition training set (synthetic imagery).
+        let examples: Vec<Vec<u8>> = (0..16)
+            .map(|i| synth_bytes(0x5EED_0000 + i, 64 * 1024))
+            .collect();
+        let training = TrainingSet::from_examples(examples.iter().map(Vec::as_slice));
+
+        let build_registry = |kinds: &[ServiceKind]| {
+            let mut reg = ServiceRegistry::new();
+            for k in kinds {
+                let svc: Arc<dyn Service> = match k {
+                    ServiceKind::FaceDetect => Arc::new(FaceDetect::new()),
+                    ServiceKind::FaceRecognize => Arc::new(FaceRecognize::new(training.clone())),
+                    ServiceKind::Transcode => Arc::new(Transcode::new()),
+                    ServiceKind::Compress => Arc::new(Compress::new()),
+                };
+                reg.deploy(svc);
+            }
+            reg
+        };
+
+        let mut nodes = Vec::new();
+        let mut node_of_key = HashMap::new();
+        for (i, spec) in config.nodes.iter().enumerate() {
+            let key = Key::from_name(&spec.name);
+            assert!(
+                node_of_key.insert(key, i).is_none(),
+                "node name collision for {}",
+                spec.name
+            );
+            let mut machine = Machine::new(spec.platform.clone(), VmSpec::new(256, 1));
+            machine
+                .spawn_guest(spec.service_vm)
+                .expect("service VM must fit the platform");
+            nodes.push(NodeRt {
+                name: spec.name.clone(),
+                addr: Addr::new(i as u64),
+                key,
+                disk: DiskModel::for_platform(&spec.platform),
+                machine,
+                service_vm: spec.service_vm,
+                channel: XenChannel::new(spec.channel),
+                grants: GrantTable::new(256),
+                chimera: ChimeraNode::new(key, config.chimera.clone()),
+                sampler: ResourceSampler::new(SamplerConfig {
+                    baseline_load: spec.ambient_load,
+                    mem_total_mib: spec.platform.ram_mib,
+                    battery: spec.battery,
+                    ..SamplerConfig::default()
+                }),
+                bins: BinWatcher::new(spec.mandatory_bytes, spec.voluntary_bytes),
+                monitor: ResourceMonitor::new(config.monitor),
+                registry: build_registry(&spec.services),
+                objects: HashMap::new(),
+                gateway: spec.gateway,
+                alive: true,
+            });
+        }
+
+        let cloud = config.cloud.as_ref().map(|spec| {
+            let mut s3 = S3Store::new();
+            s3.create_bucket(&spec.bucket).expect("fresh bucket");
+            let mut fleet = Ec2Fleet::new();
+            let id = fleet.launch(spec.instance_platform.clone(), spec.instance_vm);
+            for k in &spec.services {
+                fleet.deploy_service(id, k.id()).expect("instance exists");
+            }
+            CloudRt {
+                addr: CLOUD_ADDR,
+                bucket: spec.bucket.clone(),
+                s3,
+                fleet,
+                registry: build_registry(&spec.services),
+                instance_vm: spec.instance_vm,
+                active_tasks: 0,
+            }
+        });
+
+        let mut home = Cloud4Home {
+            rng: rng.fork(),
+            queue: EventQueue::new(),
+            net,
+            nodes,
+            cloud,
+            node_of_key,
+            ops: HashMap::new(),
+            reports: HashMap::new(),
+            dht_waiters: HashMap::new(),
+            flow_waiters: HashMap::new(),
+            flow_endpoints: HashMap::new(),
+            next_op: 1,
+            stats: RunStats::default(),
+            message_loss: 0.0,
+            tick_armed: false,
+            tick_horizon: SimTime::ZERO,
+            config,
+        };
+        home.warmup();
+        home
+    }
+
+    /// Forms the overlay and publishes service + initial resource records.
+    fn warmup(&mut self) {
+        let now = self.queue.now();
+        self.nodes[0].chimera.bootstrap(now);
+        let seed_key = self.nodes[0].key;
+        for i in 1..self.nodes.len() {
+            self.nodes[i].chimera.join_via(seed_key, now);
+        }
+        self.run_for(Duration::from_secs(2));
+        debug_assert!(self.nodes.iter().all(|n| n.chimera.is_joined()));
+        self.publish_service_records();
+        self.publish_all_resources();
+        self.run_for(Duration::from_secs(2));
+    }
+
+    /// Publishes the aggregated service-availability records ("every node
+    /// registers its list of services with the key-value store").
+    pub(crate) fn publish_service_records(&mut self) {
+        let kinds = [
+            ServiceKind::FaceDetect,
+            ServiceKind::FaceRecognize,
+            ServiceKind::Transcode,
+            ServiceKind::Compress,
+        ];
+        let publisher = self
+            .nodes
+            .iter()
+            .position(|n| n.gateway && n.alive)
+            .unwrap_or(0);
+        for kind in kinds {
+            let providers: Vec<Key> = self
+                .nodes
+                .iter()
+                .filter(|n| n.alive && n.registry.provides(c4h_services::ServiceId(kind.id())))
+                .map(|n| n.key)
+                .collect();
+            let cloud_available = self
+                .cloud
+                .as_ref()
+                .is_some_and(|c| c.registry.provides(c4h_services::ServiceId(kind.id())));
+            let record = Record::Service(ServiceRecord {
+                name: kind.name().to_owned(),
+                service_id: kind.id(),
+                providers,
+                cloud_available,
+                policy: "performance".into(),
+            });
+            let now = self.queue.now();
+            if let Ok(req) = self.nodes[publisher].chimera.put(
+                service_key(kind.name(), kind.id()),
+                record.encode(),
+                OverwritePolicy::Overwrite,
+                now,
+            ) {
+                self.dht_waiters.insert((publisher, req), DhtWaiter::Ignore);
+            }
+        }
+    }
+
+    /// Forces every node to publish a fresh resource record now.
+    fn publish_all_resources(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.publish_resources(i);
+        }
+    }
+
+    /// Publishes node `i`'s resource record into the key-value store.
+    pub(crate) fn publish_resources(&mut self, i: usize) {
+        if !self.nodes[i].alive || !self.nodes[i].chimera.is_joined() {
+            return;
+        }
+        let now = self.queue.now();
+        let (up, down) = self.node_bandwidth(i);
+        let n = &mut self.nodes[i];
+        let record = n.monitor.publish(
+            n.key,
+            now,
+            &mut n.sampler,
+            &n.bins,
+            up,
+            down,
+            &mut self.rng,
+        );
+        let key = node_resource_key(&n.key.to_string());
+        if let Ok(req) = n.chimera.put(
+            key,
+            Record::Resource(record).encode(),
+            OverwritePolicy::Overwrite,
+            now,
+        ) {
+            self.dht_waiters.insert((i, req), DhtWaiter::Ignore);
+        }
+    }
+
+    /// A node's nominal (up, down) bandwidth in bytes/second.
+    fn node_bandwidth(&self, i: usize) -> (f64, f64) {
+        let lan = presets::home_lan_capacity_bps();
+        if self.nodes[i].gateway {
+            (
+                presets::wan_up_capacity_bps(),
+                presets::wan_down_capacity_bps(),
+            )
+        } else {
+            (lan, lan)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public inspection API
+    // ------------------------------------------------------------------
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of home nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// The node index holding the gateway role.
+    pub fn gateway(&self) -> NodeId {
+        NodeId(
+            self.nodes
+                .iter()
+                .position(|n| n.gateway)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Objects currently stored on a node.
+    pub fn objects_on(&self, id: NodeId) -> usize {
+        self.nodes[id.0].objects.len()
+    }
+
+    /// Total DHT lookup hops across nodes (for overlay statistics).
+    pub fn dht_lookup_hops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.chimera.stats().lookup_hops).sum()
+    }
+
+    /// Aggregate metadata-cache hit/miss counters across nodes.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.nodes
+            .iter()
+            .map(|n| n.chimera.cache_stats())
+            .fold((0, 0), |(h, m), (nh, nm)| (h + nh, m + nm))
+    }
+
+    /// Injects overlay message loss: each control envelope is independently
+    /// dropped with probability `p`. Request timeouts and the operation
+    /// layer's retries recover; this models flaky home wireless links.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn set_message_loss(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        self.message_loss = p;
+    }
+
+    /// Scales the WAN's per-flow bandwidth availability (1.0 = nominal) to
+    /// model changing network conditions — the paper's open issue (iv):
+    /// "mechanisms that adapt to the changing network conditions".
+    ///
+    /// New transfers and the decision engine's movement estimates see the
+    /// change immediately; flows already in flight keep the conditions they
+    /// sampled at start.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < factor <= 1.0` (flows can never exceed the
+    /// nominal TCP caps).
+    pub fn set_wan_quality(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "WAN quality factor must be in (0, 1]"
+        );
+        let nominal = presets::wan_bandwidth_median();
+        for (src, dst) in self.net.topology().route_pairs() {
+            let is_wan = {
+                let route = self.net.topology().route(src, dst).expect("pair listed");
+                // WAN routes are the ones with variability configured.
+                route.bandwidth_sigma > 0.0
+            };
+            if is_wan {
+                let route = self
+                    .net
+                    .topology_mut()
+                    .route_mut(src, dst)
+                    .expect("pair listed");
+                route.bandwidth_median = nominal * factor;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Churn API
+    // ------------------------------------------------------------------
+
+    /// Crashes a node: it stops responding, transfers it was part of abort,
+    /// and its unreplicated state is lost until failure detection recovers
+    /// what replicas hold.
+    pub fn crash_node(&mut self, id: NodeId) {
+        self.nodes[id.0].alive = false;
+        let addr = self.nodes[id.0].addr;
+        // Abort in-flight bulk transfers touching the dead node and fail
+        // the operations waiting on them.
+        let dead_flows: Vec<FlowId> = self
+            .flow_endpoints
+            .iter()
+            .filter(|(_, (src, dst))| *src == addr || *dst == addr)
+            .map(|(f, _)| *f)
+            .collect();
+        for flow in dead_flows {
+            self.net.cancel(flow);
+            self.flow_endpoints.remove(&flow);
+            if let Some(op) = self.flow_waiters.remove(&flow) {
+                self.fail_op(op, crate::report::OpError::OwnerUnreachable(format!(
+                    "transfer peer {} crashed",
+                    self.nodes[id.0].name
+                )));
+            }
+        }
+        self.ensure_tick();
+    }
+
+    /// Gracefully removes a node: it redistributes its DHT records and
+    /// announces departure before going offline.
+    pub fn leave_node(&mut self, id: NodeId) {
+        let now = self.now();
+        self.nodes[id.0].chimera.leave(now);
+        self.pump();
+        self.nodes[id.0].alive = false;
+        self.publish_service_records();
+    }
+
+    /// Rejoins a previously crashed or departed node through the seed.
+    pub fn rejoin_node(&mut self, id: NodeId) {
+        let seed = self
+            .nodes
+            .iter()
+            .position(|n| n.alive && n.chimera.is_joined())
+            .expect("at least one live node to rejoin through");
+        let seed_key = self.nodes[seed].key;
+        self.nodes[id.0].alive = true;
+        let now = self.now();
+        self.nodes[id.0].chimera.join_via(seed_key, now);
+        self.run_for(Duration::from_secs(2));
+        self.publish_service_records();
+        self.publish_resources(id.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Ensures the periodic tick chain is armed.
+    pub(crate) fn ensure_tick(&mut self) {
+        if !self.tick_armed {
+            self.tick_armed = true;
+            self.queue.schedule_in(TICK_PERIOD, Event::Tick);
+        }
+    }
+
+    /// Runs the simulation for a fixed span of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let target = self.now() + d;
+        self.tick_horizon = self.tick_horizon.max(target);
+        self.ensure_tick();
+        while self
+            .next_time()
+            .is_some_and(|t| t <= target)
+        {
+            self.step();
+        }
+        if self.now() < target {
+            self.net.advance(target);
+            self.queue.advance_to(target);
+        }
+    }
+
+    /// Runs until the given operation completes, returning its report.
+    ///
+    /// Other in-flight operations keep progressing concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs out of events before the operation
+    /// completes (a runtime bug) or the id is unknown.
+    pub fn run_until_complete(&mut self, op: OpId) -> OpReport {
+        assert!(
+            self.reports.contains_key(&op) || self.ops.contains_key(&op),
+            "unknown operation {op}"
+        );
+        loop {
+            if let Some(r) = self.reports.get(&op) {
+                return r.clone();
+            }
+            self.ensure_tick();
+            assert!(self.step(), "simulation stalled while {op} pending");
+        }
+    }
+
+    /// Runs until no operations remain in flight.
+    pub fn run_until_idle(&mut self) {
+        while !self.ops.is_empty() {
+            self.ensure_tick();
+            assert!(self.step(), "simulation stalled with operations pending");
+        }
+    }
+
+    /// Takes a completed report, if present.
+    pub fn take_report(&mut self, op: OpId) -> Option<OpReport> {
+        self.reports.remove(&op)
+    }
+
+    /// The earliest pending instant across the queue and the flow network.
+    fn next_time(&mut self) -> Option<SimTime> {
+        match (self.queue.peek_time(), self.net.next_event()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advances the simulation by one event. Returns `false` when idle.
+    pub(crate) fn step(&mut self) -> bool {
+        self.pump();
+        let qt = self.queue.peek_time();
+        let nt = self.net.next_event();
+        let t = match (qt, nt) {
+            (None, None) => return false,
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+        };
+        if nt == Some(t) && qt.is_none_or(|q| t <= q) {
+            let events = self.net.advance(t);
+            self.queue.advance_to(t);
+            for FlowEvent::Completed { flow, .. } in events {
+                self.flow_endpoints.remove(&flow);
+                if let Some(op) = self.flow_waiters.remove(&flow) {
+                    self.op_continue(op, OpInput::FlowDone);
+                }
+            }
+        } else {
+            self.net.advance(t);
+            let (_, event) = self.queue.pop().expect("queue has an event at t");
+            self.dispatch(event);
+        }
+        self.pump();
+        true
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Deliver { to, env } => {
+                if self.nodes[to].alive {
+                    let now = self.now();
+                    self.stats.envelopes_delivered += 1;
+                    self.nodes[to].chimera.handle(env, now);
+                }
+            }
+            Event::Tick => {
+                self.tick_armed = false;
+                let now = self.now();
+                for i in 0..self.nodes.len() {
+                    if self.nodes[i].alive {
+                        self.nodes[i].chimera.tick(now);
+                        if self.nodes[i].monitor.due(now) {
+                            self.publish_resources(i);
+                        }
+                    }
+                }
+                if !self.ops.is_empty() || self.now() < self.tick_horizon {
+                    self.ensure_tick();
+                }
+            }
+            Event::OpWake { op } => self.op_continue(op, OpInput::Wake),
+            Event::DhtDone { op, ev } => self.op_continue(op, OpInput::Dht(ev)),
+        }
+    }
+
+    /// Drains overlay outboxes into scheduled deliveries and overlay events
+    /// into operation continuations, until quiescent.
+    pub(crate) fn pump(&mut self) {
+        loop {
+            let mut moved = false;
+            for i in 0..self.nodes.len() {
+                // Outgoing envelopes.
+                while let Some(env) = self.nodes[i].chimera.poll_send() {
+                    moved = true;
+                    let Some(&dst) = self.node_of_key.get(&env.to) else {
+                        continue; // stale peer
+                    };
+                    if self.message_loss > 0.0 && self.rng.chance(self.message_loss) {
+                        continue; // lost on the wireless link
+                    }
+                    let latency = self
+                        .net
+                        .topology()
+                        .message_latency(self.nodes[i].addr, self.nodes[dst].addr, &mut self.rng)
+                        .unwrap_or(Duration::from_millis(1));
+                    let delay = latency + self.config.timing.chimera_proc;
+                    self.queue.schedule_in(delay, Event::Deliver { to: dst, env });
+                }
+                // Application-visible DHT events.
+                while let Some(ev) = self.nodes[i].chimera.poll_event() {
+                    moved = true;
+                    let req = match &ev {
+                        DhtEvent::PutCompleted { req, .. } => Some(*req),
+                        DhtEvent::GetCompleted { req, .. } => Some(*req),
+                        DhtEvent::DeleteCompleted { req, .. } => Some(*req),
+                        _ => None,
+                    };
+                    let Some(req) = req else { continue };
+                    match self.dht_waiters.remove(&(i, req)) {
+                        Some(DhtWaiter::Op(op)) => {
+                            // Completion crosses the VStore++ ↔ Chimera IPC
+                            // boundary.
+                            self.queue.schedule_in(
+                                self.config.timing.chimera_ipc,
+                                Event::DhtDone { op, ev },
+                            );
+                        }
+                        Some(DhtWaiter::Ignore) | None => {}
+                    }
+                }
+            }
+            if !moved {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers used by the op state machines
+    // ------------------------------------------------------------------
+
+    /// Allocates the next operation id.
+    pub(crate) fn alloc_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    /// Starts a bulk flow and parks the operation on its completion.
+    pub(crate) fn start_flow_for_op(&mut self, op: OpId, src: Addr, dst: Addr, bytes: u64) {
+        let now = self.now();
+        self.net.advance(now);
+        let id = self
+            .net
+            .start_flow(now, src, dst, bytes.max(1), &mut self.rng)
+            .expect("routes exist between all configured sites");
+        self.stats.flows_started += 1;
+        self.flow_waiters.insert(id, op);
+        self.flow_endpoints.insert(id, (src, dst));
+    }
+
+    /// Issues a DHT get from node `i` on behalf of an operation.
+    pub(crate) fn dht_get_for_op(&mut self, op: OpId, i: usize, key: Key) {
+        let now = self.now();
+        let req = self.nodes[i]
+            .chimera
+            .get(key, now)
+            .expect("node is joined");
+        self.dht_waiters.insert((i, req), DhtWaiter::Op(op));
+    }
+
+    /// Issues a DHT put from node `i` on behalf of an operation.
+    pub(crate) fn dht_put_for_op(&mut self, op: OpId, i: usize, key: Key, value: Vec<u8>) {
+        let now = self.now();
+        let req = self.nodes[i]
+            .chimera
+            .put(key, value, OverwritePolicy::Overwrite, now)
+            .expect("node is joined");
+        self.dht_waiters.insert((i, req), DhtWaiter::Op(op));
+    }
+
+    /// Issues a chained DHT put (the `Chain` overwrite policy) from node
+    /// `i` on behalf of an operation — used for directory entry chains.
+    pub(crate) fn dht_chain_for_op(&mut self, op: OpId, i: usize, key: Key, value: Vec<u8>) {
+        let now = self.now();
+        let req = self.nodes[i]
+            .chimera
+            .put(key, value, OverwritePolicy::Chain, now)
+            .expect("node is joined");
+        self.dht_waiters.insert((i, req), DhtWaiter::Op(op));
+    }
+
+    /// Issues a DHT delete from node `i` on behalf of an operation.
+    pub(crate) fn dht_delete_for_op(&mut self, op: OpId, i: usize, key: Key) {
+        let now = self.now();
+        let req = self.nodes[i]
+            .chimera
+            .delete(key, now)
+            .expect("node is joined");
+        self.dht_waiters.insert((i, req), DhtWaiter::Op(op));
+    }
+
+    /// Schedules an operation wake after `delay`.
+    pub(crate) fn wake_in(&mut self, op: OpId, delay: Duration) {
+        self.queue.schedule_in(delay, Event::OpWake { op });
+    }
+
+    /// Analytic single-flow transfer estimate between two endpoints,
+    /// used by the decision engine for movement costs.
+    pub(crate) fn estimate_transfer(&self, src: Addr, dst: Addr, bytes: u64) -> Duration {
+        if src == dst {
+            return Duration::ZERO;
+        }
+        match self.net.topology().route_between(src, dst) {
+            Some(route) => {
+                let bottleneck = self
+                    .net
+                    .topology()
+                    .bottleneck_bps(src, dst)
+                    .unwrap_or(f64::INFINITY);
+                route
+                    .tcp
+                    .transfer_time(bytes, bottleneck, route.bandwidth_median)
+            }
+            None => Duration::from_secs(3600),
+        }
+    }
+
+    /// Looks up the node index for an overlay key.
+    pub(crate) fn node_index(&self, key: Key) -> Option<usize> {
+        self.node_of_key.get(&key).copied()
+    }
+
+    /// Decodes the freshest resource record bytes into a typed record.
+    pub(crate) fn decode_resource(bytes: &[u8]) -> Option<ResourceRecord> {
+        Record::decode(bytes)
+            .ok()
+            .and_then(|r| r.as_resource().cloned())
+    }
+}

@@ -1,0 +1,94 @@
+//! Key derivation for the metadata store.
+//!
+//! The paper: "unique keys correspond to object names, service names, and …
+//! node identifiers", with service keys "derived from the service name
+//! concatenated with service ID" and resource keys "derived based on the
+//! nodes' IP address in the home cloud". Namespace prefixes keep the three
+//! families collision-free in the shared 40-bit space.
+
+use c4h_chimera::Key;
+
+/// Key under which an object's metadata lives.
+///
+/// # Examples
+///
+/// ```
+/// use c4h_kvstore::object_key;
+///
+/// let k = object_key("videos/trip.avi");
+/// assert_eq!(k, object_key("videos/trip.avi"));
+/// assert_ne!(k, object_key("videos/trip2.avi"));
+/// ```
+pub fn object_key(name: &str) -> Key {
+    Key::from_name(&format!("obj:{name}"))
+}
+
+/// Key under which a directory's entry chain lives.
+///
+/// Object names are path-like (`camera/front/img-001.jpg`); every store
+/// appends a [`DirEntry`](crate::DirEntry) under the parent directory's
+/// key with the `Chain` overwrite policy, and listings read the chain back.
+pub fn directory_key(dir: &str) -> Key {
+    Key::from_name(&format!("dir:{dir}"))
+}
+
+/// The parent directory of a path-like object name (empty string for
+/// top-level names).
+pub fn parent_dir(name: &str) -> &str {
+    match name.rfind('/') {
+        Some(i) => &name[..i],
+        None => "",
+    }
+}
+
+/// Key under which a service's availability record lives ("service name
+/// concatenated with service ID as key").
+pub fn service_key(name: &str, service_id: u32) -> Key {
+    Key::from_name(&format!("svc:{name}#{service_id}"))
+}
+
+/// Key under which a node's resource record lives ("keys derived based on
+/// the nodes' IP address").
+pub fn node_resource_key(node_addr: &str) -> Key {
+    Key::from_name(&format!("res:{node_addr}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_dir_splits_paths() {
+        assert_eq!(parent_dir("a/b/c.txt"), "a/b");
+        assert_eq!(parent_dir("top.txt"), "");
+        assert_eq!(parent_dir("a/"), "a");
+    }
+
+    #[test]
+    fn directory_keys_are_namespaced() {
+        assert_ne!(directory_key("a"), object_key("a"));
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        // The same textual name in different namespaces maps to different
+        // keys.
+        let name = "front-door";
+        let o = object_key(name);
+        let s = service_key(name, 0);
+        let r = node_resource_key(name);
+        assert_ne!(o, s);
+        assert_ne!(o, r);
+        assert_ne!(s, r);
+    }
+
+    #[test]
+    fn service_id_distinguishes_instances() {
+        assert_ne!(service_key("face-detect", 1), service_key("face-detect", 2));
+    }
+
+    #[test]
+    fn derivation_is_stable() {
+        assert_eq!(node_resource_key("10.0.0.7"), node_resource_key("10.0.0.7"));
+    }
+}

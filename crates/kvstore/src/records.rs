@@ -1,0 +1,662 @@
+//! The record schemas of the VStore++ metadata layer.
+//!
+//! The paper keeps three kinds of entries in one key-value store, giving "a
+//! uniform interface for access and manipulation of meta information
+//! regarding objects, services, and infrastructure":
+//!
+//! * [`ObjectMeta`] — "serialized data containing object location and
+//!   metadata, such as tags, access information, etc. The location field can
+//!   map to a node in the local home cloud or to a remote cloud."
+//! * [`ServiceRecord`] — "a string identifying the nodes where the service
+//!   is currently available" plus the associated service policy.
+//! * [`ResourceRecord`] — per-node resource usage published periodically by
+//!   the monitoring utility.
+//!
+//! All three encode to the hand-rolled wire format in [`crate::wire`].
+
+use c4h_chimera::Key;
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Schema version stamped into every encoded record.
+pub const SCHEMA_VERSION: u8 = 1;
+
+const TAG_OBJECT: u8 = 1;
+const TAG_SERVICE: u8 = 2;
+const TAG_RESOURCE: u8 = 3;
+
+const LOC_HOME: u8 = 0;
+const LOC_CLOUD: u8 = 1;
+
+const ACL_PUBLIC: u8 = 0;
+const ACL_OWNER_ONLY: u8 = 1;
+const ACL_NODES: u8 = 2;
+
+/// Who may read (fetch or process) an object.
+///
+/// The paper lists "richer access control methods and policies" as the most
+/// notable open issue; this is the reproduction's implementation of that
+/// extension: per-object reader lists enforced by the VStore++ daemon on
+/// every fetch and process operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Acl {
+    /// Any node in the home cloud may read.
+    #[default]
+    Public,
+    /// Only the storing node may read.
+    OwnerOnly,
+    /// Only the listed nodes (by overlay key) and the owner may read.
+    Nodes(Vec<Key>),
+}
+
+impl Acl {
+    /// Whether `reader` may access an object owned by `owner`.
+    pub fn permits(&self, reader: Key, owner: Key) -> bool {
+        match self {
+            Acl::Public => true,
+            Acl::OwnerOnly => reader == owner,
+            Acl::Nodes(list) => reader == owner || list.contains(&reader),
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Acl::Public => {
+                w.tag(ACL_PUBLIC);
+            }
+            Acl::OwnerOnly => {
+                w.tag(ACL_OWNER_ONLY);
+            }
+            Acl::Nodes(list) => {
+                w.tag(ACL_NODES).u64(list.len() as u64);
+                for k in list {
+                    w.u64(k.raw());
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.tag()? {
+            ACL_PUBLIC => Ok(Acl::Public),
+            ACL_OWNER_ONLY => Ok(Acl::OwnerOnly),
+            ACL_NODES => {
+                let n = r.u64()? as usize;
+                let mut list = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    list.push(Key::from_raw(r.u64()?));
+                }
+                Ok(Acl::Nodes(list))
+            }
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// Where an object's bytes currently live.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Location {
+    /// A node in the home cloud, by overlay key.
+    Home {
+        /// The owning node's overlay ID.
+        node: Key,
+    },
+    /// A remote public cloud object, by URL ("URL location of object in
+    /// users S3 storage bucket is stored as value").
+    Cloud {
+        /// The object URL, e.g. `s3://home-bucket/videos/trip.avi`.
+        url: String,
+    },
+}
+
+impl Location {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Location::Home { node } => {
+                w.tag(LOC_HOME).u64(node.raw());
+            }
+            Location::Cloud { url } => {
+                w.tag(LOC_CLOUD).string(url);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.tag()? {
+            LOC_HOME => Ok(Location::Home {
+                node: Key::from_raw(r.u64()?),
+            }),
+            LOC_CLOUD => Ok(Location::Cloud { url: r.string()? }),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+
+    /// Whether the object lives in the remote cloud.
+    pub fn is_cloud(&self) -> bool {
+        matches!(self, Location::Cloud { .. })
+    }
+}
+
+/// Metadata for one stored object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// The object's user-visible name (hashed to form its key).
+    pub name: String,
+    /// Object size in bytes.
+    pub size_bytes: u64,
+    /// Content type, e.g. `"mp3"`, `"avi"`, `"jpeg"`.
+    pub content_type: String,
+    /// Free-form tags ("tags that define its context").
+    pub tags: Vec<String>,
+    /// Where the bytes live.
+    pub location: Location,
+    /// Whether the object is private (privacy policies keep private data in
+    /// the home cloud).
+    pub private: bool,
+    /// The storing node's overlay key (the object's owner principal).
+    pub owner: Key,
+    /// Who may fetch or process the object.
+    pub acl: Acl,
+    /// Creation time, virtual nanoseconds.
+    pub created_at_ns: u64,
+}
+
+impl ObjectMeta {
+    fn encode_body(&self, w: &mut WireWriter) {
+        w.string(&self.name);
+        w.u64(self.size_bytes);
+        w.string(&self.content_type);
+        w.u64(self.tags.len() as u64);
+        for t in &self.tags {
+            w.string(t);
+        }
+        self.location.encode(w);
+        w.bool(self.private);
+        w.u64(self.owner.raw());
+        self.acl.encode(w);
+        w.u64(self.created_at_ns);
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let name = r.string()?;
+        let size_bytes = r.u64()?;
+        let content_type = r.string()?;
+        let n_tags = r.u64()? as usize;
+        let mut tags = Vec::with_capacity(n_tags.min(1024));
+        for _ in 0..n_tags {
+            tags.push(r.string()?);
+        }
+        let location = Location::decode(r)?;
+        let private = r.bool()?;
+        let owner = Key::from_raw(r.u64()?);
+        let acl = Acl::decode(r)?;
+        let created_at_ns = r.u64()?;
+        Ok(ObjectMeta {
+            name,
+            size_bytes,
+            content_type,
+            tags,
+            location,
+            private,
+            owner,
+            acl,
+            created_at_ns,
+        })
+    }
+}
+
+/// Availability record for one deployed service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceRecord {
+    /// The service name, e.g. `"face-detect"`.
+    pub name: String,
+    /// The service identifier ("unique keys derived from the service name
+    /// and identifier").
+    pub service_id: u32,
+    /// Nodes currently providing the service (home-cloud overlay keys).
+    pub providers: Vec<Key>,
+    /// Whether the service is also deployed in the remote cloud.
+    pub cloud_available: bool,
+    /// Name of the service policy governing placement.
+    pub policy: String,
+}
+
+impl ServiceRecord {
+    fn encode_body(&self, w: &mut WireWriter) {
+        w.string(&self.name);
+        w.u32(self.service_id);
+        w.u64(self.providers.len() as u64);
+        for p in &self.providers {
+            w.u64(p.raw());
+        }
+        w.bool(self.cloud_available);
+        w.string(&self.policy);
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let name = r.string()?;
+        let service_id = r.u32()?;
+        let n = r.u64()? as usize;
+        let mut providers = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            providers.push(Key::from_raw(r.u64()?));
+        }
+        let cloud_available = r.bool()?;
+        let policy = r.string()?;
+        Ok(ServiceRecord {
+            name,
+            service_id,
+            providers,
+            cloud_available,
+            policy,
+        })
+    }
+}
+
+/// A node's published resource usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    /// The reporting node's overlay key.
+    pub node: Key,
+    /// Runnable-load average normalized per core (0.0 = idle, 1.0 = one
+    /// saturating task per core).
+    pub cpu_load: f64,
+    /// Free memory in MiB.
+    pub mem_free_mib: u64,
+    /// Available upstream bandwidth, bytes/second.
+    pub bandwidth_up_bps: f64,
+    /// Available downstream bandwidth, bytes/second.
+    pub bandwidth_down_bps: f64,
+    /// Battery percentage for portable devices (`None` = mains powered).
+    pub battery_pct: Option<f64>,
+    /// Free space in the mandatory bin, MiB.
+    pub mandatory_free_mib: u64,
+    /// Free space in the voluntary bin, MiB.
+    pub voluntary_free_mib: u64,
+    /// When the sample was taken, virtual nanoseconds.
+    pub updated_at_ns: u64,
+}
+
+impl ResourceRecord {
+    fn encode_body(&self, w: &mut WireWriter) {
+        w.u64(self.node.raw());
+        w.f64(self.cpu_load);
+        w.u64(self.mem_free_mib);
+        w.f64(self.bandwidth_up_bps);
+        w.f64(self.bandwidth_down_bps);
+        match self.battery_pct {
+            Some(b) => {
+                w.bool(true).f64(b);
+            }
+            None => {
+                w.bool(false);
+            }
+        }
+        w.u64(self.mandatory_free_mib);
+        w.u64(self.voluntary_free_mib);
+        w.u64(self.updated_at_ns);
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let node = Key::from_raw(r.u64()?);
+        let cpu_load = r.f64()?;
+        let mem_free_mib = r.u64()?;
+        let bandwidth_up_bps = r.f64()?;
+        let bandwidth_down_bps = r.f64()?;
+        let battery_pct = if r.bool()? { Some(r.f64()?) } else { None };
+        let mandatory_free_mib = r.u64()?;
+        let voluntary_free_mib = r.u64()?;
+        let updated_at_ns = r.u64()?;
+        Ok(ResourceRecord {
+            node,
+            cpu_load,
+            mem_free_mib,
+            bandwidth_up_bps,
+            bandwidth_down_bps,
+            battery_pct,
+            mandatory_free_mib,
+            voluntary_free_mib,
+            updated_at_ns,
+        })
+    }
+}
+
+/// One version in a directory's entry chain: an object appearing in (or a
+/// tombstone removing it from) a directory listing.
+///
+/// Directory chains are the metadata layer's use of the `Chain` overwrite
+/// policy: "updates to Chimera have an overwrite policy value that
+/// determines if … newer version of metadata is to be added by chaining".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// The full object name.
+    pub name: String,
+    /// `true` when this version removes the name from the listing.
+    pub tombstone: bool,
+}
+
+impl DirEntry {
+    /// Serializes the entry.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bool(self.tombstone).string(&self.name);
+        w.into_bytes()
+    }
+
+    /// Parses an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let tombstone = r.bool()?;
+        let name = r.string()?;
+        r.finish()?;
+        Ok(DirEntry { name, tombstone })
+    }
+
+    /// Folds a chain of encoded entries (oldest first) into the live
+    /// listing, applying tombstones in order.
+    pub fn fold_listing<'a, I>(versions: I) -> Vec<String>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut live: Vec<String> = Vec::new();
+        for v in versions {
+            let Ok(entry) = DirEntry::decode(v) else {
+                continue;
+            };
+            if entry.tombstone {
+                live.retain(|n| *n != entry.name);
+            } else if !live.contains(&entry.name) {
+                live.push(entry.name);
+            }
+        }
+        live
+    }
+}
+
+/// Any record storable in the metadata key-value store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// Object metadata.
+    Object(ObjectMeta),
+    /// Service availability.
+    Service(ServiceRecord),
+    /// Node resource usage.
+    Resource(ResourceRecord),
+}
+
+impl Record {
+    /// Serializes the record to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Record::Object(o) => {
+                w.tag(TAG_OBJECT).tag(SCHEMA_VERSION);
+                o.encode_body(&mut w);
+            }
+            Record::Service(s) => {
+                w.tag(TAG_SERVICE).tag(SCHEMA_VERSION);
+                s.encode_body(&mut w);
+            }
+            Record::Resource(r) => {
+                w.tag(TAG_RESOURCE).tag(SCHEMA_VERSION);
+                r.encode_body(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a record from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed, truncated, or
+    /// unknown-schema input.
+    pub fn decode(bytes: &[u8]) -> Result<Record, WireError> {
+        let mut r = WireReader::new(bytes);
+        let tag = r.tag()?;
+        let version = r.tag()?;
+        if version != SCHEMA_VERSION {
+            return Err(WireError::UnknownTag(version));
+        }
+        let record = match tag {
+            TAG_OBJECT => Record::Object(ObjectMeta::decode_body(&mut r)?),
+            TAG_SERVICE => Record::Service(ServiceRecord::decode_body(&mut r)?),
+            TAG_RESOURCE => Record::Resource(ResourceRecord::decode_body(&mut r)?),
+            t => return Err(WireError::UnknownTag(t)),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+
+    /// The object metadata, if this is an object record.
+    pub fn as_object(&self) -> Option<&ObjectMeta> {
+        match self {
+            Record::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The service record, if this is a service record.
+    pub fn as_service(&self) -> Option<&ServiceRecord> {
+        match self {
+            Record::Service(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The resource record, if this is a resource record.
+    pub fn as_resource(&self) -> Option<&ResourceRecord> {
+        match self {
+            Record::Resource(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_object() -> ObjectMeta {
+        ObjectMeta {
+            name: "camera/front/img-17.jpg".into(),
+            size_bytes: 2 * 1024 * 1024,
+            content_type: "jpeg".into(),
+            tags: vec!["surveillance".into(), "front-door".into()],
+            location: Location::Home {
+                node: Key::from_name("desktop"),
+            },
+            private: true,
+            owner: Key::from_name("netbook-0"),
+            acl: Acl::Public,
+            created_at_ns: 123_456_789,
+        }
+    }
+
+    #[test]
+    fn object_record_roundtrips() {
+        let rec = Record::Object(sample_object());
+        let decoded = Record::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+        assert!(decoded.as_object().is_some());
+        assert!(decoded.as_service().is_none());
+        assert!(decoded.as_resource().is_none());
+    }
+
+    #[test]
+    fn cloud_location_roundtrips() {
+        let mut o = sample_object();
+        o.location = Location::Cloud {
+            url: "s3://home-bucket/img-17.jpg".into(),
+        };
+        assert!(o.location.is_cloud());
+        let rec = Record::Object(o);
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn service_record_roundtrips() {
+        let rec = Record::Service(ServiceRecord {
+            name: "face-detect".into(),
+            service_id: 11,
+            providers: vec![Key::from_name("s1"), Key::from_name("s2")],
+            cloud_available: true,
+            policy: "performance".into(),
+        });
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn resource_record_roundtrips_with_and_without_battery() {
+        let mut r = ResourceRecord {
+            node: Key::from_name("netbook-1"),
+            cpu_load: 0.35,
+            mem_free_mib: 412,
+            bandwidth_up_bps: 500_000.0,
+            bandwidth_down_bps: 900_000.0,
+            battery_pct: Some(62.0),
+            mandatory_free_mib: 900,
+            voluntary_free_mib: 4_000,
+            updated_at_ns: 42,
+        };
+        let rec = Record::Resource(r.clone());
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+        r.battery_pct = None;
+        let rec = Record::Resource(r);
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let err = Record::decode(&[99, SCHEMA_VERSION]).unwrap_err();
+        assert_eq!(err, WireError::UnknownTag(99));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut bytes = Record::Object(sample_object()).encode();
+        bytes[1] = 99;
+        assert_eq!(Record::decode(&bytes).unwrap_err(), WireError::UnknownTag(99));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Record::Object(sample_object()).encode();
+        bytes.push(0);
+        assert!(matches!(
+            Record::decode(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicking() {
+        let bytes = Record::Object(sample_object()).encode();
+        for cut in 0..bytes.len() {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn encoded_records_are_compact() {
+        // Metadata entries should be small enough for cheap DHT messages.
+        let bytes = Record::Object(sample_object()).encode();
+        assert!(bytes.len() < 128, "object record is {} bytes", bytes.len());
+    }
+}
+#[cfg(test)]
+mod acl_tests {
+    use super::*;
+
+    #[test]
+    fn acl_permits_semantics() {
+        let owner = Key::from_name("owner");
+        let friend = Key::from_name("friend");
+        let stranger = Key::from_name("stranger");
+        assert!(Acl::Public.permits(stranger, owner));
+        assert!(Acl::OwnerOnly.permits(owner, owner));
+        assert!(!Acl::OwnerOnly.permits(friend, owner));
+        let restricted = Acl::Nodes(vec![friend]);
+        assert!(restricted.permits(friend, owner));
+        assert!(restricted.permits(owner, owner), "owner always reads");
+        assert!(!restricted.permits(stranger, owner));
+    }
+
+    #[test]
+    fn acl_variants_roundtrip_in_object_records() {
+        for acl in [
+            Acl::Public,
+            Acl::OwnerOnly,
+            Acl::Nodes(vec![Key::from_name("a"), Key::from_name("b")]),
+        ] {
+            let rec = Record::Object(ObjectMeta {
+                name: "x".into(),
+                size_bytes: 1,
+                content_type: "doc".into(),
+                tags: vec![],
+                location: Location::Home {
+                    node: Key::from_name("n"),
+                },
+                private: false,
+                owner: Key::from_name("n"),
+                acl: acl.clone(),
+                created_at_ns: 0,
+            });
+            let decoded = Record::decode(&rec.encode()).unwrap();
+            assert_eq!(decoded.as_object().unwrap().acl, acl);
+        }
+    }
+
+    #[test]
+    fn default_acl_is_public() {
+        assert_eq!(Acl::default(), Acl::Public);
+    }
+}
+#[cfg(test)]
+mod dir_tests {
+    use super::*;
+
+    #[test]
+    fn dir_entry_roundtrips() {
+        let e = DirEntry {
+            name: "a/b.txt".into(),
+            tombstone: false,
+        };
+        assert_eq!(DirEntry::decode(&e.encode()).unwrap(), e);
+        let t = DirEntry {
+            name: "a/b.txt".into(),
+            tombstone: true,
+        };
+        assert_eq!(DirEntry::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn fold_listing_applies_tombstones_in_order() {
+        let adds: Vec<Vec<u8>> = ["a", "b", "a", "c"]
+            .iter()
+            .map(|n| DirEntry { name: (*n).into(), tombstone: false }.encode())
+            .collect();
+        let del = DirEntry { name: "b".into(), tombstone: true }.encode();
+        let readd = DirEntry { name: "b".into(), tombstone: false }.encode();
+        let mut chain: Vec<&[u8]> = adds.iter().map(Vec::as_slice).collect();
+        chain.push(&del);
+        assert_eq!(DirEntry::fold_listing(chain.iter().copied()), vec!["a", "c"]);
+        chain.push(&readd);
+        assert_eq!(
+            DirEntry::fold_listing(chain.iter().copied()),
+            vec!["a", "c", "b"]
+        );
+    }
+
+    #[test]
+    fn fold_listing_skips_garbage_versions() {
+        let good = DirEntry { name: "x".into(), tombstone: false }.encode();
+        let chain: Vec<&[u8]> = vec![b"\xFF\xFF garbage", &good];
+        assert_eq!(DirEntry::fold_listing(chain.into_iter()), vec!["x"]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Data-manipulation services for the Cloud4Home reproduction.
+//!
+//! The paper enhances storage with processing: "VStore++ also supports
+//! process operations, which allow a service deployed in the home cloud to
+//! be invoked explicitly, or jointly with the object store or fetch
+//! operation". Its two use cases are home surveillance (OpenCV face
+//! detection + recognition) and media conversion (x264). This crate
+//! implements both as *real* byte-level kernels paired with calibrated cost
+//! models:
+//!
+//! * [`FaceDetect`] — integral-image sliding-window detection (CPU-bound,
+//!   highly parallel);
+//! * [`FaceRecognize`] — nearest-neighbour matching against a resident
+//!   [`TrainingSet`] (memory-bound — the working set grows with image size
+//!   and training data, reproducing Figure 7's small-VM thrashing);
+//! * [`Transcode`] — blocked transform + quantization + run-length packing
+//!   (CPU-bound, linear — Figure 8's `.avi` → `.mp4` downgrade);
+//! * [`Compress`] — a lossless LZ77-style archiver (with a verifying
+//!   decompressor), the transformation worth running near the data before
+//!   remote archival;
+//! * [`ServiceRegistry`] — the node-local deployment table.
+//!
+//! The [`Service`] trait separates the observable kernel ([`Service::run`])
+//! from the virtual-time cost model ([`Service::demand`]), which the runtime
+//! feeds into [`c4h_vmm::exec_time`] together with the hosting platform and
+//! VM grant.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compress;
+mod registry;
+mod service;
+mod transcode;
+mod vision;
+
+pub use compress::{Compress, DecompressError, COMPRESS_ID};
+pub use registry::ServiceRegistry;
+pub use service::{
+    mib_f64, MinRequirements, Service, ServiceDemand, ServiceId, ServiceOutput,
+};
+pub use transcode::{Transcode, TRANSCODE_ID};
+pub use vision::{
+    feature_vector, Detection, FaceDetect, FaceRecognize, TrainingSet, FACE_DETECT_ID,
+    FACE_RECOGNIZE_ID, FEATURE_BINS,
+};

@@ -1,0 +1,749 @@
+//! Fluid-flow bulk-transfer engine with max-min fair bandwidth sharing.
+//!
+//! Bulk object transfers are modeled as *flows*: a source, a destination, a
+//! byte count, and a path of shared [`Segment`](crate::topology::Segment)s.
+//! At any instant every flow has a rate, computed by progressive-filling
+//! max-min fair allocation subject to each flow's TCP cap (which ramps up
+//! over time and may degrade after a sustained-byte threshold — see
+//! [`TcpProfile`]). Between rate changes the system is linear, so the engine
+//! only needs to handle discrete events: flow arrival, setup completion,
+//! ramp steps, sustained-threshold crossings, and completions.
+//!
+//! The engine is pull-based: the simulation runtime asks for
+//! [`FlowNet::next_event`] and merges it with its own event queue, then calls
+//! [`FlowNet::advance`] to accrue progress and collect completions.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::time::{duration_from_secs_f64, SimTime};
+use crate::topology::{Addr, SegmentId, Topology};
+use crate::tcp::TcpProfile;
+use crate::DetRng;
+
+/// Identifier of an in-flight bulk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    /// The raw identifier.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event produced by the flow engine during [`FlowNet::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowEvent {
+    /// The flow delivered its final byte at the given instant.
+    Completed {
+        /// The finished transfer.
+        flow: FlowId,
+        /// When the final byte arrived.
+        at: SimTime,
+    },
+}
+
+/// Errors returned by [`FlowNet::start_flow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No route is configured between the endpoints' sites.
+    NoRoute {
+        /// The transfer's source endpoint.
+        src: Addr,
+        /// The transfer's destination endpoint.
+        dst: Addr,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoRoute { src, dst } => {
+                write!(f, "no route between {src} and {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Half a byte: flows complete once within this tolerance of their total.
+const COMPLETE_EPS: f64 = 0.5;
+
+#[derive(Debug)]
+struct Flow {
+    id: FlowId,
+    path: Vec<SegmentId>,
+    total_bytes: u64,
+    sent: f64,
+    tcp: TcpProfile,
+    /// Per-flow bandwidth availability factor (WAN variability).
+    factor: f64,
+    /// Instant the connection setup completes and bytes start moving.
+    active_from: SimTime,
+    /// Current allocated rate, bytes/second (0 while in setup).
+    rate: f64,
+}
+
+impl Flow {
+    fn is_active(&self, now: SimTime) -> bool {
+        now >= self.active_from
+    }
+
+    /// The flow's own rate cap at `now` (before sharing).
+    fn cap(&self, now: SimTime) -> f64 {
+        let active = now
+            .checked_duration_since(self.active_from)
+            .unwrap_or_default();
+        self.tcp.cap_at(active, self.sent as u64) * self.factor
+    }
+
+    /// The next instant at which this flow's cap changes on its own
+    /// (ramp step or sustained-threshold crossing), given its current rate.
+    fn next_cap_change(&self, now: SimTime) -> Option<SimTime> {
+        if !self.is_active(now) {
+            return Some(self.active_from);
+        }
+        let mut next: Option<SimTime> = None;
+        // Ramp step boundary, computed in integer nanoseconds to avoid
+        // floating-point boundary loops.
+        let sustained_active = self
+            .tcp
+            .sustained
+            .is_some_and(|s| self.sent as u64 >= s.threshold_bytes);
+        if !sustained_active
+            && self.tcp.ramp_bps_per_sec > 0.0
+            && !self.tcp.ramp_step.is_zero()
+            && self.cap(now) < self.tcp.rate_cap_bps * self.factor
+        {
+            let step_ns = self.tcp.ramp_step.as_nanos() as u64;
+            let active_ns = (now - self.active_from).as_nanos() as u64;
+            let k = active_ns / step_ns;
+            let boundary = SimTime::from_nanos(self.active_from.as_nanos() + (k + 1) * step_ns);
+            next = Some(boundary);
+        }
+        // Sustained-threshold crossing at the current rate.
+        if let Some(s) = self.tcp.sustained {
+            if (self.sent as u64) < s.threshold_bytes && self.rate > 0.0 {
+                let secs = (s.threshold_bytes as f64 - self.sent) / self.rate;
+                // Never schedule a zero-length event: a crossing whose
+                // remaining time rounds below 1 ns would pin the engine at
+                // the current instant forever.
+                let at = now + duration_from_secs_f64(secs).max(Duration::from_nanos(1));
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
+        }
+        next
+    }
+
+    /// The instant this flow completes at its current rate, if it is moving.
+    fn completion_time(&self, now: SimTime) -> Option<SimTime> {
+        if !self.is_active(now) || self.rate <= 0.0 {
+            return None;
+        }
+        let remaining = (self.total_bytes as f64 - self.sent).max(0.0);
+        if remaining <= COMPLETE_EPS {
+            // Already within the completion tolerance: fire immediately.
+            return Some(now);
+        }
+        let secs = remaining / self.rate;
+        Some(now + duration_from_secs_f64(secs).max(Duration::from_nanos(1)))
+    }
+}
+
+/// Progress report for an in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowProgress {
+    /// Bytes delivered so far.
+    pub sent_bytes: f64,
+    /// Total bytes to deliver.
+    pub total_bytes: u64,
+    /// Current allocated rate (bytes/second).
+    pub rate_bps: f64,
+}
+
+/// The fluid-flow bulk transfer network.
+///
+/// # Examples
+///
+/// ```
+/// use c4h_simnet::{Addr, FlowNet, LatencyModel, SimTime, TcpProfile, Topology, DetRng};
+/// use std::time::Duration;
+///
+/// let mut b = Topology::builder();
+/// let lan = b.segment("lan", 1000.0);
+/// let home = b.site("home");
+/// b.route(
+///     home,
+///     home,
+///     vec![lan],
+///     LatencyModel { base: Duration::from_millis(1), jitter: 0.0 },
+///     TcpProfile::constant_rate(2000.0),
+///     1.0,
+///     0.0,
+/// );
+/// let mut topo = b.build();
+/// topo.attach(Addr::new(1), home);
+/// topo.attach(Addr::new(2), home);
+///
+/// let mut net = FlowNet::new(topo);
+/// let mut rng = DetRng::seed(0);
+/// net.start_flow(SimTime::ZERO, Addr::new(1), Addr::new(2), 1000, &mut rng).unwrap();
+/// // The 1000-byte flow is segment-limited to 1000 B/s: done after 1 s.
+/// let done_at = net.next_event().unwrap();
+/// assert_eq!(done_at, SimTime::from_secs(1));
+/// let events = net.advance(done_at);
+/// assert_eq!(events.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FlowNet {
+    topology: Topology,
+    now: SimTime,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    alloc_dirty: bool,
+}
+
+impl FlowNet {
+    /// Creates an engine over a fully attached topology.
+    pub fn new(topology: Topology) -> Self {
+        FlowNet {
+            topology,
+            now: SimTime::ZERO,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            alloc_dirty: false,
+        }
+    }
+
+    /// The static topology (for latency sampling and analytic estimates).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access, for modeling changing network conditions.
+    /// In-flight flows keep their already-sampled parameters.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The engine's current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of transfers currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Progress of a flow, if still in flight.
+    pub fn progress(&self, id: FlowId) -> Option<FlowProgress> {
+        self.flows.get(&id).map(|f| FlowProgress {
+            sent_bytes: f.sent,
+            total_bytes: f.total_bytes,
+            rate_bps: f.rate,
+        })
+    }
+
+    /// Starts a bulk transfer of `bytes` from `src` to `dst`.
+    ///
+    /// The route's TCP profile governs setup cost, ramp-up, and long-transfer
+    /// degradation; a per-flow bandwidth factor is sampled from the route's
+    /// variability model using `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] if the endpoints' sites are not
+    /// connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is in the engine's past — call [`FlowNet::advance`]
+    /// first.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: Addr,
+        dst: Addr,
+        bytes: u64,
+        rng: &mut DetRng,
+    ) -> Result<FlowId, NetError> {
+        assert!(
+            now >= self.now,
+            "start_flow at {now} is in the engine's past ({})",
+            self.now
+        );
+        debug_assert!(
+            self.next_internal_event().is_none_or(|t| t >= now),
+            "caller must advance() before starting flows"
+        );
+        self.now = now;
+        let route = self
+            .topology
+            .route_between(src, dst)
+            .ok_or(NetError::NoRoute { src, dst })?;
+        let factor = route.sample_bandwidth_factor(rng);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let flow = Flow {
+            id,
+            path: route.segments.clone(),
+            total_bytes: bytes.max(1),
+            sent: 0.0,
+            tcp: route.tcp.clone(),
+            factor,
+            active_from: now + route.tcp.setup,
+            rate: 0.0,
+        };
+        self.flows.insert(id, flow);
+        self.alloc_dirty = true;
+        Ok(id)
+    }
+
+    /// Cancels an in-flight transfer. Returns `true` if it existed.
+    pub fn cancel(&mut self, id: FlowId) -> bool {
+        let existed = self.flows.remove(&id).is_some();
+        if existed {
+            self.alloc_dirty = true;
+        }
+        existed
+    }
+
+    /// The next instant at which the flow engine has something to report
+    /// (a completion or an internal rate change), or `None` when idle.
+    ///
+    /// The runtime merges this with its own event queue and calls
+    /// [`FlowNet::advance`] up to the earlier of the two.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        if self.alloc_dirty {
+            self.reallocate();
+        }
+        self.next_internal_event()
+    }
+
+    /// Advances the engine to `to`, accruing transfer progress, and returns
+    /// the completions that occurred (in completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past.
+    pub fn advance(&mut self, to: SimTime) -> Vec<FlowEvent> {
+        assert!(to >= self.now, "cannot rewind flow engine");
+        let mut out = Vec::new();
+        while self.now < to {
+            if self.alloc_dirty {
+                self.reallocate();
+            }
+            let step_end = self
+                .next_internal_event()
+                .map_or(to, |t| t.min(to))
+                .max(self.now);
+            let dt = (step_end - self.now).as_secs_f64();
+            if dt > 0.0 {
+                for f in self.flows.values_mut() {
+                    if f.is_active(self.now) && f.rate > 0.0 {
+                        f.sent = (f.sent + f.rate * dt).min(f.total_bytes as f64);
+                    }
+                }
+            }
+            self.now = step_end;
+            self.fire_completions(&mut out);
+            // Caps may have changed at this boundary (setup completion, ramp
+            // step, sustained-threshold crossing) — always refresh rates.
+            self.alloc_dirty = true;
+        }
+        // Completions landing exactly on `to` when the loop body didn't run.
+        self.fire_completions(&mut out);
+        out
+    }
+
+    /// Removes completed flows at the current instant.
+    fn fire_completions(&mut self, out: &mut Vec<FlowEvent>) {
+        let now = self.now;
+        let done: Vec<FlowId> = self
+            .flows
+            .values()
+            .filter(|f| f.is_active(now) && f.sent + COMPLETE_EPS >= f.total_bytes as f64)
+            .map(|f| f.id)
+            .collect();
+        for id in done {
+            self.flows.remove(&id);
+            out.push(FlowEvent::Completed { flow: id, at: now });
+            self.alloc_dirty = true;
+        }
+    }
+
+    /// Earliest internal event across all flows, using current rates.
+    fn next_internal_event(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        for f in self.flows.values() {
+            for t in [f.completion_time(self.now), f.next_cap_change(self.now)]
+                .into_iter()
+                .flatten()
+            {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        next
+    }
+
+    /// Progressive-filling max-min fair allocation subject to per-flow caps.
+    fn reallocate(&mut self) {
+        let now = self.now;
+        let mut residual: Vec<f64> = self
+            .topology
+            .segments()
+            .iter()
+            .map(|s| s.capacity_bps())
+            .collect();
+        let mut count = vec![0usize; residual.len()];
+        let mut unfixed: Vec<FlowId> = Vec::new();
+        for f in self.flows.values_mut() {
+            if f.is_active(now) {
+                for s in &f.path {
+                    count[s.0] += 1;
+                }
+                unfixed.push(f.id);
+            } else {
+                f.rate = 0.0;
+            }
+        }
+        while !unfixed.is_empty() {
+            // Find the unfixed flow with the smallest achievable rate.
+            let mut best: Option<(f64, usize)> = None;
+            for (i, id) in unfixed.iter().enumerate() {
+                let f = &self.flows[id];
+                let share = f
+                    .path
+                    .iter()
+                    .map(|s| residual[s.0].max(0.0) / count[s.0].max(1) as f64)
+                    .fold(f64::INFINITY, f64::min);
+                let r = f.cap(now).min(share);
+                if best.is_none_or(|(b, _)| r < b) {
+                    best = Some((r, i));
+                }
+            }
+            let (rate, idx) = best.expect("unfixed flows must yield a candidate");
+            let id = unfixed.swap_remove(idx);
+            let path = {
+                let f = self.flows.get_mut(&id).expect("flow exists");
+                f.rate = rate;
+                f.path.clone()
+            };
+            for s in &path {
+                residual[s.0] -= rate;
+                count[s.0] -= 1;
+            }
+        }
+        self.alloc_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LatencyModel;
+    use std::time::Duration;
+
+    fn topo(seg_cap: f64, flow_cap: f64) -> Topology {
+        let mut b = Topology::builder();
+        let lan = b.segment("lan", seg_cap);
+        let home = b.site("home");
+        b.route(
+            home,
+            home,
+            vec![lan],
+            LatencyModel {
+                base: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            TcpProfile::constant_rate(flow_cap),
+            1.0,
+            0.0,
+        );
+        let mut t = b.build();
+        for i in 0..8 {
+            t.attach(Addr::new(i), home);
+        }
+        t
+    }
+
+    fn drain(net: &mut FlowNet) -> Vec<(FlowId, SimTime)> {
+        let mut out = Vec::new();
+        while let Some(t) = net.next_event() {
+            for ev in net.advance(t) {
+                let FlowEvent::Completed { flow, at } = ev;
+                out.push((flow, at));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_is_cap_limited() {
+        let mut net = FlowNet::new(topo(10_000.0, 1_000.0));
+        let mut rng = DetRng::seed(0);
+        net.start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 2_000, &mut rng)
+            .unwrap();
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn two_flows_share_the_segment_fairly() {
+        // Segment 1000 B/s, per-flow cap 2000: two flows get 500 each.
+        let mut net = FlowNet::new(topo(1_000.0, 2_000.0));
+        let mut rng = DetRng::seed(0);
+        for i in 0..2 {
+            net.start_flow(
+                SimTime::ZERO,
+                Addr::new(i),
+                Addr::new(i + 2),
+                1_000,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 2);
+        // Both finish together at t = 1000 / 500 = 2 s.
+        for (_, at) in &done {
+            assert_eq!(*at, SimTime::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn departing_flow_frees_bandwidth() {
+        // Two flows on a 1000 B/s segment; one is short. After it finishes,
+        // the survivor speeds up to the full segment rate.
+        let mut net = FlowNet::new(topo(1_000.0, 2_000.0));
+        let mut rng = DetRng::seed(0);
+        let _short = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 500, &mut rng)
+            .unwrap();
+        let long = net
+            .start_flow(SimTime::ZERO, Addr::new(2), Addr::new(3), 1_500, &mut rng)
+            .unwrap();
+        let done = drain(&mut net);
+        // short: 500 B at 500 B/s -> t=1s. long: 500 B by t=1s, then
+        // 1000 B at 1000 B/s -> t=2s.
+        assert_eq!(done[0].1, SimTime::from_secs(1));
+        assert_eq!(done[1], (long, SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn caps_below_fair_share_leave_bandwidth_for_others() {
+        // Segment 1000; flow A capped at 200 -> flow B gets 800.
+        let mut b = Topology::builder();
+        let lan = b.segment("lan", 1_000.0);
+        let home = b.site("home");
+        let slow_site = b.site("slow");
+        let lat = LatencyModel {
+            base: Duration::from_millis(1),
+            jitter: 0.0,
+        };
+        b.route(
+            home,
+            home,
+            vec![lan],
+            lat,
+            TcpProfile::constant_rate(2_000.0),
+            1.0,
+            0.0,
+        );
+        b.route(
+            home,
+            slow_site,
+            vec![lan],
+            lat,
+            TcpProfile::constant_rate(200.0),
+            1.0,
+            0.0,
+        );
+        let mut t = b.build();
+        t.attach(Addr::new(0), home);
+        t.attach(Addr::new(1), home);
+        t.attach(Addr::new(2), slow_site);
+        let mut net = FlowNet::new(t);
+        let mut rng = DetRng::seed(0);
+        let slow = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(2), 200, &mut rng)
+            .unwrap();
+        let fast = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 800, &mut rng)
+            .unwrap();
+        let done = drain(&mut net);
+        // Both finish at exactly 1 s: 200 at 200 B/s and 800 at 800 B/s.
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|&(f, at)| f == slow && at == SimTime::from_secs(1)));
+        assert!(done.iter().any(|&(f, at)| f == fast && at == SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn setup_cost_delays_first_byte() {
+        let mut b = Topology::builder();
+        let lan = b.segment("lan", 1_000.0);
+        let home = b.site("home");
+        let mut p = TcpProfile::constant_rate(1_000.0);
+        p.setup = Duration::from_secs(1);
+        b.route(
+            home,
+            home,
+            vec![lan],
+            LatencyModel {
+                base: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            p,
+            1.0,
+            0.0,
+        );
+        let mut t = b.build();
+        t.attach(Addr::new(0), home);
+        t.attach(Addr::new(1), home);
+        let mut net = FlowNet::new(t);
+        let mut rng = DetRng::seed(0);
+        net.start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 1_000, &mut rng)
+            .unwrap();
+        let done = drain(&mut net);
+        assert_eq!(done[0].1, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn no_route_is_an_error() {
+        let mut net = FlowNet::new(topo(1.0, 1.0));
+        let mut rng = DetRng::seed(0);
+        let err = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(99), 10, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, NetError::NoRoute { .. }));
+        assert!(err.to_string().contains("no route"));
+    }
+
+    #[test]
+    fn cancel_removes_flow() {
+        let mut net = FlowNet::new(topo(1_000.0, 1_000.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 10_000, &mut rng)
+            .unwrap();
+        assert_eq!(net.in_flight(), 1);
+        assert!(net.cancel(id));
+        assert!(!net.cancel(id));
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.next_event().is_none());
+    }
+
+    #[test]
+    fn progress_reports_rate_and_bytes() {
+        let mut net = FlowNet::new(topo(1_000.0, 1_000.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 2_000, &mut rng)
+            .unwrap();
+        net.next_event();
+        net.advance(SimTime::from_millis(500));
+        let p = net.progress(id).unwrap();
+        assert!((p.sent_bytes - 500.0).abs() < 1.0, "{p:?}");
+        assert_eq!(p.total_bytes, 2_000);
+        assert!((p.rate_bps - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ramping_flow_completes_later_than_constant_rate() {
+        let mut b = Topology::builder();
+        let lan = b.segment("lan", 10_000.0);
+        let home = b.site("home");
+        let ramping = TcpProfile {
+            setup: Duration::ZERO,
+            rate_floor_bps: 100.0,
+            ramp_bps_per_sec: 100.0,
+            ramp_step: Duration::from_millis(250),
+            rate_cap_bps: 1_000.0,
+            sustained: None,
+        };
+        b.route(
+            home,
+            home,
+            vec![lan],
+            LatencyModel {
+                base: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            ramping.clone(),
+            1.0,
+            0.0,
+        );
+        let mut t = b.build();
+        t.attach(Addr::new(0), home);
+        t.attach(Addr::new(1), home);
+        let mut net = FlowNet::new(t);
+        let mut rng = DetRng::seed(0);
+        net.start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 5_000, &mut rng)
+            .unwrap();
+        let done = drain(&mut net);
+        let at = done[0].1;
+        // Oracle: the analytic single-flow model must agree with the engine.
+        let oracle = ramping.transfer_time(5_000, 10_000.0, 1.0);
+        let diff = at.as_secs_f64() - oracle.as_secs_f64();
+        assert!(diff.abs() < 0.01, "engine {at} vs oracle {oracle:?}");
+        // And it must be slower than a constant-rate 1000 B/s flow (5 s).
+        assert!(at > SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn sustained_threshold_slows_large_transfer() {
+        let mut b = Topology::builder();
+        let lan = b.segment("lan", 10_000.0);
+        let home = b.site("home");
+        let p = TcpProfile {
+            setup: Duration::ZERO,
+            rate_floor_bps: 1_000.0,
+            ramp_bps_per_sec: 0.0,
+            ramp_step: Duration::from_secs(1),
+            rate_cap_bps: 1_000.0,
+            sustained: Some(crate::tcp::SustainedCap {
+                threshold_bytes: 1_000,
+                rate_bps: 100.0,
+            }),
+        };
+        b.route(
+            home,
+            home,
+            vec![lan],
+            LatencyModel {
+                base: Duration::from_millis(1),
+                jitter: 0.0,
+            },
+            p,
+            1.0,
+            0.0,
+        );
+        let mut t = b.build();
+        t.attach(Addr::new(0), home);
+        t.attach(Addr::new(1), home);
+        let mut net = FlowNet::new(t);
+        let mut rng = DetRng::seed(0);
+        net.start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 2_000, &mut rng)
+            .unwrap();
+        let done = drain(&mut net);
+        // 1000 B at 1000 B/s = 1 s, then 1000 B at 100 B/s = 10 s.
+        assert_eq!(done[0].1, SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn advance_to_intermediate_time_accrues_partial_progress() {
+        let mut net = FlowNet::new(topo(1_000.0, 1_000.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), 10_000, &mut rng)
+            .unwrap();
+        net.next_event();
+        assert!(net.advance(SimTime::from_secs(3)).is_empty());
+        let p = net.progress(id).unwrap();
+        assert!((p.sent_bytes - 3_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! A deterministic event queue keyed by [`SimTime`].
+//!
+//! Events scheduled for the same instant are delivered in insertion order
+//! (FIFO), which keeps simulations reproducible regardless of payload type.
+
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// A pending entry in the [`EventQueue`].
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by insertion sequence for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of simulation events ordered by virtual time.
+///
+/// The queue also tracks the current virtual clock: popping an event advances
+/// [`EventQueue::now`] to that event's timestamp. Scheduling into the past is
+/// a programming error and panics, because it would silently reorder the
+/// simulation.
+///
+/// # Examples
+///
+/// ```
+/// use c4h_simnet::{EventQueue, SimTime};
+/// use std::time::Duration;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(Duration::from_millis(5), "second");
+/// q.schedule_at(SimTime::from_millis(1), "first");
+///
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(1), "first"));
+/// assert_eq!(q.now(), SimTime::from_millis(1));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current virtual time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` after a relative `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: Duration, payload: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, payload);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.payload))
+    }
+
+    /// Advances the clock to `at` without delivering events.
+    ///
+    /// Useful when an external model (e.g. the flow network) decides the next
+    /// interesting instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time, or if an event is
+    /// pending before `at` (advancing past it would drop causality).
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        if let Some(t) = self.peek_time() {
+            assert!(t >= at, "cannot advance past a pending event at {t}");
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), 3);
+        q.schedule_at(SimTime::from_millis(10), 1);
+        q.schedule_at(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.advance_to(SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_secs(1));
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

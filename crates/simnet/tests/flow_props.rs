@@ -1,0 +1,161 @@
+//! Property tests for the flow engine: the event-driven simulation must
+//! agree with the analytic single-flow oracle, conserve bytes, and respect
+//! capacity under contention.
+
+use std::time::Duration;
+
+use c4h_simnet::{
+    Addr, DetRng, FlowNet, LatencyModel, SimTime, SustainedCap, TcpProfile, Topology,
+};
+use proptest::prelude::*;
+
+fn topology(seg_cap: f64, tcp: TcpProfile) -> Topology {
+    let mut b = Topology::builder();
+    let lan = b.segment("seg", seg_cap);
+    let site = b.site("site");
+    b.route(
+        site,
+        site,
+        vec![lan],
+        LatencyModel {
+            base: Duration::from_millis(1),
+            jitter: 0.0,
+        },
+        tcp,
+        1.0,
+        0.0,
+    );
+    let mut t = b.build();
+    for i in 0..16 {
+        t.attach(Addr::new(i), site);
+    }
+    t
+}
+
+fn drain_completion_times(net: &mut FlowNet) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while let Some(t) = net.next_event() {
+        guard += 1;
+        assert!(guard < 1_000_000, "flow engine failed to converge");
+        for ev in net.advance(t) {
+            let c4h_simnet::FlowEvent::Completed { at, .. } = ev;
+            out.push(at);
+        }
+    }
+    out
+}
+
+fn profile_strategy() -> impl Strategy<Value = TcpProfile> {
+    (
+        0u64..2000,          // setup ms
+        1.0e3..1.0e7f64,     // floor bps
+        0.0..1.0e6f64,       // ramp bps/s
+        50u64..2000,         // ramp step ms
+        1.0e4..2.0e7f64,     // cap bps
+        proptest::option::of((1u64..64, 1.0e3..1.0e6f64)), // sustained
+    )
+        .prop_map(|(setup_ms, floor, ramp, step_ms, cap, sustained)| {
+            let cap = cap.max(floor); // cap at least the floor
+            TcpProfile {
+                setup: Duration::from_millis(setup_ms),
+                rate_floor_bps: floor,
+                ramp_bps_per_sec: ramp,
+                ramp_step: Duration::from_millis(step_ms),
+                rate_cap_bps: cap,
+                sustained: sustained.map(|(mb, rate)| SustainedCap {
+                    threshold_bytes: mb << 20,
+                    rate_bps: rate,
+                }),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A lone flow's engine completion time matches the analytic oracle.
+    #[test]
+    fn engine_matches_analytic_oracle(
+        profile in profile_strategy(),
+        kib in 1u64..(64 << 10),
+        seg_cap in 1.0e4..5.0e7f64,
+    ) {
+        let bytes = kib << 10;
+        let oracle = profile.transfer_time(bytes, seg_cap, 1.0);
+        let mut net = FlowNet::new(topology(seg_cap, profile));
+        let mut rng = DetRng::seed(1);
+        net.start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), bytes, &mut rng)
+            .unwrap();
+        let done = drain_completion_times(&mut net);
+        prop_assert_eq!(done.len(), 1);
+        let engine = done[0].as_secs_f64();
+        let oracle = oracle.as_secs_f64();
+        let tolerance = (oracle * 0.02).max(0.002);
+        prop_assert!(
+            (engine - oracle).abs() <= tolerance,
+            "engine {engine:.4}s vs oracle {oracle:.4}s"
+        );
+    }
+
+    /// N identical concurrent flows never finish before bytes/capacity
+    /// allows, and all complete.
+    #[test]
+    fn contention_respects_segment_capacity(
+        n in 2usize..8,
+        kib in 8u64..1024,
+        seg_cap in 1.0e4..1.0e6f64,
+    ) {
+        let bytes = kib << 10;
+        let profile = TcpProfile::constant_rate(2.0 * seg_cap); // segment-limited
+        let mut net = FlowNet::new(topology(seg_cap, profile));
+        let mut rng = DetRng::seed(2);
+        for i in 0..n {
+            net.start_flow(
+                SimTime::ZERO,
+                Addr::new(i as u64),
+                Addr::new((i + 8) as u64),
+                bytes,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let done = drain_completion_times(&mut net);
+        prop_assert_eq!(done.len(), n);
+        let last = done.iter().max().unwrap().as_secs_f64();
+        let floor = (n as f64 * bytes as f64) / seg_cap;
+        prop_assert!(
+            last >= floor * 0.999,
+            "finished at {last:.4}s, but {floor:.4}s of capacity-seconds are required"
+        );
+        // Identical symmetric flows finish together.
+        let first = done.iter().min().unwrap().as_secs_f64();
+        prop_assert!((last - first).abs() < 1e-6);
+    }
+
+    /// Progress accounting conserves bytes at arbitrary intermediate times.
+    #[test]
+    fn partial_progress_never_exceeds_totals(
+        kib in 8u64..4096,
+        cut_ms in 1u64..10_000,
+    ) {
+        let bytes = kib << 10;
+        let profile = TcpProfile::constant_rate(100_000.0);
+        let mut net = FlowNet::new(topology(1.0e9, profile));
+        let mut rng = DetRng::seed(3);
+        let id = net
+            .start_flow(SimTime::ZERO, Addr::new(0), Addr::new(1), bytes, &mut rng)
+            .unwrap();
+        net.next_event();
+        net.advance(SimTime::from_millis(cut_ms));
+        if let Some(p) = net.progress(id) {
+            prop_assert!(p.sent_bytes <= p.total_bytes as f64 + 1.0);
+            let expected = (100_000.0 * cut_ms as f64 / 1e3).min(bytes as f64);
+            prop_assert!(
+                (p.sent_bytes - expected).abs() < 120.0,
+                "sent {} vs expected {expected}",
+                p.sent_bytes
+            );
+        }
+    }
+}

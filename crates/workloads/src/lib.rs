@@ -1,0 +1,17 @@
+//! Workload generation for the Cloud4Home reproduction.
+//!
+//! The paper's data-placement experiments replay a reshaped eDonkey
+//! peer-to-peer dataset: 6 emulated clients repeatedly accessing 1300 files
+//! with a 60/40 store/fetch mix, with files classified into small / medium /
+//! large / super-large size buckets, and a Figure 6 variant restricted to
+//! "optimal"-sized (10–25 MB) objects with `.mp3` files treated as private.
+//! [`generate`] reproduces that workload deterministically from a seed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod trace;
+
+pub use trace::{
+    generate, FileKind, FileSpec, OpKind, SizeBucket, Trace, TraceConfig, TraceOp,
+};

@@ -1,0 +1,212 @@
+//! Integration tests for the access-control and deletion extensions
+//! (the paper's future-work item (i): "richer access control methods and
+//! policies").
+
+use c4h_chimera::Key;
+use cloud4home::{Acl, Cloud4Home, Config, NodeId, Object, OpError, RoutePolicy, ServiceKind, StorePolicy};
+
+fn testbed(seed: u64) -> Cloud4Home {
+    Cloud4Home::new(Config::paper_testbed(seed))
+}
+
+fn node_key(home: &Cloud4Home, id: NodeId) -> Key {
+    Key::from_name(home.node_name(id))
+}
+
+#[test]
+fn public_objects_are_readable_by_everyone() {
+    let mut home = testbed(60);
+    let obj = Object::new("acl/public.txt", &b"hello"[..], "txt");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    for reader in 1..home.node_count() {
+        let op = home.fetch_object(NodeId(reader), "acl/public.txt");
+        home.run_until_complete(op).expect_ok();
+    }
+}
+
+#[test]
+fn owner_only_objects_reject_other_readers() {
+    let mut home = testbed(61);
+    let obj = Object::new("acl/secret.txt", &b"pin 1234"[..], "txt").with_acl(Acl::OwnerOnly);
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    // The owner reads fine.
+    let op = home.fetch_object(NodeId(2), "acl/secret.txt");
+    home.run_until_complete(op).expect_ok();
+    // Anyone else is denied.
+    let op = home.fetch_object(NodeId(3), "acl/secret.txt");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::AccessDenied(_))), "{:?}", r.outcome);
+}
+
+#[test]
+fn restricted_objects_admit_listed_nodes_only() {
+    let mut home = testbed(62);
+    let friend = node_key(&home, NodeId(4));
+    let obj = Object::new("acl/shared.txt", &b"party at 8"[..], "txt")
+        .with_acl(Acl::Nodes(vec![friend]));
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.fetch_object(NodeId(4), "acl/shared.txt");
+    home.run_until_complete(op).expect_ok();
+    let op = home.fetch_object(NodeId(3), "acl/shared.txt");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::AccessDenied(_))));
+}
+
+#[test]
+fn acl_gates_processing_too() {
+    let mut home = testbed(63);
+    let obj = Object::synthetic("acl/img.jpg", 1, 512 << 10, "jpeg").with_acl(Acl::OwnerOnly);
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    // Processing from another node is denied before any placement work.
+    let op = home.process_object(
+        NodeId(3),
+        "acl/img.jpg",
+        ServiceKind::FaceDetect,
+        RoutePolicy::Performance,
+    );
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::AccessDenied(_))));
+    // The owner may process.
+    let op = home.process_object(
+        NodeId(2),
+        "acl/img.jpg",
+        ServiceKind::FaceDetect,
+        RoutePolicy::Performance,
+    );
+    home.run_until_complete(op).expect_ok();
+}
+
+#[test]
+fn delete_removes_home_object_end_to_end() {
+    let mut home = testbed(64);
+    let obj = Object::synthetic("del/data.bin", 1, 2 << 20, "doc");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    assert_eq!(home.objects_on(NodeId(1)), 1);
+
+    let op = home.delete_object(NodeId(1), "del/data.bin");
+    let r = home.run_until_complete(op);
+    r.expect_ok();
+    assert!(r.breakdown.dht.as_millis() > 0, "delete pays metadata costs");
+    assert_eq!(home.objects_on(NodeId(1)), 0, "bytes unlinked");
+
+    let op = home.fetch_object(NodeId(2), "del/data.bin");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::NotFound(_))));
+}
+
+#[test]
+fn delete_removes_cloud_object_end_to_end() {
+    let mut home = testbed(65);
+    let obj = Object::synthetic("del/cloud.bin", 2, 1 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.delete_object(NodeId(0), "del/cloud.bin");
+    let r = home.run_until_complete(op);
+    assert!(r.expect_ok().via_cloud);
+
+    let op = home.fetch_object(NodeId(1), "del/cloud.bin");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::NotFound(_))));
+}
+
+#[test]
+fn only_the_owner_may_delete() {
+    let mut home = testbed(66);
+    let obj = Object::new("del/mine.txt", &b"keep out"[..], "txt");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.delete_object(NodeId(3), "del/mine.txt");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::AccessDenied(_))));
+    // Still fetchable afterwards.
+    let op = home.fetch_object(NodeId(3), "del/mine.txt");
+    home.run_until_complete(op).expect_ok();
+}
+
+#[test]
+fn delete_of_missing_object_reports_not_found() {
+    let mut home = testbed(67);
+    let op = home.delete_object(NodeId(0), "del/ghost.bin");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::NotFound(_))));
+}
+
+#[test]
+fn name_can_be_reused_after_delete() {
+    let mut home = testbed(68);
+    let obj = Object::new("del/reuse.txt", &b"first"[..], "txt");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    let op = home.delete_object(NodeId(2), "del/reuse.txt");
+    home.run_until_complete(op).expect_ok();
+
+    // A different node can now own the name.
+    let obj = Object::new("del/reuse.txt", &b"second!"[..], "txt");
+    let op = home.store_object(NodeId(4), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    let op = home.fetch_object(NodeId(0), "del/reuse.txt");
+    let r = home.run_until_complete(op);
+    assert_eq!(r.expect_ok().bytes, 7);
+}
+
+#[test]
+fn listing_tracks_stores_and_deletes() {
+    let mut home = testbed(69);
+    for i in 0..3u64 {
+        let obj = Object::new(&format!("album/pic-{i}.jpg"), &b"x"[..], "jpeg");
+        let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    // Another directory stays separate.
+    let obj = Object::new("other/file.txt", &b"y"[..], "txt");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.list_objects(NodeId(3), "album");
+    let r = home.run_until_complete(op);
+    let listing = r.expect_ok().listing.clone().unwrap();
+    assert_eq!(
+        listing,
+        vec!["album/pic-0.jpg", "album/pic-1.jpg", "album/pic-2.jpg"]
+    );
+
+    // Deleting removes from the listing via a tombstone entry.
+    let op = home.delete_object(NodeId(1), "album/pic-1.jpg");
+    home.run_until_complete(op).expect_ok();
+    let op = home.list_objects(NodeId(3), "album");
+    let r = home.run_until_complete(op);
+    let listing = r.expect_ok().listing.clone().unwrap();
+    assert_eq!(listing, vec!["album/pic-0.jpg", "album/pic-2.jpg"]);
+}
+
+#[test]
+fn listing_empty_directory_is_empty() {
+    let mut home = testbed(70);
+    let op = home.list_objects(NodeId(0), "nothing/here");
+    let r = home.run_until_complete(op);
+    assert_eq!(r.expect_ok().listing.as_deref(), Some(&[][..]));
+}
+
+#[test]
+fn cloud_stored_objects_appear_in_listings_too() {
+    let mut home = testbed(71);
+    let obj = Object::synthetic("backup/big.bin", 1, 1 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+    home.run_until_complete(op).expect_ok();
+    let op = home.list_objects(NodeId(4), "backup");
+    let r = home.run_until_complete(op);
+    assert_eq!(
+        r.expect_ok().listing.as_deref(),
+        Some(&["backup/big.bin".to_string()][..])
+    );
+}

@@ -1,0 +1,226 @@
+//! Churn handling and workload-replay integration tests.
+
+use std::time::Duration;
+
+use c4h_workloads::{generate, OpKind, TraceConfig};
+use cloud4home::{
+    Cloud4Home, Config, NodeId, Object, OpError, OpId, RoutePolicy, ServiceKind, StorePolicy,
+};
+
+fn testbed(seed: u64) -> Cloud4Home {
+    Cloud4Home::new(Config::paper_testbed(seed))
+}
+
+#[test]
+fn metadata_survives_graceful_leave() {
+    let mut home = testbed(40);
+    // Objects stored on node 1; node 3 (not the owner) leaves.
+    for i in 0..4u64 {
+        let obj = Object::synthetic(&format!("leave/{i}"), i, 512 << 10, "doc");
+        let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    home.leave_node(NodeId(3));
+    home.run_for(Duration::from_secs(3));
+    for i in 0..4u64 {
+        let op = home.fetch_object(NodeId(2), &format!("leave/{i}"));
+        let r = home.run_until_complete(op);
+        assert!(r.outcome.is_ok(), "object {i} lost after leave: {:?}", r.outcome);
+    }
+}
+
+#[test]
+fn objects_owned_by_departed_node_become_unreachable() {
+    let mut home = testbed(41);
+    let obj = Object::synthetic("depart/data.bin", 1, 512 << 10, "doc");
+    let op = home.store_object(NodeId(3), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    assert_eq!(home.objects_on(NodeId(3)), 1);
+
+    home.leave_node(NodeId(3));
+    home.run_for(Duration::from_secs(3));
+    let op = home.fetch_object(NodeId(1), "depart/data.bin");
+    let r = home.run_until_complete(op);
+    assert!(
+        matches!(r.outcome, Err(OpError::OwnerUnreachable(_))),
+        "expected OwnerUnreachable, got {:?}",
+        r.outcome
+    );
+}
+
+#[test]
+fn crash_is_detected_and_metadata_recovered_from_replicas() {
+    let mut home = testbed(42);
+    for i in 0..6u64 {
+        let obj = Object::synthetic(&format!("crash/{i}"), i, 256 << 10, "doc");
+        let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    // Crash a non-owner node and let the liveness detector run.
+    home.crash_node(NodeId(4));
+    home.run_for(Duration::from_secs(12));
+    // Metadata for the objects is still resolvable (replicas promoted).
+    let mut ok = 0;
+    for i in 0..6u64 {
+        let op = home.fetch_object(NodeId(2), &format!("crash/{i}"));
+        let r = home.run_until_complete(op);
+        if r.outcome.is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(
+        ok >= 5,
+        "nearly all metadata should survive a single crash with replication, got {ok}/6"
+    );
+}
+
+#[test]
+fn rejoined_node_serves_again() {
+    let mut home = testbed(43);
+    home.leave_node(NodeId(2));
+    home.run_for(Duration::from_secs(2));
+    home.rejoin_node(NodeId(2));
+    // The rejoined node can store and fetch again.
+    let obj = Object::synthetic("rejoin/x.bin", 1, 256 << 10, "doc");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    let op = home.fetch_object(NodeId(0), "rejoin/x.bin");
+    home.run_until_complete(op).expect_ok();
+}
+
+#[test]
+fn service_placement_survives_provider_departure() {
+    let mut home = testbed(44);
+    let obj = Object::synthetic("svc/img.jpg", 1, 512 << 10, "jpeg");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    // The desktop provides face detection; make it leave. netbook-0 still
+    // provides it.
+    home.leave_node(NodeId(5));
+    home.run_for(Duration::from_secs(3));
+    let op = home.process_object(
+        NodeId(2),
+        "svc/img.jpg",
+        ServiceKind::FaceDetect,
+        RoutePolicy::Performance,
+    );
+    let r = home.run_until_complete(op);
+    let out = r.expect_ok();
+    assert_ne!(out.exec_target.as_deref(), Some("desktop"));
+}
+
+#[test]
+fn edonkey_trace_replays_cleanly() {
+    // Keep the trace light: small objects, all four buckets scaled down.
+    let mut home = testbed(45);
+    let mut trace_cfg = TraceConfig::paper_default(60);
+    trace_cfg.files = 40;
+    trace_cfg.size_override = Some((256 << 10, 1 << 20));
+    let trace = generate(&trace_cfg, 9);
+
+    let mut pending: Vec<(OpId, usize)> = Vec::new();
+    let mut stored = std::collections::HashSet::new();
+    let flush = |home: &mut Cloud4Home, pending: &mut Vec<(OpId, usize)>| {
+        for (op, _) in pending.drain(..) {
+            let r = home.run_until_complete(op);
+            assert!(r.outcome.is_ok(), "trace op failed: {:?}", r.outcome);
+        }
+    };
+    for top in &trace.ops {
+        let client = NodeId(top.client % home.node_count());
+        let file = &trace.files[top.file];
+        match top.op {
+            OpKind::Store => {
+                let obj = Object::synthetic(
+                    &file.name,
+                    file.content_seed,
+                    file.size_bytes,
+                    file.kind.content_type(),
+                );
+                pending.push((
+                    home.store_object(client, obj, StorePolicy::MandatoryFirst, true),
+                    top.file,
+                ));
+                stored.insert(top.file);
+            }
+            OpKind::Fetch => {
+                assert!(stored.contains(&top.file), "trace invariant");
+                // A fetch must not race its own file's in-flight store.
+                if pending.iter().any(|(_, f)| *f == top.file) {
+                    flush(&mut home, &mut pending);
+                }
+                pending.push((home.fetch_object(client, &file.name), usize::MAX));
+            }
+        }
+        // Keep a small window of concurrent operations.
+        if pending.len() >= 4 {
+            let (op, _) = pending.remove(0);
+            let r = home.run_until_complete(op);
+            assert!(r.outcome.is_ok(), "trace op failed: {:?}", r.outcome);
+        }
+    }
+    for (op, _) in pending {
+        let r = home.run_until_complete(op);
+        assert!(r.outcome.is_ok(), "trace op failed: {:?}", r.outcome);
+    }
+    assert_eq!(home.stats().ops_completed, 60);
+}
+
+#[test]
+fn many_concurrent_operations_complete() {
+    let mut home = testbed(46);
+    let mut ops = Vec::new();
+    for i in 0..12u64 {
+        let obj = Object::synthetic(&format!("burst/{i}"), i, 1 << 20, "doc");
+        ops.push(home.store_object(NodeId((i % 6) as usize), obj, StorePolicy::ForceHome, true));
+    }
+    for op in ops.drain(..) {
+        home.run_until_complete(op).expect_ok();
+    }
+    for i in 0..12u64 {
+        ops.push(home.fetch_object(NodeId(((i + 2) % 6) as usize), &format!("burst/{i}")));
+    }
+    home.run_until_idle();
+    for op in ops {
+        let r = home.take_report(op).expect("report present");
+        assert!(r.outcome.is_ok());
+    }
+}
+
+#[test]
+fn dht_cache_serves_repeated_metadata_lookups() {
+    let mut home = testbed(47);
+    let obj = Object::synthetic("hot/popular.bin", 1, 256 << 10, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    for i in 0..10 {
+        let op = home.fetch_object(NodeId((i % 5) + 1), "hot/popular.bin");
+        home.run_until_complete(op).expect_ok();
+    }
+    let (hits, misses) = home.cache_stats();
+    // In a six-node overlay most routes are one hop, so cache traffic is
+    // modest — but the counters must be wired up.
+    assert!(hits + misses < 10_000);
+}
+
+#[test]
+fn crash_mid_transfer_aborts_the_fetch() {
+    let mut home = testbed(48);
+    let obj = Object::synthetic("mid/large.bin", 1, 20 << 20, "doc");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    // Start a 20 MiB fetch (≈2 s on the LAN), then crash the owner while
+    // bytes are in flight.
+    let op = home.fetch_object(NodeId(2), "mid/large.bin");
+    home.run_for(Duration::from_millis(500));
+    home.crash_node(NodeId(1));
+    let r = home.run_until_complete(op);
+    assert!(
+        matches!(r.outcome, Err(OpError::OwnerUnreachable(_))),
+        "expected an aborted transfer, got {:?}",
+        r.outcome
+    );
+    // The failure is prompt, not a multi-second timeout.
+    assert!(r.total().as_secs_f64() < 1.0, "failed at {:?}", r.total());
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the full Cloud4Home stack: invariants that
+//! must hold for arbitrary workloads, sizes, and policies.
+
+use proptest::prelude::*;
+
+use cloud4home::{
+    Cloud4Home, Config, NodeId, Object, PlacementClass, StorePolicy,
+};
+
+fn policy_strategy() -> impl Strategy<Value = StorePolicy> {
+    prop_oneof![
+        Just(StorePolicy::MandatoryFirst),
+        Just(StorePolicy::ForceHome),
+        Just(StorePolicy::ForceCloud),
+        Just(StorePolicy::Privacy),
+        (1u64..64).prop_map(|mb| StorePolicy::SizeThreshold {
+            cloud_at_bytes: mb << 20,
+        }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct WorkItem {
+    client: usize,
+    size: u64,
+    policy: StorePolicy,
+    kind: &'static str,
+    private: bool,
+}
+
+fn work_strategy() -> impl Strategy<Value = WorkItem> {
+    (
+        0usize..6,
+        1u64..(3 << 20),
+        policy_strategy(),
+        prop_oneof![Just("doc"), Just("mp3"), Just("avi"), Just("jpeg")],
+        any::<bool>(),
+    )
+        .prop_map(|(client, size, policy, kind, private)| WorkItem {
+            client,
+            size,
+            policy,
+            kind,
+            private,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any successfully stored object fetches back with its exact size,
+    /// and no operation's accounted breakdown exceeds its total latency.
+    #[test]
+    fn stored_objects_roundtrip_and_breakdowns_are_consistent(
+        items in proptest::collection::vec(work_strategy(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut home = Cloud4Home::new(Config::paper_testbed(seed));
+        let mut stored: Vec<(String, u64)> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let name = format!("prop/{i}");
+            let mut obj = Object::synthetic(&name, seed + i as u64, item.size, item.kind);
+            obj.private = item.private;
+            let op = home.store_object(NodeId(item.client), obj, item.policy.clone(), true);
+            let r = home.run_until_complete(op);
+            prop_assert!(
+                r.breakdown.accounted() <= r.total() + std::time::Duration::from_millis(1),
+                "breakdown exceeds total: {:?} vs {:?}",
+                r.breakdown.accounted(),
+                r.total()
+            );
+            if let Ok(out) = &r.outcome {
+                prop_assert_eq!(out.bytes, item.size);
+                stored.push((name, item.size));
+            }
+        }
+        for (i, (name, size)) in stored.iter().enumerate() {
+            let reader = NodeId((i + 1) % 6);
+            let op = home.fetch_object(reader, name);
+            let r = home.run_until_complete(op);
+            prop_assert!(
+                r.breakdown.accounted() <= r.total() + std::time::Duration::from_millis(1)
+            );
+            let out = r.outcome.as_ref().expect("stored object must fetch");
+            prop_assert_eq!(out.bytes, *size);
+        }
+    }
+
+    /// The privacy rule is absolute: private payloads and mp3s never
+    /// classify to the remote cloud under the Privacy policy.
+    #[test]
+    fn privacy_policy_never_sends_private_data_remote(
+        size in 1u64..(1 << 30),
+        kind in prop_oneof![Just("mp3"), Just("avi"), Just("doc")],
+        private in any::<bool>(),
+    ) {
+        let mut obj = Object::synthetic("p", 1, size, kind);
+        obj.private = private;
+        let class = StorePolicy::Privacy.classify(&obj);
+        if private || kind == "mp3" {
+            prop_assert_eq!(class, PlacementClass::LocalFirst);
+        } else {
+            prop_assert_eq!(class, PlacementClass::RemoteCloud);
+        }
+    }
+
+    /// Size-threshold classification is monotone: if an object goes to the
+    /// cloud, every larger object does too.
+    #[test]
+    fn size_threshold_is_monotone(
+        threshold in 1u64..(100 << 20),
+        a in 0u64..(200 << 20),
+        b in 0u64..(200 << 20),
+    ) {
+        let policy = StorePolicy::SizeThreshold { cloud_at_bytes: threshold };
+        let (lo, hi) = (a.min(b), a.max(b));
+        let small = policy.classify(&Object::synthetic("s", 1, lo, "doc"));
+        let large = policy.classify(&Object::synthetic("l", 1, hi, "doc"));
+        if small == PlacementClass::RemoteCloud {
+            prop_assert_eq!(large, PlacementClass::RemoteCloud);
+        }
+    }
+}
+
+/// Full-run determinism: identical seeds and workloads produce identical
+/// report streams, bit for bit.
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let run = |seed: u64| {
+        let mut home = Cloud4Home::new(Config::paper_testbed(seed));
+        let mut log = Vec::new();
+        for i in 0..6u64 {
+            let obj = Object::synthetic(&format!("det/{i}"), i, (i + 1) * 300_000, "doc");
+            let policy = if i % 2 == 0 {
+                StorePolicy::ForceHome
+            } else {
+                StorePolicy::ForceCloud
+            };
+            let op = home.store_object(NodeId((i % 6) as usize), obj, policy, true);
+            let r = home.run_until_complete(op);
+            log.push((r.completed, r.breakdown, r.outcome.is_ok()));
+        }
+        log
+    };
+    assert_eq!(run(314), run(314));
+}

@@ -1,0 +1,246 @@
+//! Integration tests for the future-work extensions: pipeline processing,
+//! adaptive placement, and changing network conditions.
+
+use std::time::Duration;
+
+use cloud4home::{
+    AdaptivePlacement, Cloud4Home, Config, NodeId, Object, Placement, RoutePolicy, ServiceKind,
+    StorePolicy,
+};
+
+fn testbed(seed: u64) -> Cloud4Home {
+    Cloud4Home::new(Config::paper_testbed(seed))
+}
+
+#[test]
+fn pipeline_runs_both_stages_at_one_target() {
+    let mut home = testbed(80);
+    let obj = Object::synthetic("pipe/img.jpg", 1, 512 << 10, "jpeg");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.process_pipeline(
+        NodeId(2),
+        "pipe/img.jpg",
+        &[ServiceKind::FaceDetect, ServiceKind::FaceRecognize],
+        RoutePolicy::Performance,
+    );
+    let r = home.run_until_complete(op);
+    let out = r.expect_ok();
+    assert_eq!(out.exec_target.as_deref(), Some("desktop"));
+    // The final stage's output (recognition id) is what comes back.
+    assert!(out.summary.as_deref().unwrap_or("").contains("best match"));
+    assert!(r.breakdown.exec > Duration::ZERO);
+}
+
+#[test]
+fn pipeline_moves_the_argument_once() {
+    let mut home = testbed(81);
+    let obj = Object::synthetic("pipe/big.jpg", 2, 1 << 20, "jpeg");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    // Two separate process ops move the image twice.
+    let mut separate = Duration::ZERO;
+    for kind in [ServiceKind::FaceDetect, ServiceKind::FaceRecognize] {
+        let op = home.process_object_at(NodeId(2), "pipe/big.jpg", kind, Placement::Pin(NodeId(5)));
+        let r = home.run_until_complete(op);
+        r.expect_ok();
+        separate += r.breakdown.inter_node;
+    }
+    // One pipeline op moves it once.
+    let op = home.process_pipeline(
+        NodeId(2),
+        "pipe/big.jpg",
+        &[ServiceKind::FaceDetect, ServiceKind::FaceRecognize],
+        RoutePolicy::Performance,
+    );
+    let r = home.run_until_complete(op);
+    r.expect_ok();
+    assert!(
+        r.breakdown.inter_node < separate,
+        "pipeline movement {:?} must undercut two separate moves {:?}",
+        r.breakdown.inter_node,
+        separate
+    );
+}
+
+#[test]
+fn pipeline_requires_a_target_providing_every_stage() {
+    let mut config = Config::paper_testbed(82);
+    // Spread the stages so no single provider has both.
+    for n in &mut config.nodes {
+        n.services.clear();
+    }
+    config.nodes[0].services = vec![ServiceKind::FaceDetect];
+    config.nodes[1].services = vec![ServiceKind::FaceRecognize];
+    config.cloud.as_mut().unwrap().services = vec![ServiceKind::FaceDetect];
+    let mut home = Cloud4Home::new(config);
+    let obj = Object::synthetic("pipe/img.jpg", 1, 256 << 10, "jpeg");
+    let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.process_pipeline(
+        NodeId(2),
+        "pipe/img.jpg",
+        &[ServiceKind::FaceDetect, ServiceKind::FaceRecognize],
+        RoutePolicy::Performance,
+    );
+    let r = home.run_until_complete(op);
+    assert!(
+        r.outcome.is_err(),
+        "no node provides both stages: {:?}",
+        r.outcome
+    );
+}
+
+#[test]
+fn adaptive_learner_tracks_real_deployment_rates() {
+    let mut home = testbed(83);
+    // Start with priors that wrongly favour the cloud.
+    let mut learner = AdaptivePlacement::with_priors(0.05e6, 1.0e6);
+    let probe = Object::synthetic("adapt/probe", 9, 4 << 20, "doc");
+    assert_eq!(learner.policy_for(&probe), StorePolicy::ForceCloud);
+
+    // Feed it a handful of real operations from both placements.
+    for i in 0..4u64 {
+        let name = format!("adapt/h{i}");
+        let obj = Object::synthetic(&name, i, 4 << 20, "doc");
+        let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+        learner.observe(&home.run_until_complete(op));
+        let name = format!("adapt/c{i}");
+        let obj = Object::synthetic(&name, i + 50, 4 << 20, "doc");
+        let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+        learner.observe(&home.run_until_complete(op));
+    }
+    let (h, c) = learner.estimates_bps();
+    assert!(h > 20.0 * c, "learned home {h:.0} B/s vs cloud {c:.0} B/s");
+    assert_eq!(learner.policy_for(&probe), StorePolicy::ForceHome);
+}
+
+#[test]
+fn degraded_wan_slows_new_cloud_transfers() {
+    let mut home = testbed(84);
+    let obj = Object::synthetic("wan/a.bin", 1, 2 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+    let baseline = home.run_until_complete(op).total();
+
+    home.set_wan_quality(0.15);
+    let obj = Object::synthetic("wan/b.bin", 1, 2 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+    let degraded = home.run_until_complete(op).total();
+    assert!(
+        degraded.as_secs_f64() > 2.0 * baseline.as_secs_f64(),
+        "degraded WAN {degraded:?} should dwarf baseline {baseline:?}"
+    );
+}
+
+#[test]
+fn decision_engine_adapts_to_degraded_wan() {
+    // A 24 MiB object sits in the cloud; transcoding is available both in
+    // the cloud and on the desktop. With the nominal WAN, fetching the
+    // object home is expensive, so the cloud executes in place. That choice
+    // must persist (and home execution get *less* attractive) as the WAN
+    // degrades — estimates respond to live conditions.
+    let mut home = testbed(85);
+    let obj = Object::synthetic("wan/video.avi", 3, 24 << 20, "avi");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.process_object(NodeId(0), "wan/video.avi", ServiceKind::Transcode, RoutePolicy::Performance);
+    let r = home.run_until_complete(op);
+    assert_eq!(r.expect_ok().exec_target.as_deref(), Some("cloud"));
+
+    home.set_wan_quality(0.2);
+    let op = home.process_object(NodeId(0), "wan/video.avi", ServiceKind::Transcode, RoutePolicy::Performance);
+    let r = home.run_until_complete(op);
+    assert_eq!(
+        r.expect_ok().exec_target.as_deref(),
+        Some("cloud"),
+        "moving 24 MiB over a degraded WAN is even less attractive"
+    );
+}
+
+#[test]
+#[should_panic(expected = "WAN quality factor")]
+fn wan_quality_rejects_out_of_range() {
+    let mut home = testbed(86);
+    home.set_wan_quality(1.5);
+}
+
+#[test]
+#[should_panic(expected = "pipeline needs at least one service")]
+fn empty_pipeline_is_rejected() {
+    let mut home = testbed(87);
+    home.process_pipeline(NodeId(0), "x", &[], RoutePolicy::Performance);
+}
+
+#[test]
+fn operations_survive_a_lossy_overlay() {
+    let mut home = testbed(88);
+    home.set_message_loss(0.2);
+    let mut ok = 0;
+    let total = 12;
+    for i in 0..total as u64 {
+        let name = format!("lossy/{i}");
+        let obj = Object::synthetic(&name, i, 256 << 10, "doc");
+        let op = home.store_object(NodeId((i % 6) as usize), obj, StorePolicy::ForceHome, true);
+        let stored = home.run_until_complete(op).outcome.is_ok();
+        if !stored {
+            continue;
+        }
+        let op = home.fetch_object(NodeId(((i + 2) % 6) as usize), &name);
+        if home.run_until_complete(op).outcome.is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(
+        ok >= total * 3 / 4,
+        "with 20% message loss and retries, most round trips succeed: {ok}/{total}"
+    );
+}
+
+#[test]
+fn retries_are_bounded_under_total_loss() {
+    // With every overlay message lost, operations must fail cleanly after
+    // the bounded retries rather than hang.
+    let mut home = testbed(89);
+    home.set_message_loss(0.999_999);
+    let op = home.fetch_object(NodeId(0), "lossy/never");
+    let r = home.run_until_complete(op);
+    assert!(r.outcome.is_err(), "expected a clean failure, got {:?}", r.outcome);
+    // Three attempts, each bounded by the 3 s request timeout.
+    assert!(r.total().as_secs_f64() < 30.0, "failed fast enough: {:?}", r.total());
+}
+
+#[test]
+#[should_panic(expected = "loss probability")]
+fn message_loss_rejects_out_of_range() {
+    let mut home = testbed(90);
+    home.set_message_loss(1.0);
+}
+
+#[test]
+fn compression_runs_near_the_data_before_archival() {
+    let mut config = Config::paper_testbed(91);
+    // The desktop offers compression; the cloud does too.
+    config.nodes[5].services.push(ServiceKind::Compress);
+    let mut home = Cloud4Home::new(config);
+    let obj = Object::synthetic("arch/logs.bin", 4, 6 << 20, "doc");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.process_object(
+        NodeId(1),
+        "arch/logs.bin",
+        ServiceKind::Compress,
+        RoutePolicy::Performance,
+    );
+    let r = home.run_until_complete(op);
+    let out = r.expect_ok();
+    // The decision keeps the compression at home: shipping 6 MiB over the
+    // WAN to compress it in the cloud would defeat the purpose.
+    assert_eq!(out.exec_target.as_deref(), Some("desktop"));
+    assert!(out.bytes < 6 << 20, "output is the compressed archive");
+    assert!(out.summary.as_deref().unwrap_or("").contains("compressed"));
+}

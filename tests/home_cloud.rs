@@ -1,0 +1,203 @@
+//! Deployment-level integration tests: overlay formation, storage
+//! placement, policy enforcement, and determinism.
+
+use cloud4home::{Cloud4Home, Config, NodeId, Object, OpError, StorePolicy};
+
+fn testbed(seed: u64) -> Cloud4Home {
+    Cloud4Home::new(Config::paper_testbed(seed))
+}
+
+#[test]
+fn store_then_fetch_roundtrips_content() {
+    let mut home = testbed(1);
+    let obj = Object::new("notes/today.txt", &b"meet at noon"[..], "txt");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::MandatoryFirst, true);
+    home.run_until_complete(op).expect_ok();
+
+    let op = home.fetch_object(NodeId(4), "notes/today.txt");
+    let report = home.run_until_complete(op);
+    let out = report.expect_ok();
+    assert_eq!(out.bytes, 12);
+    assert!(!out.via_cloud, "small local store must not touch the cloud");
+}
+
+#[test]
+fn force_cloud_policy_stores_and_fetches_via_cloud() {
+    let mut home = testbed(2);
+    let obj = Object::synthetic("backup/archive.bin", 9, 2 << 20, "doc");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceCloud, true);
+    let r = home.run_until_complete(op);
+    assert!(r.expect_ok().via_cloud);
+
+    let op = home.fetch_object(NodeId(2), "backup/archive.bin");
+    let r = home.run_until_complete(op);
+    assert!(r.expect_ok().via_cloud);
+    // Cloud transfers dominate: the fetch took seconds, not milliseconds.
+    assert!(r.total().as_secs_f64() > 5.0, "WAN fetch was {:?}", r.total());
+}
+
+#[test]
+fn privacy_policy_keeps_mp3_home_and_shares_the_rest() {
+    let mut home = testbed(3);
+    let song = Object::synthetic("music/song.mp3", 1, 1 << 20, "mp3");
+    let video = Object::synthetic("videos/clip.avi", 2, 1 << 20, "avi");
+    let op1 = home.store_object(NodeId(0), song, StorePolicy::Privacy, true);
+    let op2 = home.store_object(NodeId(0), video, StorePolicy::Privacy, true);
+    let r1 = home.run_until_complete(op1);
+    let r2 = home.run_until_complete(op2);
+    assert!(!r1.expect_ok().via_cloud, "private mp3 must stay home");
+    assert!(r2.expect_ok().via_cloud, "shareable video goes remote");
+}
+
+#[test]
+fn size_threshold_policy_splits_by_size() {
+    let mut home = testbed(4);
+    let policy = StorePolicy::SizeThreshold {
+        cloud_at_bytes: 10 << 20,
+    };
+    let small = Object::synthetic("img/small.jpg", 1, 1 << 20, "jpeg");
+    let big = Object::synthetic("img/big.jpg", 2, 20 << 20, "jpeg");
+    let op = home.store_object(NodeId(0), small, policy.clone(), true);
+    assert!(!home.run_until_complete(op).expect_ok().via_cloud);
+    let op = home.store_object(NodeId(0), big, policy, true);
+    assert!(home.run_until_complete(op).expect_ok().via_cloud);
+}
+
+#[test]
+fn full_mandatory_bin_spills_to_voluntary_peer() {
+    let mut config = Config::paper_testbed(5);
+    // Tiny mandatory bin on node 0: everything spills.
+    config.nodes[0].mandatory_bytes = 64 * 1024;
+    let mut home = Cloud4Home::new(config);
+    let obj = Object::synthetic("spill/data.bin", 3, 4 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::MandatoryFirst, true);
+    let r = home.run_until_complete(op);
+    let out = r.expect_ok();
+    assert!(!out.via_cloud, "voluntary peer space should absorb the spill");
+    // The object landed on some *other* node.
+    assert_eq!(home.objects_on(NodeId(0)), 0);
+    let elsewhere: usize = (1..home.node_count())
+        .map(|i| home.objects_on(NodeId(i)))
+        .sum();
+    assert_eq!(elsewhere, 1);
+    // Spilling requires peer resource queries: decision time was charged.
+    assert!(r.breakdown.decision.as_millis() > 0);
+}
+
+#[test]
+fn exhausted_home_spills_to_cloud_when_allowed() {
+    let mut config = Config::paper_testbed(6);
+    for n in &mut config.nodes {
+        n.mandatory_bytes = 64 * 1024;
+        n.voluntary_bytes = 64 * 1024;
+    }
+    let mut home = Cloud4Home::new(config);
+    let obj = Object::synthetic("huge/data.bin", 4, 8 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::MandatoryFirst, true);
+    let r = home.run_until_complete(op);
+    assert!(r.expect_ok().via_cloud);
+}
+
+#[test]
+fn privacy_policy_refuses_cloud_spill() {
+    let mut config = Config::paper_testbed(7);
+    for n in &mut config.nodes {
+        n.mandatory_bytes = 64 * 1024;
+        n.voluntary_bytes = 64 * 1024;
+    }
+    let mut home = Cloud4Home::new(config);
+    let song = Object::synthetic("music/secret.mp3", 5, 8 << 20, "mp3");
+    let op = home.store_object(NodeId(0), song, StorePolicy::Privacy, true);
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::NoSpace(_))));
+}
+
+#[test]
+fn fetch_of_unknown_object_fails_cleanly() {
+    let mut home = testbed(8);
+    let op = home.fetch_object(NodeId(0), "never/stored.bin");
+    let r = home.run_until_complete(op);
+    assert!(matches!(r.outcome, Err(OpError::NotFound(_))));
+}
+
+#[test]
+fn duplicate_store_overwrites_metadata() {
+    let mut home = testbed(9);
+    let a = Object::new("doc/x", &b"v1"[..], "txt");
+    let op = home.store_object(NodeId(0), a, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    // Store again from a different node under the same name.
+    let b = Object::new("doc/x", &b"v2-longer"[..], "txt");
+    let op = home.store_object(NodeId(1), b, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    let op = home.fetch_object(NodeId(2), "doc/x");
+    let r = home.run_until_complete(op);
+    assert_eq!(r.expect_ok().bytes, 9, "metadata points at the new version");
+}
+
+#[test]
+fn non_blocking_store_completes_faster_than_blocking() {
+    let mut home = testbed(10);
+    let a = Object::synthetic("nb/a.bin", 1, 1 << 20, "doc");
+    let b = Object::synthetic("nb/b.bin", 2, 1 << 20, "doc");
+    let op = home.store_object(NodeId(0), a, StorePolicy::ForceHome, true);
+    let blocking = home.run_until_complete(op).total();
+    let op = home.store_object(NodeId(0), b, StorePolicy::ForceHome, false);
+    let non_blocking = home.run_until_complete(op).total();
+    assert!(
+        non_blocking < blocking,
+        "blocking {blocking:?} must include the extra ack vs {non_blocking:?}"
+    );
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let run = |seed: u64| {
+        let mut home = testbed(seed);
+        let mut totals = Vec::new();
+        for i in 0..5u64 {
+            let obj = Object::synthetic(&format!("det/{i}"), i, 2 << 20, "doc");
+            let op =
+                home.store_object(NodeId(i as usize % 6), obj, StorePolicy::MandatoryFirst, true);
+            totals.push(home.run_until_complete(op).total());
+        }
+        for i in 0..5usize {
+            let op = home.fetch_object(NodeId((i + 3) % 6), &format!("det/{i}"));
+            totals.push(home.run_until_complete(op).total());
+        }
+        totals
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78), "different seeds should differ somewhere");
+}
+
+#[test]
+fn runtime_statistics_accumulate() {
+    let mut home = testbed(11);
+    let obj = Object::synthetic("stats/x.bin", 1, 1 << 20, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    let op = home.fetch_object(NodeId(1), "stats/x.bin");
+    home.run_until_complete(op).expect_ok();
+    let stats = home.stats();
+    assert_eq!(stats.ops_completed, 2);
+    assert!(stats.envelopes_delivered > 0);
+    assert_eq!(home.node_count(), 6);
+    assert_eq!(home.node_name(NodeId(5)), "desktop");
+    assert_eq!(home.gateway(), NodeId(5));
+}
+
+#[test]
+fn restoring_same_object_on_same_node_overwrites_the_file() {
+    let mut home = testbed(12);
+    for (pass, size) in [(0u64, 3 << 20), (1, 1 << 20)] {
+        let obj = Object::synthetic("re/store.bin", pass, size, "doc");
+        let op = home.store_object(NodeId(2), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    // One file, latest size.
+    assert_eq!(home.objects_on(NodeId(2)), 1);
+    let op = home.fetch_object(NodeId(0), "re/store.bin");
+    let r = home.run_until_complete(op);
+    assert_eq!(r.expect_ok().bytes, 1 << 20);
+}
