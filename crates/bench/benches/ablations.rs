@@ -10,7 +10,8 @@ use std::time::Duration;
 
 use c4h_bench::{banner, mean_std, ms};
 use cloud4home::{
-    Cloud4Home, Config, NodeId, NodeSpec, Object, RoutePolicy, ServiceKind, StorePolicy,
+    Cloud4Home, Config, FaultEvent, FaultPlan, NodeId, NodeSpec, Object, RoutePolicy, ServiceKind,
+    StorePolicy,
 };
 
 /// A 32-node overlay (multi-hop prefix routing) with configurable cache
@@ -31,7 +32,10 @@ fn wide_config(seed: u64, cache_capacity: usize) -> Config {
 
 fn cache_ablation() {
     println!("\n--- metadata path caching (32-node overlay, repeated lookups) ---");
-    println!("{:<12} {:>14} {:>12}", "cache", "mean dht (ms)", "cache hits");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "cache", "mean dht (ms)", "cache hits"
+    );
     for (label, capacity) in [("off", 0usize), ("on (128)", 128)] {
         let mut home = Cloud4Home::new(wide_config(3000, capacity));
         for i in 0..8u64 {
@@ -139,11 +143,16 @@ fn blocking_ablation() {
     let (bm, _) = mean_std(&blocking);
     let (nm, _) = mean_std(&non_blocking);
     println!("blocking     {bm:>10.1} ms");
-    println!("non-blocking {nm:>10.1} ms   (ack saved: {:.1} ms)", bm - nm);
+    println!(
+        "non-blocking {nm:>10.1} ms   (ack saved: {:.1} ms)",
+        bm - nm
+    );
 }
 
 fn channel_page_ablation() {
-    println!("\n--- XenSocket page size (paper: \"up to 2 MB if the devices have larger memory\") ---");
+    println!(
+        "\n--- XenSocket page size (paper: \"up to 2 MB if the devices have larger memory\") ---"
+    );
     println!("{:<16} {:>22}", "pages", "20 MiB fetch (ms)");
     for (label, cfg) in [
         ("32 x 4 KiB", c4h_vmm::XenChannelConfig::prototype()),
@@ -164,11 +173,61 @@ fn channel_page_ablation() {
     }
 }
 
+fn chaos_ablation() {
+    println!("\n--- chaos: data replication factor x bursty loss ---");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>10}",
+        "replication", "loss", "fetch ok", "failovers", "repairs"
+    );
+    for factor in [1usize, 2, 3] {
+        for loss in [0.0f64, 0.10, 0.25] {
+            let mut config = Config::paper_testbed(3500 + factor as u64);
+            config.replication = factor;
+            let mut home = Cloud4Home::new(config);
+            if loss > 0.0 {
+                home.apply_fault(FaultEvent::BurstyLoss {
+                    mean_loss: loss,
+                    mean_burst_len: 8.0,
+                });
+            }
+            let n = 10u64;
+            for i in 0..n {
+                let obj = Object::synthetic(&format!("abl/x{factor}-{i}"), i, 256 << 10, "doc");
+                let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+                // Under heavy loss a store may fail; the fetch column shows it.
+                let _ = home.run_until_complete(op);
+            }
+            // Crash the primary owner and give the detector + repair daemon
+            // time to react; replicas (if any) must then serve the fetches.
+            home.inject_faults(
+                FaultPlan::new().at(Duration::from_secs(1), FaultEvent::Crash(NodeId(1))),
+            );
+            home.run_for(Duration::from_secs(10));
+            let mut ok = 0;
+            for i in 0..n {
+                let op = home.fetch_object(NodeId(2), &format!("abl/x{factor}-{i}"));
+                if home.run_until_complete(op).outcome.is_ok() {
+                    ok += 1;
+                }
+            }
+            let s = home.stats();
+            println!(
+                "{factor:<12} {loss:>8.2} {:>10}/{n} {:>12} {:>10}",
+                ok, s.fetch_failovers, s.repairs_completed
+            );
+        }
+    }
+}
+
 fn main() {
-    banner("Ablations", "mechanism-level studies of Cloud4Home design choices");
+    banner(
+        "Ablations",
+        "mechanism-level studies of Cloud4Home design choices",
+    );
     cache_ablation();
     replication_ablation();
     policy_ablation();
     blocking_ablation();
     channel_page_ablation();
+    chaos_ablation();
 }

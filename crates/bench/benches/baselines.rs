@@ -66,9 +66,12 @@ fn run(arch: Arch, seed: u64) -> (f64, usize) {
         let op = home.store_object(NodeId(0), obj, store_policy.clone(), true);
         finish(&mut home, op);
         let op = match arch {
-            Arch::AllCloud => {
-                home.process_object_at(NodeId(0), &name, ServiceKind::FaceRecognize, Placement::Cloud)
-            }
+            Arch::AllCloud => home.process_object_at(
+                NodeId(0),
+                &name,
+                ServiceKind::FaceRecognize,
+                Placement::Cloud,
+            ),
             Arch::AllHome | Arch::Cloud4Home => home.process_object(
                 NodeId(0),
                 &name,
@@ -88,9 +91,12 @@ fn run(arch: Arch, seed: u64) -> (f64, usize) {
     );
     finish(&mut home, op);
     let op = match arch {
-        Arch::AllCloud => {
-            home.process_object_at(NodeId(2), "media/movie.avi", ServiceKind::Transcode, Placement::Cloud)
-        }
+        Arch::AllCloud => home.process_object_at(
+            NodeId(2),
+            "media/movie.avi",
+            ServiceKind::Transcode,
+            Placement::Cloud,
+        ),
         _ => home.process_object(
             NodeId(2),
             "media/movie.avi",
@@ -124,7 +130,10 @@ fn main() {
         "Baselines",
         "Cloud4Home vs the pure architectures its introduction argues against",
     );
-    println!("{:<14} {:>16} {:>8}", "architecture", "workload (s)", "failed");
+    println!(
+        "{:<14} {:>16} {:>8}",
+        "architecture", "workload (s)", "failed"
+    );
     println!("{}", "-".repeat(42));
     let mut results = Vec::new();
     for (label, arch) in [

@@ -75,7 +75,5 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .unwrap()
         .0];
-    println!(
-        "\noptimal object size: Method 1 = {best1} MB, Method 2 = {best2} MB (paper: ≈20 MB)"
-    );
+    println!("\noptimal object size: Method 1 = {best1} MB, Method 2 = {best2} MB (paper: ≈20 MB)");
 }

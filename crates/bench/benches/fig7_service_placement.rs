@@ -97,7 +97,5 @@ fn main() {
             m3
         );
     }
-    println!(
-        "\npaper shape: S1 wins smallest, S2 the middle, S3 the largest — got {winners:?}"
-    );
+    println!("\npaper shape: S1 wins smallest, S2 the middle, S3 the largest — got {winners:?}");
 }

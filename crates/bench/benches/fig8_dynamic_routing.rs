@@ -41,11 +41,17 @@ fn main() {
         let op = home.store_object(owner, video, StorePolicy::ForceHome, true);
         home.run_until_complete(op).expect_ok();
 
-        let op = home.process_object_at(mobile, &name, ServiceKind::Transcode, Placement::Pin(owner));
+        let op =
+            home.process_object_at(mobile, &name, ServiceKind::Transcode, Placement::Pin(owner));
         let town = home.run_until_complete(op);
         town.expect_ok();
 
-        let op = home.process_object(mobile, &name, ServiceKind::Transcode, RoutePolicy::Performance);
+        let op = home.process_object(
+            mobile,
+            &name,
+            ServiceKind::Transcode,
+            RoutePolicy::Performance,
+        );
         let topt = home.run_until_complete(op);
         let out = topt.expect_ok().clone();
 

@@ -32,7 +32,9 @@ fn bench_rbtree(c: &mut Criterion) {
             t.len()
         })
     });
-    let tree: RbTree<u32, u32> = (0..1000u32).map(|i| (i.wrapping_mul(2654435761), i)).collect();
+    let tree: RbTree<u32, u32> = (0..1000u32)
+        .map(|i| (i.wrapping_mul(2654435761), i))
+        .collect();
     c.bench_function("rbtree/lookup", |b| {
         b.iter(|| tree.get(&black_box(423u32.wrapping_mul(2654435761))))
     });
@@ -62,6 +64,7 @@ fn bench_codecs(c: &mut Criterion) {
         owner: Key::from_name("desktop"),
         acl: Acl::Public,
         created_at_ns: 123_456_789,
+        replicas: vec![Key::from_name("netbook-1")],
     });
     let encoded = record.encode();
     c.bench_function("kvstore/record_encode", |b| b.iter(|| record.encode()));
@@ -92,9 +95,13 @@ fn bench_tcp_model(c: &mut Criterion) {
 fn bench_services(c: &mut Criterion) {
     let image = synth_bytes(7, 64 * 1024);
     let fd = FaceDetect::new();
-    c.bench_function("services/face_detect_64k", |b| b.iter(|| fd.run(black_box(&image))));
+    c.bench_function("services/face_detect_64k", |b| {
+        b.iter(|| fd.run(black_box(&image)))
+    });
     let t = Transcode::new();
-    c.bench_function("services/transcode_64k", |b| b.iter(|| t.run(black_box(&image))));
+    c.bench_function("services/transcode_64k", |b| {
+        b.iter(|| t.run(black_box(&image)))
+    });
 }
 
 fn bench_dht_round(c: &mut Criterion) {
@@ -102,7 +109,12 @@ fn bench_dht_round(c: &mut Criterion) {
         // Build a 6-node overlay once; each iteration does a fresh put+get.
         let now = SimTime::ZERO;
         let mut nodes: Vec<ChimeraNode> = (0..6)
-            .map(|i| ChimeraNode::new(Key::from_name(&format!("bench-{i}")), ChimeraConfig::default()))
+            .map(|i| {
+                ChimeraNode::new(
+                    Key::from_name(&format!("bench-{i}")),
+                    ChimeraConfig::default(),
+                )
+            })
             .collect();
         nodes[0].bootstrap(now);
         let seed = nodes[0].id();

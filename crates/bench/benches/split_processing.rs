@@ -20,9 +20,7 @@
 //! Run with: `cargo bench -p c4h-bench --bench split_processing`
 
 use c4h_bench::{banner, run_until_any};
-use cloud4home::{
-    Cloud4Home, Config, NodeId, Object, OpId, Placement, ServiceKind, StorePolicy,
-};
+use cloud4home::{Cloud4Home, Config, NodeId, Object, OpId, Placement, ServiceKind, StorePolicy};
 
 /// Testbed with face recognition deployed on every home device ("the image
 /// sequence is processed at home, using a … dataset stored across home
@@ -48,7 +46,13 @@ const CLOUD_WORK_KIB: u64 = 1835;
 
 /// Stages `count` workload images of `mib` each, owned by round-robin home
 /// nodes or the cloud.
-fn stage(home: &mut Cloud4Home, tag: &str, count: usize, kib: u64, cloud: bool) -> Vec<(String, NodeId)> {
+fn stage(
+    home: &mut Cloud4Home,
+    tag: &str,
+    count: usize,
+    kib: u64,
+    cloud: bool,
+) -> Vec<(String, NodeId)> {
     let mut out = Vec::new();
     for i in 0..count {
         let node = NodeId(i % home.node_count());
@@ -139,10 +143,15 @@ fn main() {
     let mut home = testbed(1009);
     let home_rate = IMAGES as f64 / t_home;
     let cloud_rate = IMAGES as f64 / t_cloud;
-    let home_share =
-        ((home_rate / (home_rate + cloud_rate)) * IMAGES as f64).round() as usize;
+    let home_share = ((home_rate / (home_rate + cloud_rate)) * IMAGES as f64).round() as usize;
     let staged_home = stage(&mut home, "split-h", home_share, HOME_WORK_KIB, false);
-    let staged_cloud = stage(&mut home, "split-c", IMAGES - home_share, CLOUD_WORK_KIB, true);
+    let staged_cloud = stage(
+        &mut home,
+        "split-c",
+        IMAGES - home_share,
+        CLOUD_WORK_KIB,
+        true,
+    );
     let mut work: Vec<(String, NodeId, Placement)> = staged_home
         .into_iter()
         .map(|(name, node)| (name, node, Placement::Pin(node)))
@@ -154,10 +163,16 @@ fn main() {
     );
     let t_split = run_batch(&mut home, work);
 
-    println!("{:<28} {:>12} {:>12}", "scenario", "measured (s)", "paper (s)");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "scenario", "measured (s)", "paper (s)"
+    );
     println!("{}", "-".repeat(56));
     println!("{:<28} {:>12.0} {:>12}", "(i)   home only", t_home, 162);
-    println!("{:<28} {:>12.0} {:>12}", "(ii)  remote cloud only", t_cloud, 127);
+    println!(
+        "{:<28} {:>12.0} {:>12}",
+        "(ii)  remote cloud only", t_cloud, 127
+    );
     println!(
         "{:<28} {:>12.0} {:>12}   ({} images home / {} cloud)",
         "(iii) split home+cloud",

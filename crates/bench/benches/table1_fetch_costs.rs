@@ -31,7 +31,15 @@ fn main() {
     );
     println!(
         "{:>6} | {:>9} {:>10} {:>11} {:>7} | {:>9} {:>10} {:>11} {:>7}",
-        "size", "total", "inter-node", "inter-dom", "dht", "P:total", "P:i-node", "P:i-dom", "P:dht"
+        "size",
+        "total",
+        "inter-node",
+        "inter-dom",
+        "dht",
+        "P:total",
+        "P:i-node",
+        "P:i-dom",
+        "P:dht"
     );
     println!("{}", "-".repeat(100));
 

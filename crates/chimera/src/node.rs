@@ -21,8 +21,8 @@ use c4h_simnet::SimTime;
 
 use crate::key::{root_of, Key};
 use crate::messages::{Envelope, Message, ReqId};
-use crate::routing::{route, LeafSet, NextHop, RoutingTable};
 use crate::rbtree::RbTree;
+use crate::routing::{route, LeafSet, NextHop, RoutingTable};
 use crate::store::{LocalStore, MetaCache, OverwritePolicy, PutError, StoredValue};
 
 /// Tunables of the overlay node.
@@ -351,8 +351,10 @@ impl ChimeraNode {
         if !self.joined {
             return;
         }
-        // Hand each owned record to the closest remaining peer.
-        let mut by_target: HashMap<Key, Vec<(Key, StoredValue)>> = HashMap::new();
+        // Hand each owned record to the closest remaining peer. BTreeMap so
+        // the transfer order is identical across same-seed runs.
+        let mut by_target: std::collections::BTreeMap<Key, Vec<(Key, StoredValue)>> =
+            std::collections::BTreeMap::new();
         let all: Vec<(Key, StoredValue)> = self.store.drain_matching(|_| true);
         for (k, v) in all {
             if let Some(target) = root_of(k, self.peers.keys().copied()) {
@@ -488,7 +490,9 @@ impl ChimeraNode {
         }
         let due = match self.last_ping_round {
             None => true,
-            Some(t) => now.checked_duration_since(t).is_some_and(|d| d >= self.config.ping_interval),
+            Some(t) => now
+                .checked_duration_since(t)
+                .is_some_and(|d| d >= self.config.ping_interval),
         };
         if !due {
             return;
@@ -772,7 +776,8 @@ impl ChimeraNode {
         };
         match decision {
             NextHop::Deliver => {
-                let existed = self.store.remove(key).is_some() | self.replicas.remove(key).is_some();
+                let existed =
+                    self.store.remove(key).is_some() | self.replicas.remove(key).is_some();
                 self.cache.invalidate(key);
                 // Tombstone replicas and any caches on the reply path.
                 for target in self.leaf.replica_targets(self.config.replication) {
@@ -1076,24 +1081,29 @@ impl ChimeraNode {
 
     /// Re-replicates every owned record (after membership changes).
     fn refresh_replication(&mut self) {
-        let records: Vec<(Key, StoredValue)> =
+        let mut records: Vec<(Key, StoredValue)> =
             self.store.iter().map(|(k, v)| (k, v.clone())).collect();
+        // Deterministic send order across same-seed runs.
+        records.sort_unstable_by_key(|(k, _)| *k);
         for (k, v) in records {
             self.replicate_record(k, v);
         }
     }
 
     fn rebuild_views(&mut self) {
-        self.leaf.rebuild(self.id, &self.peers, self.config.leaf_size);
+        self.leaf
+            .rebuild(self.id, &self.peers, self.config.leaf_size);
     }
 
     fn expire_pending(&mut self, now: SimTime) {
-        let expired: Vec<(ReqId, Pending)> = self
+        let mut expired: Vec<(ReqId, Pending)> = self
             .pending
             .iter()
             .filter(|(_, p)| p.deadline <= now)
             .map(|(r, p)| (*r, p.clone()))
             .collect();
+        // Retransmissions must fire in the same order across same-seed runs.
+        expired.sort_unstable_by_key(|(r, _)| *r);
         for (req, p) in expired {
             self.pending.remove(&req);
             match p.kind {

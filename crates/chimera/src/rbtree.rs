@@ -270,7 +270,8 @@ impl<K: Ord, V> RbTree<K, V> {
             if !is_red(&h.left) && !h.left.as_ref().is_some_and(|l| is_red(&l.left)) {
                 h = move_red_left(h);
             }
-            let (l, removed) = Self::remove_rec(h.left.take().expect("key is in left subtree"), key);
+            let (l, removed) =
+                Self::remove_rec(h.left.take().expect("key is in left subtree"), key);
             h.left = l;
             (Some(fix_up(h)), removed)
         } else {
@@ -518,7 +519,9 @@ mod tests {
         let mut x: u64 = 0x9E3779B97F4A7C15;
         let mut present = std::collections::BTreeSet::new();
         for step in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33) % 500;
             if step % 3 == 0 && !present.is_empty() {
                 let pick = *present.iter().next().unwrap();

@@ -178,7 +178,10 @@ impl LocalStore {
     where
         F: FnMut(Key) -> bool,
     {
-        let keys: Vec<Key> = self.records.keys().copied().filter(|&k| pred(k)).collect();
+        // Key order, not hash-map order: callers forward these records to
+        // peers, and the send order must be identical across same-seed runs.
+        let mut keys: Vec<Key> = self.records.keys().copied().filter(|&k| pred(k)).collect();
+        keys.sort_unstable();
         keys.into_iter()
             .map(|k| (k, self.records.remove(&k).expect("key just listed")))
             .collect()
@@ -292,8 +295,11 @@ mod tests {
     #[test]
     fn overwrite_replaces_value() {
         let mut s = LocalStore::new();
-        s.put(k(1), b"a".to_vec(), OverwritePolicy::Overwrite).unwrap();
-        let v2 = s.put(k(1), b"b".to_vec(), OverwritePolicy::Overwrite).unwrap();
+        s.put(k(1), b"a".to_vec(), OverwritePolicy::Overwrite)
+            .unwrap();
+        let v2 = s
+            .put(k(1), b"b".to_vec(), OverwritePolicy::Overwrite)
+            .unwrap();
         assert_eq!(v2, 2);
         let rec = s.get(k(1)).unwrap();
         assert_eq!(rec.latest(), b"b");
@@ -315,7 +321,9 @@ mod tests {
     fn error_policy_rejects_existing() {
         let mut s = LocalStore::new();
         s.put(k(1), b"a".to_vec(), OverwritePolicy::Error).unwrap();
-        let err = s.put(k(1), b"b".to_vec(), OverwritePolicy::Error).unwrap_err();
+        let err = s
+            .put(k(1), b"b".to_vec(), OverwritePolicy::Error)
+            .unwrap_err();
         assert_eq!(err, PutError::Exists);
         assert_eq!(s.get(k(1)).unwrap().latest(), b"a");
         // Fresh keys are accepted.
@@ -325,15 +333,19 @@ mod tests {
     #[test]
     fn install_keeps_newer_version() {
         let mut s = LocalStore::new();
-        s.put(k(1), b"a".to_vec(), OverwritePolicy::Overwrite).unwrap();
-        s.put(k(1), b"b".to_vec(), OverwritePolicy::Overwrite).unwrap();
+        s.put(k(1), b"a".to_vec(), OverwritePolicy::Overwrite)
+            .unwrap();
+        s.put(k(1), b"b".to_vec(), OverwritePolicy::Overwrite)
+            .unwrap();
         // An older replica must not clobber the newer record.
         s.install(k(1), StoredValue::initial(b"old".to_vec()));
         assert_eq!(s.get(k(1)).unwrap().latest(), b"b");
         // A newer record replaces.
         let mut newer = StoredValue::initial(b"x".to_vec());
         for _ in 0..5 {
-            newer.apply(b"y".to_vec(), OverwritePolicy::Overwrite).unwrap();
+            newer
+                .apply(b"y".to_vec(), OverwritePolicy::Overwrite)
+                .unwrap();
         }
         s.install(k(1), newer.clone());
         assert_eq!(s.get(k(1)).unwrap().version(), newer.version());
@@ -343,7 +355,8 @@ mod tests {
     fn drain_matching_moves_records() {
         let mut s = LocalStore::new();
         for i in 0..10 {
-            s.put(k(i), vec![i as u8], OverwritePolicy::Overwrite).unwrap();
+            s.put(k(i), vec![i as u8], OverwritePolicy::Overwrite)
+                .unwrap();
         }
         let drained = s.drain_matching(|key| key.raw() % 2 == 0);
         assert_eq!(drained.len(), 5);

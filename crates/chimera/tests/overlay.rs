@@ -20,7 +20,9 @@ impl Cluster {
     /// Builds an `n`-node overlay: node 0 bootstraps, the rest join through
     /// it one at a time.
     fn build(n: usize, config: ChimeraConfig) -> Self {
-        let ids: Vec<Key> = (0..n).map(|i| Key::from_name(&format!("node-{i}"))).collect();
+        let ids: Vec<Key> = (0..n)
+            .map(|i| Key::from_name(&format!("node-{i}")))
+            .collect();
         let mut c = Cluster {
             nodes: ids
                 .iter()
@@ -98,7 +100,9 @@ impl Cluster {
 
     fn put(&mut self, origin: usize, key: Key, data: &[u8], policy: OverwritePolicy) {
         let now = self.now;
-        self.nodes[origin].put(key, data.to_vec(), policy, now).unwrap();
+        self.nodes[origin]
+            .put(key, data.to_vec(), policy, now)
+            .unwrap();
         self.pump();
     }
 
@@ -156,7 +160,9 @@ fn six_node_overlay_forms_complete_view() {
 #[test]
 fn put_get_roundtrip_from_every_node() {
     let mut c = Cluster::build(6, cfg());
-    let keys: Vec<Key> = (0..24).map(|i| Key::from_name(&format!("obj-{i}"))).collect();
+    let keys: Vec<Key> = (0..24)
+        .map(|i| Key::from_name(&format!("obj-{i}")))
+        .collect();
     for (i, &k) in keys.iter().enumerate() {
         let data = format!("value-{i}");
         c.put(i % 6, k, data.as_bytes(), OverwritePolicy::Overwrite);
@@ -171,7 +177,9 @@ fn put_get_roundtrip_from_every_node() {
 fn records_land_on_the_ring_root() {
     let mut c = Cluster::build(6, cfg());
     let ids = c.ids();
-    let keys: Vec<Key> = (0..40).map(|i| Key::from_name(&format!("rooted-{i}"))).collect();
+    let keys: Vec<Key> = (0..40)
+        .map(|i| Key::from_name(&format!("rooted-{i}")))
+        .collect();
     for &k in &keys {
         c.put(0, k, b"x", OverwritePolicy::Overwrite);
     }
@@ -217,7 +225,9 @@ fn get_missing_key_returns_none() {
 #[test]
 fn graceful_leave_redistributes_keys() {
     let mut c = Cluster::build(6, cfg());
-    let keys: Vec<Key> = (0..30).map(|i| Key::from_name(&format!("leave-{i}"))).collect();
+    let keys: Vec<Key> = (0..30)
+        .map(|i| Key::from_name(&format!("leave-{i}")))
+        .collect();
     for &k in &keys {
         c.put(0, k, b"persisted", OverwritePolicy::Overwrite);
     }
@@ -227,7 +237,13 @@ fn graceful_leave_redistributes_keys() {
     c.nodes[3].leave(now);
     c.pump();
     c.crash(3); // it no longer participates
-    for n in c.nodes.iter().enumerate().filter(|(i, _)| *i != 3).map(|(_, n)| n) {
+    for n in c
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 3)
+        .map(|(_, n)| n)
+    {
         assert!(
             !n.peer_keys().contains(&left_id),
             "peers should drop the departed node"
@@ -245,7 +261,9 @@ fn crash_failover_serves_replicated_keys() {
     let mut config = cfg();
     config.replication = 2;
     let mut c = Cluster::build(6, config);
-    let keys: Vec<Key> = (0..30).map(|i| Key::from_name(&format!("crash-{i}"))).collect();
+    let keys: Vec<Key> = (0..30)
+        .map(|i| Key::from_name(&format!("crash-{i}")))
+        .collect();
     for &k in &keys {
         c.put(0, k, b"replicated", OverwritePolicy::Overwrite);
     }
@@ -341,7 +359,9 @@ fn large_overlay_multi_hop_routing_and_caching() {
     let mut config = cfg();
     config.leaf_size = 2;
     let mut c = Cluster::build(48, config);
-    let keys: Vec<Key> = (0..64).map(|i| Key::from_name(&format!("big-{i}"))).collect();
+    let keys: Vec<Key> = (0..64)
+        .map(|i| Key::from_name(&format!("big-{i}")))
+        .collect();
     for &k in &keys {
         c.put(0, k, b"data", OverwritePolicy::Overwrite);
     }
@@ -370,11 +390,7 @@ fn replication_counts_match_configuration() {
     let mut c = Cluster::build(6, config);
     let k = Key::from_name("replicated-object");
     c.put(0, k, b"r", OverwritePolicy::Overwrite);
-    let holders = c
-        .nodes
-        .iter()
-        .filter(|n| n.local_get(k).is_some())
-        .count();
+    let holders = c.nodes.iter().filter(|n| n.local_get(k).is_some()).count();
     // Root + 2 replicas.
     assert_eq!(holders, 3, "expected root plus two replicas");
 }
@@ -423,9 +439,9 @@ fn delete_removes_record_everywhere() {
     let now = c.now;
     let req = c.nodes[2].delete(k, now).unwrap();
     c.pump();
-    let ok = c.events[2].drain(..).any(|e| {
-        matches!(e, DhtEvent::DeleteCompleted { req: r, result: Ok(true), .. } if r == req)
-    });
+    let ok = c.events[2].drain(..).any(
+        |e| matches!(e, DhtEvent::DeleteCompleted { req: r, result: Ok(true), .. } if r == req),
+    );
     assert!(ok, "delete should acknowledge an existing record");
     assert_eq!(
         c.nodes.iter().filter(|n| n.local_get(k).is_some()).count(),
@@ -442,9 +458,9 @@ fn delete_of_missing_key_reports_not_existed() {
     let now = c.now;
     let req = c.nodes[1].delete(Key::from_name("ghost"), now).unwrap();
     c.pump();
-    let ok = c.events[1].drain(..).any(|e| {
-        matches!(e, DhtEvent::DeleteCompleted { req: r, result: Ok(false), .. } if r == req)
-    });
+    let ok = c.events[1].drain(..).any(
+        |e| matches!(e, DhtEvent::DeleteCompleted { req: r, result: Ok(false), .. } if r == req),
+    );
     assert!(ok);
 }
 

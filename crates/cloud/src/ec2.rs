@@ -107,7 +107,11 @@ impl Ec2Fleet {
     /// # Errors
     ///
     /// Returns [`NoSuchInstance`] if the id is unknown.
-    pub fn deploy_service(&mut self, id: InstanceId, service_id: u32) -> Result<(), NoSuchInstance> {
+    pub fn deploy_service(
+        &mut self,
+        id: InstanceId,
+        service_id: u32,
+    ) -> Result<(), NoSuchInstance> {
         let inst = self
             .instances
             .iter_mut()

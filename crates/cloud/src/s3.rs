@@ -345,7 +345,10 @@ mod tests {
         for k in ["video/b.avi", "img/a.jpg", "video/a.avi"] {
             s.put("b", k, vec![], 0).unwrap();
         }
-        assert_eq!(s.list("b", "video/").unwrap(), vec!["video/a.avi", "video/b.avi"]);
+        assert_eq!(
+            s.list("b", "video/").unwrap(),
+            vec!["video/a.avi", "video/b.avi"]
+        );
         assert_eq!(s.list("b", "").unwrap().len(), 3);
     }
 

@@ -164,6 +164,8 @@ mod tests {
             submitted: SimTime::ZERO,
             completed: SimTime::ZERO + Duration::from_secs(secs),
             breakdown: Breakdown::default(),
+            retries: 0,
+            failovers: 0,
             outcome: Ok(OpOutput {
                 bytes,
                 via_cloud,
@@ -180,7 +182,11 @@ mod tests {
         for _ in 0..20 {
             e.observe(10 << 20, 1.0); // ~10.5 MB/s observed
         }
-        assert!(e.bps() > 9.0e6, "estimate {:.0} should approach 10 MB/s", e.bps());
+        assert!(
+            e.bps() > 9.0e6,
+            "estimate {:.0} should approach 10 MB/s",
+            e.bps()
+        );
         assert_eq!(e.samples(), 20);
         // Degenerate observations are ignored.
         e.observe(0, 1.0);

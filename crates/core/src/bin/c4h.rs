@@ -17,7 +17,8 @@ use std::io::{self, BufRead, Write};
 use std::time::Duration;
 
 use cloud4home::{
-    Cloud4Home, Config, NodeId, Object, Placement, RoutePolicy, ServiceKind, StorePolicy,
+    Cloud4Home, Config, FaultEvent, FaultPlan, NodeId, Object, Placement, RoutePolicy, ServiceKind,
+    StorePolicy,
 };
 
 fn main() {
@@ -91,6 +92,7 @@ fn run_command(home: &mut Cloud4Home, line: &str) -> CommandResult {
         "list" => simple_op(home, &tokens, "list"),
         "process" => process(home, &tokens),
         "crash" | "leave" | "rejoin" => churn(home, &tokens, cmd),
+        "fault" => fault(home, &tokens),
         "wan" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
             Some(f) if f > 0.0 && f <= 1.0 => {
                 home.set_wan_quality(f);
@@ -120,6 +122,11 @@ commands:
   run <duration>                                        advance virtual time
   crash|leave|rejoin <node>                             churn a node
   wan <factor> / loss <p>                               network conditions
+  fault [at <dur>] crash|rejoin <node>                  (scheduled) churn
+  fault [at <dur>] partition <a,b|c> / heal             cut / restore net
+  fault [at <dur>] bursty <loss> <burstlen>             Gilbert–Elliott loss
+  fault [at <dur>] slow <node> <factor>                 gray-failure throttle
+  fault [at <dur>] wan <factor>                         WAN degradation
   help / quit
 sizes: 512KB, 2MB …  durations: 500ms, 10s, 2m
 services: face-detect, face-recognize, x264-convert, archive-compress";
@@ -136,11 +143,22 @@ fn status(home: &Cloud4Home) -> String {
     let stats = home.stats();
     let (hits, misses) = home.cache_stats();
     out.push_str(&format!(
-        "  ops {}  flows {}  envelopes {}  cache {hits}/{}",
+        "  ops {}  flows {}  envelopes {} (-{} dropped)  cache {hits}/{}\n",
         stats.ops_completed,
         stats.flows_started,
         stats.envelopes_delivered,
+        stats.envelopes_dropped,
         hits + misses
+    ));
+    out.push_str(&format!(
+        "  recovery: {} dht retries, {} fetch failovers, {} re-dispatches, \
+         {} replicas, {}/{} repairs",
+        stats.dht_retries,
+        stats.fetch_failovers,
+        stats.proc_redispatches,
+        stats.replicas_written,
+        stats.repairs_completed,
+        stats.repairs_started,
     ));
     out
 }
@@ -269,10 +287,84 @@ fn churn(home: &mut Cloud4Home, tokens: &[&str], cmd: &str) -> CommandResult {
     match cmd {
         "crash" => home.crash_node(id),
         "leave" => home.leave_node(id),
-        "rejoin" => home.rejoin_node(id),
+        "rejoin" => {
+            if let Err(e) = home.rejoin_node(id) {
+                return CommandResult::Error(e.to_string());
+            }
+        }
         _ => unreachable!("caller passes a known kind"),
     }
     CommandResult::Output(format!("{cmd} {node}: done"))
+}
+
+/// `fault [at <duration>] <event...>` — apply a fault now or schedule it.
+fn fault(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
+    let usage = "usage: fault [at <dur>] crash|rejoin <node> | partition <a,b|c> \
+                 | heal | bursty <loss> <burstlen> | slow <node> <factor> | wan <factor>";
+    let mut rest = &tokens[1..];
+    let mut at = None;
+    if rest.first() == Some(&"at") {
+        let Some(d) = rest.get(1).and_then(|t| parse_duration(t)) else {
+            return CommandResult::Error(usage.into());
+        };
+        at = Some(d);
+        rest = &rest[2..];
+    }
+    let Some(event) = parse_fault_event(home, rest) else {
+        return CommandResult::Error(usage.into());
+    };
+    match at {
+        Some(offset) => {
+            home.inject_faults(FaultPlan::new().at(offset, event));
+            CommandResult::Output(format!("fault scheduled in {offset:?}"))
+        }
+        None => {
+            home.apply_fault(event);
+            CommandResult::Output("fault applied".into())
+        }
+    }
+}
+
+/// Parses the event portion of a `fault` command.
+fn parse_fault_event(home: &Cloud4Home, tokens: &[&str]) -> Option<FaultEvent> {
+    match *tokens.first()? {
+        "crash" => Some(FaultEvent::Crash(node_by_name(
+            home,
+            tokens.get(1).copied()?,
+        )?)),
+        "rejoin" => Some(FaultEvent::Rejoin(node_by_name(
+            home,
+            tokens.get(1).copied()?,
+        )?)),
+        "heal" => Some(FaultEvent::Heal),
+        "partition" => {
+            // Groups are `|`-separated lists of comma-separated node names.
+            let mut groups = Vec::new();
+            for group in tokens.get(1)?.split('|') {
+                let mut ids = Vec::new();
+                for name in group.split(',').filter(|n| !n.is_empty()) {
+                    ids.push(node_by_name(home, name)?);
+                }
+                groups.push(ids);
+            }
+            Some(FaultEvent::Partition(groups))
+        }
+        "bursty" => {
+            let mean_loss = tokens.get(1)?.parse().ok()?;
+            let mean_burst_len = tokens.get(2).map_or(Some(8.0), |t| t.parse().ok())?;
+            Some(FaultEvent::BurstyLoss {
+                mean_loss,
+                mean_burst_len,
+            })
+        }
+        "slow" => {
+            let node = node_by_name(home, tokens.get(1).copied()?)?;
+            let factor = tokens.get(2)?.parse().ok()?;
+            Some(FaultEvent::SlowNode { node, factor })
+        }
+        "wan" => Some(FaultEvent::WanDegrade(tokens.get(1)?.parse().ok()?)),
+        _ => None,
+    }
 }
 
 fn describe(report: &cloud4home::OpReport) -> String {
@@ -372,11 +464,29 @@ mod tests {
     #[test]
     fn knobs_and_run_work() {
         let mut home = shell();
-        assert!(matches!(run_command(&mut home, "wan 0.5"), CommandResult::Output(_)));
-        assert!(matches!(run_command(&mut home, "loss 0.1"), CommandResult::Output(_)));
-        assert!(matches!(run_command(&mut home, "run 5s"), CommandResult::Output(_)));
-        assert!(matches!(run_command(&mut home, "crash netbook-4"), CommandResult::Output(_)));
-        assert!(matches!(run_command(&mut home, "rejoin netbook-4"), CommandResult::Output(_)));
-        assert!(matches!(run_command(&mut home, "help"), CommandResult::Output(_)));
+        assert!(matches!(
+            run_command(&mut home, "wan 0.5"),
+            CommandResult::Output(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "loss 0.1"),
+            CommandResult::Output(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "run 5s"),
+            CommandResult::Output(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "crash netbook-4"),
+            CommandResult::Output(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "rejoin netbook-4"),
+            CommandResult::Output(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "help"),
+            CommandResult::Output(_)
+        ));
     }
 }

@@ -202,6 +202,12 @@ pub struct Config {
     /// Bytes of synthetic training imagery behind the face-recognition
     /// service's resident set.
     pub training_bytes: u64,
+    /// Object-data replication factor: total copies of each home-stored
+    /// object's bytes (primary plus `replication - 1` peer replicas).
+    /// `1` (the default) disables data replication. Replicas always stay
+    /// inside the home cloud, so privacy policies that pin data home are
+    /// never violated by replication.
+    pub replication: usize,
 }
 
 impl Config {
@@ -234,6 +240,7 @@ impl Config {
             timing: TimingConfig::default(),
             seed,
             training_bytes: 60 << 20,
+            replication: 1,
         }
     }
 }

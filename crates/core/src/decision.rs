@@ -84,7 +84,11 @@ pub fn choose<T>(policy: RoutePolicy, candidates: &[Candidate<T>]) -> Option<usi
         .copied()
         .filter(|&i| candidates[i].meets_min)
         .collect();
-    let pool = if qualified.is_empty() { indices } else { qualified };
+    let pool = if qualified.is_empty() {
+        indices
+    } else {
+        qualified
+    };
     // Tier 2: battery avoidance.
     let pool = match policy {
         RoutePolicy::BatterySaver => {
@@ -125,7 +129,12 @@ mod tests {
     use super::*;
     use c4h_services::{FaceDetect, Service};
 
-    fn cand(movement_ms: u64, exec_ms: u64, load: f64, battery: Option<f64>) -> Candidate<&'static str> {
+    fn cand(
+        movement_ms: u64,
+        exec_ms: u64,
+        load: f64,
+        battery: Option<f64>,
+    ) -> Candidate<&'static str> {
         Candidate {
             target: "n",
             movement: Duration::from_millis(movement_ms),
@@ -172,7 +181,10 @@ mod tests {
         let mut fast = cand(0, 10, 0.0, None);
         fast.meets_min = false;
         let slow = cand(0, 500, 0.0, None);
-        assert_eq!(choose(RoutePolicy::Performance, &[fast.clone(), slow]), Some(1));
+        assert_eq!(
+            choose(RoutePolicy::Performance, &[fast.clone(), slow]),
+            Some(1)
+        );
         // When nobody qualifies, fall back to the best overall.
         let mut slow2 = cand(0, 500, 0.0, None);
         slow2.meets_min = false;
@@ -197,12 +209,7 @@ mod tests {
     fn exec_estimate_reflects_platform_difference() {
         let fd = FaceDetect::new();
         let demand = fd.demand(1 << 20);
-        let atom = estimate_exec(
-            &demand,
-            &PlatformSpec::atom_s1(),
-            VmSpec::new(512, 1),
-            0.0,
-        );
+        let atom = estimate_exec(&demand, &PlatformSpec::atom_s1(), VmSpec::new(512, 1), 0.0);
         let ec2 = estimate_exec(
             &demand,
             &PlatformSpec::ec2_extra_large(),
@@ -218,8 +225,16 @@ mod tests {
             min_mem_mib: 96,
             min_cpu_ghz: 1.0,
         };
-        assert!(meets_minimum(&min, &PlatformSpec::desktop_quad(), VmSpec::new(128, 2)));
-        assert!(!meets_minimum(&min, &PlatformSpec::desktop_quad(), VmSpec::new(64, 2)));
+        assert!(meets_minimum(
+            &min,
+            &PlatformSpec::desktop_quad(),
+            VmSpec::new(128, 2)
+        ));
+        assert!(!meets_minimum(
+            &min,
+            &PlatformSpec::desktop_quad(),
+            VmSpec::new(64, 2)
+        ));
         let weak = PlatformSpec {
             cpu_ghz: 0.5,
             ..PlatformSpec::atom_s1()

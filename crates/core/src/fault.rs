@@ -1,0 +1,131 @@
+//! Scriptable, seeded fault injection for the Cloud4Home runtime.
+//!
+//! The paper's evaluation assumes a cooperative, mostly healthy home cloud;
+//! this module adds the machinery to test everything else. A [`FaultPlan`]
+//! is a schedule of [`FaultEvent`]s over *virtual* time: node crashes and
+//! rejoins, network partitions, WAN-degradation episodes, bursty
+//! (Gilbert–Elliott) message loss, and slow-node gray failures. Plans are
+//! injected with [`crate::Cloud4Home::inject_faults`] and applied as the
+//! simulation clock reaches each offset, so a given seed replays the exact
+//! same failure trace.
+
+use std::time::Duration;
+
+use crate::config::NodeId;
+
+/// One fault (or recovery) action applied to the running home cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Abruptly crash a node: in-flight flows through it abort and no
+    /// graceful metadata handoff happens. Equivalent to
+    /// [`crate::Cloud4Home::crash_node`].
+    Crash(NodeId),
+    /// Bring a crashed (or departed) node back through a live peer. Ignored
+    /// if no live peer exists at that instant.
+    Rejoin(NodeId),
+    /// Split the home cloud into isolated groups; messages and new flows
+    /// crossing the cut are dropped. Nodes not listed in any group share an
+    /// implicit remainder group, so isolating one node needs only
+    /// `vec![vec![node]]`. The cloud uplink stays with the group holding
+    /// the gateway node.
+    Partition(Vec<Vec<NodeId>>),
+    /// Remove any active partition.
+    Heal,
+    /// A WAN-degradation episode: scale the home↔cloud route quality by
+    /// `factor` (`1.0` restores the calibrated baseline).
+    WanDegrade(f64),
+    /// Bursty per-route message loss driven by a two-state Gilbert–Elliott
+    /// chain per directed node pair. `mean_loss == 0.0` disables it.
+    BurstyLoss {
+        /// Stationary mean loss fraction, e.g. `0.10` for 10 %.
+        mean_loss: f64,
+        /// Expected burst length in consecutive deliveries.
+        mean_burst_len: f64,
+    },
+    /// Gray failure: multiply a node's message-processing delay by `factor`
+    /// without killing it (`1.0` clears the throttle).
+    SlowNode {
+        /// The throttled node.
+        node: NodeId,
+        /// Processing-delay multiplier, clamped to at least `1.0`.
+        factor: f64,
+    },
+}
+
+/// A deterministic schedule of [`FaultEvent`]s over virtual time.
+///
+/// Offsets are relative to the instant the plan is injected into the
+/// runtime. Events sharing an offset apply in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use cloud4home::{FaultEvent, FaultPlan, NodeId};
+///
+/// let plan = FaultPlan::new()
+///     .at(Duration::from_secs(5), FaultEvent::Crash(NodeId(3)))
+///     .at(Duration::from_secs(10), FaultEvent::Partition(vec![vec![NodeId(5)]]))
+///     .at(Duration::from_secs(40), FaultEvent::Heal);
+/// assert_eq!(plan.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(Duration, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `event` at `offset` after injection time (builder style).
+    #[must_use]
+    pub fn at(mut self, offset: Duration, event: FaultEvent) -> Self {
+        self.events.push((offset, event));
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events sorted by offset (stable, so ties keep insertion order).
+    pub(crate) fn into_sorted_events(self) -> Vec<(Duration, FaultEvent)> {
+        let mut events = self.events;
+        events.sort_by_key(|(offset, _)| *offset);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_by_offset_stably() {
+        let plan = FaultPlan::new()
+            .at(Duration::from_secs(9), FaultEvent::Heal)
+            .at(Duration::from_secs(2), FaultEvent::Crash(NodeId(1)))
+            .at(Duration::from_secs(2), FaultEvent::Rejoin(NodeId(1)));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let sorted = plan.into_sorted_events();
+        assert_eq!(sorted[0].1, FaultEvent::Crash(NodeId(1)));
+        assert_eq!(sorted[1].1, FaultEvent::Rejoin(NodeId(1)));
+        assert_eq!(sorted[2].1, FaultEvent::Heal);
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::new().len(), 0);
+    }
+}

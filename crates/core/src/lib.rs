@@ -55,6 +55,7 @@
 mod adaptive;
 mod config;
 mod decision;
+mod fault;
 mod object;
 mod ops;
 mod policy;
@@ -62,11 +63,12 @@ mod report;
 mod runtime;
 
 pub use adaptive::{AdaptivePlacement, EwmaRate};
+pub use c4h_kvstore::Acl;
 pub use config::{CloudSpec, Config, NodeId, NodeSpec, ServiceKind, TimingConfig};
 pub use decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
-pub use c4h_kvstore::Acl;
+pub use fault::{FaultEvent, FaultPlan};
 pub use object::{synth_bytes, Blob, Object, SAMPLE_WINDOW};
 pub use ops::{ExecTarget, Placement};
 pub use policy::{PlacementClass, RoutePolicy, StorePolicy};
 pub use report::{Breakdown, OpError, OpId, OpOutput, OpReport};
-pub use runtime::{Cloud4Home, RunStats};
+pub use runtime::{ChurnError, Cloud4Home, RunStats};

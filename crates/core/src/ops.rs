@@ -12,11 +12,13 @@ use std::time::Duration;
 
 use c4h_chimera::{DhtEvent, Key};
 use c4h_cloud::{S3Url, REQUEST_LATENCY};
-use c4h_kvstore::{directory_key, node_resource_key, object_key, parent_dir, service_key,
-    DirEntry, Location, ObjectMeta, Record, ResourceRecord, ServiceRecord};
+use c4h_kvstore::{
+    directory_key, node_resource_key, object_key, parent_dir, service_key, DirEntry, Location,
+    ObjectMeta, Record, ResourceRecord, ServiceRecord,
+};
+use c4h_resources::Bin;
 use c4h_services::{ServiceDemand, ServiceId, ServiceOutput};
 use c4h_simnet::{Addr, SimTime};
-use c4h_resources::Bin;
 
 use crate::config::{NodeId, ServiceKind};
 use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
@@ -67,6 +69,8 @@ pub(crate) enum Stage {
     StoreQueryPeers,
     StoreFlowToPeer { peer: usize },
     StoreDiskWrite { target: usize },
+    StoreReplicaFlow { target: usize },
+    StoreReplicaWrite { target: usize },
     StoreFlowToCloud,
     StoreCloudPut,
     StoreMetaPut,
@@ -77,6 +81,7 @@ pub(crate) enum Stage {
     FetchMetaGet,
     FetchOwnerRequest { owner: usize },
     FetchFlowHome { owner: usize },
+    FetchRetry,
     FetchCloudRequest { url: S3Url },
     FetchFlowCloud,
     FetchDiskLocal,
@@ -135,6 +140,22 @@ pub(crate) struct Op {
     pub(crate) result_bytes: u64,
     /// Metadata-request retries consumed (lossy-network recovery).
     pub(crate) retries: u8,
+    /// Failover redirects taken (replica fetches, executor re-dispatches).
+    pub(crate) failovers: u32,
+    /// Untried fetch candidates: node indices holding the bytes, best first.
+    pub(crate) fetch_candidates: Vec<usize>,
+    /// Ranked surviving executor candidates for process re-dispatch.
+    pub(crate) exec_candidates: Vec<ExecTarget>,
+    /// Pending store-time replica targets (node indices).
+    pub(crate) replica_targets: Vec<usize>,
+    /// Overlay keys of replicas successfully written during this store.
+    pub(crate) replicas_done: Vec<Key>,
+    /// Home node index the store's primary copy landed on.
+    pub(crate) store_target: Option<usize>,
+    /// Current failover backoff; doubles on each retry round.
+    pub(crate) backoff: Duration,
+    /// Absolute recovery deadline; failovers past it fail with `Timeout`.
+    pub(crate) deadline: SimTime,
 }
 
 impl Op {
@@ -167,6 +188,14 @@ impl Op {
             via_cloud: false,
             result_bytes: 0,
             retries: 0,
+            failovers: 0,
+            fetch_candidates: Vec::new(),
+            exec_candidates: Vec::new(),
+            replica_targets: Vec::new(),
+            replicas_done: Vec::new(),
+            store_target: None,
+            backoff: INITIAL_BACKOFF,
+            deadline: now + OP_DEADLINE,
         }
     }
 
@@ -182,6 +211,13 @@ impl Op {
 
 /// Maximum metadata-request retries per operation.
 const MAX_DHT_RETRIES: u8 = 2;
+
+/// Initial failover backoff; doubles on each subsequent retry round.
+const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Per-operation recovery deadline: failover loops past this fail with
+/// [`OpError::Timeout`] instead of retrying forever.
+const OP_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Whether a DHT completion is a timeout (lost request or reply).
 fn dht_timed_out(input: &OpInput) -> bool {
@@ -365,7 +401,14 @@ impl Cloud4Home {
         service: ServiceKind,
         route: RoutePolicy,
     ) -> OpId {
-        self.submit_process(client, name, service, Placement::Auto, route, "fetch_process")
+        self.submit_process(
+            client,
+            name,
+            service,
+            Placement::Auto,
+            route,
+            "fetch_process",
+        )
     }
 
     /// Runs a sequence of services on the object at a single dynamically
@@ -434,11 +477,35 @@ impl Cloud4Home {
     // State machine driver
     // ------------------------------------------------------------------
 
-    /// Fails an in-flight operation from outside its state machine
-    /// (e.g. its transfer peer crashed).
-    pub(crate) fn fail_op(&mut self, id: OpId, error: OpError) {
-        if let Some(op) = self.ops.remove(&id) {
-            self.complete_op(op, Err(error));
+    /// Reroutes an operation whose bulk transfer was severed by a crash or
+    /// partition: fetches fail over to the next live replica, store
+    /// replica fan-outs skip the lost target, peer stores spill to the
+    /// cloud, and process moves re-dispatch to the next-best executor.
+    /// Stages with no recovery path fail the operation.
+    pub(crate) fn transfer_failed(&mut self, id: OpId, why: &str) {
+        let Some(mut op) = self.ops.remove(&id) else {
+            return;
+        };
+        if !self.nodes[op.client].alive {
+            // The requesting client itself is gone; nobody to recover for.
+            self.complete_op(op, Err(OpError::OwnerUnreachable(why.to_owned())));
+            return;
+        }
+        let outcome = match op.stage.clone() {
+            Stage::FetchFlowHome { .. } => self.fetch_try_next(&mut op, true),
+            Stage::StoreReplicaFlow { .. } => {
+                op.failovers += 1;
+                self.store_next_replica(&mut op)
+            }
+            Stage::StoreFlowToPeer { .. } => self.store_spill_or_fail(&mut op),
+            Stage::ProcMoveArg | Stage::ProcMoveResult => self.proc_redispatch(&mut op, why),
+            _ => Some(Err(OpError::OwnerUnreachable(why.to_owned()))),
+        };
+        match outcome {
+            Some(result) => self.complete_op(op, result),
+            None => {
+                self.ops.insert(id, op);
+            }
         }
     }
 
@@ -464,6 +531,8 @@ impl Cloud4Home {
             submitted: op.submitted,
             completed: self.now(),
             breakdown: op.breakdown,
+            retries: u32::from(op.retries),
+            failovers: op.failovers,
             outcome,
         };
         self.reports.insert(op.id, report);
@@ -483,14 +552,28 @@ impl Cloud4Home {
     fn op_step(&mut self, op: &mut Op, input: OpInput) -> StepOutcome {
         // Lossy-network recovery: a timed-out metadata request is reissued
         // (bounded) instead of failing the operation.
-        if dht_timed_out(&input) && op.retries < MAX_DHT_RETRIES && self.retry_dht(op) {
-            op.retries += 1;
-            return None;
+        if dht_timed_out(&input) {
+            if op.retries < MAX_DHT_RETRIES && self.retry_dht(op) {
+                op.retries += 1;
+                self.stats.dht_retries += 1;
+                return None;
+            }
+            // Retry budget exhausted on a stage that has no fallback of its
+            // own: surface the exhaustion as an operation timeout. Stages
+            // that absorb missing replies (resource queries) fall through.
+            if op.retries >= MAX_DHT_RETRIES
+                && !matches!(op.stage, Stage::StoreQueryPeers | Stage::ProcQueryResources)
+            {
+                return Some(Err(OpError::Timeout(op.name.clone())));
+            }
         }
         match op.stage.clone() {
             // ---------------- store ----------------
             Stage::StoreChannelIn => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 self.store_decide_placement(op)
             }
             Stage::StoreQueryPeers => {
@@ -498,30 +581,60 @@ impl Cloud4Home {
                 if op.pending_gets > 0 {
                     return None;
                 }
-                { let el = self.phase(op); op.breakdown.decision += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.decision += el;
+                }
                 self.store_pick_peer(op)
             }
             Stage::StoreFlowToPeer { peer } => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
-                let write = self.nodes[peer]
-                    .disk
-                    .write_time(op.object_bytes());
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
+                let write = self.nodes[peer].disk.write_time(op.object_bytes());
                 op.stage = Stage::StoreDiskWrite { target: peer };
                 self.wake_in(op.id, write);
                 None
             }
             Stage::StoreDiskWrite { target } => {
-                { let el = self.phase(op); op.breakdown.disk += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.disk += el;
+                }
                 self.store_install(op, target)
             }
+            Stage::StoreReplicaFlow { target } => {
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
+                let write = self.nodes[target].disk.write_time(op.object_bytes());
+                op.stage = Stage::StoreReplicaWrite { target };
+                self.wake_in(op.id, write);
+                None
+            }
+            Stage::StoreReplicaWrite { target } => {
+                {
+                    let el = self.phase(op);
+                    op.breakdown.disk += el;
+                }
+                self.store_install_replica(op, target)
+            }
             Stage::StoreFlowToCloud => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 op.stage = Stage::StoreCloudPut;
                 self.wake_in(op.id, REQUEST_LATENCY);
                 None
             }
             Stage::StoreCloudPut => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 let object = op.payload.as_ref().expect("store carries payload");
                 let cloud = self.cloud.as_mut().expect("cloud path requires a cloud");
                 let url = cloud
@@ -534,14 +647,22 @@ impl Cloud4Home {
                     )
                     .expect("bucket exists");
                 op.via_cloud = true;
-                self.store_meta_put(op, Location::Cloud { url: url.to_string() })
+                self.store_meta_put(
+                    op,
+                    Location::Cloud {
+                        url: url.to_string(),
+                    },
+                )
             }
             Stage::StoreMetaPut => {
                 let OpInput::Dht(ev) = input else { return None };
                 let DhtEvent::PutCompleted { result, .. } = ev else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
@@ -559,7 +680,10 @@ impl Cloud4Home {
                 let OpInput::Dht(DhtEvent::PutCompleted { result, .. }) = input else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
@@ -576,13 +700,19 @@ impl Cloud4Home {
                 }
             }
             Stage::StoreAck => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 Some(Ok(self.store_output(op)))
             }
 
             // ---------------- fetch ----------------
             Stage::FetchChannelIn => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 op.stage = Stage::FetchMetaGet;
                 self.dht_get_for_op(op.id, op.client, object_key(&op.name));
                 None
@@ -592,10 +722,19 @@ impl Cloud4Home {
                     Ok(m) => m,
                     Err(e) => return Some(Err(e)),
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 self.fetch_route_to_owner(op, meta)
             }
             Stage::FetchOwnerRequest { owner } => {
+                // The holder may have crashed or been cut off while the
+                // control request was in flight: fail over instead of
+                // starting a doomed transfer.
+                if !self.nodes[owner].alive || !self.node_reachable(op.client, owner) {
+                    return self.fetch_try_next(op, true);
+                }
                 // Request handled; owner has read the object from disk.
                 op.stage = Stage::FetchFlowHome { owner };
                 let src = self.nodes[owner].addr;
@@ -605,17 +744,35 @@ impl Cloud4Home {
                 None
             }
             Stage::FetchFlowHome { owner } => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 match self.nodes[owner].objects.get(&op.name) {
                     Some(blob) => {
                         op.staged = Some(blob.clone());
                         self.fetch_channel_out(op)
                     }
-                    None => Some(Err(OpError::NotFound(op.name.clone()))),
+                    // The holder dropped the bytes mid-transfer; try the
+                    // next replica.
+                    None => self.fetch_try_next(op, true),
                 }
             }
+            Stage::FetchRetry => {
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
+                // Re-derive the candidate set: a holder may have rejoined
+                // or the partition healed since the last attempt.
+                let meta = op.meta.clone().expect("set in FetchMetaGet");
+                self.fetch_route_to_owner(op, meta)
+            }
             Stage::FetchCloudRequest { url } => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 let cloud = self.cloud.as_mut().expect("cloud fetch requires a cloud");
                 match cloud.s3.get(&url) {
                     Ok(obj) => {
@@ -633,11 +790,17 @@ impl Cloud4Home {
                 }
             }
             Stage::FetchFlowCloud => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 self.fetch_channel_out(op)
             }
             Stage::FetchDiskLocal => {
-                { let el = self.phase(op); op.breakdown.disk += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.disk += el;
+                }
                 match self.nodes[op.client].objects.get(&op.name) {
                     Some(blob) => {
                         op.staged = Some(blob.clone());
@@ -647,7 +810,10 @@ impl Cloud4Home {
                 }
             }
             Stage::FetchChannelOut => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 Some(Ok(OpOutput {
                     bytes: op.object_bytes(),
                     via_cloud: op.via_cloud,
@@ -659,7 +825,10 @@ impl Cloud4Home {
 
             // ---------------- delete ----------------
             Stage::DelChannelIn => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 op.stage = Stage::DelMetaGet;
                 self.dht_get_for_op(op.id, op.client, object_key(&op.name));
                 None
@@ -668,7 +837,10 @@ impl Cloud4Home {
                 let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
@@ -692,14 +864,20 @@ impl Cloud4Home {
                 let OpInput::Dht(DhtEvent::DeleteCompleted { result, .. }) = input else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
                 self.delete_remove_bytes(op)
             }
             Stage::DelRemoveBytes => {
-                { let el = self.phase(op); op.breakdown.disk += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.disk += el;
+                }
                 let entry = DirEntry {
                     name: op.name.clone(),
                     tombstone: true,
@@ -713,7 +891,10 @@ impl Cloud4Home {
                 let OpInput::Dht(DhtEvent::PutCompleted { result, .. }) = input else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
@@ -728,7 +909,10 @@ impl Cloud4Home {
 
             // ---------------- list ----------------
             Stage::ListChannelIn => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 op.stage = Stage::ListDirGet;
                 self.dht_get_for_op(op.id, op.client, directory_key(&op.name));
                 None
@@ -737,7 +921,10 @@ impl Cloud4Home {
                 let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
@@ -756,7 +943,10 @@ impl Cloud4Home {
 
             // ---------------- process ----------------
             Stage::ProcChannelIn => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 op.stage = Stage::ProcMetaGet;
                 self.dht_get_for_op(op.id, op.client, object_key(&op.name));
                 None
@@ -766,7 +956,10 @@ impl Cloud4Home {
                     Ok(m) => m,
                     Err(e) => return Some(Err(e)),
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 op.meta = Some(meta);
                 let kind = op.service.expect("process carries a service");
                 op.stage = Stage::ProcSvcGet;
@@ -777,7 +970,10 @@ impl Cloud4Home {
                 let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
                     return None;
                 };
-                { let el = self.phase(op); op.breakdown.dht += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.dht += el;
+                }
                 if let Err(e) = result {
                     return Some(Err(e.into()));
                 }
@@ -797,31 +993,52 @@ impl Cloud4Home {
                 if op.pending_gets > 0 {
                     return None;
                 }
-                { let el = self.phase(op); op.breakdown.decision += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.decision += el;
+                }
                 self.proc_choose_target(op)
             }
             Stage::ProcDecide => {
-                { let el = self.phase(op); op.breakdown.decision += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.decision += el;
+                }
                 self.proc_move_argument(op)
             }
             Stage::ProcReadArg => {
-                { let el = self.phase(op); op.breakdown.disk += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.disk += el;
+                }
                 self.proc_start_move_flow(op)
             }
             Stage::ProcMoveArg => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 self.proc_start_exec(op)
             }
             Stage::ProcExec => {
-                { let el = self.phase(op); op.breakdown.exec += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.exec += el;
+                }
                 self.proc_finish_exec(op)
             }
             Stage::ProcMoveResult => {
-                { let el = self.phase(op); op.breakdown.inter_node += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_node += el;
+                }
                 self.proc_channel_out(op)
             }
             Stage::ProcChannelOut => {
-                { let el = self.phase(op); op.breakdown.inter_domain += el; }
+                {
+                    let el = self.phase(op);
+                    op.breakdown.inter_domain += el;
+                }
                 Some(Ok(OpOutput {
                     bytes: op.result_bytes,
                     via_cloud: op.via_cloud,
@@ -994,13 +1211,87 @@ impl Cloud4Home {
             // Stale resource record: the bin filled since we queried.
             return self.store_spill_or_fail(op);
         }
-        self.nodes[target]
-            .objects
-            .insert(name, object.blob.clone());
+        self.nodes[target].objects.insert(name, object.blob.clone());
+        op.store_target = Some(target);
+        if self.config.replication > 1 {
+            op.replica_targets = self.store_pick_replicas(op, target);
+        }
+        self.store_next_replica(op)
+    }
+
+    /// Picks up to `replication - 1` peer nodes to hold extra copies:
+    /// live, reachable from the primary, with voluntary space, preferring
+    /// the most free space. Replicas never leave the home cloud, so the
+    /// object's privacy class is preserved.
+    fn store_pick_replicas(&mut self, op: &Op, primary: usize) -> Vec<usize> {
+        let size = op.object_bytes();
+        let mut peers: Vec<usize> = (0..self.nodes.len())
+            .filter(|&j| {
+                j != primary
+                    && self.nodes[j].alive
+                    && self.node_reachable(primary, j)
+                    && self.nodes[j].bins.fits(size, Bin::Voluntary)
+            })
+            .collect();
+        peers.sort_by_key(|&j| {
+            (
+                std::cmp::Reverse(self.nodes[j].bins.free_bytes(Bin::Voluntary)),
+                j,
+            )
+        });
+        peers.truncate(self.config.replication.saturating_sub(1));
+        peers
+    }
+
+    /// Starts the next pending replica transfer, or publishes the object's
+    /// metadata once replication is complete.
+    fn store_next_replica(&mut self, op: &mut Op) -> StepOutcome {
+        let primary = op.store_target.expect("primary copy installed");
+        let size = op.object_bytes();
+        while let Some(&target) = op.replica_targets.first() {
+            op.replica_targets.remove(0);
+            // Conditions may have changed since the targets were picked.
+            if !self.nodes[target].alive
+                || !self.node_reachable(primary, target)
+                || !self.nodes[target].bins.fits(size, Bin::Voluntary)
+            {
+                op.failovers += 1;
+                continue;
+            }
+            op.stage = Stage::StoreReplicaFlow { target };
+            let src = self.nodes[primary].addr;
+            let dst = self.nodes[target].addr;
+            self.phase(op);
+            self.start_flow_for_op(op.id, src, dst, size);
+            return None;
+        }
         let location = Location::Home {
-            node: self.nodes[target].key,
+            node: self.nodes[primary].key,
         };
         self.store_meta_put(op, location)
+    }
+
+    /// Installs a completed replica transfer on its target node.
+    fn store_install_replica(&mut self, op: &mut Op, target: usize) -> StepOutcome {
+        let object = op.payload.as_ref().expect("store carries payload");
+        let name = object.name.clone();
+        let size = object.size_bytes();
+        let blob = object.blob.clone();
+        if self.nodes[target].alive {
+            if self.nodes[target].bins.lookup(&name).is_some() {
+                self.nodes[target].bins.remove(&name);
+            }
+            if self.nodes[target]
+                .bins
+                .store(&name, size, Bin::Voluntary)
+                .is_ok()
+            {
+                self.nodes[target].objects.insert(name, blob);
+                op.replicas_done.push(self.nodes[target].key);
+                self.stats.replicas_written += 1;
+            }
+        }
+        self.store_next_replica(op)
     }
 
     fn store_meta_put(&mut self, op: &mut Op, location: Location) -> StepOutcome {
@@ -1015,7 +1306,14 @@ impl Cloud4Home {
             owner: self.nodes[op.client].key,
             acl: object.acl.clone(),
             created_at_ns: self.now().as_nanos(),
+            replicas: op.replicas_done.clone(),
         };
+        // Index replicated home objects for the background repair daemon.
+        if self.config.replication > 1 && matches!(meta.location, Location::Home { .. }) {
+            self.replica_meta.insert(meta.name.clone(), meta.clone());
+        } else {
+            self.replica_meta.remove(&meta.name);
+        }
         op.meta = Some(meta.clone());
         op.stage = Stage::StoreMetaPut;
         self.phase(op);
@@ -1064,32 +1362,17 @@ impl Cloud4Home {
         op.meta = Some(meta.clone());
         match meta.location {
             Location::Home { node } => {
-                let Some(owner) = self.node_index(node).filter(|&j| self.nodes[j].alive) else {
-                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
-                };
-                if owner == op.client {
-                    let read = self.nodes[owner].disk.read_time(meta.size_bytes);
-                    op.stage = Stage::FetchDiskLocal;
-                    self.phase(op);
-                    self.wake_in(op.id, read);
-                } else {
-                    // Control message to the owner plus its disk read.
-                    let latency = self
-                        .net
-                        .topology()
-                        .message_latency(
-                            self.nodes[op.client].addr,
-                            self.nodes[owner].addr,
-                            &mut self.rng,
-                        )
-                        .unwrap_or_default();
-                    let read = self.nodes[owner].disk.read_time(meta.size_bytes);
-                    op.breakdown.disk += read;
-                    op.stage = Stage::FetchOwnerRequest { owner };
-                    self.phase(op);
-                    self.wake_in(op.id, latency + self.config.timing.peer_request + read);
+                // Candidate holders: the primary owner first, then replicas.
+                let mut candidates: Vec<usize> = Vec::new();
+                for key in std::iter::once(node).chain(meta.replicas.iter().copied()) {
+                    if let Some(j) = self.node_index(key) {
+                        if !candidates.contains(&j) {
+                            candidates.push(j);
+                        }
+                    }
                 }
-                None
+                op.fetch_candidates = candidates;
+                self.fetch_try_next(op, false)
             }
             Location::Cloud { ref url } => {
                 if self.cloud.is_none() {
@@ -1106,10 +1389,86 @@ impl Cloud4Home {
         }
     }
 
+    /// Routes the fetch to the next live, reachable holder of the object's
+    /// bytes. With `failing_over` the previous attempt failed: the failover
+    /// is counted and charged. When every candidate is down but the object
+    /// is replicated, the fetch backs off exponentially and retries until
+    /// its deadline (a holder may rejoin or a partition heal); unreplicated
+    /// objects fail promptly.
+    fn fetch_try_next(&mut self, op: &mut Op, failing_over: bool) -> StepOutcome {
+        if failing_over {
+            op.failovers += 1;
+            self.stats.fetch_failovers += 1;
+        }
+        if self.now() > op.deadline {
+            return Some(Err(OpError::Timeout(op.name.clone())));
+        }
+        let size = op.object_bytes();
+        while !op.fetch_candidates.is_empty() {
+            let j = op.fetch_candidates.remove(0);
+            if !self.nodes[j].alive
+                || !self.node_reachable(op.client, j)
+                || !self.nodes[j].objects.contains_key(&op.name)
+            {
+                // A holder that cannot serve us counts as a failover even on
+                // the first routing pass (e.g. the primary died before the
+                // fetch started and we go straight to a replica).
+                op.failovers += 1;
+                self.stats.fetch_failovers += 1;
+                continue;
+            }
+            if j == op.client {
+                let read = self.nodes[j].disk.read_time(size);
+                op.stage = Stage::FetchDiskLocal;
+                self.phase(op);
+                self.wake_in(op.id, read);
+            } else {
+                // Control message to the holder plus its disk read.
+                let latency = self
+                    .net
+                    .topology()
+                    .message_latency(
+                        self.nodes[op.client].addr,
+                        self.nodes[j].addr,
+                        &mut self.rng,
+                    )
+                    .unwrap_or_default();
+                let read = self.nodes[j].disk.read_time(size);
+                op.breakdown.disk += read;
+                op.stage = Stage::FetchOwnerRequest { owner: j };
+                self.phase(op);
+                self.wake_in(op.id, latency + self.config.timing.peer_request + read);
+            }
+            return None;
+        }
+        let replicated = op.meta.as_ref().is_some_and(|m| !m.replicas.is_empty());
+        if replicated {
+            let wait = op.backoff;
+            if self.now() + wait <= op.deadline {
+                op.backoff = op.backoff.saturating_mul(2);
+                op.stage = Stage::FetchRetry;
+                self.phase(op);
+                self.wake_in(op.id, wait);
+                return None;
+            }
+            return Some(Err(OpError::Timeout(op.name.clone())));
+        }
+        Some(Err(OpError::OwnerUnreachable(op.name.clone())))
+    }
+
     /// Removes the deleted object's bytes from its bin or bucket, charging
     /// the appropriate access costs.
     fn delete_remove_bytes(&mut self, op: &mut Op) -> StepOutcome {
         let meta = op.meta.clone().expect("set in DelMetaGet");
+        // Expunge peer data replicas and the repair daemon's index entry
+        // regardless of the primary's liveness.
+        for key in &meta.replicas {
+            if let Some(j) = self.node_index(*key) {
+                self.nodes[j].objects.remove(&op.name);
+                self.nodes[j].bins.remove(&op.name);
+            }
+        }
+        self.replica_meta.remove(&op.name);
         match &meta.location {
             Location::Home { node } => {
                 let Some(owner) = self.node_index(*node).filter(|&j| self.nodes[j].alive) else {
@@ -1212,7 +1571,9 @@ impl Cloud4Home {
         };
         match op.placement {
             Placement::Pin(node) => {
-                if !self.nodes[node.0].alive || !provides_all(&self.nodes[node.0].registry, &op.pipeline) {
+                if !self.nodes[node.0].alive
+                    || !provides_all(&self.nodes[node.0].registry, &op.pipeline)
+                {
                     return Some(Err(OpError::ServiceUnavailable(kind.id())));
                 }
                 op.exec_target = Some(ExecTarget::Node(node.0));
@@ -1240,10 +1601,7 @@ impl Cloud4Home {
                     .providers
                     .iter()
                     .copied()
-                    .filter(|k| {
-                        self.node_index(*k)
-                            .is_some_and(|j| self.nodes[j].alive)
-                    })
+                    .filter(|k| self.node_index(*k).is_some_and(|j| self.nodes[j].alive))
                     .collect();
                 if providers.is_empty() {
                     if record.cloud_available && self.cloud.is_some() {
@@ -1328,10 +1686,51 @@ impl Cloud4Home {
             return Some(Err(OpError::ServiceUnavailable(kind.id())));
         };
         op.exec_target = Some(candidates[winner].target);
+        // Keep the runners-up, ranked by completion estimate, as failover
+        // executors should the winner crash mid-operation.
+        let mut rest: Vec<(Duration, ExecTarget)> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != winner)
+            .map(|(_, c)| (c.completion_estimate(), c.target))
+            .collect();
+        rest.sort_by_key(|(est, _)| *est);
+        op.exec_candidates = rest.into_iter().map(|(_, t)| t).collect();
         op.stage = Stage::ProcDecide;
         self.phase(op);
         self.wake_in(op.id, LOCATE_TIME);
         None
+    }
+
+    /// Re-dispatches a process operation to the next-best surviving
+    /// decision candidate after its chosen executor failed. Restarts the
+    /// pipeline from its first stage (partial results died with the
+    /// executor).
+    fn proc_redispatch(&mut self, op: &mut Op, why: &str) -> StepOutcome {
+        while let Some(&next) = op.exec_candidates.first() {
+            op.exec_candidates.remove(0);
+            if Some(next) == op.exec_target {
+                continue;
+            }
+            let viable = match next {
+                ExecTarget::Node(j) => self.nodes[j].alive && self.node_reachable(op.client, j),
+                ExecTarget::Cloud => self.cloud.is_some() && self.cloud_reachable(op.client),
+            };
+            if !viable {
+                continue;
+            }
+            op.exec_target = Some(next);
+            op.failovers += 1;
+            self.stats.proc_redispatches += 1;
+            op.pipeline_idx = 0;
+            op.output = None;
+            op.staged = None;
+            op.stage = Stage::ProcDecide;
+            self.phase(op);
+            self.wake_in(op.id, LOCATE_TIME);
+            return None;
+        }
+        Some(Err(OpError::ExecutorFailed(format!("{} ({why})", op.name))))
     }
 
     /// The address currently holding the object's bytes.
@@ -1341,11 +1740,11 @@ impl Cloud4Home {
                 .node_index(*node)
                 .map(|j| self.nodes[j].addr)
                 .unwrap_or(self.nodes[op.client].addr),
-            Some(Location::Cloud { .. }) => {
-                self.cloud.as_ref().map(|c| c.addr).unwrap_or(
-                    self.nodes[op.client].addr,
-                )
-            }
+            Some(Location::Cloud { .. }) => self
+                .cloud
+                .as_ref()
+                .map(|c| c.addr)
+                .unwrap_or(self.nodes[op.client].addr),
             None => self.nodes[op.client].addr,
         }
     }
@@ -1353,15 +1752,37 @@ impl Cloud4Home {
     /// Stages the argument object: owner disk read, then a move flow when
     /// the execution target differs from the owner.
     fn proc_move_argument(&mut self, op: &mut Op) -> StepOutcome {
-        let meta = op.meta.clone().expect("set in ProcMetaGet");
+        let mut meta = op.meta.clone().expect("set in ProcMetaGet");
         match &meta.location {
             Location::Home { node } => {
-                let Some(owner) = self.node_index(*node).filter(|&j| self.nodes[j].alive) else {
+                // Stage from the first live holder: primary, then replicas.
+                let holder = std::iter::once(*node)
+                    .chain(meta.replicas.iter().copied())
+                    .filter_map(|key| self.node_index(key))
+                    .find(|&j| {
+                        self.nodes[j].alive
+                            && self.node_reachable(op.client, j)
+                            && self.nodes[j].objects.contains_key(&op.name)
+                    });
+                let Some(owner) = holder else {
                     return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
                 };
                 let Some(blob) = self.nodes[owner].objects.get(&op.name).cloned() else {
                     return Some(Err(OpError::NotFound(op.name.clone())));
                 };
+                // Record the effective holder so the move flow and movement
+                // estimates use the copy actually being read, keeping the
+                // displaced primary in the replica set for later retries.
+                let owner_key = self.nodes[owner].key;
+                if owner_key != *node {
+                    let old_primary = *node;
+                    meta.replicas.retain(|k| *k != owner_key);
+                    if !meta.replicas.contains(&old_primary) {
+                        meta.replicas.push(old_primary);
+                    }
+                }
+                meta.location = Location::Home { node: owner_key };
+                op.meta = Some(meta.clone());
                 op.staged = Some(blob);
                 let read = self.nodes[owner].disk.read_time(meta.size_bytes);
                 op.stage = Stage::ProcReadArg;
@@ -1416,11 +1837,24 @@ impl Cloud4Home {
     }
 
     fn proc_start_exec(&mut self, op: &mut Op) -> StepOutcome {
-        let kind = op.pipeline.get(op.pipeline_idx).copied()
+        let kind = op
+            .pipeline
+            .get(op.pipeline_idx)
+            .copied()
             .or(op.service)
             .expect("process carries a service");
         let sid = ServiceId(kind.id());
         let target = op.exec_target.expect("target chosen");
+        // The executor may have died or been cut off since it was chosen.
+        match target {
+            ExecTarget::Node(j) if !self.nodes[j].alive || !self.node_reachable(op.client, j) => {
+                return self.proc_redispatch(op, "executor offline");
+            }
+            ExecTarget::Cloud if self.cloud.is_none() || !self.cloud_reachable(op.client) => {
+                return self.proc_redispatch(op, "cloud unreachable");
+            }
+            _ => {}
+        }
         let size = op.object_bytes();
         let (duration, demand) = match target {
             ExecTarget::Node(j) => {
@@ -1430,8 +1864,8 @@ impl Cloud4Home {
                     .cloned()
                     .expect("placement validated the service");
                 let demand = svc.demand(size);
-                let load = self.nodes[j].sampler.active_tasks() as f64
-                    + self.config.nodes[j].ambient_load;
+                let load =
+                    self.nodes[j].sampler.active_tasks() as f64 + self.config.nodes[j].ambient_load;
                 let d = estimate_exec(
                     &demand,
                     &self.nodes[j].machine.platform().clone(),
@@ -1473,12 +1907,22 @@ impl Cloud4Home {
     }
 
     fn proc_finish_exec(&mut self, op: &mut Op) -> StepOutcome {
-        let kind = op.pipeline.get(op.pipeline_idx).copied()
+        let kind = op
+            .pipeline
+            .get(op.pipeline_idx)
+            .copied()
             .or(op.service)
             .expect("process carries a service");
         let sid = ServiceId(kind.id());
         let target = op.exec_target.expect("target chosen");
         let demand = op.exec_demand.expect("set at exec start");
+        // The executor crashed mid-execution: the partial work died with
+        // it, so re-dispatch to the next-best candidate.
+        if let ExecTarget::Node(j) = target {
+            if !self.nodes[j].alive {
+                return self.proc_redispatch(op, "executor crashed");
+            }
+        }
         // Release the execution slot and run the real kernel on the staged
         // sample.
         let output = match target {
@@ -1487,13 +1931,23 @@ impl Cloud4Home {
                     .sampler
                     .task_finished(demand.exec.mem_required_mib);
                 let svc = self.nodes[j].registry.get(sid).cloned().expect("deployed");
-                svc.run(&op.staged.as_ref().expect("argument staged").sample(SAMPLE_WINDOW))
+                svc.run(
+                    &op.staged
+                        .as_ref()
+                        .expect("argument staged")
+                        .sample(SAMPLE_WINDOW),
+                )
             }
             ExecTarget::Cloud => {
                 let cloud = self.cloud.as_mut().expect("cloud target");
                 cloud.active_tasks = cloud.active_tasks.saturating_sub(1);
                 let svc = cloud.registry.get(sid).cloned().expect("deployed");
-                svc.run(&op.staged.as_ref().expect("argument staged").sample(SAMPLE_WINDOW))
+                svc.run(
+                    &op.staged
+                        .as_ref()
+                        .expect("argument staged")
+                        .sample(SAMPLE_WINDOW),
+                )
             }
         };
         op.result_bytes = demand.output_bytes.max(output.data.len() as u64);

@@ -121,17 +121,35 @@ mod tests {
         let p = StorePolicy::SizeThreshold {
             cloud_at_bytes: 10 << 20,
         };
-        assert_eq!(p.classify(&obj(5 << 20, "jpeg", false)), PlacementClass::LocalFirst);
-        assert_eq!(p.classify(&obj(10 << 20, "jpeg", false)), PlacementClass::RemoteCloud);
-        assert_eq!(p.classify(&obj(50 << 20, "jpeg", false)), PlacementClass::RemoteCloud);
+        assert_eq!(
+            p.classify(&obj(5 << 20, "jpeg", false)),
+            PlacementClass::LocalFirst
+        );
+        assert_eq!(
+            p.classify(&obj(10 << 20, "jpeg", false)),
+            PlacementClass::RemoteCloud
+        );
+        assert_eq!(
+            p.classify(&obj(50 << 20, "jpeg", false)),
+            PlacementClass::RemoteCloud
+        );
     }
 
     #[test]
     fn privacy_keeps_mp3_and_private_home() {
         let p = StorePolicy::Privacy;
-        assert_eq!(p.classify(&obj(5 << 20, "mp3", false)), PlacementClass::LocalFirst);
-        assert_eq!(p.classify(&obj(5 << 20, "avi", true)), PlacementClass::LocalFirst);
-        assert_eq!(p.classify(&obj(5 << 20, "avi", false)), PlacementClass::RemoteCloud);
+        assert_eq!(
+            p.classify(&obj(5 << 20, "mp3", false)),
+            PlacementClass::LocalFirst
+        );
+        assert_eq!(
+            p.classify(&obj(5 << 20, "avi", true)),
+            PlacementClass::LocalFirst
+        );
+        assert_eq!(
+            p.classify(&obj(5 << 20, "avi", false)),
+            PlacementClass::RemoteCloud
+        );
         assert!(!p.may_spill_to_cloud());
     }
 

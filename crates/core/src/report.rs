@@ -77,6 +77,10 @@ pub enum OpError {
     OwnerUnreachable(String),
     /// The object's access-control list rejects the requesting node.
     AccessDenied(String),
+    /// The operation exhausted its retry budget or per-operation deadline.
+    Timeout(String),
+    /// Every candidate executor for a service crashed before completing it.
+    ExecutorFailed(String),
 }
 
 impl std::fmt::Display for OpError {
@@ -88,6 +92,8 @@ impl std::fmt::Display for OpError {
             OpError::Dht(e) => write!(f, "metadata operation failed: {e}"),
             OpError::OwnerUnreachable(n) => write!(f, "owner of {n} unreachable"),
             OpError::AccessDenied(n) => write!(f, "access to {n} denied by its ACL"),
+            OpError::Timeout(n) => write!(f, "operation on {n} timed out"),
+            OpError::ExecutorFailed(n) => write!(f, "every executor for {n} failed"),
         }
     }
 }
@@ -115,6 +121,12 @@ pub struct OpReport {
     pub completed: SimTime,
     /// Cost components.
     pub breakdown: Breakdown,
+    /// Metadata (DHT) request retries the operation needed.
+    pub retries: u32,
+    /// Failovers the operation performed: fetches redirected to another
+    /// replica, process executions re-dispatched to another candidate, or
+    /// store replica targets skipped after a crash.
+    pub failovers: u32,
     /// Success output or failure.
     pub outcome: Result<OpOutput, OpError>,
 }
@@ -164,6 +176,8 @@ mod tests {
             submitted: SimTime::from_millis(100),
             completed: SimTime::from_millis(350),
             breakdown: Breakdown::default(),
+            retries: 0,
+            failovers: 0,
             outcome: Ok(OpOutput {
                 bytes: 10,
                 via_cloud: false,
@@ -187,6 +201,8 @@ mod tests {
             submitted: SimTime::ZERO,
             completed: SimTime::ZERO,
             breakdown: Breakdown::default(),
+            retries: 0,
+            failovers: 1,
             outcome: Err(OpError::NotFound("ghost".into())),
         };
         r.expect_ok();
@@ -198,5 +214,11 @@ mod tests {
         assert!(OpError::ServiceUnavailable(3).to_string().contains('3'));
         let e: OpError = DhtError::Timeout.into();
         assert!(e.to_string().contains("timed out"));
+        assert!(OpError::Timeout("y".into())
+            .to_string()
+            .contains("timed out"));
+        assert!(OpError::ExecutorFailed("svc".into())
+            .to_string()
+            .contains("executor"));
     }
 }

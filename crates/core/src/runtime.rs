@@ -12,21 +12,28 @@
 //! [`OpReport`](crate::report::OpReport) carrying the Table-I-style cost
 //! breakdown.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
 use c4h_chimera::{ChimeraNode, DhtEvent, Envelope, Key, OverwritePolicy, ReqId};
 use c4h_cloud::{Ec2Fleet, S3Store};
-use c4h_kvstore::{node_resource_key, service_key, Record, ResourceRecord, ServiceRecord};
-use c4h_resources::{BinWatcher, ResourceMonitor, ResourceSampler, SamplerConfig};
+use c4h_kvstore::{
+    node_resource_key, object_key, service_key, Location, ObjectMeta, Record, ResourceRecord,
+    ServiceRecord,
+};
+use c4h_resources::{Bin, BinWatcher, ResourceMonitor, ResourceSampler, SamplerConfig};
 use c4h_services::{
     Compress, FaceDetect, FaceRecognize, Service, ServiceRegistry, TrainingSet, Transcode,
 };
-use c4h_simnet::{presets, Addr, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, SimTime};
+use c4h_simnet::{
+    presets, Addr, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, GilbertElliott, Partition,
+    SimTime,
+};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
 
 use crate::config::{Config, NodeId, ServiceKind};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::object::{synth_bytes, Blob};
 use crate::ops::{Op, OpInput};
 use crate::report::{OpId, OpReport};
@@ -40,7 +47,6 @@ const TICK_PERIOD: Duration = Duration::from_millis(500);
 /// One home node's full runtime state.
 #[derive(Debug)]
 pub(crate) struct NodeRt {
-
     pub(crate) name: String,
     pub(crate) addr: Addr,
     pub(crate) key: Key,
@@ -83,6 +89,8 @@ pub(crate) enum Event {
     OpWake { op: OpId },
     /// A DHT request completed for an operation (after IPC cost).
     DhtDone { op: OpId, ev: DhtEvent },
+    /// A scheduled fault-plan event fires.
+    Fault(FaultEvent),
 }
 
 /// Who is waiting on a DHT request.
@@ -103,6 +111,52 @@ pub struct RunStats {
     pub flows_started: u64,
     /// Overlay envelopes delivered.
     pub envelopes_delivered: u64,
+    /// Overlay envelopes dropped by loss models or partitions.
+    pub envelopes_dropped: u64,
+    /// DHT requests reissued after a timeout.
+    pub dht_retries: u64,
+    /// Fetches redirected to another live replica holder.
+    pub fetch_failovers: u64,
+    /// Process operations re-dispatched after an executor failure.
+    pub proc_redispatches: u64,
+    /// Peer data replicas written during stores and repairs.
+    pub replicas_written: u64,
+    /// Background re-replication transfers started.
+    pub repairs_started: u64,
+    /// Background re-replication transfers completed and installed.
+    pub repairs_completed: u64,
+}
+
+/// Why a churn action could not be carried out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnError {
+    /// No live, joined node exists to bootstrap the rejoin through.
+    NoLiveSeed,
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::NoLiveSeed => {
+                write!(f, "no live node to rejoin through")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+/// A background re-replication transfer in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct RepairJob {
+    /// Object being re-replicated.
+    pub(crate) name: String,
+    /// Source node index (a surviving holder).
+    pub(crate) src: usize,
+    /// Destination node index (the new replica).
+    pub(crate) dst: usize,
+    /// Object size in bytes.
+    pub(crate) bytes: u64,
 }
 
 /// One simulated Cloud4Home deployment.
@@ -138,6 +192,23 @@ pub struct Cloud4Home {
     pub(crate) next_op: u64,
     pub(crate) stats: RunStats,
     pub(crate) message_loss: f64,
+    /// Active reachability cut over node/cloud addresses.
+    pub(crate) partition: Partition,
+    /// Template for per-route bursty loss chains; `None` disables them.
+    pub(crate) bursty: Option<GilbertElliott>,
+    /// Per-directed-route Gilbert–Elliott chains, spawned lazily from
+    /// `bursty`. Keyed access only — never iterated — so `HashMap` ordering
+    /// cannot perturb determinism.
+    pub(crate) ge_chains: HashMap<(Addr, Addr), GilbertElliott>,
+    /// Per-node gray-failure processing-delay multiplier (1.0 = healthy).
+    pub(crate) slow_factor: Vec<f64>,
+    /// Metadata of replicated home objects, indexed for the repair daemon.
+    /// `BTreeMap` so repair scans are deterministic.
+    pub(crate) replica_meta: BTreeMap<String, ObjectMeta>,
+    /// Background re-replication transfers keyed by their flow.
+    pub(crate) repair_flows: HashMap<FlowId, RepairJob>,
+    /// Peers whose failure the repair daemon has already reacted to.
+    pub(crate) repaired_peers: BTreeSet<Key>,
     tick_armed: bool,
     tick_horizon: SimTime,
 }
@@ -257,6 +328,7 @@ impl Cloud4Home {
             }
         });
 
+        let slow_factor = vec![1.0; nodes.len()];
         let mut home = Cloud4Home {
             rng: rng.fork(),
             queue: EventQueue::new(),
@@ -272,6 +344,13 @@ impl Cloud4Home {
             next_op: 1,
             stats: RunStats::default(),
             message_loss: 0.0,
+            partition: Partition::default(),
+            bursty: None,
+            ge_chains: HashMap::new(),
+            slow_factor,
+            replica_meta: BTreeMap::new(),
+            repair_flows: HashMap::new(),
+            repaired_peers: BTreeSet::new(),
             tick_armed: false,
             tick_horizon: SimTime::ZERO,
             config,
@@ -354,15 +433,9 @@ impl Cloud4Home {
         let now = self.queue.now();
         let (up, down) = self.node_bandwidth(i);
         let n = &mut self.nodes[i];
-        let record = n.monitor.publish(
-            n.key,
-            now,
-            &mut n.sampler,
-            &n.bins,
-            up,
-            down,
-            &mut self.rng,
-        );
+        let record =
+            n.monitor
+                .publish(n.key, now, &mut n.sampler, &n.bins, up, down, &mut self.rng);
         let key = node_resource_key(&n.key.to_string());
         if let Ok(req) = n.chimera.put(
             key,
@@ -410,14 +483,25 @@ impl Cloud4Home {
         &self.nodes[id.0].name
     }
 
-    /// The node index holding the gateway role.
-    pub fn gateway(&self) -> NodeId {
-        NodeId(
-            self.nodes
-                .iter()
-                .position(|n| n.gateway)
-                .unwrap_or(0),
-        )
+    /// The node holding the gateway role, or `None` if the configuration
+    /// deploys no gateway (a cloud-less home cloud).
+    pub fn gateway(&self) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.gateway).map(NodeId)
+    }
+
+    /// Whether two home nodes can currently exchange traffic (no partition
+    /// cut between them).
+    pub(crate) fn node_reachable(&self, a: usize, b: usize) -> bool {
+        self.partition
+            .connected(self.nodes[a].addr, self.nodes[b].addr)
+    }
+
+    /// Whether a node can currently reach the remote cloud.
+    pub(crate) fn cloud_reachable(&self, i: usize) -> bool {
+        match &self.cloud {
+            Some(c) => self.partition.connected(self.nodes[i].addr, c.addr),
+            None => false,
+        }
     }
 
     /// Runtime statistics.
@@ -432,7 +516,10 @@ impl Cloud4Home {
 
     /// Total DHT lookup hops across nodes (for overlay statistics).
     pub fn dht_lookup_hops(&self) -> u64 {
-        self.nodes.iter().map(|n| n.chimera.stats().lookup_hops).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.chimera.stats().lookup_hops)
+            .sum()
     }
 
     /// Aggregate metadata-cache hit/miss counters across nodes.
@@ -451,7 +538,10 @@ impl Cloud4Home {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn set_message_loss(&mut self, p: f64) {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
         self.message_loss = p;
     }
 
@@ -494,31 +584,40 @@ impl Cloud4Home {
     // Churn API
     // ------------------------------------------------------------------
 
-    /// Crashes a node: it stops responding, transfers it was part of abort,
-    /// and its unreplicated state is lost until failure detection recovers
-    /// what replicas hold.
+    /// Crashes a node: it stops responding, transfers it was part of abort
+    /// (the waiting operations fail over to surviving replicas where they
+    /// can), and its unreplicated state is lost until failure detection
+    /// recovers what replicas hold.
     pub fn crash_node(&mut self, id: NodeId) {
         self.nodes[id.0].alive = false;
         let addr = self.nodes[id.0].addr;
-        // Abort in-flight bulk transfers touching the dead node and fail
-        // the operations waiting on them.
-        let dead_flows: Vec<FlowId> = self
+        let why = format!("transfer peer {} crashed", self.nodes[id.0].name);
+        self.abort_flows(|src, dst| src == addr || dst == addr, &why);
+        self.ensure_tick();
+    }
+
+    /// Cancels every in-flight bulk transfer whose endpoints satisfy `cut`,
+    /// rerouting the operations that were waiting on them. Repair transfers
+    /// crossing the cut are silently dropped (the daemon retries on the
+    /// next failure notification).
+    fn abort_flows(&mut self, cut: impl Fn(Addr, Addr) -> bool, why: &str) {
+        let mut dead_flows: Vec<FlowId> = self
             .flow_endpoints
             .iter()
-            .filter(|(_, (src, dst))| *src == addr || *dst == addr)
+            .filter(|(_, (src, dst))| cut(*src, *dst))
             .map(|(f, _)| *f)
             .collect();
+        // `flow_endpoints` is a HashMap; sort so the abort order (and thus
+        // every downstream RNG draw) is deterministic.
+        dead_flows.sort();
         for flow in dead_flows {
             self.net.cancel(flow);
             self.flow_endpoints.remove(&flow);
+            self.repair_flows.remove(&flow);
             if let Some(op) = self.flow_waiters.remove(&flow) {
-                self.fail_op(op, crate::report::OpError::OwnerUnreachable(format!(
-                    "transfer peer {} crashed",
-                    self.nodes[id.0].name
-                )));
+                self.transfer_failed(op, why);
             }
         }
-        self.ensure_tick();
     }
 
     /// Gracefully removes a node: it redistributes its DHT records and
@@ -531,20 +630,106 @@ impl Cloud4Home {
         self.publish_service_records();
     }
 
-    /// Rejoins a previously crashed or departed node through the seed.
-    pub fn rejoin_node(&mut self, id: NodeId) {
+    /// Rejoins a previously crashed or departed node through a live peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::NoLiveSeed`] (leaving the node down) when no
+    /// live, joined peer exists to bootstrap through.
+    pub fn rejoin_node(&mut self, id: NodeId) -> Result<(), ChurnError> {
         let seed = self
             .nodes
             .iter()
             .position(|n| n.alive && n.chimera.is_joined())
-            .expect("at least one live node to rejoin through");
+            .ok_or(ChurnError::NoLiveSeed)?;
         let seed_key = self.nodes[seed].key;
         self.nodes[id.0].alive = true;
+        // The peer is back: let the repair daemon react afresh if it fails
+        // again later.
+        let key = self.nodes[id.0].key;
+        self.repaired_peers.remove(&key);
         let now = self.now();
         self.nodes[id.0].chimera.join_via(seed_key, now);
         self.run_for(Duration::from_secs(2));
         self.publish_service_records();
         self.publish_resources(id.0);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Schedules a [`FaultPlan`]'s events relative to the current virtual
+    /// time. Events fire as the clock reaches each offset, deterministically
+    /// under the run seed; plans may be layered by calling this repeatedly.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        for (offset, event) in plan.into_sorted_events() {
+            self.queue.schedule_in(offset, Event::Fault(event));
+        }
+        self.ensure_tick();
+    }
+
+    /// Applies one fault (or recovery) action immediately.
+    pub fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Crash(id) => {
+                if self.nodes[id.0].alive {
+                    self.crash_node(id);
+                }
+            }
+            FaultEvent::Rejoin(id) => {
+                if !self.nodes[id.0].alive {
+                    // Ignored when no live seed exists, per the event's
+                    // documented semantics.
+                    let _ = self.rejoin_node(id);
+                }
+            }
+            FaultEvent::Partition(groups) => {
+                let gateway_group = self.gateway().map(|g| self.nodes[g.0].addr).map(|addr| {
+                    groups
+                        .iter()
+                        .position(|g| g.iter().any(|id| self.nodes[id.0].addr == addr))
+                });
+                let mut addr_groups: Vec<Vec<Addr>> = groups
+                    .iter()
+                    .map(|g| g.iter().map(|id| self.nodes[id.0].addr).collect())
+                    .collect();
+                // The cloud uplink runs through the gateway: the cloud
+                // endpoint lands in the gateway's group (the implicit
+                // remainder group when the gateway is unlisted).
+                if let Some(Some(idx)) = gateway_group {
+                    addr_groups[idx].push(CLOUD_ADDR);
+                }
+                self.partition = Partition::new(addr_groups);
+                let cut = self.partition.clone();
+                self.abort_flows(
+                    |src, dst| !cut.connected(src, dst),
+                    "network partition severed the transfer",
+                );
+                self.ensure_tick();
+            }
+            FaultEvent::Heal => {
+                self.partition = Partition::default();
+            }
+            FaultEvent::WanDegrade(factor) => {
+                self.set_wan_quality(factor.clamp(0.05, 1.0));
+            }
+            FaultEvent::BurstyLoss {
+                mean_loss,
+                mean_burst_len,
+            } => {
+                self.ge_chains.clear();
+                self.bursty = if mean_loss > 0.0 {
+                    Some(GilbertElliott::bursty(mean_loss, mean_burst_len))
+                } else {
+                    None
+                };
+            }
+            FaultEvent::SlowNode { node, factor } => {
+                self.slow_factor[node.0] = factor.max(1.0);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -564,10 +749,7 @@ impl Cloud4Home {
         let target = self.now() + d;
         self.tick_horizon = self.tick_horizon.max(target);
         self.ensure_tick();
-        while self
-            .next_time()
-            .is_some_and(|t| t <= target)
-        {
+        while self.next_time().is_some_and(|t| t <= target) {
             self.step();
         }
         if self.now() < target {
@@ -637,6 +819,8 @@ impl Cloud4Home {
                 self.flow_endpoints.remove(&flow);
                 if let Some(op) = self.flow_waiters.remove(&flow) {
                     self.op_continue(op, OpInput::FlowDone);
+                } else if let Some(job) = self.repair_flows.remove(&flow) {
+                    self.finish_repair(job);
                 }
             }
         } else {
@@ -674,6 +858,7 @@ impl Cloud4Home {
             }
             Event::OpWake { op } => self.op_continue(op, OpInput::Wake),
             Event::DhtDone { op, ev } => self.op_continue(op, OpInput::Dht(ev)),
+            Event::Fault(ev) => self.apply_fault(ev),
         }
     }
 
@@ -689,16 +874,39 @@ impl Cloud4Home {
                     let Some(&dst) = self.node_of_key.get(&env.to) else {
                         continue; // stale peer
                     };
+                    let (src_addr, dst_addr) = (self.nodes[i].addr, self.nodes[dst].addr);
+                    if !self.partition.connected(src_addr, dst_addr) {
+                        self.stats.envelopes_dropped += 1;
+                        continue; // severed by the active partition
+                    }
                     if self.message_loss > 0.0 && self.rng.chance(self.message_loss) {
+                        self.stats.envelopes_dropped += 1;
                         continue; // lost on the wireless link
+                    }
+                    if let Some(template) = self.bursty {
+                        let chain = self
+                            .ge_chains
+                            .entry((src_addr, dst_addr))
+                            .or_insert(template);
+                        if chain.step(&mut self.rng) {
+                            self.stats.envelopes_dropped += 1;
+                            continue; // lost in a burst on this route
+                        }
                     }
                     let latency = self
                         .net
                         .topology()
-                        .message_latency(self.nodes[i].addr, self.nodes[dst].addr, &mut self.rng)
+                        .message_latency(src_addr, dst_addr, &mut self.rng)
                         .unwrap_or(Duration::from_millis(1));
-                    let delay = latency + self.config.timing.chimera_proc;
-                    self.queue.schedule_in(delay, Event::Deliver { to: dst, env });
+                    // Gray failure: a throttled receiver processes slower.
+                    let proc = self
+                        .config
+                        .timing
+                        .chimera_proc
+                        .mul_f64(self.slow_factor[dst]);
+                    let delay = latency + proc;
+                    self.queue
+                        .schedule_in(delay, Event::Deliver { to: dst, env });
                 }
                 // Application-visible DHT events.
                 while let Some(ev) = self.nodes[i].chimera.poll_event() {
@@ -707,6 +915,12 @@ impl Cloud4Home {
                         DhtEvent::PutCompleted { req, .. } => Some(*req),
                         DhtEvent::GetCompleted { req, .. } => Some(*req),
                         DhtEvent::DeleteCompleted { req, .. } => Some(*req),
+                        DhtEvent::PeerFailed { node } => {
+                            // Failure detection feeds the repair daemon.
+                            let node = *node;
+                            self.handle_peer_failed(node);
+                            continue;
+                        }
                         _ => None,
                     };
                     let Some(req) = req else { continue };
@@ -756,10 +970,7 @@ impl Cloud4Home {
     /// Issues a DHT get from node `i` on behalf of an operation.
     pub(crate) fn dht_get_for_op(&mut self, op: OpId, i: usize, key: Key) {
         let now = self.now();
-        let req = self.nodes[i]
-            .chimera
-            .get(key, now)
-            .expect("node is joined");
+        let req = self.nodes[i].chimera.get(key, now).expect("node is joined");
         self.dht_waiters.insert((i, req), DhtWaiter::Op(op));
     }
 
@@ -830,5 +1041,160 @@ impl Cloud4Home {
         Record::decode(bytes)
             .ok()
             .and_then(|r| r.as_resource().cloned())
+    }
+
+    // ------------------------------------------------------------------
+    // Background repair daemon
+    // ------------------------------------------------------------------
+
+    /// Reacts to the liveness detector declaring a peer failed: scans the
+    /// replicated-object index and re-replicates every object the failure
+    /// left under-replicated.
+    pub(crate) fn handle_peer_failed(&mut self, peer: Key) {
+        if self.config.replication <= 1 {
+            return;
+        }
+        // Several nodes' detectors fire for the same peer; repair once.
+        if self.repaired_peers.contains(&peer) {
+            return;
+        }
+        if let Some(j) = self.node_index(peer) {
+            if self.nodes[j].alive {
+                // False positive (e.g. a healed partition): nothing to do,
+                // and a later real failure should still trigger repair.
+                return;
+            }
+        }
+        self.repaired_peers.insert(peer);
+        let names: Vec<String> = self.replica_meta.keys().cloned().collect();
+        for name in names {
+            self.maybe_repair(&name);
+        }
+    }
+
+    /// Re-replicates one object if it has fewer live copies than the
+    /// configured replication factor and a viable destination exists.
+    fn maybe_repair(&mut self, name: &str) {
+        let Some(meta) = self.replica_meta.get(name) else {
+            return;
+        };
+        let Location::Home { node } = meta.location else {
+            return;
+        };
+        let size = meta.size_bytes;
+        // Live holders, primary first (deterministic order).
+        let mut holders: Vec<usize> = Vec::new();
+        for key in std::iter::once(node).chain(meta.replicas.iter().copied()) {
+            if let Some(j) = self.node_index(key) {
+                if self.nodes[j].alive && !holders.contains(&j) {
+                    holders.push(j);
+                }
+            }
+        }
+        let Some(&src) = holders.first() else {
+            return; // every copy is gone; nothing to repair from
+        };
+        if holders.len() >= self.config.replication {
+            return;
+        }
+        if self.repair_flows.values().any(|job| job.name == name) {
+            return; // a repair for this object is already in flight
+        }
+        // Best destination: a live, reachable non-holder with voluntary
+        // space, preferring the most free space (index breaks ties).
+        let dst = (0..self.nodes.len())
+            .filter(|&j| {
+                self.nodes[j].alive
+                    && !holders.contains(&j)
+                    && self.node_reachable(src, j)
+                    && self.nodes[j].bins.fits(size, Bin::Voluntary)
+            })
+            .max_by_key(|&j| {
+                (
+                    self.nodes[j].bins.free_bytes(Bin::Voluntary),
+                    usize::MAX - j,
+                )
+            });
+        let Some(dst) = dst else {
+            return;
+        };
+        let now = self.now();
+        self.net.advance(now);
+        let Ok(flow) = self.net.start_flow(
+            now,
+            self.nodes[src].addr,
+            self.nodes[dst].addr,
+            size.max(1),
+            &mut self.rng,
+        ) else {
+            return;
+        };
+        self.stats.flows_started += 1;
+        self.stats.repairs_started += 1;
+        self.flow_endpoints
+            .insert(flow, (self.nodes[src].addr, self.nodes[dst].addr));
+        self.repair_flows.insert(
+            flow,
+            RepairJob {
+                name: name.to_owned(),
+                src,
+                dst,
+                bytes: size,
+            },
+        );
+        self.ensure_tick();
+    }
+
+    /// Installs a completed repair transfer on its destination and
+    /// republishes the object's metadata with the new replica set.
+    fn finish_repair(&mut self, job: RepairJob) {
+        let Some(meta) = self.replica_meta.get(&job.name).cloned() else {
+            return; // deleted while the repair was in flight
+        };
+        if !self.nodes[job.dst].alive {
+            return;
+        }
+        let Some(blob) = self.nodes[job.src].objects.get(&job.name).cloned() else {
+            return; // the source lost the bytes mid-repair
+        };
+        if self.nodes[job.dst].bins.lookup(&job.name).is_some() {
+            self.nodes[job.dst].bins.remove(&job.name);
+        }
+        if self.nodes[job.dst]
+            .bins
+            .store(&job.name, job.bytes, Bin::Voluntary)
+            .is_err()
+        {
+            return;
+        }
+        self.nodes[job.dst].objects.insert(job.name.clone(), blob);
+        self.stats.replicas_written += 1;
+        self.stats.repairs_completed += 1;
+
+        // Refresh the replica set: drop dead holders, add the new one.
+        let mut meta = meta;
+        let dst_key = self.nodes[job.dst].key;
+        meta.replicas.retain(|k| {
+            self.node_index(*k)
+                .is_some_and(|j| self.nodes[j].alive && j != job.dst)
+        });
+        if !meta.replicas.contains(&dst_key) && meta.location != (Location::Home { node: dst_key })
+        {
+            meta.replicas.push(dst_key);
+        }
+        self.replica_meta.insert(job.name.clone(), meta.clone());
+
+        // Republish the metadata record in the background so future
+        // fetches learn the new replica.
+        let publisher = job.src;
+        let now = self.now();
+        if let Ok(req) = self.nodes[publisher].chimera.put(
+            object_key(&meta.name),
+            Record::Object(meta).encode(),
+            OverwritePolicy::Overwrite,
+            now,
+        ) {
+            self.dht_waiters.insert((publisher, req), DhtWaiter::Ignore);
+        }
     }
 }

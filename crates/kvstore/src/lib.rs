@@ -35,6 +35,7 @@
 //!     owner: Key::from_name("desktop"),
 //!     acl: c4h_kvstore::Acl::Public,
 //!     created_at_ns: 0,
+//!     replicas: Vec::new(),
 //! };
 //! let key = object_key(&meta.name);
 //! let bytes = Record::Object(meta.clone()).encode();
@@ -53,7 +54,6 @@ mod wire;
 
 pub use keys::{directory_key, node_resource_key, object_key, parent_dir, service_key};
 pub use records::{
-    Acl, DirEntry,
-    Location, ObjectMeta, Record, ResourceRecord, ServiceRecord, SCHEMA_VERSION,
+    Acl, DirEntry, Location, ObjectMeta, Record, ResourceRecord, ServiceRecord, SCHEMA_VERSION,
 };
 pub use wire::{WireError, WireReader, WireWriter};

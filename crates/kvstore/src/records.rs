@@ -160,6 +160,9 @@ pub struct ObjectMeta {
     pub acl: Acl,
     /// Creation time, virtual nanoseconds.
     pub created_at_ns: u64,
+    /// Home-cloud nodes holding extra copies of the object's bytes, in
+    /// replica order. Empty when the object is unreplicated or cloud-hosted.
+    pub replicas: Vec<Key>,
 }
 
 impl ObjectMeta {
@@ -176,6 +179,10 @@ impl ObjectMeta {
         w.u64(self.owner.raw());
         self.acl.encode(w);
         w.u64(self.created_at_ns);
+        w.u64(self.replicas.len() as u64);
+        for rep in &self.replicas {
+            w.u64(rep.raw());
+        }
     }
 
     fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -192,6 +199,11 @@ impl ObjectMeta {
         let owner = Key::from_raw(r.u64()?);
         let acl = Acl::decode(r)?;
         let created_at_ns = r.u64()?;
+        let n_replicas = r.u64()? as usize;
+        let mut replicas = Vec::with_capacity(n_replicas.min(1024));
+        for _ in 0..n_replicas {
+            replicas.push(Key::from_raw(r.u64()?));
+        }
         Ok(ObjectMeta {
             name,
             size_bytes,
@@ -202,6 +214,7 @@ impl ObjectMeta {
             owner,
             acl,
             created_at_ns,
+            replicas,
         })
     }
 }
@@ -475,6 +488,7 @@ mod tests {
             owner: Key::from_name("netbook-0"),
             acl: Acl::Public,
             created_at_ns: 123_456_789,
+            replicas: vec![Key::from_name("netbook-2")],
         }
     }
 
@@ -541,7 +555,10 @@ mod tests {
     fn wrong_schema_version_is_rejected() {
         let mut bytes = Record::Object(sample_object()).encode();
         bytes[1] = 99;
-        assert_eq!(Record::decode(&bytes).unwrap_err(), WireError::UnknownTag(99));
+        assert_eq!(
+            Record::decode(&bytes).unwrap_err(),
+            WireError::UnknownTag(99)
+        );
     }
 
     #[test]
@@ -606,6 +623,7 @@ mod acl_tests {
                 owner: Key::from_name("n"),
                 acl: acl.clone(),
                 created_at_ns: 0,
+                replicas: Vec::new(),
             });
             let decoded = Record::decode(&rec.encode()).unwrap();
             assert_eq!(decoded.as_object().unwrap().acl, acl);
@@ -639,13 +657,30 @@ mod dir_tests {
     fn fold_listing_applies_tombstones_in_order() {
         let adds: Vec<Vec<u8>> = ["a", "b", "a", "c"]
             .iter()
-            .map(|n| DirEntry { name: (*n).into(), tombstone: false }.encode())
+            .map(|n| {
+                DirEntry {
+                    name: (*n).into(),
+                    tombstone: false,
+                }
+                .encode()
+            })
             .collect();
-        let del = DirEntry { name: "b".into(), tombstone: true }.encode();
-        let readd = DirEntry { name: "b".into(), tombstone: false }.encode();
+        let del = DirEntry {
+            name: "b".into(),
+            tombstone: true,
+        }
+        .encode();
+        let readd = DirEntry {
+            name: "b".into(),
+            tombstone: false,
+        }
+        .encode();
         let mut chain: Vec<&[u8]> = adds.iter().map(Vec::as_slice).collect();
         chain.push(&del);
-        assert_eq!(DirEntry::fold_listing(chain.iter().copied()), vec!["a", "c"]);
+        assert_eq!(
+            DirEntry::fold_listing(chain.iter().copied()),
+            vec!["a", "c"]
+        );
         chain.push(&readd);
         assert_eq!(
             DirEntry::fold_listing(chain.iter().copied()),
@@ -655,7 +690,11 @@ mod dir_tests {
 
     #[test]
     fn fold_listing_skips_garbage_versions() {
-        let good = DirEntry { name: "x".into(), tombstone: false }.encode();
+        let good = DirEntry {
+            name: "x".into(),
+            tombstone: false,
+        }
+        .encode();
         let chain: Vec<&[u8]> = vec![b"\xFF\xFF garbage", &good];
         assert_eq!(DirEntry::fold_listing(chain.into_iter()), vec!["x"]);
     }

@@ -137,7 +137,15 @@ mod tests {
         let mut sampler = ResourceSampler::new(crate::sampler::SamplerConfig::default());
         let bins = BinWatcher::new(100 << 20, 200 << 20);
         let mut rng = DetRng::seed(0);
-        m.publish(Key::from_name("n"), t, &mut sampler, &bins, 1.0, 2.0, &mut rng)
+        m.publish(
+            Key::from_name("n"),
+            t,
+            &mut sampler,
+            &bins,
+            1.0,
+            2.0,
+            &mut rng,
+        )
     }
 
     #[test]

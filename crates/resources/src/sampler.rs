@@ -153,8 +153,8 @@ impl ResourceSampler {
 
         // Mean-reverting ambient load with bounded noise.
         let noise = rng.uniform(-self.config.volatility, self.config.volatility);
-        self.ambient_load += self.config.reversion * (self.config.baseline_load - self.ambient_load)
-            + noise;
+        self.ambient_load +=
+            self.config.reversion * (self.config.baseline_load - self.ambient_load) + noise;
         self.ambient_load = self.ambient_load.clamp(0.0, 1.0);
 
         let cpu_load = self.ambient_load + self.active_tasks as f64;
@@ -162,8 +162,7 @@ impl ResourceSampler {
         // Battery drain over the elapsed interval.
         if let (Some(pct), Some(b)) = (self.battery_pct.as_mut(), self.config.battery) {
             let hours = elapsed.as_secs_f64() / 3600.0;
-            let drain =
-                (b.idle_drain_pct_per_hour + b.load_drain_pct_per_hour * cpu_load) * hours;
+            let drain = (b.idle_drain_pct_per_hour + b.load_drain_pct_per_hour * cpu_load) * hours;
             *pct = (*pct - drain).max(0.0);
         }
 

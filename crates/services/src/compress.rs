@@ -43,7 +43,10 @@ impl std::fmt::Display for DecompressError {
         match self {
             DecompressError::Truncated => write!(f, "compressed stream truncated"),
             DecompressError::BadReference { at, distance } => {
-                write!(f, "back-reference distance {distance} invalid at offset {at}")
+                write!(
+                    f,
+                    "back-reference distance {distance} invalid at offset {at}"
+                )
             }
         }
     }
@@ -280,7 +283,10 @@ mod tests {
         let out = c.run(&vec![7u8; 2048]);
         assert!(out.summary.contains("compressed"));
         assert!(out.data.len() < 2048);
-        let transcode_work = crate::transcode::Transcode::new().demand(10 << 20).work.raw();
+        let transcode_work = crate::transcode::Transcode::new()
+            .demand(10 << 20)
+            .work
+            .raw();
         assert!(c.demand(10 << 20).work.raw() < transcode_work);
     }
 

@@ -36,9 +36,7 @@ mod vision;
 
 pub use compress::{Compress, DecompressError, COMPRESS_ID};
 pub use registry::ServiceRegistry;
-pub use service::{
-    mib_f64, MinRequirements, Service, ServiceDemand, ServiceId, ServiceOutput,
-};
+pub use service::{mib_f64, MinRequirements, Service, ServiceDemand, ServiceId, ServiceOutput};
 pub use transcode::{Transcode, TRANSCODE_ID};
 pub use vision::{
     feature_vector, Detection, FaceDetect, FaceRecognize, TrainingSet, FACE_DETECT_ID,

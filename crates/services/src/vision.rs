@@ -222,11 +222,7 @@ impl TrainingSet {
         let f = feature_vector(probe);
         let mut best = (0usize, f32::INFINITY);
         for (i, t) in self.features.iter().enumerate() {
-            let d: f32 = f
-                .iter()
-                .zip(t.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d: f32 = f.iter().zip(t.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
             if d < best.1 {
                 best = (i, d);
             }
@@ -341,9 +337,9 @@ mod tests {
         let hits = fd.detect(&with_face);
         assert!(!hits.is_empty(), "planted pattern should be detected");
         // The detection lands near the planted location.
-        assert!(hits.iter().any(|d| {
-            (d.x as i64 - 64).abs() < 48 && (d.y as i64 - 64).abs() < 48
-        }));
+        assert!(hits
+            .iter()
+            .any(|d| { (d.x as i64 - 64).abs() < 48 && (d.y as i64 - 64).abs() < 48 }));
     }
 
     #[test]
@@ -358,7 +354,8 @@ mod tests {
         let bright = vec![220u8; 4096];
         let dark = vec![25u8; 4096];
         let mid = vec![128u8; 4096];
-        let training = TrainingSet::from_examples([bright.as_slice(), dark.as_slice(), mid.as_slice()]);
+        let training =
+            TrainingSet::from_examples([bright.as_slice(), dark.as_slice(), mid.as_slice()]);
         assert_eq!(training.len(), 3);
         assert!(!training.is_empty());
         let fr = FaceRecognize::new(training);

@@ -16,9 +16,9 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use crate::tcp::TcpProfile;
 use crate::time::{duration_from_secs_f64, SimTime};
 use crate::topology::{Addr, SegmentId, Topology};
-use crate::tcp::TcpProfile;
 use crate::DetRng;
 
 /// Identifier of an in-flight bulk transfer.
@@ -578,8 +578,12 @@ mod tests {
         let done = drain(&mut net);
         // Both finish at exactly 1 s: 200 at 200 B/s and 800 at 800 B/s.
         assert_eq!(done.len(), 2);
-        assert!(done.iter().any(|&(f, at)| f == slow && at == SimTime::from_secs(1)));
-        assert!(done.iter().any(|&(f, at)| f == fast && at == SimTime::from_secs(1)));
+        assert!(done
+            .iter()
+            .any(|&(f, at)| f == slow && at == SimTime::from_secs(1)));
+        assert!(done
+            .iter()
+            .any(|&(f, at)| f == fast && at == SimTime::from_secs(1)));
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * **Topology description** ([`Topology`]) — sites, shared segments,
 //!   routes with latency models and bandwidth variability.
 //! * **Calibrated presets** ([`presets`]) — the paper testbed's numbers.
+//! * **Fault primitives** ([`GilbertElliott`], [`Partition`]) — bursty
+//!   per-route loss and reachability cuts for deterministic
+//!   fault-injection experiments.
 //!
 //! # Examples
 //!
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fault;
 mod flow;
 pub mod presets;
 mod queue;
@@ -59,6 +63,7 @@ mod tcp;
 mod time;
 mod topology;
 
+pub use fault::{GilbertElliott, Partition};
 pub use flow::{FlowEvent, FlowId, FlowNet, FlowProgress, NetError};
 pub use queue::EventQueue;
 pub use rng::DetRng;

@@ -175,7 +175,15 @@ pub fn paper_testbed() -> PaperTestbed {
     let home = b.site("home");
     let cloud = b.site("cloud");
 
-    b.route(home, home, vec![lan], lan_latency(), lan_tcp_profile(), 0.98, 0.05);
+    b.route(
+        home,
+        home,
+        vec![lan],
+        lan_latency(),
+        lan_tcp_profile(),
+        0.98,
+        0.05,
+    );
     b.route(
         home,
         cloud,
@@ -235,15 +243,23 @@ mod tests {
     fn wan_down_curve_peaks_near_20_mib() {
         let p = wan_down_profile();
         let cap = wan_down_capacity_bps();
-        let tput =
-            |m: u64| p.average_throughput(mib(m), cap, wan_bandwidth_median());
+        let tput = |m: u64| p.average_throughput(mib(m), cap, wan_bandwidth_median());
         let at_10 = tput(10);
         let at_20 = tput(20);
         let at_50 = tput(50);
         let at_100 = tput(100);
-        assert!(at_20 > at_10, "20 MiB ({at_20}) should beat 10 MiB ({at_10})");
-        assert!(at_20 > at_50, "20 MiB ({at_20}) should beat 50 MiB ({at_50})");
-        assert!(at_50 > at_100, "50 MiB ({at_50}) should beat 100 MiB ({at_100})");
+        assert!(
+            at_20 > at_10,
+            "20 MiB ({at_20}) should beat 10 MiB ({at_10})"
+        );
+        assert!(
+            at_20 > at_50,
+            "20 MiB ({at_20}) should beat 50 MiB ({at_50})"
+        );
+        assert!(
+            at_50 > at_100,
+            "50 MiB ({at_50}) should beat 100 MiB ({at_100})"
+        );
     }
 
     #[test]
@@ -264,7 +280,10 @@ mod tests {
             (tb.cloud, tb.home),
             (tb.cloud, tb.cloud),
         ] {
-            assert!(tb.topology.route(s, d).is_some(), "missing route {s:?}->{d:?}");
+            assert!(
+                tb.topology.route(s, d).is_some(),
+                "missing route {s:?}->{d:?}"
+            );
         }
     }
 

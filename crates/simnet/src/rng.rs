@@ -174,7 +174,10 @@ mod tests {
             counts[r.zipf(10, 1.0)] += 1;
         }
         assert!(counts[0] > counts[4], "rank 0 should dominate: {counts:?}");
-        assert!(counts[4] > counts[9], "rank 4 should beat rank 9: {counts:?}");
+        assert!(
+            counts[4] > counts[9],
+            "rank 4 should beat rank 9: {counts:?}"
+        );
     }
 
     #[test]

@@ -165,7 +165,9 @@ impl TcpProfile {
     /// Average throughput (bytes/second) for a single uncontended transfer of
     /// `bytes`, including setup cost.
     pub fn average_throughput(&self, bytes: u64, bottleneck_bps: f64, factor: f64) -> f64 {
-        let t = self.transfer_time(bytes, bottleneck_bps, factor).as_secs_f64();
+        let t = self
+            .transfer_time(bytes, bottleneck_bps, factor)
+            .as_secs_f64();
         if t <= 0.0 {
             f64::INFINITY
         } else {

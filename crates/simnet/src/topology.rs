@@ -374,7 +374,9 @@ mod tests {
         let (mut t, home, _) = two_site_topology();
         t.attach(Addr::new(1), home);
         let mut rng = DetRng::seed(0);
-        let d = t.message_latency(Addr::new(1), Addr::new(1), &mut rng).unwrap();
+        let d = t
+            .message_latency(Addr::new(1), Addr::new(1), &mut rng)
+            .unwrap();
         assert!(d < Duration::from_millis(1));
     }
 

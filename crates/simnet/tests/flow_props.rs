@@ -48,11 +48,11 @@ fn drain_completion_times(net: &mut FlowNet) -> Vec<SimTime> {
 
 fn profile_strategy() -> impl Strategy<Value = TcpProfile> {
     (
-        0u64..2000,          // setup ms
-        1.0e3..1.0e7f64,     // floor bps
-        0.0..1.0e6f64,       // ramp bps/s
-        50u64..2000,         // ramp step ms
-        1.0e4..2.0e7f64,     // cap bps
+        0u64..2000,                                        // setup ms
+        1.0e3..1.0e7f64,                                   // floor bps
+        0.0..1.0e6f64,                                     // ramp bps/s
+        50u64..2000,                                       // ramp step ms
+        1.0e4..2.0e7f64,                                   // cap bps
         proptest::option::of((1u64..64, 1.0e3..1.0e6f64)), // sustained
     )
         .prop_map(|(setup_ms, floor, ramp, step_ms, cap, sustained)| {

@@ -79,7 +79,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated { got } => {
-                write!(f, "packet truncated: {got} bytes < {HEADER_LEN}-byte header")
+                write!(
+                    f,
+                    "packet truncated: {got} bytes < {HEADER_LEN}-byte header"
+                )
             }
             DecodeError::LengthMismatch { declared, got } => {
                 write!(f, "length field {declared} does not match buffer {got}")
@@ -187,7 +190,9 @@ impl CommandPacket {
         }
         let command = CommandType::from_u8(bytes[2]).ok_or(DecodeError::UnknownType(bytes[2]))?;
         let service_id = u32::from_le_bytes(bytes[3..7].try_into().expect("4 bytes"));
-        let dom_id = DomId(u32::from_le_bytes(bytes[7..11].try_into().expect("4 bytes")));
+        let dom_id = DomId(u32::from_le_bytes(
+            bytes[7..11].try_into().expect("4 bytes"),
+        ));
         let shm_ref = u64::from_le_bytes(bytes[11..19].try_into().expect("8 bytes"));
         Ok(CommandPacket {
             command,

@@ -181,8 +181,20 @@ mod tests {
             mem_required_mib: 64,
         };
         let w = WorkUnits(20.0);
-        let s1 = exec_time(w, profile, &PlatformSpec::atom_s1(), VmSpec::new(512, 1), 0.0);
-        let s2 = exec_time(w, profile, &PlatformSpec::desktop_s2(), VmSpec::new(512, 4), 0.0);
+        let s1 = exec_time(
+            w,
+            profile,
+            &PlatformSpec::atom_s1(),
+            VmSpec::new(512, 1),
+            0.0,
+        );
+        let s2 = exec_time(
+            w,
+            profile,
+            &PlatformSpec::desktop_s2(),
+            VmSpec::new(512, 4),
+            0.0,
+        );
         assert!(s2 < s1, "quad desktop should beat single-vcpu Atom");
     }
 
@@ -195,7 +207,13 @@ mod tests {
             mem_required_mib: 260,
         };
         let w = WorkUnits(20.0);
-        let starved = exec_time(w, profile, &PlatformSpec::desktop_s2(), VmSpec::new(128, 4), 0.0);
+        let starved = exec_time(
+            w,
+            profile,
+            &PlatformSpec::desktop_s2(),
+            VmSpec::new(128, 4),
+            0.0,
+        );
         let roomy = exec_time(
             w,
             profile,
@@ -213,8 +231,20 @@ mod tests {
     fn load_scales_linearly() {
         let profile = ExecProfile::sequential();
         let w = WorkUnits(5.0);
-        let idle = exec_time(w, profile, &PlatformSpec::desktop_quad(), VmSpec::new(256, 1), 0.0);
-        let busy = exec_time(w, profile, &PlatformSpec::desktop_quad(), VmSpec::new(256, 1), 1.0);
+        let idle = exec_time(
+            w,
+            profile,
+            &PlatformSpec::desktop_quad(),
+            VmSpec::new(256, 1),
+            0.0,
+        );
+        let busy = exec_time(
+            w,
+            profile,
+            &PlatformSpec::desktop_quad(),
+            VmSpec::new(256, 1),
+            1.0,
+        );
         assert!((busy.as_secs_f64() / idle.as_secs_f64() - 2.0).abs() < 1e-9);
     }
 

@@ -111,7 +111,12 @@ impl GrantTable {
     /// # Errors
     ///
     /// [`GrantError::TableFull`] when at capacity.
-    pub fn grant(&mut self, grantee: DomId, pages: u32, writable: bool) -> Result<GrantRef, GrantError> {
+    pub fn grant(
+        &mut self,
+        grantee: DomId,
+        pages: u32,
+        writable: bool,
+    ) -> Result<GrantRef, GrantError> {
         if self.grants.len() >= self.capacity {
             return Err(GrantError::TableFull {
                 capacity: self.capacity,
@@ -230,6 +235,8 @@ mod tests {
         let b = t.grant(DomId(1), 1, true).unwrap();
         assert_ne!(a, b);
         assert_eq!(a.to_string(), "gref:1");
-        assert!(GrantError::TableFull { capacity: 8 }.to_string().contains('8'));
+        assert!(GrantError::TableFull { capacity: 8 }
+            .to_string()
+            .contains('8'));
     }
 }

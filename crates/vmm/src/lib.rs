@@ -50,9 +50,9 @@
 
 mod channel;
 mod command;
-mod grants;
 mod cpu;
 mod disk;
+mod grants;
 mod platform;
 mod vm;
 

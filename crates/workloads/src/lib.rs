@@ -12,6 +12,4 @@
 
 mod trace;
 
-pub use trace::{
-    generate, FileKind, FileSpec, OpKind, SizeBucket, Trace, TraceConfig, TraceOp,
-};
+pub use trace::{generate, FileKind, FileSpec, OpKind, SizeBucket, Trace, TraceConfig, TraceOp};

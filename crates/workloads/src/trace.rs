@@ -278,7 +278,11 @@ pub fn generate(config: &TraceConfig, seed: u64) -> Trace {
             }
         };
         files.push(FileSpec {
-            name: format!("edonkey/{}/file-{i:05}.{}", kind.content_type(), kind.content_type()),
+            name: format!(
+                "edonkey/{}/file-{i:05}.{}",
+                kind.content_type(),
+                kind.content_type()
+            ),
             size_bytes,
             kind,
             tags: vec![format!("topic-{}", i % 17), kind.content_type().to_owned()],
@@ -336,7 +340,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for op in &trace.ops {
             if seen.insert(op.file) {
-                assert_eq!(op.op, OpKind::Store, "first op on file {} must store", op.file);
+                assert_eq!(
+                    op.op,
+                    OpKind::Store,
+                    "first op on file {} must store",
+                    op.file
+                );
             }
         }
     }
@@ -410,8 +419,7 @@ mod tests {
     #[test]
     fn clients_are_all_used() {
         let trace = generate(&TraceConfig::paper_default(3000), 21);
-        let used: std::collections::HashSet<usize> =
-            trace.ops.iter().map(|o| o.client).collect();
+        let used: std::collections::HashSet<usize> = trace.ops.iter().map(|o| o.client).collect();
         assert_eq!(used.len(), 6);
     }
 
@@ -431,8 +439,8 @@ mod think_tests {
     fn think_times_average_near_the_mean() {
         let config = TraceConfig::paper_default(4000);
         let trace = generate(&config, 99);
-        let mean: f64 = trace.ops.iter().map(|o| o.think.as_secs_f64()).sum::<f64>()
-            / trace.ops.len() as f64;
+        let mean: f64 =
+            trace.ops.iter().map(|o| o.think.as_secs_f64()).sum::<f64>() / trace.ops.len() as f64;
         assert!(
             (1.0..3.5).contains(&mean),
             "mean think {mean:.2}s should sit near the configured 2s"

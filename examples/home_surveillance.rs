@@ -8,19 +8,20 @@
 //!
 //! Run with: `cargo run -p cloud4home --example home_surveillance`
 
-use cloud4home::{
-    Cloud4Home, Config, NodeId, Object, RoutePolicy, ServiceKind, StorePolicy,
-};
+use cloud4home::{Cloud4Home, Config, NodeId, Object, RoutePolicy, ServiceKind, StorePolicy};
 
 fn main() {
     let mut home = Cloud4Home::new(Config::paper_testbed(1234));
     let camera = NodeId(0); // the netbook the camera hangs off
 
-    println!("{:<26} {:>9} {:>13} {:>11} {:>11}", "image", "size", "detect@", "recognize@", "total ms");
+    println!(
+        "{:<26} {:>9} {:>13} {:>11} {:>11}",
+        "image", "size", "detect@", "recognize@", "total ms"
+    );
     for (i, kib) in [256u64, 512, 1024, 2048].into_iter().enumerate() {
         let name = format!("camera/front/img-{i:03}.jpg");
-        let image = Object::synthetic(&name, i as u64 + 1, kib << 10, "jpeg")
-            .with_tag("surveillance");
+        let image =
+            Object::synthetic(&name, i as u64 + 1, kib << 10, "jpeg").with_tag("surveillance");
 
         // Store with the paper's surveillance policy: images below the
         // threshold stay on home nodes for low-latency processing.
@@ -36,7 +37,12 @@ fn main() {
 
         // Detection first ("surveillance images are processed first by a
         // face detection algorithm, followed by face recognition").
-        let op = home.process_object(camera, &name, ServiceKind::FaceDetect, RoutePolicy::Performance);
+        let op = home.process_object(
+            camera,
+            &name,
+            ServiceKind::FaceDetect,
+            RoutePolicy::Performance,
+        );
         let detect = home.run_until_complete(op);
         let detect_out = detect.expect_ok().clone();
 
@@ -49,8 +55,7 @@ fn main() {
         let recog = home.run_until_complete(op);
         let recog_out = recog.expect_ok().clone();
 
-        let total_ms =
-            (detect.total().as_secs_f64() + recog.total().as_secs_f64()) * 1e3;
+        let total_ms = (detect.total().as_secs_f64() + recog.total().as_secs_f64()) * 1e3;
         println!(
             "{:<26} {:>7}KiB {:>13} {:>11} {:>11.0}",
             name,

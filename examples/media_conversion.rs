@@ -34,12 +34,18 @@ fn main() {
         home.run_until_complete(op).expect_ok();
 
         // Town: conversion pinned at the owner.
-        let op = home.process_object_at(mobile, &name, ServiceKind::Transcode, Placement::Pin(owner));
+        let op =
+            home.process_object_at(mobile, &name, ServiceKind::Transcode, Placement::Pin(owner));
         let town = home.run_until_complete(op);
         town.expect_ok();
 
         // Topt: dynamic resource discovery picks the execution site.
-        let op = home.process_object(mobile, &name, ServiceKind::Transcode, RoutePolicy::Performance);
+        let op = home.process_object(
+            mobile,
+            &name,
+            ServiceKind::Transcode,
+            RoutePolicy::Performance,
+        );
         let topt = home.run_until_complete(op);
         let out = topt.expect_ok().clone();
 

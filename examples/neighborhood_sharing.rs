@@ -37,7 +37,10 @@ fn main() {
         config.nodes.push(d);
     }
     let mut home = Cloud4Home::new(config);
-    println!("neighborhood overlay: {} devices across 2 houses", home.node_count());
+    println!(
+        "neighborhood overlay: {} devices across 2 houses",
+        home.node_count()
+    );
 
     // House 14's camera captures events; recognition may run on either
     // house's hardware.
@@ -47,7 +50,12 @@ fn main() {
         let img = Object::synthetic(&name, i + 1, 768 << 10, "jpeg").private();
         let op = home.store_object(camera, img, StorePolicy::Privacy, true);
         home.run_until_complete(op).expect_ok();
-        let op = home.process_object(camera, &name, ServiceKind::FaceRecognize, RoutePolicy::Performance);
+        let op = home.process_object(
+            camera,
+            &name,
+            ServiceKind::FaceRecognize,
+            RoutePolicy::Performance,
+        );
         let r = home.run_until_complete(op);
         let out = r.expect_ok();
         println!(
@@ -69,7 +77,12 @@ fn main() {
     let img = Object::synthetic(name, 9, 768 << 10, "jpeg").private();
     let op = home.store_object(camera, img, StorePolicy::Privacy, true);
     home.run_until_complete(op).expect_ok();
-    let op = home.process_object(camera, name, ServiceKind::FaceRecognize, RoutePolicy::Performance);
+    let op = home.process_object(
+        camera,
+        name,
+        ServiceKind::FaceRecognize,
+        RoutePolicy::Performance,
+    );
     let r = home.run_until_complete(op);
     let out = r.expect_ok();
     println!(

@@ -3,19 +3,18 @@
 //!
 //! Run with: `cargo run -p cloud4home --example quickstart`
 
-use cloud4home::{
-    Cloud4Home, Config, NodeId, Object, RoutePolicy, ServiceKind, StorePolicy,
-};
+use cloud4home::{Cloud4Home, Config, NodeId, Object, RoutePolicy, ServiceKind, StorePolicy};
 
 fn main() {
     // Five Atom netbooks + one desktop gateway + an S3/EC2-style cloud,
     // with the ICDCS'11 testbed's network characteristics. Everything runs
     // in deterministic virtual time.
     let mut home = Cloud4Home::new(Config::paper_testbed(42));
+    let gateway = home.gateway().expect("the paper testbed has a gateway");
     println!(
         "home cloud up: {} nodes, gateway = {}",
         home.node_count(),
-        home.node_name(home.gateway())
+        home.node_name(gateway)
     );
 
     // 1. Store a surveillance image from netbook 0. The size-threshold

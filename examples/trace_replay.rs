@@ -69,7 +69,11 @@ fn main() {
 
     let elapsed = (home.now() - start).as_secs_f64();
     let (h_bps, c_bps) = learner.estimates_bps();
-    println!("replayed {} operations in {:.1} virtual minutes", trace.ops.len(), elapsed / 60.0);
+    println!(
+        "replayed {} operations in {:.1} virtual minutes",
+        trace.ops.len(),
+        elapsed / 60.0
+    );
     println!("  stores: {stores}   fetches: {fetches}   failures: {failures}");
     println!(
         "  via cloud: {cloud_ops} ops ({:.0}%)   data moved: {:.1} MiB",

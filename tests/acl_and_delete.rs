@@ -3,7 +3,9 @@
 //! policies").
 
 use c4h_chimera::Key;
-use cloud4home::{Acl, Cloud4Home, Config, NodeId, Object, OpError, RoutePolicy, ServiceKind, StorePolicy};
+use cloud4home::{
+    Acl, Cloud4Home, Config, NodeId, Object, OpError, RoutePolicy, ServiceKind, StorePolicy,
+};
 
 fn testbed(seed: u64) -> Cloud4Home {
     Cloud4Home::new(Config::paper_testbed(seed))
@@ -38,15 +40,19 @@ fn owner_only_objects_reject_other_readers() {
     // Anyone else is denied.
     let op = home.fetch_object(NodeId(3), "acl/secret.txt");
     let r = home.run_until_complete(op);
-    assert!(matches!(r.outcome, Err(OpError::AccessDenied(_))), "{:?}", r.outcome);
+    assert!(
+        matches!(r.outcome, Err(OpError::AccessDenied(_))),
+        "{:?}",
+        r.outcome
+    );
 }
 
 #[test]
 fn restricted_objects_admit_listed_nodes_only() {
     let mut home = testbed(62);
     let friend = node_key(&home, NodeId(4));
-    let obj = Object::new("acl/shared.txt", &b"party at 8"[..], "txt")
-        .with_acl(Acl::Nodes(vec![friend]));
+    let obj =
+        Object::new("acl/shared.txt", &b"party at 8"[..], "txt").with_acl(Acl::Nodes(vec![friend]));
     let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
     home.run_until_complete(op).expect_ok();
 
@@ -94,7 +100,10 @@ fn delete_removes_home_object_end_to_end() {
     let op = home.delete_object(NodeId(1), "del/data.bin");
     let r = home.run_until_complete(op);
     r.expect_ok();
-    assert!(r.breakdown.dht.as_millis() > 0, "delete pays metadata costs");
+    assert!(
+        r.breakdown.dht.as_millis() > 0,
+        "delete pays metadata costs"
+    );
     assert_eq!(home.objects_on(NodeId(1)), 0, "bytes unlinked");
 
     let op = home.fetch_object(NodeId(2), "del/data.bin");

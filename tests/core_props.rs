@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use cloud4home::{
-    Cloud4Home, Config, NodeId, Object, PlacementClass, StorePolicy,
-};
+use cloud4home::{Cloud4Home, Config, NodeId, Object, PlacementClass, StorePolicy};
 
 fn policy_strategy() -> impl Strategy<Value = StorePolicy> {
     prop_oneof![

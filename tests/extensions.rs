@@ -147,12 +147,22 @@ fn decision_engine_adapts_to_degraded_wan() {
     let op = home.store_object(NodeId(0), obj, StorePolicy::ForceCloud, true);
     home.run_until_complete(op).expect_ok();
 
-    let op = home.process_object(NodeId(0), "wan/video.avi", ServiceKind::Transcode, RoutePolicy::Performance);
+    let op = home.process_object(
+        NodeId(0),
+        "wan/video.avi",
+        ServiceKind::Transcode,
+        RoutePolicy::Performance,
+    );
     let r = home.run_until_complete(op);
     assert_eq!(r.expect_ok().exec_target.as_deref(), Some("cloud"));
 
     home.set_wan_quality(0.2);
-    let op = home.process_object(NodeId(0), "wan/video.avi", ServiceKind::Transcode, RoutePolicy::Performance);
+    let op = home.process_object(
+        NodeId(0),
+        "wan/video.avi",
+        ServiceKind::Transcode,
+        RoutePolicy::Performance,
+    );
     let r = home.run_until_complete(op);
     assert_eq!(
         r.expect_ok().exec_target.as_deref(),
@@ -208,9 +218,17 @@ fn retries_are_bounded_under_total_loss() {
     home.set_message_loss(0.999_999);
     let op = home.fetch_object(NodeId(0), "lossy/never");
     let r = home.run_until_complete(op);
-    assert!(r.outcome.is_err(), "expected a clean failure, got {:?}", r.outcome);
+    assert!(
+        r.outcome.is_err(),
+        "expected a clean failure, got {:?}",
+        r.outcome
+    );
     // Three attempts, each bounded by the 3 s request timeout.
-    assert!(r.total().as_secs_f64() < 30.0, "failed fast enough: {:?}", r.total());
+    assert!(
+        r.total().as_secs_f64() < 30.0,
+        "failed fast enough: {:?}",
+        r.total()
+    );
 }
 
 #[test]

@@ -33,7 +33,11 @@ fn force_cloud_policy_stores_and_fetches_via_cloud() {
     let r = home.run_until_complete(op);
     assert!(r.expect_ok().via_cloud);
     // Cloud transfers dominate: the fetch took seconds, not milliseconds.
-    assert!(r.total().as_secs_f64() > 5.0, "WAN fetch was {:?}", r.total());
+    assert!(
+        r.total().as_secs_f64() > 5.0,
+        "WAN fetch was {:?}",
+        r.total()
+    );
 }
 
 #[test]
@@ -73,7 +77,10 @@ fn full_mandatory_bin_spills_to_voluntary_peer() {
     let op = home.store_object(NodeId(0), obj, StorePolicy::MandatoryFirst, true);
     let r = home.run_until_complete(op);
     let out = r.expect_ok();
-    assert!(!out.via_cloud, "voluntary peer space should absorb the spill");
+    assert!(
+        !out.via_cloud,
+        "voluntary peer space should absorb the spill"
+    );
     // The object landed on some *other* node.
     assert_eq!(home.objects_on(NodeId(0)), 0);
     let elsewhere: usize = (1..home.node_count())
@@ -157,8 +164,12 @@ fn same_seed_runs_are_bit_identical() {
         let mut totals = Vec::new();
         for i in 0..5u64 {
             let obj = Object::synthetic(&format!("det/{i}"), i, 2 << 20, "doc");
-            let op =
-                home.store_object(NodeId(i as usize % 6), obj, StorePolicy::MandatoryFirst, true);
+            let op = home.store_object(
+                NodeId(i as usize % 6),
+                obj,
+                StorePolicy::MandatoryFirst,
+                true,
+            );
             totals.push(home.run_until_complete(op).total());
         }
         for i in 0..5usize {
@@ -184,7 +195,7 @@ fn runtime_statistics_accumulate() {
     assert!(stats.envelopes_delivered > 0);
     assert_eq!(home.node_count(), 6);
     assert_eq!(home.node_name(NodeId(5)), "desktop");
-    assert_eq!(home.gateway(), NodeId(5));
+    assert_eq!(home.gateway(), Some(NodeId(5)));
 }
 
 #[test]

@@ -31,7 +31,10 @@ fn fetch_breakdown_has_table1_components() {
     assert!(b.inter_domain > Duration::ZERO, "XenSocket charged");
     assert!(b.dht > Duration::ZERO, "metadata lookup charged");
     assert!(b.disk > Duration::ZERO, "owner disk read charged");
-    assert!(b.accounted() <= r.total(), "components fit inside the total");
+    assert!(
+        b.accounted() <= r.total(),
+        "components fit inside the total"
+    );
 }
 
 #[test]
@@ -104,7 +107,10 @@ fn process_auto_picks_the_desktop_for_midsize_images() {
     let r = home.run_until_complete(op);
     let out = r.expect_ok();
     assert_eq!(out.exec_target.as_deref(), Some("desktop"));
-    assert!(r.breakdown.decision > Duration::ZERO, "decision time charged");
+    assert!(
+        r.breakdown.decision > Duration::ZERO,
+        "decision time charged"
+    );
     assert!(r.breakdown.exec > Duration::ZERO);
     assert!(out.summary.is_some());
 }

@@ -1,0 +1,71 @@
+//! Offline shim for `criterion`: a lightweight timing harness implementing
+//! `black_box`, `Criterion::bench_function`, and the `criterion_group!` /
+//! `criterion_main!` macros. It reports a simple mean-per-iteration figure
+//! rather than criterion's full statistics.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly and times it.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration from the measurement phase.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running a short warmup then a bounded measurement phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 100_000 {
+            black_box(f());
+            iters += 1;
+        }
+        self.elapsed_per_iter = start.elapsed() / iters.max(1) as u32;
+    }
+}
+
+/// Registry and runner for named benchmarks.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12.3?}/iter", b.elapsed_per_iter);
+        self
+    }
+}
+
+/// Declares a benchmark group function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

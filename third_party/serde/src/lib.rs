@@ -1,0 +1,12 @@
+//! Offline shim for `serde`: the workspace derives `Serialize`/`Deserialize`
+//! for forward compatibility but never serializes through a serde backend,
+//! so marker traits plus no-op derives are sufficient.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

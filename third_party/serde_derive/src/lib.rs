@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//! The workspace never serializes through a serde backend, so deriving
+//! nothing is sound; the `serde(...)` helper attribute is accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
