@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the Cloud4Home building blocks:
 //! key hashing, the red-black tree, prefix routing, the wire codecs, the
-//! TCP transfer model, the service kernels, and a full in-memory DHT
-//! round trip.
+//! TCP transfer model, the service kernels, the telemetry recorder's
+//! hot paths, and a full in-memory DHT round trip.
 //!
 //! Run with: `cargo bench -p c4h-bench --bench micro`
 
@@ -9,6 +9,7 @@ use c4h_chimera::{ChimeraConfig, ChimeraNode, Key, OverwritePolicy, RbTree, Rout
 use c4h_kvstore::{object_key, Acl, Location, ObjectMeta, Record};
 use c4h_services::{FaceDetect, Service, Transcode};
 use c4h_simnet::{mib, SimTime};
+use c4h_telemetry::Recorder;
 use c4h_vmm::{CommandPacket, CommandType, DomId};
 use cloud4home::synth_bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -104,6 +105,42 @@ fn bench_services(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // The disabled path is what every instrumented call site pays when
+    // tracing is off — it must stay at one relaxed atomic load.
+    let off = Recorder::new();
+    c.bench_function("telemetry/span_disabled", |b| {
+        b.iter(|| {
+            let id = off.begin("op", "fetch", black_box(1), 0);
+            off.end(id, 100);
+        })
+    });
+    c.bench_function("telemetry/observe_disabled", |b| {
+        b.iter(|| off.observe("h", black_box(42)))
+    });
+
+    let on = Recorder::new();
+    on.set_enabled(true);
+    c.bench_function("telemetry/span_enabled", |b| {
+        b.iter(|| {
+            let id = on.begin("op", "fetch", black_box(1), 0);
+            on.end(id, 100);
+        })
+    });
+    c.bench_function("telemetry/observe_enabled", |b| {
+        b.iter(|| on.observe("h", black_box(42)))
+    });
+
+    let export = Recorder::new();
+    export.set_enabled(true);
+    for i in 0..1000u64 {
+        export.span("op", "fetch", i % 8, i * 1000, i * 1000 + 500);
+    }
+    c.bench_function("telemetry/chrome_export_1k_spans", |b| {
+        b.iter(|| export.chrome_trace_json().len())
+    });
+}
+
 fn bench_dht_round(c: &mut Criterion) {
     c.bench_function("chimera/put_get_round_6_nodes", |b| {
         // Build a 6-node overlay once; each iteration does a fresh put+get.
@@ -164,6 +201,7 @@ criterion_group!(
     bench_codecs,
     bench_tcp_model,
     bench_services,
+    bench_telemetry,
     bench_dht_round
 );
 criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Telemetry harness — per-phase latency attribution from traces.
+//!
+//! Runs a seeded mixed workload (stores, fetches, process operations) with
+//! tracing enabled and rebuilds a Table-I-style cost attribution purely
+//! from the recorded telemetry: per-stage latency histograms, operation
+//! counters, and the span log. Where Table I's breakdown comes from the
+//! operation engine's own accounting, this view is derived from the trace —
+//! the two must tell the same story, which makes this bench a standing
+//! cross-check of the telemetry layer.
+//!
+//! Also reports the recorder's wall-clock overhead: the same workload is
+//! run with tracing compiled in but disabled, and with tracing enabled,
+//! and the host-time difference is printed (the acceptance bar is <3%
+//! disabled-path overhead; virtual-time results are identical either way).
+//!
+//! Run with: `cargo bench -p c4h-bench --bench phase_attribution`
+
+use std::time::Instant;
+
+use c4h_bench::banner;
+use cloud4home::{Cloud4Home, Config, NodeId, Object, RoutePolicy, ServiceKind, StorePolicy};
+
+const SEED: u64 = 2024;
+const OBJECTS: usize = 12;
+
+/// Runs the mixed workload; returns the deployment for inspection.
+fn run_workload(tracing: bool) -> Cloud4Home {
+    let mut cfg = Config::paper_testbed(SEED);
+    cfg.replication = 2;
+    cfg.tracing = tracing;
+    let mut home = Cloud4Home::new(cfg);
+    for i in 0..OBJECTS {
+        let name = format!("attr/img-{i:03}.jpg");
+        let obj = Object::synthetic(&name, 900 + i as u64, 512 << 10, "jpeg");
+        let client = NodeId(i % 4);
+        let op = home.store_object(client, obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    for i in 0..OBJECTS {
+        let name = format!("attr/img-{i:03}.jpg");
+        let op = home.fetch_object(NodeId((i + 2) % 4), &name);
+        home.run_until_complete(op).expect_ok();
+    }
+    for i in 0..4 {
+        let name = format!("attr/img-{i:03}.jpg");
+        let op = home.process_object(
+            NodeId(0),
+            &name,
+            ServiceKind::FaceDetect,
+            RoutePolicy::Performance,
+        );
+        home.run_until_complete(op).expect_ok();
+    }
+    home
+}
+
+fn main() {
+    banner(
+        "Telemetry",
+        "per-phase latency attribution derived from traces",
+    );
+
+    let t0 = Instant::now();
+    let baseline = run_workload(false);
+    let host_off = t0.elapsed();
+    let t1 = Instant::now();
+    let home = run_workload(true);
+    let host_on = t1.elapsed();
+    assert_eq!(
+        baseline.now(),
+        home.now(),
+        "tracing must not perturb virtual time"
+    );
+
+    let snap = home.telemetry().snapshot();
+    println!(
+        "{:>24} | {:>7} {:>12} {:>12} {:>12}",
+        "phase", "count", "mean ms", "min ms", "max ms"
+    );
+    println!("{}", "-".repeat(75));
+    for (name, h) in &snap.histograms {
+        let Some(stage) = name.strip_prefix("phase.") else {
+            continue;
+        };
+        let stage = stage.strip_suffix("_ns").unwrap_or(stage);
+        println!(
+            "{:>24} | {:>7} {:>12.2} {:>12.2} {:>12.2}",
+            stage,
+            h.count,
+            h.mean() / 1e6,
+            h.min as f64 / 1e6,
+            h.max as f64 / 1e6,
+        );
+    }
+
+    println!();
+    let spans = snap.spans().count();
+    let op_spans = snap.spans().filter(|s| s.cat == "op").count();
+    let dht_spans = snap.spans().filter(|s| s.cat == "dht").count();
+    let net_spans = snap.spans().filter(|s| s.cat == "net").count();
+    println!(
+        "spans: {spans} total ({op_spans} op, {dht_spans} dht, {net_spans} net), \
+         {} instants",
+        snap.instants().count()
+    );
+    println!(
+        "ops from counters: {} stores, {} fetches, {} processes (all ok)",
+        snap.counter("op.store.ok"),
+        snap.counter("op.fetch.ok"),
+        snap.counter("op.process.ok"),
+    );
+
+    // Trace-derived totals must agree with the engine's own accounting.
+    assert_eq!(
+        snap.counter("op.store.ok") + snap.counter("op.fetch.ok") + snap.counter("op.process.ok"),
+        (OBJECTS + OBJECTS + 4) as u64,
+        "every operation leaves exactly one op span"
+    );
+
+    println!(
+        "\nhost time: {:.2?} tracing-off vs {:.2?} tracing-on \
+         ({:+.1}% recording cost)",
+        host_off,
+        host_on,
+        (host_on.as_secs_f64() / host_off.as_secs_f64() - 1.0) * 100.0
+    );
+}

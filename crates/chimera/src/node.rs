@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 use c4h_simnet::SimTime;
+use c4h_telemetry::{ArgValue, Recorder, SpanId};
 
 use crate::key::{root_of, Key};
 use crate::messages::{Envelope, Message, ReqId};
@@ -233,6 +234,8 @@ pub struct ChimeraNode {
     next_req: ReqId,
     last_ping_round: Option<SimTime>,
     stats: NodeStats,
+    telemetry: Option<(Recorder, u64)>,
+    req_spans: HashMap<ReqId, SpanId>,
 }
 
 impl ChimeraNode {
@@ -257,6 +260,54 @@ impl ChimeraNode {
             last_ping_round: None,
             config,
             stats: NodeStats::default(),
+            telemetry: None,
+            req_spans: HashMap::new(),
+        }
+    }
+
+    /// Attaches a telemetry recorder. Every originated `put`/`get`/`delete`
+    /// request becomes a `dht.*` span on `track`, closed with the routing
+    /// hop count and outcome; completed lookups also feed the
+    /// `chimera.lookup_hops` histogram.
+    pub fn set_telemetry(&mut self, recorder: Recorder, track: u64) {
+        self.telemetry = Some((recorder, track));
+    }
+
+    /// Opens the span for an originated request.
+    fn open_req_span(&mut self, req: ReqId, name: &'static str, now: SimTime) {
+        if let Some((rec, track)) = &self.telemetry {
+            let span = rec.begin_args(
+                "dht",
+                name,
+                *track,
+                now.as_nanos(),
+                vec![("req", ArgValue::from(req))],
+            );
+            if !span.is_none() {
+                self.req_spans.insert(req, span);
+            }
+        }
+    }
+
+    /// Closes an originated request's span with its hop count and outcome.
+    /// Lookup completions (`observe_hops`) also feed the hop histogram.
+    fn close_req_span(&mut self, req: ReqId, now: SimTime, hops: u8, ok: bool, observe_hops: bool) {
+        let span = self.req_spans.remove(&req);
+        let Some((rec, _)) = &self.telemetry else {
+            return;
+        };
+        if let Some(span) = span {
+            rec.end_args(
+                span,
+                now.as_nanos(),
+                vec![
+                    ("hops", ArgValue::from(u64::from(hops))),
+                    ("ok", ArgValue::from(ok)),
+                ],
+            );
+        }
+        if ok && observe_hops {
+            rec.observe("chimera.lookup_hops", u64::from(hops));
         }
     }
 
@@ -403,6 +454,7 @@ impl ChimeraNode {
                 deadline: now + self.config.request_timeout,
             },
         );
+        self.open_req_span(req, "dht.put", now);
         let msg = Message::Put {
             req,
             origin: self.id,
@@ -435,6 +487,7 @@ impl ChimeraNode {
                 deadline: now + self.config.request_timeout,
             },
         );
+        self.open_req_span(req, "dht.get", now);
         let msg = Message::Get {
             req,
             origin: self.id,
@@ -465,6 +518,7 @@ impl ChimeraNode {
                 deadline: now + self.config.request_timeout,
             },
         );
+        self.open_req_span(req, "dht.delete", now);
         let msg = Message::Delete {
             req,
             origin: self.id,
@@ -639,6 +693,7 @@ impl ChimeraNode {
             }
             Message::PutOk { req, version, hops } => {
                 if self.pending.remove(&req).is_some() {
+                    self.close_req_span(req, now, hops, true, false);
                     self.events.push_back(DhtEvent::PutCompleted {
                         req,
                         result: Ok(version),
@@ -648,6 +703,7 @@ impl ChimeraNode {
             }
             Message::PutFailed { req, error, hops } => {
                 if self.pending.remove(&req).is_some() {
+                    self.close_req_span(req, now, hops, false, false);
                     self.events.push_back(DhtEvent::PutCompleted {
                         req,
                         result: Err(DhtError::Rejected(error)),
@@ -672,7 +728,7 @@ impl ChimeraNode {
                 path_pos,
                 hops,
             } => {
-                self.handle_get_reply(req, key, value, from_cache, path, path_pos, hops);
+                self.handle_get_reply(req, key, value, from_cache, path, path_pos, hops, now);
             }
             Message::Delete {
                 req,
@@ -684,6 +740,7 @@ impl ChimeraNode {
             }
             Message::DeleteOk { req, existed, hops } => {
                 if self.pending.remove(&req).is_some() {
+                    self.close_req_span(req, now, hops, true, false);
                     self.events.push_back(DhtEvent::DeleteCompleted {
                         req,
                         result: Ok(existed),
@@ -893,6 +950,7 @@ impl ChimeraNode {
         path: Vec<Key>,
         path_pos: usize,
         hops: u8,
+        now: SimTime,
     ) {
         // Cache the entry at every hop on the reply path ("key-value entries
         // are cached onto intermediate hops on each request's path").
@@ -903,6 +961,7 @@ impl ChimeraNode {
             // We are the origin.
             if self.pending.remove(&req).is_some() {
                 self.stats.lookup_hops += hops as u64;
+                self.close_req_span(req, now, hops, true, true);
                 self.events.push_back(DhtEvent::GetCompleted {
                     req,
                     key,
@@ -1106,6 +1165,9 @@ impl ChimeraNode {
         expired.sort_unstable_by_key(|(r, _)| *r);
         for (req, p) in expired {
             self.pending.remove(&req);
+            if !matches!(p.kind, PendingKind::Join) {
+                self.close_req_span(req, now, 0, false, false);
+            }
             match p.kind {
                 PendingKind::Join => self.events.push_back(DhtEvent::JoinFailed),
                 PendingKind::Put => self.events.push_back(DhtEvent::PutCompleted {

@@ -1,0 +1,118 @@
+//! Trace-based overlay routing tests: the `chimera.lookup_hops` histogram
+//! recorded by the telemetry layer must stay within the structured
+//! overlay's logarithmic bound, and warm-up traffic (which fills routing
+//! tables as nodes learn peers from observed messages) must shorten routes.
+
+use c4h_chimera::{ChimeraConfig, ChimeraNode, Key, OverwritePolicy};
+use c4h_simnet::SimTime;
+use c4h_telemetry::Recorder;
+
+const N: usize = 32;
+const KEYS: usize = 24;
+/// Same per-node track layout the runtime uses for `dht.*` spans.
+const DHT_TRACK_BASE: u64 = 3_000_000;
+
+/// Delivers messages synchronously until the overlay is quiescent.
+fn pump(nodes: &mut [ChimeraNode]) {
+    let now = SimTime::ZERO;
+    for _ in 0..100_000 {
+        let mut moved = false;
+        for i in 0..nodes.len() {
+            while let Some(env) = nodes[i].poll_send() {
+                moved = true;
+                if let Some(j) = nodes.iter().position(|n| n.id() == env.to) {
+                    nodes[j].handle(env, now);
+                }
+            }
+        }
+        if !moved {
+            for n in nodes.iter_mut() {
+                while n.poll_event().is_some() {}
+            }
+            return;
+        }
+    }
+    panic!("overlay failed to quiesce");
+}
+
+/// One round of lookups of every stored key from scattered clients.
+fn lookup_round(nodes: &mut [ChimeraNode], salt: usize) {
+    let now = SimTime::ZERO;
+    for k in 0..KEYS {
+        let key = Key::from_name(&format!("hops/key-{k}"));
+        let client = (k * 13 + salt) % N;
+        nodes[client].get(key, now).unwrap();
+        pump(nodes);
+    }
+}
+
+#[test]
+fn lookup_hops_stay_logarithmic_and_shrink_after_warmup() {
+    let now = SimTime::ZERO;
+    let mut nodes: Vec<ChimeraNode> = (0..N)
+        .map(|i| {
+            ChimeraNode::new(
+                Key::from_name(&format!("hop-{i}")),
+                ChimeraConfig::default(),
+            )
+        })
+        .collect();
+    nodes[0].bootstrap(now);
+    let seed = nodes[0].id();
+    for i in 1..N {
+        nodes[i].join_via(seed, now);
+        pump(&mut nodes);
+    }
+
+    let rec = Recorder::new();
+    rec.set_enabled(true);
+    for (i, n) in nodes.iter_mut().enumerate() {
+        n.set_telemetry(rec.clone(), DHT_TRACK_BASE + i as u64);
+    }
+    for k in 0..KEYS {
+        let key = Key::from_name(&format!("hops/key-{k}"));
+        nodes[(k * 7) % N]
+            .put(key, vec![k as u8], OverwritePolicy::Overwrite, now)
+            .unwrap();
+        pump(&mut nodes);
+    }
+
+    // Cold: routing tables hold only what the staggered joins seeded.
+    rec.clear();
+    lookup_round(&mut nodes, 5);
+    let cold = rec.snapshot();
+    let cold_hops = cold.histograms["chimera.lookup_hops"].clone();
+    assert_eq!(cold_hops.count as usize, KEYS, "every cold lookup resolves");
+    assert!(
+        cold.spans()
+            .any(|s| s.cat == "dht" && s.arg("hops").is_some()),
+        "lookups must leave dht spans carrying their hop count"
+    );
+
+    // Every lookup in a 32-node prefix-routed overlay stays within a small
+    // multiple of log2(N) hops.
+    let bound = 2 * usize::BITS as u64 - 2 * (N as u64).leading_zeros() as u64 + 2;
+    assert!(
+        cold_hops.max <= bound,
+        "cold lookup took {} hops, bound is {bound}",
+        cold_hops.max
+    );
+
+    // Warm up: more rounds of traffic teach every node the peers it missed
+    // during its own join, then measure the same lookups again.
+    for salt in 0..4 {
+        lookup_round(&mut nodes, salt);
+    }
+    rec.clear();
+    lookup_round(&mut nodes, 5);
+    let warm = rec.snapshot();
+    let warm_hops = warm.histograms["chimera.lookup_hops"].clone();
+    assert_eq!(warm_hops.count as usize, KEYS, "every warm lookup resolves");
+    assert!(warm_hops.max <= bound);
+    assert!(
+        warm_hops.mean() < cold_hops.mean(),
+        "warm-up must shorten routes: warm mean {} vs cold mean {}",
+        warm_hops.mean(),
+        cold_hops.mean()
+    );
+}

@@ -93,6 +93,8 @@ fn run_command(home: &mut Cloud4Home, line: &str) -> CommandResult {
         "process" => process(home, &tokens),
         "crash" | "leave" | "rejoin" => churn(home, &tokens, cmd),
         "fault" => fault(home, &tokens),
+        "trace" => trace_cmd(home, &tokens),
+        "metrics" => metrics_cmd(home, &tokens),
         "wan" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
             Some(f) if f > 0.0 && f <= 1.0 => {
                 home.set_wan_quality(f);
@@ -127,6 +129,9 @@ commands:
   fault [at <dur>] bursty <loss> <burstlen>             Gilbert–Elliott loss
   fault [at <dur>] slow <node> <factor>                 gray-failure throttle
   fault [at <dur>] wan <factor>                         WAN degradation
+  trace on|off                                          toggle recording
+  trace save <path>                                     Chrome trace JSON
+  metrics [save <path>]                                 metrics JSON dump
   help / quit
 sizes: 512KB, 2MB …  durations: 500ms, 10s, 2m
 services: face-detect, face-recognize, x264-convert, archive-compress";
@@ -367,6 +372,55 @@ fn parse_fault_event(home: &Cloud4Home, tokens: &[&str]) -> Option<FaultEvent> {
     }
 }
 
+/// `trace on|off|save <path>` — toggle recording or export the collected
+/// events as Chrome `trace_event` JSON (open in `chrome://tracing` or
+/// Perfetto).
+fn trace_cmd(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
+    let usage = "usage: trace on|off|save <path>";
+    match tokens.get(1).copied() {
+        Some("on") => {
+            home.set_tracing(true);
+            CommandResult::Output("tracing on".into())
+        }
+        Some("off") => {
+            home.set_tracing(false);
+            CommandResult::Output("tracing off".into())
+        }
+        Some("save") => {
+            let Some(&path) = tokens.get(2) else {
+                return CommandResult::Error(usage.into());
+            };
+            let json = home.chrome_trace_json();
+            match std::fs::write(path, &json) {
+                Ok(()) => {
+                    CommandResult::Output(format!("trace written to {path} ({} bytes)", json.len()))
+                }
+                Err(e) => CommandResult::Error(format!("cannot write {path}: {e}")),
+            }
+        }
+        _ => CommandResult::Error(usage.into()),
+    }
+}
+
+/// `metrics [save <path>]` — print or export the metrics registry
+/// (counters + histograms, with runtime stats mirrored in) as JSON.
+fn metrics_cmd(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
+    let json = home.metrics_json();
+    match tokens.get(1).copied() {
+        None => CommandResult::Output(json.trim_end().to_owned()),
+        Some("save") => {
+            let Some(&path) = tokens.get(2) else {
+                return CommandResult::Error("usage: metrics save <path>".into());
+            };
+            match std::fs::write(path, &json) {
+                Ok(()) => CommandResult::Output(format!("metrics written to {path}")),
+                Err(e) => CommandResult::Error(format!("cannot write {path}: {e}")),
+            }
+        }
+        Some(_) => CommandResult::Error("usage: metrics [save <path>]".into()),
+    }
+}
+
 fn describe(report: &cloud4home::OpReport) -> String {
     match &report.outcome {
         Ok(out) => {
@@ -487,6 +541,51 @@ mod tests {
         assert!(matches!(
             run_command(&mut home, "help"),
             CommandResult::Output(_)
+        ));
+    }
+
+    #[test]
+    fn trace_and_metrics_commands() {
+        let mut home = shell();
+        assert_eq!(
+            run_command(&mut home, "trace on"),
+            CommandResult::Output("tracing on".into())
+        );
+        assert!(home.tracing_enabled());
+        run_command(&mut home, "store netbook-0 t/a.jpg 256KB jpeg home");
+        run_command(&mut home, "fetch desktop t/a.jpg");
+
+        // The metrics dump carries op counters and runtime stats.
+        let CommandResult::Output(metrics) = run_command(&mut home, "metrics") else {
+            panic!("metrics should print");
+        };
+        assert!(metrics.contains("\"op.store.ok\""), "{metrics}");
+        assert!(metrics.contains("\"stats.ops_completed\""), "{metrics}");
+
+        // Saving the trace writes loadable Chrome trace JSON.
+        let path = std::env::temp_dir().join("c4h-shell-trace-test.json");
+        let path = path.to_str().expect("temp path is utf-8").to_owned();
+        let CommandResult::Output(saved) = run_command(&mut home, &format!("trace save {path}"))
+        else {
+            panic!("trace save should succeed");
+        };
+        assert!(saved.contains("trace written"));
+        let body = std::fs::read_to_string(&path).expect("trace file written");
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("\"store\""));
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(
+            run_command(&mut home, "trace off"),
+            CommandResult::Output("tracing off".into())
+        );
+        assert!(matches!(
+            run_command(&mut home, "trace"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "metrics bogus"),
+            CommandResult::Error(_)
         ));
     }
 }

@@ -208,6 +208,11 @@ pub struct Config {
     /// inside the home cloud, so privacy policies that pin data home are
     /// never violated by replication.
     pub replication: usize,
+    /// Whether virtual-time tracing and metrics collection start enabled.
+    /// Recording can also be toggled at runtime with
+    /// [`Cloud4Home::set_tracing`](crate::Cloud4Home::set_tracing); either
+    /// way, the overlay warm-up is never recorded.
+    pub tracing: bool,
 }
 
 impl Config {
@@ -241,6 +246,7 @@ impl Config {
             seed,
             training_bytes: 60 << 20,
             replication: 1,
+            tracing: false,
         }
     }
 }

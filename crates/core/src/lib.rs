@@ -64,6 +64,7 @@ mod runtime;
 
 pub use adaptive::{AdaptivePlacement, EwmaRate};
 pub use c4h_kvstore::Acl;
+pub use c4h_telemetry::{ArgValue, EventRec, Histogram, InstantRec, Recorder, Snapshot, SpanRec};
 pub use config::{CloudSpec, Config, NodeId, NodeSpec, ServiceKind, TimingConfig};
 pub use decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
 pub use fault::{FaultEvent, FaultPlan};

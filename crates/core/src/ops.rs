@@ -19,6 +19,7 @@ use c4h_kvstore::{
 use c4h_resources::Bin;
 use c4h_services::{ServiceDemand, ServiceId, ServiceOutput};
 use c4h_simnet::{Addr, SimTime};
+use c4h_telemetry::ArgValue;
 
 use crate::config::{NodeId, ServiceKind};
 use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
@@ -106,6 +107,49 @@ pub(crate) enum Stage {
     ProcExec,
     ProcMoveResult,
     ProcChannelOut,
+}
+
+/// The trace-span name of a stage (dotted `<op>.<step>` form).
+pub(crate) fn stage_name(stage: &Stage) -> &'static str {
+    match stage {
+        Stage::StoreChannelIn => "store.channel_in",
+        Stage::StoreQueryPeers => "store.query_peers",
+        Stage::StoreFlowToPeer { .. } => "store.flow_to_peer",
+        Stage::StoreDiskWrite { .. } => "store.disk_write",
+        Stage::StoreReplicaFlow { .. } => "store.replica_flow",
+        Stage::StoreReplicaWrite { .. } => "store.replica_write",
+        Stage::StoreFlowToCloud => "store.flow_to_cloud",
+        Stage::StoreCloudPut => "store.cloud_put",
+        Stage::StoreMetaPut => "store.meta_put",
+        Stage::StoreDirPut => "store.dir_put",
+        Stage::StoreAck => "store.ack",
+        Stage::FetchChannelIn => "fetch.channel_in",
+        Stage::FetchMetaGet => "fetch.meta_get",
+        Stage::FetchOwnerRequest { .. } => "fetch.owner_request",
+        Stage::FetchFlowHome { .. } => "fetch.flow_home",
+        Stage::FetchRetry => "fetch.retry_wait",
+        Stage::FetchCloudRequest { .. } => "fetch.cloud_request",
+        Stage::FetchFlowCloud => "fetch.flow_cloud",
+        Stage::FetchDiskLocal => "fetch.disk_local",
+        Stage::FetchChannelOut => "fetch.channel_out",
+        Stage::DelChannelIn => "delete.channel_in",
+        Stage::DelMetaGet => "delete.meta_get",
+        Stage::DelDhtDelete => "delete.dht_delete",
+        Stage::DelRemoveBytes => "delete.remove_bytes",
+        Stage::DelDirPut => "delete.dir_put",
+        Stage::ListChannelIn => "list.channel_in",
+        Stage::ListDirGet => "list.dir_get",
+        Stage::ProcChannelIn => "proc.channel_in",
+        Stage::ProcMetaGet => "proc.meta_get",
+        Stage::ProcSvcGet => "proc.svc_get",
+        Stage::ProcQueryResources => "proc.query_resources",
+        Stage::ProcDecide => "proc.decide",
+        Stage::ProcReadArg => "proc.read_arg",
+        Stage::ProcMoveArg => "proc.move_arg",
+        Stage::ProcExec => "proc.exec",
+        Stage::ProcMoveResult => "proc.move_result",
+        Stage::ProcChannelOut => "proc.channel_out",
+    }
 }
 
 /// One in-flight operation.
@@ -486,6 +530,16 @@ impl Cloud4Home {
         let Some(mut op) = self.ops.remove(&id) else {
             return;
         };
+        self.telemetry.instant_args(
+            "op",
+            "op.transfer_failed",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("stage", ArgValue::from(stage_name(&op.stage))),
+                ("why", ArgValue::from(why)),
+            ],
+        );
         if !self.nodes[op.client].alive {
             // The requesting client itself is gone; nobody to recover for.
             self.complete_op(op, Err(OpError::OwnerUnreachable(why.to_owned())));
@@ -524,6 +578,30 @@ impl Cloud4Home {
 
     fn complete_op(&mut self, op: Op, outcome: Result<OpOutput, OpError>) {
         self.stats.ops_completed += 1;
+        if self.telemetry.enabled() {
+            let now = self.now();
+            let ok = outcome.is_ok();
+            self.telemetry.span_args(
+                "op",
+                op.kind,
+                op.id.0,
+                op.submitted.as_nanos(),
+                now.as_nanos(),
+                vec![
+                    ("object", ArgValue::from(op.name.as_str())),
+                    ("ok", ArgValue::from(ok)),
+                    ("retries", ArgValue::from(u64::from(op.retries))),
+                    ("failovers", ArgValue::from(u64::from(op.failovers))),
+                ],
+            );
+            let outcome_tag = if ok { "ok" } else { "err" };
+            self.telemetry
+                .add(format!("op.{}.{outcome_tag}", op.kind), 1);
+            self.telemetry.observe(
+                format!("op.{}.total_ns", op.kind),
+                now.as_nanos().saturating_sub(op.submitted.as_nanos()),
+            );
+        }
         let report = OpReport {
             id: op.id,
             kind: op.kind,
@@ -540,11 +618,30 @@ impl Cloud4Home {
 
     /// Marks the start of a new timing phase, returning the previous
     /// phase's elapsed time.
+    ///
+    /// When tracing is enabled, the elapsed phase is also recorded as a
+    /// child span on the operation's track (named after `op.stage`, which
+    /// still holds the stage whose work just finished at every charging
+    /// call site) plus a per-stage latency histogram. Zero-length phases —
+    /// bookkeeping transitions within one event — are skipped so traces
+    /// show only stages that consumed virtual time.
     fn phase(&self, op: &mut Op) -> Duration {
         let now = self.now();
         let elapsed = now
             .checked_duration_since(op.phase_started)
             .unwrap_or_default();
+        if !elapsed.is_zero() && self.telemetry.enabled() {
+            let name = stage_name(&op.stage);
+            self.telemetry.span(
+                "stage",
+                name,
+                op.id.0,
+                op.phase_started.as_nanos(),
+                now.as_nanos(),
+            );
+            self.telemetry
+                .observe(format!("phase.{name}_ns"), elapsed.as_nanos() as u64);
+        }
         op.phase_started = now;
         elapsed
     }
@@ -556,6 +653,16 @@ impl Cloud4Home {
             if op.retries < MAX_DHT_RETRIES && self.retry_dht(op) {
                 op.retries += 1;
                 self.stats.dht_retries += 1;
+                self.telemetry.instant_args(
+                    "dht",
+                    "dht.retry",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("stage", ArgValue::from(stage_name(&op.stage))),
+                        ("retries", ArgValue::from(u64::from(op.retries))),
+                    ],
+                );
                 return None;
             }
             // Retry budget exhausted on a stage that has no fallback of its
@@ -736,10 +843,10 @@ impl Cloud4Home {
                     return self.fetch_try_next(op, true);
                 }
                 // Request handled; owner has read the object from disk.
+                self.phase(op);
                 op.stage = Stage::FetchFlowHome { owner };
                 let src = self.nodes[owner].addr;
                 let dst = self.nodes[op.client].addr;
-                self.phase(op);
                 self.start_flow_for_op(op.id, src, dst, op.object_bytes());
                 None
             }
@@ -778,11 +885,11 @@ impl Cloud4Home {
                     Ok(obj) => {
                         op.staged = Some(obj.payload.clone());
                         op.via_cloud = true;
+                        let src = cloud.addr;
+                        self.phase(op);
                         op.stage = Stage::FetchFlowCloud;
                         let dst = self.nodes[op.client].addr;
-                        let src = cloud.addr;
                         let bytes = op.object_bytes();
-                        self.phase(op);
                         self.start_flow_for_op(op.id, src, dst, bytes);
                         None
                     }
@@ -1106,8 +1213,8 @@ impl Cloud4Home {
             PlacementClass::LocalFirst => {
                 if self.nodes[op.client].bins.fits(size, Bin::Mandatory) {
                     let write = self.nodes[op.client].disk.write_time(size);
-                    op.stage = Stage::StoreDiskWrite { target: op.client };
                     self.phase(op);
+                    op.stage = Stage::StoreDiskWrite { target: op.client };
                     self.wake_in(op.id, write);
                     None
                 } else {
@@ -1162,10 +1269,10 @@ impl Cloud4Home {
             .filter(|&j| self.nodes[j].alive && j != op.client);
         match best {
             Some(peer) => {
+                self.phase(op);
                 op.stage = Stage::StoreFlowToPeer { peer };
                 let src = self.nodes[op.client].addr;
                 let dst = self.nodes[peer].addr;
-                self.phase(op);
                 self.start_flow_for_op(op.id, src, dst, size);
                 None
             }
@@ -1182,11 +1289,11 @@ impl Cloud4Home {
     }
 
     fn store_go_cloud(&mut self, op: &mut Op) -> StepOutcome {
+        self.phase(op);
         op.stage = Stage::StoreFlowToCloud;
         let src = self.nodes[op.client].addr;
         let dst = self.cloud.as_ref().expect("checked by caller").addr;
         let bytes = op.object_bytes();
-        self.phase(op);
         self.start_flow_for_op(op.id, src, dst, bytes);
         None
     }
@@ -1256,12 +1363,22 @@ impl Cloud4Home {
                 || !self.nodes[target].bins.fits(size, Bin::Voluntary)
             {
                 op.failovers += 1;
+                self.telemetry.instant_args(
+                    "op",
+                    "store.replica_skip",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("object", ArgValue::from(op.name.as_str())),
+                        ("skipped", ArgValue::from(self.nodes[target].name.as_str())),
+                    ],
+                );
                 continue;
             }
+            self.phase(op);
             op.stage = Stage::StoreReplicaFlow { target };
             let src = self.nodes[primary].addr;
             let dst = self.nodes[target].addr;
-            self.phase(op);
             self.start_flow_for_op(op.id, src, dst, size);
             return None;
         }
@@ -1315,8 +1432,8 @@ impl Cloud4Home {
             self.replica_meta.remove(&meta.name);
         }
         op.meta = Some(meta.clone());
-        op.stage = Stage::StoreMetaPut;
         self.phase(op);
+        op.stage = Stage::StoreMetaPut;
         self.dht_put_for_op(
             op.id,
             op.client,
@@ -1381,8 +1498,8 @@ impl Cloud4Home {
                 let Some(url) = S3Url::parse(url) else {
                     return Some(Err(OpError::NotFound(op.name.clone())));
                 };
-                op.stage = Stage::FetchCloudRequest { url };
                 self.phase(op);
+                op.stage = Stage::FetchCloudRequest { url };
                 self.wake_in(op.id, REQUEST_LATENCY);
                 None
             }
@@ -1399,6 +1516,13 @@ impl Cloud4Home {
         if failing_over {
             op.failovers += 1;
             self.stats.fetch_failovers += 1;
+            self.telemetry.instant_args(
+                "op",
+                "fetch.failover",
+                op.id.0,
+                self.now().as_nanos(),
+                vec![("object", ArgValue::from(op.name.as_str()))],
+            );
         }
         if self.now() > op.deadline {
             return Some(Err(OpError::Timeout(op.name.clone())));
@@ -1415,12 +1539,22 @@ impl Cloud4Home {
                 // fetch started and we go straight to a replica).
                 op.failovers += 1;
                 self.stats.fetch_failovers += 1;
+                self.telemetry.instant_args(
+                    "op",
+                    "fetch.failover",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("object", ArgValue::from(op.name.as_str())),
+                        ("skipped", ArgValue::from(self.nodes[j].name.as_str())),
+                    ],
+                );
                 continue;
             }
             if j == op.client {
                 let read = self.nodes[j].disk.read_time(size);
-                op.stage = Stage::FetchDiskLocal;
                 self.phase(op);
+                op.stage = Stage::FetchDiskLocal;
                 self.wake_in(op.id, read);
             } else {
                 // Control message to the holder plus its disk read.
@@ -1435,8 +1569,8 @@ impl Cloud4Home {
                     .unwrap_or_default();
                 let read = self.nodes[j].disk.read_time(size);
                 op.breakdown.disk += read;
-                op.stage = Stage::FetchOwnerRequest { owner: j };
                 self.phase(op);
+                op.stage = Stage::FetchOwnerRequest { owner: j };
                 self.wake_in(op.id, latency + self.config.timing.peer_request + read);
             }
             return None;
@@ -1446,8 +1580,8 @@ impl Cloud4Home {
             let wait = op.backoff;
             if self.now() + wait <= op.deadline {
                 op.backoff = op.backoff.saturating_mul(2);
-                op.stage = Stage::FetchRetry;
                 self.phase(op);
+                op.stage = Stage::FetchRetry;
                 self.wake_in(op.id, wait);
                 return None;
             }
@@ -1498,8 +1632,8 @@ impl Cloud4Home {
                         + self.config.timing.peer_request
                 };
                 let unlink = self.nodes[owner].disk.access_latency;
-                op.stage = Stage::DelRemoveBytes;
                 self.phase(op);
+                op.stage = Stage::DelRemoveBytes;
                 self.wake_in(op.id, latency + unlink);
                 None
             }
@@ -1508,8 +1642,8 @@ impl Cloud4Home {
                     let _ = cloud.s3.delete(&url);
                     op.via_cloud = true;
                 }
-                op.stage = Stage::DelRemoveBytes;
                 self.phase(op);
+                op.stage = Stage::DelRemoveBytes;
                 self.wake_in(op.id, REQUEST_LATENCY);
                 None
             }
@@ -1519,8 +1653,8 @@ impl Cloud4Home {
     fn fetch_channel_out(&mut self, op: &mut Op) -> StepOutcome {
         let bytes = op.object_bytes();
         let channel = self.nodes[op.client].channel_transfer(bytes);
-        op.stage = Stage::FetchChannelOut;
         self.phase(op);
+        op.stage = Stage::FetchChannelOut;
         self.wake_in(op.id, channel);
         None
     }
@@ -1577,8 +1711,8 @@ impl Cloud4Home {
                     return Some(Err(OpError::ServiceUnavailable(kind.id())));
                 }
                 op.exec_target = Some(ExecTarget::Node(node.0));
-                op.stage = Stage::ProcDecide;
                 self.phase(op);
+                op.stage = Stage::ProcDecide;
                 self.wake_in(op.id, LOCATE_TIME);
                 None
             }
@@ -1587,8 +1721,8 @@ impl Cloud4Home {
                     return Some(Err(OpError::ServiceUnavailable(kind.id())));
                 }
                 op.exec_target = Some(ExecTarget::Cloud);
-                op.stage = Stage::ProcDecide;
                 self.phase(op);
+                op.stage = Stage::ProcDecide;
                 self.wake_in(op.id, LOCATE_TIME);
                 None
             }
@@ -1696,8 +1830,8 @@ impl Cloud4Home {
             .collect();
         rest.sort_by_key(|(est, _)| *est);
         op.exec_candidates = rest.into_iter().map(|(_, t)| t).collect();
-        op.stage = Stage::ProcDecide;
         self.phase(op);
+        op.stage = Stage::ProcDecide;
         self.wake_in(op.id, LOCATE_TIME);
         None
     }
@@ -1722,11 +1856,25 @@ impl Cloud4Home {
             op.exec_target = Some(next);
             op.failovers += 1;
             self.stats.proc_redispatches += 1;
+            let target_desc = match next {
+                ExecTarget::Node(j) => self.nodes[j].name.clone(),
+                ExecTarget::Cloud => "cloud".to_owned(),
+            };
+            self.telemetry.instant_args(
+                "op",
+                "proc.redispatch",
+                op.id.0,
+                self.now().as_nanos(),
+                vec![
+                    ("object", ArgValue::from(op.name.as_str())),
+                    ("target", ArgValue::from(target_desc)),
+                ],
+            );
             op.pipeline_idx = 0;
             op.output = None;
             op.staged = None;
-            op.stage = Stage::ProcDecide;
             self.phase(op);
+            op.stage = Stage::ProcDecide;
             self.wake_in(op.id, LOCATE_TIME);
             return None;
         }
@@ -1785,8 +1933,8 @@ impl Cloud4Home {
                 op.meta = Some(meta.clone());
                 op.staged = Some(blob);
                 let read = self.nodes[owner].disk.read_time(meta.size_bytes);
-                op.stage = Stage::ProcReadArg;
                 self.phase(op);
+                op.stage = Stage::ProcReadArg;
                 self.wake_in(op.id, read);
                 None
             }
@@ -1799,8 +1947,8 @@ impl Cloud4Home {
                     Ok(obj) => {
                         op.staged = Some(obj.payload.clone());
                         op.via_cloud = true;
-                        op.stage = Stage::ProcReadArg;
                         self.phase(op);
+                        op.stage = Stage::ProcReadArg;
                         self.wake_in(op.id, REQUEST_LATENCY);
                         None
                     }
@@ -1816,8 +1964,8 @@ impl Cloud4Home {
         if src == dst {
             return self.proc_start_exec(op);
         }
-        op.stage = Stage::ProcMoveArg;
         self.phase(op);
+        op.stage = Stage::ProcMoveArg;
         self.start_flow_for_op(op.id, src, dst, op.object_bytes());
         None
     }
@@ -1900,8 +2048,8 @@ impl Cloud4Home {
             }
         };
         op.exec_demand = Some(demand);
-        op.stage = Stage::ProcExec;
         self.phase(op);
+        op.stage = Stage::ProcExec;
         self.wake_in(op.id, duration);
         None
     }
@@ -1931,7 +2079,7 @@ impl Cloud4Home {
                     .sampler
                     .task_finished(demand.exec.mem_required_mib);
                 let svc = self.nodes[j].registry.get(sid).cloned().expect("deployed");
-                svc.run(
+                svc.run_traced(
                     &op.staged
                         .as_ref()
                         .expect("argument staged")
@@ -1942,7 +2090,7 @@ impl Cloud4Home {
                 let cloud = self.cloud.as_mut().expect("cloud target");
                 cloud.active_tasks = cloud.active_tasks.saturating_sub(1);
                 let svc = cloud.registry.get(sid).cloned().expect("deployed");
-                svc.run(
+                svc.run_traced(
                     &op.staged
                         .as_ref()
                         .expect("argument staged")
@@ -1963,8 +2111,8 @@ impl Cloud4Home {
         if src == dst {
             self.proc_channel_out(op)
         } else {
-            op.stage = Stage::ProcMoveResult;
             self.phase(op);
+            op.stage = Stage::ProcMoveResult;
             self.start_flow_for_op(op.id, src, dst, op.result_bytes);
             None
         }
@@ -1972,8 +2120,8 @@ impl Cloud4Home {
 
     fn proc_channel_out(&mut self, op: &mut Op) -> StepOutcome {
         let channel = self.nodes[op.client].channel_transfer(op.result_bytes);
-        op.stage = Stage::ProcChannelOut;
         self.phase(op);
+        op.stage = Stage::ProcChannelOut;
         self.wake_in(op.id, channel);
         None
     }

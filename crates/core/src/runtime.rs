@@ -30,6 +30,7 @@ use c4h_simnet::{
     presets, Addr, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, GilbertElliott, Partition,
     SimTime,
 };
+use c4h_telemetry::{ArgValue, Recorder, SpanId};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
 
 use crate::config::{Config, NodeId, ServiceKind};
@@ -43,6 +44,15 @@ const CLOUD_ADDR: Addr = Addr::new(10_000);
 
 /// Tick period driving overlay timers and resource publishing.
 const TICK_PERIOD: Duration = Duration::from_millis(500);
+
+/// Trace track carrying runtime-wide instants (faults, churn).
+const RUNTIME_TRACK: u64 = 0;
+
+/// Trace track base for per-node DHT request spans (base + node index).
+const DHT_TRACK_BASE: u64 = 3_000_000;
+
+/// Trace track base for background repair spans (base + flow id).
+const REPAIR_TRACK_BASE: u64 = 4_000_000;
 
 /// One home node's full runtime state.
 #[derive(Debug)]
@@ -157,6 +167,8 @@ pub(crate) struct RepairJob {
     pub(crate) dst: usize,
     /// Object size in bytes.
     pub(crate) bytes: u64,
+    /// Open trace span covering the repair transfer.
+    pub(crate) span: SpanId,
 }
 
 /// One simulated Cloud4Home deployment.
@@ -209,6 +221,9 @@ pub struct Cloud4Home {
     pub(crate) repair_flows: HashMap<FlowId, RepairJob>,
     /// Peers whose failure the repair daemon has already reacted to.
     pub(crate) repaired_peers: BTreeSet<Key>,
+    /// The deployment-wide telemetry collector; clones of this handle live
+    /// in the flow network and every overlay node.
+    pub(crate) telemetry: Recorder,
     tick_armed: bool,
     tick_horizon: SimTime,
 }
@@ -249,7 +264,9 @@ impl Cloud4Home {
             tb.topology.attach(Addr::new(i as u64), tb.home);
         }
         tb.topology.attach(CLOUD_ADDR, tb.cloud);
-        let net = FlowNet::new(tb.topology);
+        let telemetry = Recorder::new();
+        let mut net = FlowNet::new(tb.topology);
+        net.set_recorder(telemetry.clone());
 
         // Shared face-recognition training set (synthetic imagery).
         let examples: Vec<Vec<u8>> = (0..16)
@@ -308,6 +325,10 @@ impl Cloud4Home {
                 alive: true,
             });
         }
+        for (i, n) in nodes.iter_mut().enumerate() {
+            n.chimera
+                .set_telemetry(telemetry.clone(), DHT_TRACK_BASE + i as u64);
+        }
 
         let cloud = config.cloud.as_ref().map(|spec| {
             let mut s3 = S3Store::new();
@@ -351,11 +372,15 @@ impl Cloud4Home {
             replica_meta: BTreeMap::new(),
             repair_flows: HashMap::new(),
             repaired_peers: BTreeSet::new(),
+            telemetry,
             tick_armed: false,
             tick_horizon: SimTime::ZERO,
             config,
         };
         home.warmup();
+        // Recording starts after warm-up so traces cover only submitted
+        // work, and identically so for every run of the same seed.
+        home.telemetry.set_enabled(home.config.tracing);
         home
     }
 
@@ -509,6 +534,58 @@ impl Cloud4Home {
         self.stats
     }
 
+    /// The deployment's telemetry recorder (spans, instants, counters,
+    /// histograms). Clones share one buffer; see [`c4h_telemetry`].
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// Turns trace/metric recording on or off at runtime. Spans opened
+    /// while enabled still close cleanly after a disable.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.telemetry.set_enabled(on);
+    }
+
+    /// Whether trace/metric recording is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Serializes everything recorded so far as Chrome `trace_event` JSON
+    /// (loadable in `chrome://tracing` or Perfetto). Deterministic: the
+    /// same seed and workload produce byte-identical output.
+    pub fn chrome_trace_json(&self) -> String {
+        self.telemetry.chrome_trace_json()
+    }
+
+    /// Serializes recorded counters and histograms as a flat, sorted JSON
+    /// document, with the aggregate [`RunStats`] mirrored in under
+    /// `stats.*`. Deterministic for a given seed and workload.
+    pub fn metrics_json(&self) -> String {
+        self.sync_stats_counters();
+        self.telemetry.metrics_json()
+    }
+
+    /// Mirrors [`RunStats`] into the metrics registry so dumps carry the
+    /// runtime aggregates alongside subsystem counters.
+    fn sync_stats_counters(&self) {
+        let s = &self.stats;
+        for (name, v) in [
+            ("stats.ops_completed", s.ops_completed),
+            ("stats.flows_started", s.flows_started),
+            ("stats.envelopes_delivered", s.envelopes_delivered),
+            ("stats.envelopes_dropped", s.envelopes_dropped),
+            ("stats.dht_retries", s.dht_retries),
+            ("stats.fetch_failovers", s.fetch_failovers),
+            ("stats.proc_redispatches", s.proc_redispatches),
+            ("stats.replicas_written", s.replicas_written),
+            ("stats.repairs_started", s.repairs_started),
+            ("stats.repairs_completed", s.repairs_completed),
+        ] {
+            self.telemetry.set_counter(name, v);
+        }
+    }
+
     /// Objects currently stored on a node.
     pub fn objects_on(&self, id: NodeId) -> usize {
         self.nodes[id.0].objects.len()
@@ -591,6 +668,16 @@ impl Cloud4Home {
     pub fn crash_node(&mut self, id: NodeId) {
         self.nodes[id.0].alive = false;
         let addr = self.nodes[id.0].addr;
+        self.telemetry.instant_args(
+            "fault",
+            "fault.crash",
+            RUNTIME_TRACK,
+            self.now().as_nanos(),
+            vec![
+                ("node", ArgValue::from(self.nodes[id.0].name.as_str())),
+                ("addr", ArgValue::from(addr.raw())),
+            ],
+        );
         let why = format!("transfer peer {} crashed", self.nodes[id.0].name);
         self.abort_flows(|src, dst| src == addr || dst == addr, &why);
         self.ensure_tick();
@@ -613,7 +700,13 @@ impl Cloud4Home {
         for flow in dead_flows {
             self.net.cancel(flow);
             self.flow_endpoints.remove(&flow);
-            self.repair_flows.remove(&flow);
+            if let Some(job) = self.repair_flows.remove(&flow) {
+                self.telemetry.end_args(
+                    job.span,
+                    self.now().as_nanos(),
+                    vec![("installed", ArgValue::from(false))],
+                );
+            }
             if let Some(op) = self.flow_waiters.remove(&flow) {
                 self.transfer_failed(op, why);
             }
@@ -649,6 +742,13 @@ impl Cloud4Home {
         let key = self.nodes[id.0].key;
         self.repaired_peers.remove(&key);
         let now = self.now();
+        self.telemetry.instant_args(
+            "fault",
+            "fault.rejoin",
+            RUNTIME_TRACK,
+            now.as_nanos(),
+            vec![("node", ArgValue::from(self.nodes[id.0].name.as_str()))],
+        );
         self.nodes[id.0].chimera.join_via(seed_key, now);
         self.run_for(Duration::from_secs(2));
         self.publish_service_records();
@@ -701,6 +801,25 @@ impl Cloud4Home {
                 if let Some(Some(idx)) = gateway_group {
                     addr_groups[idx].push(CLOUD_ADDR);
                 }
+                // `groups`: explicit groups as "addr,addr|addr,..."; every
+                // unlisted address forms the implicit remainder group.
+                let desc: String = addr_groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .map(|a| a.raw().to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("|");
+                self.telemetry.instant_args(
+                    "fault",
+                    "fault.partition",
+                    RUNTIME_TRACK,
+                    self.now().as_nanos(),
+                    vec![("groups", ArgValue::from(desc))],
+                );
                 self.partition = Partition::new(addr_groups);
                 let cut = self.partition.clone();
                 self.abort_flows(
@@ -710,15 +829,41 @@ impl Cloud4Home {
                 self.ensure_tick();
             }
             FaultEvent::Heal => {
+                self.telemetry
+                    .instant("fault", "fault.heal", RUNTIME_TRACK, self.now().as_nanos());
                 self.partition = Partition::default();
             }
             FaultEvent::WanDegrade(factor) => {
-                self.set_wan_quality(factor.clamp(0.05, 1.0));
+                let factor = factor.clamp(0.05, 1.0);
+                self.telemetry.instant_args(
+                    "fault",
+                    "fault.wan_degrade",
+                    RUNTIME_TRACK,
+                    self.now().as_nanos(),
+                    vec![("factor_permille", ArgValue::from((factor * 1000.0) as u64))],
+                );
+                self.set_wan_quality(factor);
             }
             FaultEvent::BurstyLoss {
                 mean_loss,
                 mean_burst_len,
             } => {
+                self.telemetry.instant_args(
+                    "fault",
+                    "fault.bursty_loss",
+                    RUNTIME_TRACK,
+                    self.now().as_nanos(),
+                    vec![
+                        (
+                            "mean_loss_permille",
+                            ArgValue::from((mean_loss * 1000.0) as u64),
+                        ),
+                        (
+                            "mean_burst_len_x1000",
+                            ArgValue::from((mean_burst_len * 1000.0) as u64),
+                        ),
+                    ],
+                );
                 self.ge_chains.clear();
                 self.bursty = if mean_loss > 0.0 {
                     Some(GilbertElliott::bursty(mean_loss, mean_burst_len))
@@ -727,7 +872,18 @@ impl Cloud4Home {
                 };
             }
             FaultEvent::SlowNode { node, factor } => {
-                self.slow_factor[node.0] = factor.max(1.0);
+                let factor = factor.max(1.0);
+                self.telemetry.instant_args(
+                    "fault",
+                    "fault.slow_node",
+                    RUNTIME_TRACK,
+                    self.now().as_nanos(),
+                    vec![
+                        ("node", ArgValue::from(self.nodes[node.0].name.as_str())),
+                        ("factor_permille", ArgValue::from((factor * 1000.0) as u64)),
+                    ],
+                );
+                self.slow_factor[node.0] = factor;
             }
         }
     }
@@ -803,6 +959,9 @@ impl Cloud4Home {
 
     /// Advances the simulation by one event. Returns `false` when idle.
     pub(crate) fn step(&mut self) -> bool {
+        // Route passive-layer metrics (kvstore codec, service kernels) to
+        // this deployment's recorder for the duration of the step.
+        let _dispatch = c4h_telemetry::install(&self.telemetry);
         self.pump();
         let qt = self.queue.peek_time();
         let nt = self.net.next_event();
@@ -844,6 +1003,18 @@ impl Cloud4Home {
             Event::Tick => {
                 self.tick_armed = false;
                 let now = self.now();
+                if self.telemetry.enabled() {
+                    // Queue depths sampled on event boundaries: every tick
+                    // is one deterministic sample point.
+                    self.telemetry
+                        .observe("runtime.queue_depth", self.queue.len() as u64);
+                    self.telemetry
+                        .observe("runtime.ops_inflight", self.ops.len() as u64);
+                    self.telemetry.observe(
+                        "runtime.flows_inflight",
+                        (self.flow_waiters.len() + self.repair_flows.len()) as u64,
+                    );
+                }
                 for i in 0..self.nodes.len() {
                     if self.nodes[i].alive {
                         self.nodes[i].chimera.tick(now);
@@ -1133,6 +1304,18 @@ impl Cloud4Home {
         self.stats.repairs_started += 1;
         self.flow_endpoints
             .insert(flow, (self.nodes[src].addr, self.nodes[dst].addr));
+        let span = self.telemetry.begin_args(
+            "repair",
+            "repair",
+            REPAIR_TRACK_BASE + flow.raw(),
+            now.as_nanos(),
+            vec![
+                ("object", ArgValue::from(name)),
+                ("src", ArgValue::from(self.nodes[src].name.as_str())),
+                ("dst", ArgValue::from(self.nodes[dst].name.as_str())),
+                ("bytes", ArgValue::from(size)),
+            ],
+        );
         self.repair_flows.insert(
             flow,
             RepairJob {
@@ -1140,6 +1323,7 @@ impl Cloud4Home {
                 src,
                 dst,
                 bytes: size,
+                span,
             },
         );
         self.ensure_tick();
@@ -1148,14 +1332,25 @@ impl Cloud4Home {
     /// Installs a completed repair transfer on its destination and
     /// republishes the object's metadata with the new replica set.
     fn finish_repair(&mut self, job: RepairJob) {
+        let installed = self.finish_repair_inner(&job);
+        self.telemetry.end_args(
+            job.span,
+            self.now().as_nanos(),
+            vec![("installed", ArgValue::from(installed))],
+        );
+    }
+
+    /// The installation step of [`Self::finish_repair`]; returns whether
+    /// the replica was actually installed.
+    fn finish_repair_inner(&mut self, job: &RepairJob) -> bool {
         let Some(meta) = self.replica_meta.get(&job.name).cloned() else {
-            return; // deleted while the repair was in flight
+            return false; // deleted while the repair was in flight
         };
         if !self.nodes[job.dst].alive {
-            return;
+            return false;
         }
         let Some(blob) = self.nodes[job.src].objects.get(&job.name).cloned() else {
-            return; // the source lost the bytes mid-repair
+            return false; // the source lost the bytes mid-repair
         };
         if self.nodes[job.dst].bins.lookup(&job.name).is_some() {
             self.nodes[job.dst].bins.remove(&job.name);
@@ -1165,7 +1360,7 @@ impl Cloud4Home {
             .store(&job.name, job.bytes, Bin::Voluntary)
             .is_err()
         {
-            return;
+            return false;
         }
         self.nodes[job.dst].objects.insert(job.name.clone(), blob);
         self.stats.replicas_written += 1;
@@ -1196,5 +1391,6 @@ impl Cloud4Home {
         ) {
             self.dht_waiters.insert((publisher, req), DhtWaiter::Ignore);
         }
+        true
     }
 }

@@ -420,7 +420,10 @@ impl Record {
                 r.encode_body(&mut w);
             }
         }
-        w.into_bytes()
+        let bytes = w.into_bytes();
+        c4h_telemetry::add("kvstore.record_encodes", 1);
+        c4h_telemetry::observe("kvstore.record_bytes", bytes.len() as u64);
+        bytes
     }
 
     /// Parses a record from its wire form.
@@ -430,6 +433,7 @@ impl Record {
     /// Returns a [`WireError`] for malformed, truncated, or
     /// unknown-schema input.
     pub fn decode(bytes: &[u8]) -> Result<Record, WireError> {
+        c4h_telemetry::add("kvstore.record_decodes", 1);
         let mut r = WireReader::new(bytes);
         let tag = r.tag()?;
         let version = r.tag()?;

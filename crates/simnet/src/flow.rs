@@ -16,10 +16,16 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use c4h_telemetry::{ArgValue, Recorder, SpanId};
+
 use crate::tcp::TcpProfile;
 use crate::time::{duration_from_secs_f64, SimTime};
 use crate::topology::{Addr, SegmentId, Topology};
 use crate::DetRng;
+
+/// Telemetry track base for network-flow spans: flow `n` renders on track
+/// `NET_TRACK_BASE + n`, keeping flows clear of the per-operation tracks.
+pub const NET_TRACK_BASE: u64 = 2_000_000;
 
 /// Identifier of an in-flight bulk transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -203,6 +209,8 @@ pub struct FlowNet {
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
     alloc_dirty: bool,
+    recorder: Option<Recorder>,
+    spans: BTreeMap<FlowId, SpanId>,
 }
 
 impl FlowNet {
@@ -214,6 +222,63 @@ impl FlowNet {
             flows: BTreeMap::new(),
             next_id: 0,
             alloc_dirty: false,
+            recorder: None,
+            spans: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches a telemetry recorder: every flow becomes a `net.flow` span
+    /// (with `src`/`dst`/`bytes` arguments) on track
+    /// [`NET_TRACK_BASE`]` + flow id`, and delivered bytes accumulate into
+    /// per-segment counters.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Ids of all in-flight transfers, in creation order.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// The segments a flow's bytes traverse, if it is still in flight.
+    pub fn flow_path(&self, id: FlowId) -> Option<&[SegmentId]> {
+        self.flows.get(&id).map(|f| f.path.as_slice())
+    }
+
+    /// A flow's own rate cap (TCP profile and bandwidth factor, before
+    /// max-min sharing) at the engine's current instant.
+    pub fn flow_cap(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.cap(self.now))
+    }
+
+    /// Credits a finished or canceled flow's delivered bytes to the
+    /// per-segment byte counters and closes its span.
+    fn retire_flow_telemetry(&mut self, id: FlowId, sent: u64, path: &[SegmentId], done: bool) {
+        let span = self.spans.remove(&id);
+        let Some(rec) = &self.recorder else { return };
+        for seg in path {
+            rec.add(
+                format!("net.segment_bytes.{}", self.topology.segment(*seg).name()),
+                sent,
+            );
+        }
+        rec.add(
+            if done {
+                "net.flows_completed"
+            } else {
+                "net.flows_canceled"
+            },
+            1,
+        );
+        if let Some(span) = span {
+            rec.end_args(
+                span,
+                self.now.as_nanos(),
+                vec![
+                    ("sent", ArgValue::from(sent)),
+                    ("done", ArgValue::from(done)),
+                ],
+            );
         }
     }
 
@@ -299,16 +364,36 @@ impl FlowNet {
         };
         self.flows.insert(id, flow);
         self.alloc_dirty = true;
+        if let Some(rec) = &self.recorder {
+            rec.add("net.flows_started", 1);
+            let span = rec.begin_args(
+                "net",
+                "net.flow",
+                NET_TRACK_BASE + id.0,
+                now.as_nanos(),
+                vec![
+                    ("src", ArgValue::from(src.raw())),
+                    ("dst", ArgValue::from(dst.raw())),
+                    ("bytes", ArgValue::from(bytes)),
+                ],
+            );
+            if !span.is_none() {
+                self.spans.insert(id, span);
+            }
+        }
         Ok(id)
     }
 
     /// Cancels an in-flight transfer. Returns `true` if it existed.
     pub fn cancel(&mut self, id: FlowId) -> bool {
-        let existed = self.flows.remove(&id).is_some();
-        if existed {
-            self.alloc_dirty = true;
-        }
-        existed
+        let Some(flow) = self.flows.remove(&id) else {
+            self.spans.remove(&id);
+            return false;
+        };
+        self.alloc_dirty = true;
+        let (sent, path) = (flow.sent as u64, flow.path);
+        self.retire_flow_telemetry(id, sent, &path, false);
+        true
     }
 
     /// The next instant at which the flow engine has something to report
@@ -369,9 +454,10 @@ impl FlowNet {
             .map(|f| f.id)
             .collect();
         for id in done {
-            self.flows.remove(&id);
+            let flow = self.flows.remove(&id).expect("completion listed a flow");
             out.push(FlowEvent::Completed { flow: id, at: now });
             self.alloc_dirty = true;
+            self.retire_flow_telemetry(id, flow.total_bytes, &flow.path, true);
         }
     }
 

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use c4h_simnet::{
-    Addr, DetRng, FlowNet, LatencyModel, SimTime, SustainedCap, TcpProfile, Topology,
+    Addr, DetRng, FlowNet, LatencyModel, SegmentId, SimTime, SustainedCap, TcpProfile, Topology,
 };
 use proptest::prelude::*;
 
@@ -131,6 +131,91 @@ proptest! {
         // Identical symmetric flows finish together.
         let first = done.iter().min().unwrap().as_secs_f64();
         prop_assert!((last - first).abs() < 1e-6);
+    }
+
+    /// The progressive-filling allocation is max-min fair: no segment is
+    /// ever driven above its capacity, and any flow held below its own rate
+    /// cap is bottlenecked on some saturated segment of its path where no
+    /// competing flow gets more than it does.
+    #[test]
+    fn allocation_is_max_min_fair(
+        n_ab in 0usize..4,
+        n_bc in 0usize..4,
+        n_ac in 1usize..4,
+        cap_ab in 1.0e4..1.0e6f64,
+        cap_bc in 1.0e4..1.0e6f64,
+        rate_ab in 1.0e4..1.0e6f64,
+        rate_bc in 1.0e4..1.0e6f64,
+        rate_ac in 1.0e4..1.0e6f64,
+    ) {
+        // A chain A —ab— B —bc— C; the A→C route crosses both segments and
+        // competes with local traffic on each.
+        let lat = LatencyModel { base: Duration::from_millis(1), jitter: 0.0 };
+        let mut b = Topology::builder();
+        let ab = b.segment("ab", cap_ab);
+        let bc = b.segment("bc", cap_bc);
+        let (sa, sb, sc) = (b.site("a"), b.site("b"), b.site("c"));
+        b.route(sa, sb, vec![ab], lat, TcpProfile::constant_rate(rate_ab), 1.0, 0.0);
+        b.route(sb, sc, vec![bc], lat, TcpProfile::constant_rate(rate_bc), 1.0, 0.0);
+        b.route(sa, sc, vec![ab, bc], lat, TcpProfile::constant_rate(rate_ac), 1.0, 0.0);
+        let mut t = b.build();
+        for i in 0..8 {
+            t.attach(Addr::new(i), sa);
+            t.attach(Addr::new(8 + i), sb);
+            t.attach(Addr::new(16 + i), sc);
+        }
+
+        let mut net = FlowNet::new(t);
+        let mut rng = DetRng::seed(4);
+        let bytes = 64 << 20; // large enough that nothing completes early
+        for i in 0..n_ab as u64 {
+            net.start_flow(SimTime::ZERO, Addr::new(i), Addr::new(8 + i), bytes, &mut rng).unwrap();
+        }
+        for i in 0..n_bc as u64 {
+            net.start_flow(SimTime::ZERO, Addr::new(8 + i), Addr::new(16 + i), bytes, &mut rng).unwrap();
+        }
+        for i in 0..n_ac as u64 {
+            net.start_flow(SimTime::ZERO, Addr::new(i), Addr::new(16 + i), bytes, &mut rng).unwrap();
+        }
+        net.next_event(); // forces the rate allocation
+
+        let flows = net.flow_ids();
+        let rate = |id| net.progress(id).unwrap().rate_bps;
+        let on_seg = |id, seg: SegmentId| net.flow_path(id).unwrap().contains(&seg);
+        let seg_load = |seg: SegmentId| -> f64 {
+            flows.iter().filter(|&&f| on_seg(f, seg)).map(|&f| rate(f)).sum()
+        };
+
+        // No segment above capacity.
+        for (seg, cap) in [(ab, cap_ab), (bc, cap_bc)] {
+            prop_assert!(
+                seg_load(seg) <= cap * 1.001,
+                "segment {} over capacity: {} > {}", net.topology().segment(seg).name(),
+                seg_load(seg), cap
+            );
+        }
+
+        // Every cap-limited flow gets its cap; every other flow has a
+        // saturated bottleneck segment where it is no worse off than any
+        // competitor.
+        for &f in &flows {
+            let cap = net.flow_cap(f).unwrap();
+            let r = rate(f);
+            prop_assert!(r <= cap * 1.001, "flow rate {r} exceeds its cap {cap}");
+            if r >= cap * 0.999 {
+                continue;
+            }
+            let path = net.flow_path(f).unwrap().to_vec();
+            let bottleneck = path.iter().find(|&&seg| {
+                let seg_cap = net.topology().segment(seg).capacity_bps();
+                seg_load(seg) >= seg_cap * 0.999
+                    && flows.iter().all(|&g| !on_seg(g, seg) || rate(g) <= r * 1.001)
+            });
+            prop_assert!(
+                bottleneck.is_some(),
+                "flow below its cap ({r} < {cap}) has no max-min bottleneck"
+            );
+        }
     }
 
     /// Progress accounting conserves bytes at arbitrary intermediate times.

@@ -1,0 +1,89 @@
+//! Thread-local recorder dispatch for passive crates.
+//!
+//! Leaf crates like `kvstore` and `services` are pure libraries: they have
+//! no notion of virtual time and no recorder handle, yet their call counts
+//! (record encodes/decodes, service executions) belong in the metrics dump.
+//! Rather than threading a `Recorder` through every signature, the runtime
+//! [`install`]s its recorder for the current thread around each simulation
+//! step, and leaf code calls the free [`add`]/[`observe`] functions, which
+//! no-op when nothing is installed.
+//!
+//! Only *additive* metrics should flow through this channel — counters and
+//! histogram samples are order-insensitive, so the dump stays deterministic
+//! no matter where the install guard sits.
+
+use std::cell::RefCell;
+
+use crate::Recorder;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Installs `recorder` as the current thread's dispatch target, returning a
+/// guard that restores the previous target when dropped.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub fn install(recorder: &Recorder) -> DispatchGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(recorder.clone())));
+    DispatchGuard { prev }
+}
+
+/// Restores the previously installed recorder on drop.
+#[derive(Debug)]
+pub struct DispatchGuard {
+    prev: Option<Recorder>,
+}
+
+impl Drop for DispatchGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Runs `f` with the installed recorder, if any.
+pub fn with<R>(f: impl FnOnce(&Recorder) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Adds `delta` to a counter on the installed recorder; no-op without one.
+pub fn add(name: &'static str, delta: u64) {
+    with(|r| r.add(name, delta));
+}
+
+/// Records a histogram sample on the installed recorder; no-op without one.
+pub fn observe(name: &'static str, value: u64) {
+    with(|r| r.observe(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninstalled_dispatch_is_a_no_op() {
+        add("x", 1);
+        observe("y", 2);
+        assert!(with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn install_routes_and_guard_restores() {
+        let outer = Recorder::new();
+        outer.set_enabled(true);
+        let g = install(&outer);
+        add("calls", 1);
+        {
+            let inner = Recorder::new();
+            inner.set_enabled(true);
+            let g2 = install(&inner);
+            add("calls", 10);
+            drop(g2);
+            assert_eq!(inner.snapshot().counter("calls"), 10);
+        }
+        add("calls", 1);
+        drop(g);
+        assert_eq!(outer.snapshot().counter("calls"), 2);
+        assert!(with(|_| ()).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Byte-stable JSON exporters.
+//!
+//! Both exporters are hand-rolled string builders: the workspace carries no
+//! JSON dependency, and writing the bytes ourselves is what guarantees the
+//! "same seed ⇒ same bytes" contract. Every number emitted is an integer or
+//! a fixed-point decimal derived from integer nanoseconds; map-like output
+//! always follows `BTreeMap` order.
+
+use std::fmt::Write;
+
+use crate::recorder::{ArgValue, Args, EventRec, Inner};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats virtual nanoseconds as the microsecond timestamps Chrome's
+/// `trace_event` format expects, with fixed three-digit sub-microsecond
+/// precision (`1234567 ns` → `"1234.567"`).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn args_into(out: &mut String, args: &Args) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes the event log as a Chrome `trace_event` JSON document.
+///
+/// Spans become complete (`"ph":"X"`) events and instants become
+/// thread-scoped instant (`"ph":"i"`) events; the recorder's `track` is the
+/// `tid`, so each operation (or flow, node, repair job) renders as its own
+/// row and child phases nest by containment. The document loads in
+/// `chrome://tracing` and Perfetto.
+pub(crate) fn chrome_trace_json(inner: &Inner) -> String {
+    let mut out = String::with_capacity(256 + inner.events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"cloud4home\"}}",
+    );
+    for ev in &inner.events {
+        out.push_str(",\n");
+        match ev {
+            EventRec::Span(s) => {
+                out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+                let _ = write!(out, "{}", s.track);
+                out.push_str(",\"cat\":\"");
+                escape_into(&mut out, s.cat);
+                out.push_str("\",\"name\":\"");
+                escape_into(&mut out, &s.name);
+                out.push_str("\",\"ts\":");
+                out.push_str(&micros(s.start_ns));
+                out.push_str(",\"dur\":");
+                out.push_str(&micros(s.end_ns.saturating_sub(s.start_ns)));
+                out.push_str(",\"args\":");
+                args_into(&mut out, &s.args);
+                out.push('}');
+            }
+            EventRec::Instant(i) => {
+                out.push_str("{\"ph\":\"i\",\"pid\":1,\"tid\":");
+                let _ = write!(out, "{}", i.track);
+                out.push_str(",\"cat\":\"");
+                escape_into(&mut out, i.cat);
+                out.push_str("\",\"name\":\"");
+                escape_into(&mut out, &i.name);
+                out.push_str("\",\"ts\":");
+                out.push_str(&micros(i.ts_ns));
+                out.push_str(",\"s\":\"t\",\"args\":");
+                args_into(&mut out, &i.args);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serializes counters and histograms as a flat JSON document with one
+/// entry per line, sorted by name.
+pub(crate) fn metrics_json(inner: &Inner) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n\"counters\":{");
+    for (i, (name, value)) in inner.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push('"');
+        escape_into(&mut out, name);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("\n},\n\"histograms\":{");
+    for (i, (name, h)) in inner.hists.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push('"');
+        escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            h.count, h.sum, h.min, h.max
+        );
+        for (j, (bound, n)) in h.buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{bound},{n}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ArgValue, Recorder};
+
+    fn sample() -> Recorder {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        let id = rec.begin_args(
+            "op",
+            "fetch",
+            7,
+            1_234_567,
+            vec![("object", ArgValue::from("a/b \"c\".bin"))],
+        );
+        rec.instant("fault", "fault.crash", 0, 2_000_000);
+        rec.end_args(id, 3_456_789, vec![("ok", ArgValue::from(true))]);
+        rec.add("op.fetch.ok", 1);
+        rec.observe("op.fetch.total_us", 2_222);
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let json = sample().chrome_trace_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.trim_end().ends_with("]}"));
+        // Fixed-point microsecond timestamps derived from integer nanos.
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"dur\":2222.222"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // String escaping.
+        assert!(json.contains("a/b \\\"c\\\".bin"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_and_integer_only() {
+        let rec = sample();
+        rec.add("a.first", 3);
+        let json = rec.metrics_json();
+        let a = json.find("a.first").unwrap();
+        let b = json.find("op.fetch.ok").unwrap();
+        assert!(a < b, "counters must serialize in sorted order");
+        assert!(json.contains("\"count\":1,\"sum\":2222,\"min\":2222,\"max\":2222"));
+        assert!(
+            !json.contains('.') || !json.contains("e-"),
+            "no float formatting"
+        );
+    }
+
+    #[test]
+    fn exports_are_reproducible() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        assert_eq!(a.metrics_json(), b.metrics_json());
+    }
+
+    #[test]
+    fn empty_recorder_exports_are_well_formed() {
+        let rec = Recorder::new();
+        let trace = rec.chrome_trace_json();
+        assert!(trace.contains("process_name"));
+        let metrics = rec.metrics_json();
+        assert!(metrics.contains("\"counters\":{"));
+        assert!(metrics.contains("\"histograms\":{"));
+    }
+}
