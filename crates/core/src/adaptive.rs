@@ -166,6 +166,7 @@ mod tests {
             breakdown: Breakdown::default(),
             retries: 0,
             failovers: 0,
+            partial_replication: 0,
             outcome: Ok(OpOutput {
                 bytes,
                 via_cloud,

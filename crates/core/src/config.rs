@@ -208,6 +208,21 @@ pub struct Config {
     /// inside the home cloud, so privacy policies that pin data home are
     /// never violated by replication.
     pub replication: usize,
+    /// How many total copies (primary plus landed replicas) must exist
+    /// before a `store` publishes its metadata and completes. `0` (the
+    /// default) means all `replication` copies; any other value is clamped
+    /// to `1..=replication`. With a quorum below `replication`, the
+    /// remaining replica flows detach and finish in the background, after
+    /// which the metadata record is re-published with the full replica set.
+    pub replica_quorum: usize,
+    /// Objects larger than this are shipped as pipelined chunks of this
+    /// size instead of one monolithic flow, so TCP slow-start amortizes
+    /// and segments on either side of a LAN/WAN split overlap. `0` (the
+    /// default) disables chunking.
+    pub chunk_bytes: u64,
+    /// How many chunks of a chunked transfer may be in flight at once
+    /// (minimum 2).
+    pub chunk_window: usize,
     /// Whether virtual-time tracing and metrics collection start enabled.
     /// Recording can also be toggled at runtime with
     /// [`Cloud4Home::set_tracing`](crate::Cloud4Home::set_tracing); either
@@ -246,6 +261,9 @@ impl Config {
             seed,
             training_bytes: 60 << 20,
             replication: 1,
+            replica_quorum: 0,
+            chunk_bytes: 0,
+            chunk_window: 4,
             tracing: false,
         }
     }

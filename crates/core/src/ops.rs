@@ -8,9 +8,10 @@
 //! attributes its elapsed virtual time to a [`Breakdown`] component so the
 //! harness can regenerate Table I.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
-use c4h_chimera::{DhtEvent, Key};
+use c4h_chimera::{DhtError, DhtEvent, Key};
 use c4h_cloud::{S3Url, REQUEST_LATENCY};
 use c4h_kvstore::{
     directory_key, node_resource_key, object_key, parent_dir, service_key, DirEntry, Location,
@@ -18,7 +19,7 @@ use c4h_kvstore::{
 };
 use c4h_resources::Bin;
 use c4h_services::{ServiceDemand, ServiceId, ServiceOutput};
-use c4h_simnet::{Addr, SimTime};
+use c4h_simnet::{Addr, FlowId, SimTime};
 use c4h_telemetry::ArgValue;
 
 use crate::config::{NodeId, ServiceKind};
@@ -26,7 +27,7 @@ use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TI
 use crate::object::{Blob, Object, SAMPLE_WINDOW};
 use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
 use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport};
-use crate::runtime::Cloud4Home;
+use crate::runtime::{Cloud4Home, FanoutJob, FANOUT_TRACK_BASE};
 
 /// Size of a command packet on the guest ↔ dom0 channel ("commands are
 /// usually less than 50 bytes").
@@ -57,8 +58,13 @@ pub enum Placement {
 pub(crate) enum OpInput {
     /// A scheduled wake fired.
     Wake,
-    /// The awaited bulk flow delivered its last byte.
-    FlowDone,
+    /// An awaited bulk flow delivered its last byte. Operations tracking
+    /// several concurrent transfers (store fan-out) tell completions apart
+    /// by the flow id.
+    FlowDone { flow: FlowId },
+    /// A scheduled sub-task wake fired (one concurrent branch of the
+    /// operation, identified by its token).
+    SubWake { token: u64 },
     /// The awaited DHT request completed.
     Dht(DhtEvent),
 }
@@ -68,10 +74,15 @@ pub(crate) enum Stage {
     // --- store ---
     StoreChannelIn,
     StoreQueryPeers,
-    StoreFlowToPeer { peer: usize },
-    StoreDiskWrite { target: usize },
-    StoreReplicaFlow { target: usize },
-    StoreReplicaWrite { target: usize },
+    StoreFlowToPeer {
+        peer: usize,
+    },
+    StoreDiskWrite {
+        target: usize,
+    },
+    /// All pending replica transfers run concurrently; the stage ends when
+    /// the last replica lands or a quorum is reached.
+    StoreFanout,
     StoreFlowToCloud,
     StoreCloudPut,
     StoreMetaPut,
@@ -80,10 +91,16 @@ pub(crate) enum Stage {
     // --- fetch ---
     FetchChannelIn,
     FetchMetaGet,
-    FetchOwnerRequest { owner: usize },
-    FetchFlowHome { owner: usize },
+    FetchOwnerRequest {
+        owner: usize,
+    },
+    FetchFlowHome {
+        owner: usize,
+    },
     FetchRetry,
-    FetchCloudRequest { url: S3Url },
+    FetchCloudRequest {
+        url: S3Url,
+    },
     FetchFlowCloud,
     FetchDiskLocal,
     FetchChannelOut,
@@ -98,8 +115,9 @@ pub(crate) enum Stage {
     ListDirGet,
     // --- process ---
     ProcChannelIn,
-    ProcMetaGet,
-    ProcSvcGet,
+    /// Object metadata and service record fetched with one batched pair of
+    /// concurrent DHT gets.
+    ProcMetaSvcGet,
     ProcQueryResources,
     ProcDecide,
     ProcReadArg,
@@ -116,8 +134,7 @@ pub(crate) fn stage_name(stage: &Stage) -> &'static str {
         Stage::StoreQueryPeers => "store.query_peers",
         Stage::StoreFlowToPeer { .. } => "store.flow_to_peer",
         Stage::StoreDiskWrite { .. } => "store.disk_write",
-        Stage::StoreReplicaFlow { .. } => "store.replica_flow",
-        Stage::StoreReplicaWrite { .. } => "store.replica_write",
+        Stage::StoreFanout => "store.fanout",
         Stage::StoreFlowToCloud => "store.flow_to_cloud",
         Stage::StoreCloudPut => "store.cloud_put",
         Stage::StoreMetaPut => "store.meta_put",
@@ -140,8 +157,7 @@ pub(crate) fn stage_name(stage: &Stage) -> &'static str {
         Stage::ListChannelIn => "list.channel_in",
         Stage::ListDirGet => "list.dir_get",
         Stage::ProcChannelIn => "proc.channel_in",
-        Stage::ProcMetaGet => "proc.meta_get",
-        Stage::ProcSvcGet => "proc.svc_get",
+        Stage::ProcMetaSvcGet => "proc.meta_svc_get",
         Stage::ProcQueryResources => "proc.query_resources",
         Stage::ProcDecide => "proc.decide",
         Stage::ProcReadArg => "proc.read_arg",
@@ -187,13 +203,24 @@ pub(crate) struct Op {
     /// Failover redirects taken (replica fetches, executor re-dispatches).
     pub(crate) failovers: u32,
     /// Untried fetch candidates: node indices holding the bytes, best first.
-    pub(crate) fetch_candidates: Vec<usize>,
+    pub(crate) fetch_candidates: VecDeque<usize>,
     /// Ranked surviving executor candidates for process re-dispatch.
-    pub(crate) exec_candidates: Vec<ExecTarget>,
+    pub(crate) exec_candidates: VecDeque<ExecTarget>,
     /// Pending store-time replica targets (node indices).
-    pub(crate) replica_targets: Vec<usize>,
+    pub(crate) replica_targets: VecDeque<usize>,
     /// Overlay keys of replicas successfully written during this store.
     pub(crate) replicas_done: Vec<Key>,
+    /// In-flight replica transfers of the store fan-out, by flow.
+    /// `BTreeMap` so any iteration is deterministic.
+    pub(crate) replica_flows: BTreeMap<FlowId, ReplicaFlight>,
+    /// Pending replica disk writes of the store fan-out: sub-task token
+    /// (the target node index) → write start time.
+    pub(crate) replica_writes: BTreeMap<u64, SimTime>,
+    /// Replica copies this store could not place (too few live peers, or a
+    /// replica flow died with no substitute).
+    pub(crate) partial_replication: u32,
+    /// Whether any get of the current batched-lookup stage timed out.
+    pub(crate) batch_timed_out: bool,
     /// Home node index the store's primary copy landed on.
     pub(crate) store_target: Option<usize>,
     /// Current failover backoff; doubles on each retry round.
@@ -233,10 +260,14 @@ impl Op {
             result_bytes: 0,
             retries: 0,
             failovers: 0,
-            fetch_candidates: Vec::new(),
-            exec_candidates: Vec::new(),
-            replica_targets: Vec::new(),
+            fetch_candidates: VecDeque::new(),
+            exec_candidates: VecDeque::new(),
+            replica_targets: VecDeque::new(),
             replicas_done: Vec::new(),
+            replica_flows: BTreeMap::new(),
+            replica_writes: BTreeMap::new(),
+            partial_replication: 0,
+            batch_timed_out: false,
             store_target: None,
             backoff: INITIAL_BACKOFF,
             deadline: now + OP_DEADLINE,
@@ -262,6 +293,23 @@ const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
 /// Per-operation recovery deadline: failover loops past this fail with
 /// [`OpError::Timeout`] instead of retrying forever.
 const OP_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Ceiling on the exponential fetch-retry backoff, so one doubling can
+/// never sleep past the deadline in a single jump.
+const MAX_FETCH_BACKOFF: Duration = Duration::from_secs(5);
+
+/// Relative spread of the deterministic jitter applied to each fetch-retry
+/// backoff interval.
+const BACKOFF_JITTER: f64 = 0.2;
+
+/// One in-flight replica transfer of a store fan-out.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplicaFlight {
+    /// Destination node index.
+    pub(crate) target: usize,
+    /// When the transfer started (for the retroactive stage span).
+    pub(crate) started: SimTime,
+}
 
 /// Whether a DHT completion is a timeout (lost request or reply).
 fn dht_timed_out(input: &OpInput) -> bool {
@@ -526,7 +574,7 @@ impl Cloud4Home {
     /// replica fan-outs skip the lost target, peer stores spill to the
     /// cloud, and process moves re-dispatch to the next-best executor.
     /// Stages with no recovery path fail the operation.
-    pub(crate) fn transfer_failed(&mut self, id: OpId, why: &str) {
+    pub(crate) fn transfer_failed(&mut self, id: OpId, flow: FlowId, why: &str) {
         let Some(mut op) = self.ops.remove(&id) else {
             return;
         };
@@ -547,9 +595,17 @@ impl Cloud4Home {
         }
         let outcome = match op.stage.clone() {
             Stage::FetchFlowHome { .. } => self.fetch_try_next(&mut op, true),
-            Stage::StoreReplicaFlow { .. } => {
-                op.failovers += 1;
-                self.store_next_replica(&mut op)
+            Stage::StoreFanout => {
+                // One replica flight died; the rest of the fan-out (and the
+                // store itself) carries on with one copy fewer.
+                if op.replica_flows.remove(&flow).is_some() {
+                    op.failovers += 1;
+                    op.partial_replication += 1;
+                    self.stats.partial_replication += 1;
+                    self.store_fanout_check(&mut op)
+                } else {
+                    None
+                }
             }
             Stage::StoreFlowToPeer { .. } => self.store_spill_or_fail(&mut op),
             Stage::ProcMoveArg | Stage::ProcMoveResult => self.proc_redispatch(&mut op, why),
@@ -576,7 +632,18 @@ impl Cloud4Home {
         }
     }
 
-    fn complete_op(&mut self, op: Op, outcome: Result<OpOutput, OpError>) {
+    fn complete_op(&mut self, mut op: Op, outcome: Result<OpOutput, OpError>) {
+        // A store failing with replica flights still in the air (e.g. the
+        // client crashed) abandons them: nobody is left to publish them.
+        if !op.replica_flows.is_empty() {
+            let flows: Vec<FlowId> = op.replica_flows.keys().copied().collect();
+            for flow in flows {
+                self.net.cancel(flow);
+                self.flow_waiters.remove(&flow);
+                self.flow_endpoints.remove(&flow);
+            }
+            op.replica_flows.clear();
+        }
         self.stats.ops_completed += 1;
         if self.telemetry.enabled() {
             let now = self.now();
@@ -611,6 +678,7 @@ impl Cloud4Home {
             breakdown: op.breakdown,
             retries: u32::from(op.retries),
             failovers: op.failovers,
+            partial_replication: op.partial_replication,
             outcome,
         };
         self.reports.insert(op.id, report);
@@ -647,6 +715,21 @@ impl Cloud4Home {
     }
 
     fn op_step(&mut self, op: &mut Op, input: OpInput) -> StepOutcome {
+        // Sub-task continuations (concurrent branches of the fan-out) are
+        // routed by token, never by the current stage. A token that arrives
+        // after its stage moved on (e.g. a write detached by a quorum
+        // publish) is a no-op.
+        if let OpInput::SubWake { token } = input {
+            return match op.stage {
+                Stage::StoreFanout => self.fanout_write_done(op, token),
+                _ => None,
+            };
+        }
+        if matches!(op.stage, Stage::StoreFanout) {
+            if let OpInput::FlowDone { flow } = input {
+                return self.fanout_flow_done(op, flow);
+            }
+        }
         // Lossy-network recovery: a timed-out metadata request is reissued
         // (bounded) instead of failing the operation.
         if dht_timed_out(&input) {
@@ -669,7 +752,10 @@ impl Cloud4Home {
             // own: surface the exhaustion as an operation timeout. Stages
             // that absorb missing replies (resource queries) fall through.
             if op.retries >= MAX_DHT_RETRIES
-                && !matches!(op.stage, Stage::StoreQueryPeers | Stage::ProcQueryResources)
+                && !matches!(
+                    op.stage,
+                    Stage::StoreQueryPeers | Stage::ProcQueryResources | Stage::ProcMetaSvcGet
+                )
             {
                 return Some(Err(OpError::Timeout(op.name.clone())));
             }
@@ -711,23 +797,9 @@ impl Cloud4Home {
                 }
                 self.store_install(op, target)
             }
-            Stage::StoreReplicaFlow { target } => {
-                {
-                    let el = self.phase(op);
-                    op.breakdown.inter_node += el;
-                }
-                let write = self.nodes[target].disk.write_time(op.object_bytes());
-                op.stage = Stage::StoreReplicaWrite { target };
-                self.wake_in(op.id, write);
-                None
-            }
-            Stage::StoreReplicaWrite { target } => {
-                {
-                    let el = self.phase(op);
-                    op.breakdown.disk += el;
-                }
-                self.store_install_replica(op, target)
-            }
+            // Flow completions and write wakes of the fan-out are routed by
+            // the intercepts above; anything else (a stray wake) is inert.
+            Stage::StoreFanout => None,
             Stage::StoreFlowToCloud => {
                 {
                     let el = self.phase(op);
@@ -1054,45 +1126,88 @@ impl Cloud4Home {
                     let el = self.phase(op);
                     op.breakdown.inter_domain += el;
                 }
-                op.stage = Stage::ProcMetaGet;
-                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
-                None
-            }
-            Stage::ProcMetaGet => {
-                let meta = match self.take_object_meta(op, input) {
-                    Ok(m) => m,
-                    Err(e) => return Some(Err(e)),
-                };
-                {
-                    let el = self.phase(op);
-                    op.breakdown.dht += el;
-                }
-                op.meta = Some(meta);
+                // The object-metadata and service-record lookups are
+                // independent: issue both at once and pay one round trip.
                 let kind = op.service.expect("process carries a service");
-                op.stage = Stage::ProcSvcGet;
+                op.stage = Stage::ProcMetaSvcGet;
+                op.pending_gets = 2;
+                op.batch_timed_out = false;
+                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
                 self.dht_get_for_op(op.id, op.client, service_key(kind.name(), kind.id()));
                 None
             }
-            Stage::ProcSvcGet => {
+            Stage::ProcMetaSvcGet => {
                 let OpInput::Dht(DhtEvent::GetCompleted { value, result, .. }) = input else {
                     return None;
                 };
+                op.pending_gets = op.pending_gets.saturating_sub(1);
+                match result {
+                    Err(DhtError::Timeout) => op.batch_timed_out = true,
+                    Err(e) => return Some(Err(e.into())),
+                    Ok(()) => {
+                        // Replies are told apart by record type, not
+                        // arrival order.
+                        match value.as_ref().and_then(|v| Record::decode(v.latest()).ok()) {
+                            Some(Record::Object(m)) => op.meta = Some(m),
+                            Some(Record::Service(s)) => op.svc_record = Some(s),
+                            _ => {}
+                        }
+                    }
+                }
+                if op.pending_gets > 0 {
+                    return None;
+                }
+                let kind = op.service.expect("process carries a service");
+                // Reissue only whichever lookups a timeout left missing.
+                if op.batch_timed_out
+                    && (op.meta.is_none() || op.svc_record.is_none())
+                    && op.retries < MAX_DHT_RETRIES
+                {
+                    op.retries += 1;
+                    self.stats.dht_retries += 1;
+                    op.batch_timed_out = false;
+                    self.telemetry.instant_args(
+                        "dht",
+                        "dht.retry",
+                        op.id.0,
+                        self.now().as_nanos(),
+                        vec![
+                            ("stage", ArgValue::from(stage_name(&op.stage))),
+                            ("retries", ArgValue::from(u64::from(op.retries))),
+                        ],
+                    );
+                    if op.meta.is_none() {
+                        op.pending_gets += 1;
+                        self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                    }
+                    if op.svc_record.is_none() {
+                        op.pending_gets += 1;
+                        self.dht_get_for_op(op.id, op.client, service_key(kind.name(), kind.id()));
+                    }
+                    return None;
+                }
                 {
                     let el = self.phase(op);
                     op.breakdown.dht += el;
                 }
-                if let Err(e) = result {
-                    return Some(Err(e.into()));
-                }
-                let kind = op.service.expect("process carries a service");
-                let record = value
-                    .as_ref()
-                    .and_then(|v| Record::decode(v.latest()).ok())
-                    .and_then(|r| r.as_service().cloned());
-                let Some(record) = record else {
-                    return Some(Err(OpError::ServiceUnavailable(kind.id())));
+                let timed_out = op.batch_timed_out;
+                let Some(meta) = op.meta.clone() else {
+                    return Some(Err(if timed_out {
+                        OpError::Timeout(op.name.clone())
+                    } else {
+                        OpError::NotFound(op.name.clone())
+                    }));
                 };
-                op.svc_record = Some(record);
+                if !meta.acl.permits(self.nodes[op.client].key, meta.owner) {
+                    return Some(Err(OpError::AccessDenied(op.name.clone())));
+                }
+                if op.svc_record.is_none() {
+                    return Some(Err(if timed_out {
+                        OpError::Timeout(op.name.clone())
+                    } else {
+                        OpError::ServiceUnavailable(kind.id())
+                    }));
+                }
                 self.proc_resolve_placement(op)
             }
             Stage::ProcQueryResources => {
@@ -1161,13 +1276,8 @@ impl Cloud4Home {
     /// Returns `false` for stages that tolerate missing replies themselves.
     fn retry_dht(&mut self, op: &mut Op) -> bool {
         match op.stage.clone() {
-            Stage::FetchMetaGet | Stage::ProcMetaGet | Stage::DelMetaGet => {
+            Stage::FetchMetaGet | Stage::DelMetaGet => {
                 self.dht_get_for_op(op.id, op.client, object_key(&op.name));
-                true
-            }
-            Stage::ProcSvcGet => {
-                let kind = op.service.expect("process carries a service");
-                self.dht_get_for_op(op.id, op.client, service_key(kind.name(), kind.id()));
                 true
             }
             Stage::StoreMetaPut => {
@@ -1322,15 +1432,35 @@ impl Cloud4Home {
         op.store_target = Some(target);
         if self.config.replication > 1 {
             op.replica_targets = self.store_pick_replicas(op, target);
+            let want = self.config.replication - 1;
+            let got = op.replica_targets.len();
+            if got < want {
+                // Record the shortfall instead of silently
+                // under-replicating.
+                let short = (want - got) as u32;
+                op.partial_replication += short;
+                self.stats.partial_replication += u64::from(short);
+                self.telemetry.instant_args(
+                    "op",
+                    "store.partial_replication",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("object", ArgValue::from(op.name.as_str())),
+                        ("want", ArgValue::from(want as u64)),
+                        ("got", ArgValue::from(got as u64)),
+                    ],
+                );
+            }
         }
-        self.store_next_replica(op)
+        self.store_begin_fanout(op)
     }
 
     /// Picks up to `replication - 1` peer nodes to hold extra copies:
     /// live, reachable from the primary, with voluntary space, preferring
     /// the most free space. Replicas never leave the home cloud, so the
     /// object's privacy class is preserved.
-    fn store_pick_replicas(&mut self, op: &Op, primary: usize) -> Vec<usize> {
+    fn store_pick_replicas(&mut self, op: &Op, primary: usize) -> VecDeque<usize> {
         let size = op.object_bytes();
         let mut peers: Vec<usize> = (0..self.nodes.len())
             .filter(|&j| {
@@ -1347,22 +1477,28 @@ impl Cloud4Home {
             )
         });
         peers.truncate(self.config.replication.saturating_sub(1));
-        peers
+        peers.into()
     }
 
-    /// Starts the next pending replica transfer, or publishes the object's
-    /// metadata once replication is complete.
-    fn store_next_replica(&mut self, op: &mut Op) -> StepOutcome {
+    /// Starts every pending replica transfer at once. The stage completes
+    /// (and the metadata is published) when the last copy lands — or when
+    /// the configured quorum is reached, in which case the stragglers
+    /// detach and finish in the background.
+    fn store_begin_fanout(&mut self, op: &mut Op) -> StepOutcome {
         let primary = op.store_target.expect("primary copy installed");
         let size = op.object_bytes();
-        while let Some(&target) = op.replica_targets.first() {
-            op.replica_targets.remove(0);
+        self.phase(op);
+        op.stage = Stage::StoreFanout;
+        let now = self.now();
+        while let Some(target) = op.replica_targets.pop_front() {
             // Conditions may have changed since the targets were picked.
             if !self.nodes[target].alive
                 || !self.node_reachable(primary, target)
                 || !self.nodes[target].bins.fits(size, Bin::Voluntary)
             {
                 op.failovers += 1;
+                op.partial_replication += 1;
+                self.stats.partial_replication += 1;
                 self.telemetry.instant_args(
                     "op",
                     "store.replica_skip",
@@ -1375,21 +1511,96 @@ impl Cloud4Home {
                 );
                 continue;
             }
-            self.phase(op);
-            op.stage = Stage::StoreReplicaFlow { target };
             let src = self.nodes[primary].addr;
             let dst = self.nodes[target].addr;
-            self.start_flow_for_op(op.id, src, dst, size);
-            return None;
+            let flow = self.start_flow_for_op(op.id, src, dst, size);
+            op.replica_flows.insert(
+                flow,
+                ReplicaFlight {
+                    target,
+                    started: now,
+                },
+            );
         }
+        self.store_fanout_check(op)
+    }
+
+    /// The number of total copies (primary included) that must exist before
+    /// the store publishes, or 0 for "all of them".
+    fn effective_quorum(&self) -> usize {
+        match self.config.replica_quorum {
+            0 => 0,
+            q => q.clamp(1, self.config.replication),
+        }
+    }
+
+    /// Publishes the store's metadata once the fan-out is complete or has
+    /// reached quorum; otherwise keeps waiting.
+    fn store_fanout_check(&mut self, op: &mut Op) -> StepOutcome {
+        let pending = op.replica_flows.len() + op.replica_writes.len();
+        if pending == 0 {
+            return self.store_publish_meta(op, false);
+        }
+        let quorum = self.effective_quorum();
+        if quorum > 0 && 1 + op.replicas_done.len() >= quorum {
+            return self.store_publish_meta(op, true);
+        }
+        None
+    }
+
+    /// Closes the fan-out stage and publishes the object's metadata. With
+    /// `at_quorum`, replica work still in flight detaches first.
+    fn store_publish_meta(&mut self, op: &mut Op, at_quorum: bool) -> StepOutcome {
+        if at_quorum {
+            self.detach_fanout(op);
+            self.stats.quorum_publishes += 1;
+            self.telemetry.instant_args(
+                "op",
+                "store.quorum_publish",
+                op.id.0,
+                self.now().as_nanos(),
+                vec![
+                    ("object", ArgValue::from(op.name.as_str())),
+                    ("copies", ArgValue::from(1 + op.replicas_done.len() as u64)),
+                ],
+            );
+        }
+        {
+            let el = self.phase(op);
+            op.breakdown.inter_node += el;
+        }
+        let primary = op.store_target.expect("primary copy installed");
         let location = Location::Home {
             node: self.nodes[primary].key,
         };
         self.store_meta_put(op, location)
     }
 
-    /// Installs a completed replica transfer on its target node.
-    fn store_install_replica(&mut self, op: &mut Op, target: usize) -> StepOutcome {
+    /// One replica transfer of the fan-out delivered its last byte: record
+    /// its span and start the destination's disk write as a sub-task.
+    fn fanout_flow_done(&mut self, op: &mut Op, flow: FlowId) -> StepOutcome {
+        let flight = op.replica_flows.remove(&flow)?;
+        let now = self.now();
+        self.emit_substage(op.id, "store.replica_flow", flight.started, now);
+        let write = self.nodes[flight.target].disk.write_time(op.object_bytes());
+        let token = flight.target as u64;
+        op.replica_writes.insert(token, now);
+        self.wake_sub_in(op.id, token, write);
+        None
+    }
+
+    /// One replica's disk write finished: install the copy and publish if
+    /// the fan-out is now complete (or at quorum).
+    fn fanout_write_done(&mut self, op: &mut Op, token: u64) -> StepOutcome {
+        let started = op.replica_writes.remove(&token)?;
+        let now = self.now();
+        self.emit_substage(op.id, "store.replica_write", started, now);
+        self.install_replica_copy(op, token as usize);
+        self.store_fanout_check(op)
+    }
+
+    /// Installs one landed replica copy on its target node.
+    fn install_replica_copy(&mut self, op: &mut Op, target: usize) {
         let object = op.payload.as_ref().expect("store carries payload");
         let name = object.name.clone();
         let size = object.size_bytes();
@@ -1408,7 +1619,71 @@ impl Cloud4Home {
                 self.stats.replicas_written += 1;
             }
         }
-        self.store_next_replica(op)
+    }
+
+    /// Hands the fan-out's unfinished replica work to the runtime so a
+    /// quorum publish doesn't abandon the remaining copies: pending disk
+    /// writes (bytes already delivered) are installed immediately so the
+    /// published metadata includes them, and in-flight transfers become
+    /// background [`FanoutJob`]s that republish the metadata when they
+    /// land.
+    fn detach_fanout(&mut self, op: &mut Op) {
+        let now = self.now();
+        let writes: Vec<(u64, SimTime)> =
+            std::mem::take(&mut op.replica_writes).into_iter().collect();
+        for (token, started) in writes {
+            self.emit_substage(op.id, "store.replica_write", started, now);
+            self.install_replica_copy(op, token as usize);
+        }
+        let flights: Vec<(FlowId, ReplicaFlight)> =
+            std::mem::take(&mut op.replica_flows).into_iter().collect();
+        let bytes = op.object_bytes();
+        for (flow, flight) in flights {
+            self.flow_waiters.remove(&flow);
+            let span = self.telemetry.begin_args(
+                "fanout",
+                "fanout.replica",
+                FANOUT_TRACK_BASE + flow.raw(),
+                flight.started.as_nanos(),
+                vec![
+                    ("object", ArgValue::from(op.name.as_str())),
+                    (
+                        "dst",
+                        ArgValue::from(self.nodes[flight.target].name.as_str()),
+                    ),
+                    ("bytes", ArgValue::from(bytes)),
+                ],
+            );
+            let blob = op
+                .payload
+                .as_ref()
+                .expect("store carries payload")
+                .blob
+                .clone();
+            self.fanout_flows.insert(
+                flow,
+                FanoutJob {
+                    name: op.name.clone(),
+                    dst: flight.target,
+                    bytes,
+                    blob,
+                    span,
+                },
+            );
+        }
+    }
+
+    /// Records a concurrent sub-stage span (one replica's transfer or disk
+    /// write) on the operation's track, mirroring [`Self::phase`]'s naming
+    /// and zero-length skip.
+    fn emit_substage(&self, op: OpId, name: &'static str, from: SimTime, to: SimTime) {
+        let elapsed = to.checked_duration_since(from).unwrap_or_default();
+        if !elapsed.is_zero() && self.telemetry.enabled() {
+            self.telemetry
+                .span("stage", name, op.0, from.as_nanos(), to.as_nanos());
+            self.telemetry
+                .observe(format!("phase.{name}_ns"), elapsed.as_nanos() as u64);
+        }
     }
 
     fn store_meta_put(&mut self, op: &mut Op, location: Location) -> StepOutcome {
@@ -1480,11 +1755,11 @@ impl Cloud4Home {
         match meta.location {
             Location::Home { node } => {
                 // Candidate holders: the primary owner first, then replicas.
-                let mut candidates: Vec<usize> = Vec::new();
+                let mut candidates: VecDeque<usize> = VecDeque::new();
                 for key in std::iter::once(node).chain(meta.replicas.iter().copied()) {
                     if let Some(j) = self.node_index(key) {
                         if !candidates.contains(&j) {
-                            candidates.push(j);
+                            candidates.push_back(j);
                         }
                     }
                 }
@@ -1528,8 +1803,7 @@ impl Cloud4Home {
             return Some(Err(OpError::Timeout(op.name.clone())));
         }
         let size = op.object_bytes();
-        while !op.fetch_candidates.is_empty() {
-            let j = op.fetch_candidates.remove(0);
+        while let Some(j) = op.fetch_candidates.pop_front() {
             if !self.nodes[j].alive
                 || !self.node_reachable(op.client, j)
                 || !self.nodes[j].objects.contains_key(&op.name)
@@ -1577,15 +1851,26 @@ impl Cloud4Home {
         }
         let replicated = op.meta.as_ref().is_some_and(|m| !m.replicas.is_empty());
         if replicated {
-            let wait = op.backoff;
-            if self.now() + wait <= op.deadline {
-                op.backoff = op.backoff.saturating_mul(2);
-                self.phase(op);
-                op.stage = Stage::FetchRetry;
-                self.wake_in(op.id, wait);
-                return None;
+            // Exponential backoff, capped so one doubling can never sleep
+            // past the deadline, with deterministic jitter to spread
+            // concurrent retries off the same instant.
+            let remaining = op
+                .deadline
+                .checked_duration_since(self.now())
+                .unwrap_or_default();
+            if remaining.is_zero() {
+                return Some(Err(OpError::Timeout(op.name.clone())));
             }
-            return Some(Err(OpError::Timeout(op.name.clone())));
+            let wait = op
+                .backoff
+                .mul_f64(self.rng.jitter_factor(BACKOFF_JITTER))
+                .min(remaining)
+                .max(Duration::from_millis(1));
+            op.backoff = op.backoff.saturating_mul(2).min(MAX_FETCH_BACKOFF);
+            self.phase(op);
+            op.stage = Stage::FetchRetry;
+            self.wake_in(op.id, wait);
+            return None;
         }
         Some(Err(OpError::OwnerUnreachable(op.name.clone())))
     }
@@ -1680,7 +1965,7 @@ impl Cloud4Home {
     fn proc_resolve_placement(&mut self, op: &mut Op) -> StepOutcome {
         let kind = op.service.expect("process carries a service");
         let sid = ServiceId(kind.id());
-        let record = op.svc_record.clone().expect("set in ProcSvcGet");
+        let record = op.svc_record.clone().expect("set in ProcMetaSvcGet");
 
         if op.kind == "fetch_process" && op.placement == Placement::Auto {
             // "It uses the service identifier to first determine if the
@@ -1762,7 +2047,7 @@ impl Cloud4Home {
     fn proc_choose_target(&mut self, op: &mut Op) -> StepOutcome {
         let kind = op.service.expect("process carries a service");
         let sid = ServiceId(kind.id());
-        let record = op.svc_record.clone().expect("set in ProcSvcGet");
+        let record = op.svc_record.clone().expect("set in ProcMetaSvcGet");
         let size = op.object_bytes();
         let owner_addr = self.owner_addr(op);
 
@@ -1841,8 +2126,7 @@ impl Cloud4Home {
     /// pipeline from its first stage (partial results died with the
     /// executor).
     fn proc_redispatch(&mut self, op: &mut Op, why: &str) -> StepOutcome {
-        while let Some(&next) = op.exec_candidates.first() {
-            op.exec_candidates.remove(0);
+        while let Some(next) = op.exec_candidates.pop_front() {
             if Some(next) == op.exec_target {
                 continue;
             }
@@ -1900,7 +2184,7 @@ impl Cloud4Home {
     /// Stages the argument object: owner disk read, then a move flow when
     /// the execution target differs from the owner.
     fn proc_move_argument(&mut self, op: &mut Op) -> StepOutcome {
-        let mut meta = op.meta.clone().expect("set in ProcMetaGet");
+        let mut meta = op.meta.clone().expect("set in ProcMetaSvcGet");
         match &meta.location {
             Location::Home { node } => {
                 // Stage from the first live holder: primary, then replicas.
@@ -1919,17 +2203,31 @@ impl Cloud4Home {
                     return Some(Err(OpError::NotFound(op.name.clone())));
                 };
                 // Record the effective holder so the move flow and movement
-                // estimates use the copy actually being read, keeping the
-                // displaced primary in the replica set for later retries.
+                // estimates use the copy actually being read. The displaced
+                // primary stays in the replica set only while it is alive;
+                // holders confirmed dead are pruned, and the updated record
+                // is re-published so later fetches don't fail over through
+                // a dead replica.
                 let owner_key = self.nodes[owner].key;
                 if owner_key != *node {
                     let old_primary = *node;
                     meta.replicas.retain(|k| *k != owner_key);
-                    if !meta.replicas.contains(&old_primary) {
+                    let old_alive = self
+                        .node_index(old_primary)
+                        .is_some_and(|j| self.nodes[j].alive);
+                    if old_alive && !meta.replicas.contains(&old_primary) {
                         meta.replicas.push(old_primary);
                     }
+                    meta.replicas
+                        .retain(|k| self.node_index(*k).is_none_or(|j| self.nodes[j].alive));
+                    meta.location = Location::Home { node: owner_key };
+                    if self.replica_meta.contains_key(&meta.name) {
+                        self.replica_meta.insert(meta.name.clone(), meta.clone());
+                    }
+                    self.publish_meta_background(op.client, meta.clone());
+                } else {
+                    meta.location = Location::Home { node: owner_key };
                 }
-                meta.location = Location::Home { node: owner_key };
                 op.meta = Some(meta.clone());
                 op.staged = Some(blob);
                 let read = self.nodes[owner].disk.read_time(meta.size_bytes);

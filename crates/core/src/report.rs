@@ -127,6 +127,11 @@ pub struct OpReport {
     /// replica, process executions re-dispatched to another candidate, or
     /// store replica targets skipped after a crash.
     pub failovers: u32,
+    /// Replica copies a `store` could not place because fewer live peers
+    /// than `replication - 1` were available (or a replica flow failed
+    /// with no substitute). Zero for fully replicated stores and for all
+    /// other operation kinds.
+    pub partial_replication: u32,
     /// Success output or failure.
     pub outcome: Result<OpOutput, OpError>,
 }
@@ -178,6 +183,7 @@ mod tests {
             breakdown: Breakdown::default(),
             retries: 0,
             failovers: 0,
+            partial_replication: 0,
             outcome: Ok(OpOutput {
                 bytes: 10,
                 via_cloud: false,
@@ -203,6 +209,7 @@ mod tests {
             breakdown: Breakdown::default(),
             retries: 0,
             failovers: 1,
+            partial_replication: 0,
             outcome: Err(OpError::NotFound("ghost".into())),
         };
         r.expect_ok();

@@ -27,8 +27,8 @@ use c4h_services::{
     Compress, FaceDetect, FaceRecognize, Service, ServiceRegistry, TrainingSet, Transcode,
 };
 use c4h_simnet::{
-    presets, Addr, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, GilbertElliott, Partition,
-    SimTime,
+    presets, Addr, ChunkSpec, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, GilbertElliott,
+    Partition, SimTime,
 };
 use c4h_telemetry::{ArgValue, Recorder, SpanId};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
@@ -53,6 +53,9 @@ const DHT_TRACK_BASE: u64 = 3_000_000;
 
 /// Trace track base for background repair spans (base + flow id).
 const REPAIR_TRACK_BASE: u64 = 4_000_000;
+
+/// Trace track base for detached replica fan-out spans (base + flow id).
+pub(crate) const FANOUT_TRACK_BASE: u64 = 5_000_000;
 
 /// One home node's full runtime state.
 #[derive(Debug)]
@@ -97,6 +100,10 @@ pub(crate) enum Event {
     Tick,
     /// A delayed operation continuation.
     OpWake { op: OpId },
+    /// A delayed continuation of one concurrent sub-task of an operation
+    /// (e.g. one replica's disk write during a store fan-out). The token
+    /// identifies the sub-task to the operation's state machine.
+    OpSubWake { op: OpId, token: u64 },
     /// A DHT request completed for an operation (after IPC cost).
     DhtDone { op: OpId, ev: DhtEvent },
     /// A scheduled fault-plan event fires.
@@ -135,6 +142,14 @@ pub struct RunStats {
     pub repairs_started: u64,
     /// Background re-replication transfers completed and installed.
     pub repairs_completed: u64,
+    /// Stores that placed fewer replica copies than `replication` asked
+    /// for because too few live peers were available.
+    pub partial_replication: u64,
+    /// Bulk transfers that were split into pipelined chunks.
+    pub chunked_transfers: u64,
+    /// Stores whose metadata was published at quorum, before every replica
+    /// flow finished (the stragglers detach and land in the background).
+    pub quorum_publishes: u64,
 }
 
 /// Why a churn action could not be carried out.
@@ -155,6 +170,23 @@ impl std::fmt::Display for ChurnError {
 }
 
 impl std::error::Error for ChurnError {}
+
+/// A replica transfer that detached from its store after a quorum publish
+/// and now completes in the background.
+#[derive(Debug, Clone)]
+pub(crate) struct FanoutJob {
+    /// Object being replicated.
+    pub(crate) name: String,
+    /// Destination node index (the new replica holder).
+    pub(crate) dst: usize,
+    /// Object size in bytes.
+    pub(crate) bytes: u64,
+    /// The object's bytes, carried so installation survives the primary
+    /// crashing mid-flight.
+    pub(crate) blob: Blob,
+    /// Open trace span covering the detached transfer.
+    pub(crate) span: SpanId,
+}
 
 /// A background re-replication transfer in flight.
 #[derive(Debug, Clone)]
@@ -219,6 +251,8 @@ pub struct Cloud4Home {
     pub(crate) replica_meta: BTreeMap<String, ObjectMeta>,
     /// Background re-replication transfers keyed by their flow.
     pub(crate) repair_flows: HashMap<FlowId, RepairJob>,
+    /// Detached store fan-out transfers keyed by their flow.
+    pub(crate) fanout_flows: HashMap<FlowId, FanoutJob>,
     /// Peers whose failure the repair daemon has already reacted to.
     pub(crate) repaired_peers: BTreeSet<Key>,
     /// The deployment-wide telemetry collector; clones of this handle live
@@ -371,6 +405,7 @@ impl Cloud4Home {
             slow_factor,
             replica_meta: BTreeMap::new(),
             repair_flows: HashMap::new(),
+            fanout_flows: HashMap::new(),
             repaired_peers: BTreeSet::new(),
             telemetry,
             tick_armed: false,
@@ -581,6 +616,9 @@ impl Cloud4Home {
             ("stats.replicas_written", s.replicas_written),
             ("stats.repairs_started", s.repairs_started),
             ("stats.repairs_completed", s.repairs_completed),
+            ("stats.partial_replication", s.partial_replication),
+            ("stats.chunked_transfers", s.chunked_transfers),
+            ("stats.quorum_publishes", s.quorum_publishes),
         ] {
             self.telemetry.set_counter(name, v);
         }
@@ -707,8 +745,15 @@ impl Cloud4Home {
                     vec![("installed", ArgValue::from(false))],
                 );
             }
+            if let Some(job) = self.fanout_flows.remove(&flow) {
+                self.telemetry.end_args(
+                    job.span,
+                    self.now().as_nanos(),
+                    vec![("installed", ArgValue::from(false))],
+                );
+            }
             if let Some(op) = self.flow_waiters.remove(&flow) {
-                self.transfer_failed(op, why);
+                self.transfer_failed(op, flow, why);
             }
         }
     }
@@ -936,9 +981,12 @@ impl Cloud4Home {
         }
     }
 
-    /// Runs until no operations remain in flight.
+    /// Runs until no operations remain in flight and every background
+    /// transfer (detached store fan-out stragglers, repair re-replication)
+    /// has landed.
     pub fn run_until_idle(&mut self) {
-        while !self.ops.is_empty() {
+        while !self.ops.is_empty() || !self.fanout_flows.is_empty() || !self.repair_flows.is_empty()
+        {
             self.ensure_tick();
             assert!(self.step(), "simulation stalled with operations pending");
         }
@@ -977,9 +1025,11 @@ impl Cloud4Home {
             for FlowEvent::Completed { flow, .. } in events {
                 self.flow_endpoints.remove(&flow);
                 if let Some(op) = self.flow_waiters.remove(&flow) {
-                    self.op_continue(op, OpInput::FlowDone);
+                    self.op_continue(op, OpInput::FlowDone { flow });
                 } else if let Some(job) = self.repair_flows.remove(&flow) {
                     self.finish_repair(job);
+                } else if let Some(job) = self.fanout_flows.remove(&flow) {
+                    self.finish_background_replica(job);
                 }
             }
         } else {
@@ -1012,7 +1062,9 @@ impl Cloud4Home {
                         .observe("runtime.ops_inflight", self.ops.len() as u64);
                     self.telemetry.observe(
                         "runtime.flows_inflight",
-                        (self.flow_waiters.len() + self.repair_flows.len()) as u64,
+                        (self.flow_waiters.len()
+                            + self.repair_flows.len()
+                            + self.fanout_flows.len()) as u64,
                     );
                 }
                 for i in 0..self.nodes.len() {
@@ -1028,6 +1080,7 @@ impl Cloud4Home {
                 }
             }
             Event::OpWake { op } => self.op_continue(op, OpInput::Wake),
+            Event::OpSubWake { op, token } => self.op_continue(op, OpInput::SubWake { token }),
             Event::DhtDone { op, ev } => self.op_continue(op, OpInput::Dht(ev)),
             Event::Fault(ev) => self.apply_fault(ev),
         }
@@ -1125,17 +1178,43 @@ impl Cloud4Home {
         id
     }
 
-    /// Starts a bulk flow and parks the operation on its completion.
-    pub(crate) fn start_flow_for_op(&mut self, op: OpId, src: Addr, dst: Addr, bytes: u64) {
+    /// The chunking policy for a transfer of `bytes`, from the configured
+    /// knobs: `None` leaves the transfer monolithic.
+    pub(crate) fn chunk_spec(&self, bytes: u64) -> Option<ChunkSpec> {
+        if self.config.chunk_bytes == 0 || bytes <= self.config.chunk_bytes {
+            return None;
+        }
+        Some(ChunkSpec {
+            chunk_bytes: self.config.chunk_bytes,
+            window: self.config.chunk_window.max(2),
+        })
+    }
+
+    /// Starts a bulk transfer (chunked when configured and large enough)
+    /// and parks the operation on its completion. Returns the logical flow
+    /// id so callers tracking several concurrent transfers can tell their
+    /// completions apart.
+    pub(crate) fn start_flow_for_op(
+        &mut self,
+        op: OpId,
+        src: Addr,
+        dst: Addr,
+        bytes: u64,
+    ) -> FlowId {
         let now = self.now();
         self.net.advance(now);
+        let chunking = self.chunk_spec(bytes);
+        if chunking.is_some() {
+            self.stats.chunked_transfers += 1;
+        }
         let id = self
             .net
-            .start_flow(now, src, dst, bytes.max(1), &mut self.rng)
+            .start_transfer(now, src, dst, bytes.max(1), chunking, &mut self.rng)
             .expect("routes exist between all configured sites");
         self.stats.flows_started += 1;
         self.flow_waiters.insert(id, op);
         self.flow_endpoints.insert(id, (src, dst));
+        id
     }
 
     /// Issues a DHT get from node `i` on behalf of an operation.
@@ -1181,6 +1260,13 @@ impl Cloud4Home {
         self.queue.schedule_in(delay, Event::OpWake { op });
     }
 
+    /// Schedules a sub-task wake (one concurrent branch of an operation)
+    /// after `delay`.
+    pub(crate) fn wake_sub_in(&mut self, op: OpId, token: u64, delay: Duration) {
+        self.queue
+            .schedule_in(delay, Event::OpSubWake { op, token });
+    }
+
     /// Analytic single-flow transfer estimate between two endpoints,
     /// used by the decision engine for movement costs.
     pub(crate) fn estimate_transfer(&self, src: Addr, dst: Addr, bytes: u64) -> Duration {
@@ -1194,9 +1280,18 @@ impl Cloud4Home {
                     .topology()
                     .bottleneck_bps(src, dst)
                     .unwrap_or(f64::INFINITY);
-                route
-                    .tcp
-                    .transfer_time(bytes, bottleneck, route.bandwidth_median)
+                match self.chunk_spec(bytes) {
+                    Some(spec) => route.tcp.chunked_transfer_time(
+                        bytes,
+                        spec.chunk_bytes,
+                        spec.window,
+                        bottleneck,
+                        route.bandwidth_median,
+                    ),
+                    None => route
+                        .tcp
+                        .transfer_time(bytes, bottleneck, route.bandwidth_median),
+                }
             }
             None => Duration::from_secs(3600),
         }
@@ -1392,5 +1487,71 @@ impl Cloud4Home {
             self.dht_waiters.insert((publisher, req), DhtWaiter::Ignore);
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Detached store fan-out
+    // ------------------------------------------------------------------
+
+    /// Installs a replica whose transfer outlived its store (the store
+    /// published at quorum and completed) and republishes the object's
+    /// metadata with the grown replica set.
+    pub(crate) fn finish_background_replica(&mut self, job: FanoutJob) {
+        let installed = self.finish_background_replica_inner(&job);
+        self.telemetry.end_args(
+            job.span,
+            self.now().as_nanos(),
+            vec![("installed", ArgValue::from(installed))],
+        );
+    }
+
+    fn finish_background_replica_inner(&mut self, job: &FanoutJob) -> bool {
+        let Some(meta) = self.replica_meta.get(&job.name).cloned() else {
+            return false; // deleted while the straggler was in flight
+        };
+        if !self.nodes[job.dst].alive {
+            return false;
+        }
+        if self.nodes[job.dst].bins.lookup(&job.name).is_some() {
+            self.nodes[job.dst].bins.remove(&job.name);
+        }
+        if self.nodes[job.dst]
+            .bins
+            .store(&job.name, job.bytes, Bin::Voluntary)
+            .is_err()
+        {
+            return false;
+        }
+        self.nodes[job.dst]
+            .objects
+            .insert(job.name.clone(), job.blob.clone());
+        self.stats.replicas_written += 1;
+
+        let mut meta = meta;
+        let dst_key = self.nodes[job.dst].key;
+        if !meta.replicas.contains(&dst_key) && meta.location != (Location::Home { node: dst_key })
+        {
+            meta.replicas.push(dst_key);
+        }
+        self.replica_meta.insert(job.name.clone(), meta.clone());
+        self.publish_meta_background(job.dst, meta);
+        true
+    }
+
+    /// Best-effort background publish of an object metadata record from
+    /// node `i` (result dropped; callers don't wait).
+    pub(crate) fn publish_meta_background(&mut self, i: usize, meta: ObjectMeta) {
+        if !self.nodes[i].alive || !self.nodes[i].chimera.is_joined() {
+            return;
+        }
+        let now = self.now();
+        if let Ok(req) = self.nodes[i].chimera.put(
+            object_key(&meta.name),
+            Record::Object(meta).encode(),
+            OverwritePolicy::Overwrite,
+            now,
+        ) {
+            self.dht_waiters.insert((i, req), DhtWaiter::Ignore);
+        }
     }
 }

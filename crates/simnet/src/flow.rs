@@ -38,6 +38,24 @@ impl FlowId {
     }
 }
 
+/// Chunking policy for a bulk transfer started via
+/// [`FlowNet::start_transfer`].
+///
+/// Objects larger than `chunk_bytes` are split into pipelined chunks of at
+/// most `chunk_bytes` each, with up to `window` chunk flows in flight at
+/// once. Each chunk is an ordinary flow subject to max-min fair sharing and
+/// the route's TCP profile, so chunking amortizes slow-start ramp-up and —
+/// because per-flow caps apply per chunk — lets one logical transfer use
+/// more of a segment than a single capped flow could.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// Maximum bytes per chunk; transfers at or below this size are not
+    /// split.
+    pub chunk_bytes: u64,
+    /// Maximum concurrent chunk flows for one transfer.
+    pub window: usize,
+}
+
 /// An event produced by the flow engine during [`FlowNet::advance`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowEvent {
@@ -90,6 +108,29 @@ struct Flow {
     active_from: SimTime,
     /// Current allocated rate, bytes/second (0 while in setup).
     rate: f64,
+    /// Chunked-transfer parent, when this flow carries one chunk of a
+    /// larger logical transfer. Chunk completions feed the parent instead of
+    /// surfacing as [`FlowEvent`]s.
+    parent: Option<FlowId>,
+}
+
+/// A chunked logical transfer: a facade over a pipeline of chunk flows,
+/// exposed to callers under a single parent [`FlowId`].
+#[derive(Debug)]
+struct Transfer {
+    path: Vec<SegmentId>,
+    tcp: TcpProfile,
+    /// One bandwidth factor sampled at transfer start and shared by every
+    /// chunk, so chunk dispatch never consumes randomness mid-run.
+    factor: f64,
+    chunk_bytes: u64,
+    total_bytes: u64,
+    /// Bytes not yet dispatched as chunk flows.
+    undispatched: u64,
+    /// Chunk flows currently in flight.
+    live: Vec<FlowId>,
+    /// Bytes of fully delivered chunks.
+    delivered: u64,
 }
 
 impl Flow {
@@ -207,6 +248,7 @@ pub struct FlowNet {
     topology: Topology,
     now: SimTime,
     flows: BTreeMap<FlowId, Flow>,
+    transfers: BTreeMap<FlowId, Transfer>,
     next_id: u64,
     alloc_dirty: bool,
     recorder: Option<Recorder>,
@@ -220,6 +262,7 @@ impl FlowNet {
             topology,
             now: SimTime::ZERO,
             flows: BTreeMap::new(),
+            transfers: BTreeMap::new(),
             next_id: 0,
             alloc_dirty: false,
             recorder: None,
@@ -235,14 +278,26 @@ impl FlowNet {
         self.recorder = Some(recorder);
     }
 
-    /// Ids of all in-flight transfers, in creation order.
+    /// Ids of all in-flight logical transfers (plain flows and chunked
+    /// parents), in creation order.
     pub fn flow_ids(&self) -> Vec<FlowId> {
-        self.flows.keys().copied().collect()
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .values()
+            .filter(|f| f.parent.is_none())
+            .map(|f| f.id)
+            .chain(self.transfers.keys().copied())
+            .collect();
+        ids.sort();
+        ids
     }
 
     /// The segments a flow's bytes traverse, if it is still in flight.
     pub fn flow_path(&self, id: FlowId) -> Option<&[SegmentId]> {
-        self.flows.get(&id).map(|f| f.path.as_slice())
+        self.flows
+            .get(&id)
+            .map(|f| f.path.as_slice())
+            .or_else(|| self.transfers.get(&id).map(|t| t.path.as_slice()))
     }
 
     /// A flow's own rate cap (TCP profile and bandwidth factor, before
@@ -298,13 +353,24 @@ impl FlowNet {
         self.now
     }
 
-    /// Number of transfers currently in flight.
+    /// Number of logical transfers currently in flight (a chunked transfer
+    /// counts once, however many chunk flows it has live).
     pub fn in_flight(&self) -> usize {
-        self.flows.len()
+        self.flows.values().filter(|f| f.parent.is_none()).count() + self.transfers.len()
     }
 
-    /// Progress of a flow, if still in flight.
+    /// Progress of a flow or chunked transfer, if still in flight.
     pub fn progress(&self, id: FlowId) -> Option<FlowProgress> {
+        if let Some(t) = self.transfers.get(&id) {
+            let chunks = t.live.iter().filter_map(|c| self.flows.get(c));
+            let live_sent: f64 = chunks.clone().map(|f| f.sent).sum();
+            let rate: f64 = chunks.map(|f| f.rate).sum();
+            return Some(FlowProgress {
+                sent_bytes: t.delivered as f64 + live_sent,
+                total_bytes: t.total_bytes,
+                rate_bps: rate,
+            });
+        }
         self.flows.get(&id).map(|f| FlowProgress {
             sent_bytes: f.sent,
             total_bytes: f.total_bytes,
@@ -361,6 +427,7 @@ impl FlowNet {
             factor,
             active_from: now + route.tcp.setup,
             rate: 0.0,
+            parent: None,
         };
         self.flows.insert(id, flow);
         self.alloc_dirty = true;
@@ -384,13 +451,150 @@ impl FlowNet {
         Ok(id)
     }
 
-    /// Cancels an in-flight transfer. Returns `true` if it existed.
+    /// Starts a bulk transfer that is split into pipelined chunk flows when
+    /// `chunking` applies (the transfer exceeds `chunk_bytes`). The caller
+    /// sees one [`FlowId`]: a single `Completed` event fires when the last
+    /// chunk lands, and [`FlowNet::cancel`]/[`FlowNet::progress`] operate on
+    /// the whole transfer. With `chunking == None` (or a transfer small
+    /// enough not to split) this is exactly [`FlowNet::start_flow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] if the endpoints' sites are not
+    /// connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is in the engine's past — call [`FlowNet::advance`]
+    /// first.
+    pub fn start_transfer(
+        &mut self,
+        now: SimTime,
+        src: Addr,
+        dst: Addr,
+        bytes: u64,
+        chunking: Option<ChunkSpec>,
+        rng: &mut DetRng,
+    ) -> Result<FlowId, NetError> {
+        let bytes = bytes.max(1);
+        let Some(spec) = chunking else {
+            return self.start_flow(now, src, dst, bytes, rng);
+        };
+        if spec.chunk_bytes == 0 || bytes <= spec.chunk_bytes || spec.window < 2 {
+            return self.start_flow(now, src, dst, bytes, rng);
+        }
+        assert!(
+            now >= self.now,
+            "start_transfer at {now} is in the engine's past ({})",
+            self.now
+        );
+        debug_assert!(
+            self.next_internal_event().is_none_or(|t| t >= now),
+            "caller must advance() before starting transfers"
+        );
+        self.now = now;
+        let route = self
+            .topology
+            .route_between(src, dst)
+            .ok_or(NetError::NoRoute { src, dst })?;
+        let factor = route.sample_bandwidth_factor(rng);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let mut transfer = Transfer {
+            path: route.segments.clone(),
+            tcp: route.tcp.clone(),
+            factor,
+            chunk_bytes: spec.chunk_bytes,
+            total_bytes: bytes,
+            undispatched: bytes,
+            live: Vec::new(),
+            delivered: 0,
+        };
+        if let Some(rec) = &self.recorder {
+            rec.add("net.flows_started", 1);
+            let span = rec.begin_args(
+                "net",
+                "net.flow",
+                NET_TRACK_BASE + id.0,
+                now.as_nanos(),
+                vec![
+                    ("src", ArgValue::from(src.raw())),
+                    ("dst", ArgValue::from(dst.raw())),
+                    ("bytes", ArgValue::from(bytes)),
+                    ("chunks", ArgValue::from(bytes.div_ceil(spec.chunk_bytes))),
+                ],
+            );
+            if !span.is_none() {
+                self.spans.insert(id, span);
+            }
+        }
+        for _ in 0..spec.window {
+            if !self.dispatch_chunk(id, &mut transfer) {
+                break;
+            }
+        }
+        self.transfers.insert(id, transfer);
+        self.alloc_dirty = true;
+        Ok(id)
+    }
+
+    /// Launches the next chunk flow of a chunked transfer, if any bytes
+    /// remain undispatched. Chunks reuse the factor sampled at transfer
+    /// start, so dispatch is deterministic and consumes no randomness.
+    fn dispatch_chunk(&mut self, parent: FlowId, transfer: &mut Transfer) -> bool {
+        if transfer.undispatched == 0 {
+            return false;
+        }
+        let bytes = transfer.undispatched.min(transfer.chunk_bytes);
+        transfer.undispatched -= bytes;
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let flow = Flow {
+            id,
+            path: transfer.path.clone(),
+            total_bytes: bytes,
+            sent: 0.0,
+            tcp: transfer.tcp.clone(),
+            factor: transfer.factor,
+            active_from: self.now + transfer.tcp.setup,
+            rate: 0.0,
+            parent: Some(parent),
+        };
+        self.flows.insert(id, flow);
+        transfer.live.push(id);
+        if let Some(rec) = &self.recorder {
+            rec.add("net.chunks_started", 1);
+        }
+        true
+    }
+
+    /// Cancels an in-flight transfer (and, for a chunked transfer, every
+    /// live chunk flow). Returns `true` if it existed.
     pub fn cancel(&mut self, id: FlowId) -> bool {
+        if let Some(transfer) = self.transfers.remove(&id) {
+            let mut sent = transfer.delivered as f64;
+            for chunk in &transfer.live {
+                if let Some(f) = self.flows.remove(chunk) {
+                    sent += f.sent;
+                }
+            }
+            self.alloc_dirty = true;
+            self.retire_flow_telemetry(id, sent as u64, &transfer.path, false);
+            return true;
+        }
         let Some(flow) = self.flows.remove(&id) else {
             self.spans.remove(&id);
             return false;
         };
         self.alloc_dirty = true;
+        if let Some(parent) = flow.parent {
+            // A chunk canceled directly just shrinks its parent transfer.
+            if let Some(t) = self.transfers.get_mut(&parent) {
+                t.live.retain(|f| *f != id);
+                t.total_bytes = t.total_bytes.saturating_sub(flow.total_bytes);
+            }
+            return true;
+        }
         let (sent, path) = (flow.sent as u64, flow.path);
         self.retire_flow_telemetry(id, sent, &path, false);
         true
@@ -455,9 +659,29 @@ impl FlowNet {
             .collect();
         for id in done {
             let flow = self.flows.remove(&id).expect("completion listed a flow");
-            out.push(FlowEvent::Completed { flow: id, at: now });
             self.alloc_dirty = true;
-            self.retire_flow_telemetry(id, flow.total_bytes, &flow.path, true);
+            let Some(parent) = flow.parent else {
+                out.push(FlowEvent::Completed { flow: id, at: now });
+                self.retire_flow_telemetry(id, flow.total_bytes, &flow.path, true);
+                continue;
+            };
+            // A chunk landed: credit the parent, keep the pipeline full, and
+            // surface the parent's completion once the last chunk is in.
+            let Some(mut transfer) = self.transfers.remove(&parent) else {
+                continue;
+            };
+            transfer.live.retain(|f| *f != id);
+            transfer.delivered += flow.total_bytes;
+            self.dispatch_chunk(parent, &mut transfer);
+            if transfer.live.is_empty() && transfer.undispatched == 0 {
+                out.push(FlowEvent::Completed {
+                    flow: parent,
+                    at: now,
+                });
+                self.retire_flow_telemetry(parent, transfer.total_bytes, &transfer.path, true);
+            } else {
+                self.transfers.insert(parent, transfer);
+            }
         }
     }
 
@@ -822,6 +1046,128 @@ mod tests {
         let done = drain(&mut net);
         // 1000 B at 1000 B/s = 1 s, then 1000 B at 100 B/s = 10 s.
         assert_eq!(done[0].1, SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn chunked_transfer_completes_as_one_event_with_all_bytes() {
+        // Per-flow cap 500 on a 2000 B/s segment: a single 4000-byte flow
+        // takes 8 s, but four 1000-byte chunks with window 4 share the
+        // segment at 500 B/s each and land together at 2 s.
+        let mut net = FlowNet::new(topo(2_000.0, 500.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_transfer(
+                SimTime::ZERO,
+                Addr::new(0),
+                Addr::new(1),
+                4_000,
+                Some(ChunkSpec {
+                    chunk_bytes: 1_000,
+                    window: 4,
+                }),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(net.in_flight(), 1);
+        let done = drain(&mut net);
+        assert_eq!(done, vec![(id, SimTime::from_secs(2))]);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn chunk_pipeline_refills_the_window() {
+        // 6 chunks, window 2, per-flow cap 500, segment 1000: two chunks at
+        // 500 each finish every 2 s -> three waves, 6 s total.
+        let mut net = FlowNet::new(topo(1_000.0, 500.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_transfer(
+                SimTime::ZERO,
+                Addr::new(0),
+                Addr::new(1),
+                6_000,
+                Some(ChunkSpec {
+                    chunk_bytes: 1_000,
+                    window: 2,
+                }),
+                &mut rng,
+            )
+            .unwrap();
+        let done = drain(&mut net);
+        assert_eq!(done, vec![(id, SimTime::from_secs(6))]);
+    }
+
+    #[test]
+    fn small_transfer_is_not_chunked() {
+        let mut net = FlowNet::new(topo(1_000.0, 1_000.0));
+        let mut rng = DetRng::seed(0);
+        net.start_transfer(
+            SimTime::ZERO,
+            Addr::new(0),
+            Addr::new(1),
+            800,
+            Some(ChunkSpec {
+                chunk_bytes: 1_000,
+                window: 4,
+            }),
+            &mut rng,
+        )
+        .unwrap();
+        // One ordinary flow, no transfer facade.
+        assert_eq!(net.in_flight(), 1);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn cancel_chunked_transfer_removes_all_chunks() {
+        let mut net = FlowNet::new(topo(1_000.0, 500.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_transfer(
+                SimTime::ZERO,
+                Addr::new(0),
+                Addr::new(1),
+                10_000,
+                Some(ChunkSpec {
+                    chunk_bytes: 1_000,
+                    window: 3,
+                }),
+                &mut rng,
+            )
+            .unwrap();
+        net.next_event();
+        net.advance(SimTime::from_secs(1));
+        assert!(net.cancel(id));
+        assert!(!net.cancel(id));
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.next_event().is_none());
+    }
+
+    #[test]
+    fn chunked_progress_aggregates_live_chunks() {
+        let mut net = FlowNet::new(topo(1_000.0, 500.0));
+        let mut rng = DetRng::seed(0);
+        let id = net
+            .start_transfer(
+                SimTime::ZERO,
+                Addr::new(0),
+                Addr::new(1),
+                4_000,
+                Some(ChunkSpec {
+                    chunk_bytes: 1_000,
+                    window: 2,
+                }),
+                &mut rng,
+            )
+            .unwrap();
+        net.next_event();
+        net.advance(SimTime::from_secs(1));
+        let p = net.progress(id).unwrap();
+        // Two live chunks at 500 B/s each for 1 s.
+        assert!((p.sent_bytes - 1_000.0).abs() < 1.0, "{p:?}");
+        assert_eq!(p.total_bytes, 4_000);
+        assert!((p.rate_bps - 1_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -162,6 +162,48 @@ impl TcpProfile {
         duration_from_secs_f64(t)
     }
 
+    /// Analytic transfer time for a *chunked* transfer: `bytes` split into
+    /// pipelined chunks of `chunk_bytes` with up to `window` chunk flows in
+    /// flight at once (see `FlowNet::start_transfer`).
+    ///
+    /// The approximation treats the chunk pipeline as one aggregate flow
+    /// whose floor/ramp/cap scale with the effective parallelism, and whose
+    /// sustained degradation only applies if a single chunk can cross the
+    /// per-flow threshold. Used by the decision engine so placement costs
+    /// reflect the chunked data path; the fluid engine remains the ground
+    /// truth.
+    pub fn chunked_transfer_time(
+        &self,
+        bytes: u64,
+        chunk_bytes: u64,
+        window: usize,
+        bottleneck_bps: f64,
+        factor: f64,
+    ) -> Duration {
+        if chunk_bytes == 0 || bytes <= chunk_bytes || window < 2 {
+            return self.transfer_time(bytes, bottleneck_bps, factor);
+        }
+        let chunks = bytes.div_ceil(chunk_bytes);
+        let par = (window as u64).min(chunks) as f64;
+        let mut agg = self.clone();
+        agg.rate_floor_bps *= par;
+        agg.ramp_bps_per_sec *= par;
+        agg.rate_cap_bps *= par;
+        agg.sustained = self.sustained.and_then(|s| {
+            if chunk_bytes < s.threshold_bytes {
+                // No single chunk moves enough bytes to trip the per-flow
+                // shaping threshold.
+                None
+            } else {
+                Some(SustainedCap {
+                    threshold_bytes: s.threshold_bytes.saturating_mul(par as u64),
+                    rate_bps: s.rate_bps * par,
+                })
+            }
+        });
+        agg.transfer_time(bytes, bottleneck_bps, factor)
+    }
+
     /// Average throughput (bytes/second) for a single uncontended transfer of
     /// `bytes`, including setup cost.
     pub fn average_throughput(&self, bytes: u64, bottleneck_bps: f64, factor: f64) -> f64 {
@@ -269,6 +311,43 @@ mod tests {
         // (200k - 40k) / (12k * 0.5) = 26.66 -> 27
         assert_eq!(p.steps_to_saturation(), 27);
         assert_eq!(TcpProfile::constant_rate(1.0).steps_to_saturation(), 0);
+    }
+
+    #[test]
+    fn chunked_estimate_beats_single_flow_on_capped_links() {
+        let p = wan_like();
+        let single = p.transfer_time(mib(40), f64::INFINITY, 1.0);
+        let chunked = p.chunked_transfer_time(mib(40), mib(4), 4, f64::INFINITY, 1.0);
+        assert!(
+            chunked < single,
+            "chunking should amortize ramp-up and dodge shaping: {chunked:?} vs {single:?}"
+        );
+    }
+
+    #[test]
+    fn chunked_estimate_respects_the_bottleneck() {
+        let p = TcpProfile::constant_rate(100_000.0);
+        // Four-way parallelism cannot exceed the 150 kB/s segment.
+        let t = p.chunked_transfer_time(600_000, 100_000, 4, 150_000.0, 1.0);
+        assert!((t.as_secs_f64() - 4.0).abs() < 1e-6, "{t:?}");
+    }
+
+    #[test]
+    fn chunked_estimate_degenerates_to_single_flow() {
+        let p = wan_like();
+        let single = p.transfer_time(mib(1), f64::INFINITY, 1.0);
+        assert_eq!(
+            p.chunked_transfer_time(mib(1), mib(4), 4, f64::INFINITY, 1.0),
+            single
+        );
+        assert_eq!(
+            p.chunked_transfer_time(mib(1), 0, 4, f64::INFINITY, 1.0),
+            single
+        );
+        assert_eq!(
+            p.chunked_transfer_time(mib(1), mib(4), 1, f64::INFINITY, 1.0),
+            single
+        );
     }
 
     #[test]
