@@ -66,6 +66,69 @@ impl EwmaRate {
     }
 }
 
+/// Per-peer bandwidth estimates learned from completed transfers.
+///
+/// Every finished fetch stripe, single-source fetch flow, and replica
+/// fan-out flow feeds the sender's observed rate into this table; fetch
+/// source ranking and hedging decisions then query it. Peers are keyed by
+/// their raw network address (so the cloud endpoint participates too) and
+/// unseen peers answer with the shared prior, which keeps ranking neutral
+/// — and therefore identical to the old metadata order — until real
+/// observations arrive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerBandwidth {
+    prior_bps: f64,
+    alpha: f64,
+    peers: std::collections::BTreeMap<u64, EwmaRate>,
+}
+
+impl PeerBandwidth {
+    /// Creates a table where unknown peers estimate at `prior_bps`.
+    pub fn new(prior_bps: f64, alpha: f64) -> Self {
+        assert!(prior_bps > 0.0, "prior rate must be positive");
+        PeerBandwidth {
+            prior_bps,
+            alpha,
+            peers: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Folds one completed transfer from `peer` into its estimate.
+    pub fn observe(&mut self, peer: u64, bytes: u64, secs: f64) {
+        self.peers
+            .entry(peer)
+            .or_insert_with(|| EwmaRate::with_prior(self.prior_bps, self.alpha))
+            .observe(bytes, secs);
+    }
+
+    /// The current estimate for `peer` in bytes/second.
+    pub fn bps(&self, peer: u64) -> f64 {
+        self.peers.get(&peer).map_or(self.prior_bps, |e| e.bps())
+    }
+
+    /// Predicted seconds for `peer` to deliver `bytes`.
+    pub fn predict_secs(&self, peer: u64, bytes: u64) -> f64 {
+        bytes as f64 / self.bps(peer)
+    }
+
+    /// The peer's coarse bandwidth class relative to the prior: `0` for
+    /// anything within ~4× of nominal, negative for each ~16× step below,
+    /// positive above. Estimates trained on live traffic wobble by small
+    /// factors (contention, loss bursts, slow-start); genuine segment
+    /// differences — a WAN-limited holder versus a LAN one — span orders
+    /// of magnitude. Ranking on the class instead of the raw estimate
+    /// keeps noise from reordering equal-class peers while still demoting
+    /// holders that are categorically slower.
+    pub fn class(&self, peer: u64) -> i64 {
+        ((self.bps(peer) / self.prior_bps).log2() / 4.0).round() as i64
+    }
+
+    /// Observations recorded for `peer`.
+    pub fn samples(&self, peer: u64) -> u64 {
+        self.peers.get(&peer).map_or(0, EwmaRate::samples)
+    }
+}
+
 /// A placement learner deriving store policies from observed completions.
 ///
 /// # Examples
@@ -245,5 +308,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_prior_is_rejected() {
         EwmaRate::with_prior(0.0, 0.5);
+    }
+
+    #[test]
+    fn peer_table_answers_prior_until_observed() {
+        let mut t = PeerBandwidth::new(2.0e6, 0.5);
+        assert_eq!(t.bps(7), 2.0e6);
+        assert_eq!(t.samples(7), 0);
+        for _ in 0..10 {
+            t.observe(7, 8 << 20, 1.0); // ~8.4 MB/s
+        }
+        assert!(t.bps(7) > 7.0e6, "estimate {:.0} should rise", t.bps(7));
+        assert_eq!(t.samples(7), 10);
+        // Other peers are unaffected.
+        assert_eq!(t.bps(9), 2.0e6);
+        // Predictions scale with the estimate.
+        assert!(t.predict_secs(7, 8 << 20) < t.predict_secs(9, 8 << 20));
+    }
+
+    #[test]
+    fn bandwidth_class_ignores_noise_but_flags_slow_segments() {
+        let mut t = PeerBandwidth::new(10.0e6, 1.0);
+        // Unseen peers and peers within a few × of nominal share class 0.
+        assert_eq!(t.class(1), 0);
+        t.observe(1, 3 << 20, 1.0); // ~3 MB/s: contended, same class
+        assert_eq!(t.class(1), 0);
+        // A WAN-limited holder (~0.2 MB/s) is categorically slower.
+        t.observe(2, 200 << 10, 1.0);
+        assert!(t.class(2) < 0, "class {} should drop", t.class(2));
+        assert!(t.class(2) < t.class(1));
     }
 }

@@ -26,7 +26,19 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let mut home = Cloud4Home::new(Config::paper_testbed(seed));
+    let mut config = Config::paper_testbed(seed);
+    // Library-level knobs the shell can't reach through commands; scripts
+    // set these to drive the striped fetch path (like `C4H_BATCH`).
+    if let Some(n) = env_knob("C4H_REPLICATION") {
+        config.replication = n as usize;
+    }
+    if let Some(n) = env_knob("C4H_FETCH_SOURCES") {
+        config.fetch_sources = n as usize;
+    }
+    if let Some(h) = env_knob("C4H_FETCH_HEDGE") {
+        config.fetch_hedge = h;
+    }
+    let mut home = Cloud4Home::new(config);
     println!(
         "cloud4home shell — {} nodes + cloud, seed {seed}. Type `help`.",
         home.node_count()
@@ -52,6 +64,12 @@ fn main() {
             CommandResult::Error(text) => println!("error: {text}"),
         }
     }
+}
+
+/// A numeric config override from the environment, ignored when unset or
+/// unparsable.
+fn env_knob(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.parse().ok()
 }
 
 /// Best-effort interactivity guess without platform-specific calls: scripts
@@ -146,24 +164,30 @@ fn status(home: &Cloud4Home) -> String {
         ));
     }
     let stats = home.stats();
-    let (hits, misses) = home.cache_stats();
     out.push_str(&format!(
-        "  ops {}  flows {}  envelopes {} (-{} dropped)  cache {hits}/{}\n",
+        "  ops {}  flows {}  envelopes {} (-{} dropped)  cache {}/{} \
+         ({} overlay answers)\n",
         stats.ops_completed,
         stats.flows_started,
         stats.envelopes_delivered,
         stats.envelopes_dropped,
-        hits + misses
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+        stats.cache_answers,
     ));
     out.push_str(&format!(
         "  recovery: {} dht retries, {} fetch failovers, {} re-dispatches, \
-         {} replicas, {}/{} repairs",
+         {} replicas, {}/{} repairs\n",
         stats.dht_retries,
         stats.fetch_failovers,
         stats.proc_redispatches,
         stats.replicas_written,
         stats.repairs_completed,
         stats.repairs_started,
+    ));
+    out.push_str(&format!(
+        "  fetch: {} striped, {} hedged",
+        stats.striped_fetches, stats.hedged_fetches,
     ));
     out
 }
@@ -561,6 +585,19 @@ mod tests {
         };
         assert!(metrics.contains("\"op.store.ok\""), "{metrics}");
         assert!(metrics.contains("\"stats.ops_completed\""), "{metrics}");
+        // The metadata-cache and striped-fetch aggregates ride along.
+        assert!(metrics.contains("\"stats.cache_hits\""), "{metrics}");
+        assert!(metrics.contains("\"stats.cache_misses\""), "{metrics}");
+        assert!(metrics.contains("\"stats.cache_answers\""), "{metrics}");
+        assert!(metrics.contains("\"stats.striped_fetches\""), "{metrics}");
+        assert!(metrics.contains("\"stats.hedged_fetches\""), "{metrics}");
+
+        // `status` surfaces the same counters in its summary lines.
+        let CommandResult::Output(st) = run_command(&mut home, "status") else {
+            panic!("status should print");
+        };
+        assert!(st.contains("overlay answers"), "{st}");
+        assert!(st.contains("striped"), "{st}");
 
         // Saving the trace writes loadable Chrome trace JSON.
         let path = std::env::temp_dir().join("c4h-shell-trace-test.json");

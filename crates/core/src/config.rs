@@ -223,6 +223,20 @@ pub struct Config {
     /// How many chunks of a chunked transfer may be in flight at once
     /// (minimum 2).
     pub chunk_window: usize,
+    /// Maximum concurrent sources a `fetch` may stripe a read across.
+    /// With `1` (the default) fetches pull the whole object from a single
+    /// holder; with `k >= 2` an object held by several live peers — or by
+    /// the cloud, via parallel range reads — is split into up to `k`
+    /// contiguous stripes pulled concurrently, which sidesteps per-flow
+    /// TCP ramp and sustained-rate caps on both LAN and WAN segments.
+    pub fetch_sources: usize,
+    /// Hedged-request threshold for striped fetches. Whenever a stripe
+    /// completes, if the slowest in-flight stripe's estimated time to
+    /// completion exceeds `fetch_hedge ×` the time the best *idle* holder
+    /// would need for the whole stripe, that stripe is re-issued there and
+    /// the two copies race; the loser is cancelled. `0.0` disables
+    /// hedging; `2.0` is a conservative tail-latency guard.
+    pub fetch_hedge: f64,
     /// Whether virtual-time tracing and metrics collection start enabled.
     /// Recording can also be toggled at runtime with
     /// [`Cloud4Home::set_tracing`](crate::Cloud4Home::set_tracing); either
@@ -264,6 +278,8 @@ impl Config {
             replica_quorum: 0,
             chunk_bytes: 0,
             chunk_window: 4,
+            fetch_sources: 1,
+            fetch_hedge: 2.0,
             tracing: false,
         }
     }

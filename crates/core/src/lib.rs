@@ -62,7 +62,7 @@ mod policy;
 mod report;
 mod runtime;
 
-pub use adaptive::{AdaptivePlacement, EwmaRate};
+pub use adaptive::{AdaptivePlacement, EwmaRate, PeerBandwidth};
 pub use c4h_kvstore::Acl;
 pub use c4h_telemetry::{ArgValue, EventRec, Histogram, InstantRec, Recorder, Snapshot, SpanRec};
 pub use config::{CloudSpec, Config, NodeId, NodeSpec, ServiceKind, TimingConfig};

@@ -27,7 +27,7 @@ use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TI
 use crate::object::{Blob, Object, SAMPLE_WINDOW};
 use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
 use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport};
-use crate::runtime::{Cloud4Home, FanoutJob, FANOUT_TRACK_BASE};
+use crate::runtime::{Cloud4Home, FanoutJob, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE};
 
 /// Size of a command packet on the guest ↔ dom0 channel ("commands are
 /// usually less than 50 bytes").
@@ -97,6 +97,11 @@ pub(crate) enum Stage {
     FetchFlowHome {
         owner: usize,
     },
+    /// The object is being pulled as concurrent stripes from several
+    /// holders (or as parallel cloud range reads). The stage ends when the
+    /// last stripe lands; a lost stripe is reassigned to another holder
+    /// without restarting the fetch.
+    FetchStriped,
     FetchRetry,
     FetchCloudRequest {
         url: S3Url,
@@ -144,6 +149,7 @@ pub(crate) fn stage_name(stage: &Stage) -> &'static str {
         Stage::FetchMetaGet => "fetch.meta_get",
         Stage::FetchOwnerRequest { .. } => "fetch.owner_request",
         Stage::FetchFlowHome { .. } => "fetch.flow_home",
+        Stage::FetchStriped => "fetch.striped",
         Stage::FetchRetry => "fetch.retry_wait",
         Stage::FetchCloudRequest { .. } => "fetch.cloud_request",
         Stage::FetchFlowCloud => "fetch.flow_cloud",
@@ -216,6 +222,18 @@ pub(crate) struct Op {
     /// Pending replica disk writes of the store fan-out: sub-task token
     /// (the target node index) → write start time.
     pub(crate) replica_writes: BTreeMap<u64, SimTime>,
+    /// In-flight stripe transfers of a striped fetch, by flow. `BTreeMap`
+    /// so any iteration is deterministic.
+    pub(crate) stripe_flows: BTreeMap<FlowId, StripeFlight>,
+    /// Outstanding stripe control requests (owner request + disk read in
+    /// progress at a holder): sub-task token → request.
+    pub(crate) stripe_requests: BTreeMap<u64, StripeRequest>,
+    /// Ranked holder pool the striped fetch may (re)assign stripes from.
+    pub(crate) stripe_sources: Vec<usize>,
+    /// Stripes this fetch was split into.
+    pub(crate) stripes_total: u32,
+    /// Stripes whose bytes have fully arrived.
+    pub(crate) stripes_done: u32,
     /// Replica copies this store could not place (too few live peers, or a
     /// replica flow died with no substitute).
     pub(crate) partial_replication: u32,
@@ -266,6 +284,11 @@ impl Op {
             replicas_done: Vec::new(),
             replica_flows: BTreeMap::new(),
             replica_writes: BTreeMap::new(),
+            stripe_flows: BTreeMap::new(),
+            stripe_requests: BTreeMap::new(),
+            stripe_sources: Vec::new(),
+            stripes_total: 0,
+            stripes_done: 0,
             partial_replication: 0,
             batch_timed_out: false,
             store_target: None,
@@ -309,6 +332,44 @@ pub(crate) struct ReplicaFlight {
     pub(crate) target: usize,
     /// When the transfer started (for the retroactive stage span).
     pub(crate) started: SimTime,
+}
+
+/// Token bit marking a stripe control request as a hedge copy, so a hedge
+/// and the original of the same stripe never collide in `stripe_requests`.
+const STRIPE_HEDGE_BIT: u64 = 1 << 32;
+
+/// One in-flight stripe transfer of a striped fetch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StripeFlight {
+    /// Stripe index within the object (0-based, contiguous split).
+    pub(crate) stripe: u32,
+    /// Serving home node index, or `None` for a cloud range read.
+    pub(crate) holder: Option<usize>,
+    /// Source network address (feeds the per-peer bandwidth table).
+    pub(crate) src: Addr,
+    /// Byte offset of the stripe within the object.
+    pub(crate) offset: u64,
+    /// Stripe length in bytes.
+    pub(crate) bytes: u64,
+    /// When the transfer started (for the retroactive stripe span).
+    pub(crate) started: SimTime,
+    /// Whether this is the hedged (re-issued) copy of its stripe.
+    pub(crate) hedge: bool,
+}
+
+/// A stripe's control request + holder disk read still in progress.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StripeRequest {
+    /// Stripe index within the object.
+    pub(crate) stripe: u32,
+    /// Home node the request was sent to.
+    pub(crate) holder: usize,
+    /// Byte offset of the stripe within the object.
+    pub(crate) offset: u64,
+    /// Stripe length in bytes.
+    pub(crate) bytes: u64,
+    /// Whether this request is a hedge copy.
+    pub(crate) hedge: bool,
 }
 
 /// Whether a DHT completion is a timeout (lost request or reply).
@@ -595,6 +656,36 @@ impl Cloud4Home {
         }
         let outcome = match op.stage.clone() {
             Stage::FetchFlowHome { .. } => self.fetch_try_next(&mut op, true),
+            Stage::FetchStriped => {
+                // Only the severed stripe is affected; reassign it (or lean
+                // on a hedge copy already racing) while the rest keep
+                // flowing. Cloud range reads have no alternate source, so
+                // losing one abandons the stripes and fails over as a
+                // whole-fetch retry would.
+                if let Some(flight) = op.stripe_flows.remove(&flow) {
+                    self.emit_stripe_span(&op, flow, &flight, false);
+                    if flight.holder.is_some() {
+                        self.stripe_reassign(
+                            &mut op,
+                            flight.stripe,
+                            flight.offset,
+                            flight.bytes,
+                            why,
+                        )
+                    } else {
+                        let flows: Vec<FlowId> = op.stripe_flows.keys().copied().collect();
+                        for f in flows {
+                            self.stripe_drop_flow(&mut op, f);
+                        }
+                        op.stripes_total = 0;
+                        op.stripes_done = 0;
+                        op.staged = None;
+                        Some(Err(OpError::OwnerUnreachable(why.to_owned())))
+                    }
+                } else {
+                    None
+                }
+            }
             Stage::StoreFanout => {
                 // One replica flight died; the rest of the fan-out (and the
                 // store itself) carries on with one copy fewer.
@@ -643,6 +734,19 @@ impl Cloud4Home {
                 self.flow_endpoints.remove(&flow);
             }
             op.replica_flows.clear();
+        }
+        // Likewise a striped fetch failing with stripes still in flight
+        // (e.g. the client crashed) abandons them.
+        if !op.stripe_flows.is_empty() {
+            let flights: Vec<(FlowId, StripeFlight)> =
+                std::mem::take(&mut op.stripe_flows).into_iter().collect();
+            for (flow, flight) in flights {
+                self.net.cancel(flow);
+                self.flow_waiters.remove(&flow);
+                self.flow_endpoints.remove(&flow);
+                self.emit_stripe_span(&op, flow, &flight, false);
+            }
+            op.stripe_requests.clear();
         }
         self.stats.ops_completed += 1;
         if self.telemetry.enabled() {
@@ -722,12 +826,18 @@ impl Cloud4Home {
         if let OpInput::SubWake { token } = input {
             return match op.stage {
                 Stage::StoreFanout => self.fanout_write_done(op, token),
+                Stage::FetchStriped => self.stripe_request_done(op, token),
                 _ => None,
             };
         }
         if matches!(op.stage, Stage::StoreFanout) {
             if let OpInput::FlowDone { flow } = input {
                 return self.fanout_flow_done(op, flow);
+            }
+        }
+        if matches!(op.stage, Stage::FetchStriped) {
+            if let OpInput::FlowDone { flow } = input {
+                return self.stripe_flow_done(op, flow);
             }
         }
         // Lossy-network recovery: a timed-out metadata request is reissued
@@ -914,7 +1024,10 @@ impl Cloud4Home {
                 if !self.nodes[owner].alive || !self.node_reachable(op.client, owner) {
                     return self.fetch_try_next(op, true);
                 }
-                // Request handled; owner has read the object from disk.
+                // Request handled; owner has read the object from disk. The
+                // read is charged here, on completion — a holder that died
+                // before responding must not leave its read time behind.
+                op.breakdown.disk += self.nodes[owner].disk.read_time(op.object_bytes());
                 self.phase(op);
                 op.stage = Stage::FetchFlowHome { owner };
                 let src = self.nodes[owner].addr;
@@ -926,6 +1039,13 @@ impl Cloud4Home {
                 {
                     let el = self.phase(op);
                     op.breakdown.inter_node += el;
+                    // The completed transfer is a bandwidth observation for
+                    // this holder (the phase covers exactly the flow).
+                    self.peer_bw.observe(
+                        self.nodes[owner].addr.raw(),
+                        op.object_bytes(),
+                        el.as_secs_f64(),
+                    );
                 }
                 match self.nodes[owner].objects.get(&op.name) {
                     Some(blob) => {
@@ -937,6 +1057,9 @@ impl Cloud4Home {
                     None => self.fetch_try_next(op, true),
                 }
             }
+            // Stripe completions and request wakes are routed by the
+            // intercepts above; anything else (a stray wake) is inert.
+            Stage::FetchStriped => None,
             Stage::FetchRetry => {
                 {
                     let el = self.phase(op);
@@ -959,9 +1082,16 @@ impl Cloud4Home {
                         op.via_cloud = true;
                         let src = cloud.addr;
                         self.phase(op);
-                        op.stage = Stage::FetchFlowCloud;
                         let dst = self.nodes[op.client].addr;
                         let bytes = op.object_bytes();
+                        // A WAN flow's TCP cap sits well below the downlink
+                        // segment, so parallel range reads of the same S3
+                        // object fill the pipe a single flow cannot.
+                        let sources = self.config.fetch_sources as u64;
+                        if sources >= 2 && bytes >= sources {
+                            return self.fetch_begin_cloud_stripes(op, src, dst, bytes);
+                        }
+                        op.stage = Stage::FetchFlowCloud;
                         self.start_flow_for_op(op.id, src, dst, bytes);
                         None
                     }
@@ -1582,6 +1712,16 @@ impl Cloud4Home {
         let flight = op.replica_flows.remove(&flow)?;
         let now = self.now();
         self.emit_substage(op.id, "store.replica_flow", flight.started, now);
+        // Replica transfers are bandwidth observations for their targets.
+        let secs = now
+            .checked_duration_since(flight.started)
+            .unwrap_or_default()
+            .as_secs_f64();
+        self.peer_bw.observe(
+            self.nodes[flight.target].addr.raw(),
+            op.object_bytes(),
+            secs,
+        );
         let write = self.nodes[flight.target].disk.write_time(op.object_bytes());
         let token = flight.target as u64;
         op.replica_writes.insert(token, now);
@@ -1754,16 +1894,19 @@ impl Cloud4Home {
         op.meta = Some(meta.clone());
         match meta.location {
             Location::Home { node } => {
-                // Candidate holders: the primary owner first, then replicas.
-                let mut candidates: VecDeque<usize> = VecDeque::new();
+                // Candidate holders: the primary owner and every replica,
+                // ranked by liveness and the observed-bandwidth estimates
+                // rather than raw metadata order.
+                let mut candidates: Vec<usize> = Vec::new();
                 for key in std::iter::once(node).chain(meta.replicas.iter().copied()) {
                     if let Some(j) = self.node_index(key) {
                         if !candidates.contains(&j) {
-                            candidates.push_back(j);
+                            candidates.push(j);
                         }
                     }
                 }
-                op.fetch_candidates = candidates;
+                self.rank_fetch_candidates(op, &mut candidates);
+                op.fetch_candidates = candidates.into();
                 self.fetch_try_next(op, false)
             }
             Location::Cloud { ref url } => {
@@ -1803,6 +1946,24 @@ impl Cloud4Home {
             return Some(Err(OpError::Timeout(op.name.clone())));
         }
         let size = op.object_bytes();
+        // With several live holders (none of them the client itself, whose
+        // local disk beats any transfer), split the read into concurrent
+        // stripes instead of pulling everything from the front-runner.
+        if self.config.fetch_sources >= 2 && size >= self.config.fetch_sources as u64 {
+            let viable: Vec<usize> = op
+                .fetch_candidates
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    self.nodes[j].alive
+                        && self.node_reachable(op.client, j)
+                        && self.nodes[j].objects.contains_key(&op.name)
+                })
+                .collect();
+            if viable.len() >= 2 && !viable.contains(&op.client) {
+                return self.fetch_begin_stripes(op, viable);
+            }
+        }
         while let Some(j) = op.fetch_candidates.pop_front() {
             if !self.nodes[j].alive
                 || !self.node_reachable(op.client, j)
@@ -1841,8 +2002,10 @@ impl Cloud4Home {
                         &mut self.rng,
                     )
                     .unwrap_or_default();
+                // The read time is charged when the request completes, not
+                // here: a holder that dies before responding must not leave
+                // its read in the breakdown.
                 let read = self.nodes[j].disk.read_time(size);
-                op.breakdown.disk += read;
                 self.phase(op);
                 op.stage = Stage::FetchOwnerRequest { owner: j };
                 self.wake_in(op.id, latency + self.config.timing.peer_request + read);
@@ -1873,6 +2036,513 @@ impl Cloud4Home {
             return None;
         }
         Some(Err(OpError::OwnerUnreachable(op.name.clone())))
+    }
+
+    /// Orders fetch candidates best-first: holders that can actually serve
+    /// the object ahead of dead or cut-off ones, then by the per-peer
+    /// bandwidth *class* (see [`PeerBandwidth::class`]), with metadata
+    /// order breaking ties — so untrained or noise-level estimates
+    /// preserve the primary-first behaviour and only categorically slower
+    /// holders (a WAN-limited peer among LAN ones) are demoted. Demoting a
+    /// non-viable primary below a live replica is the same redirect the
+    /// serial path used to discover by failing, so it is still counted and
+    /// traced as a failover.
+    fn rank_fetch_candidates(&mut self, op: &mut Op, candidates: &mut [usize]) {
+        let Some(&primary) = candidates.first() else {
+            return;
+        };
+        let viable = |s: &Self, j: usize| {
+            s.nodes[j].alive
+                && s.node_reachable(op.client, j)
+                && s.nodes[j].objects.contains_key(&op.name)
+        };
+        candidates.sort_by_key(|&j| {
+            (
+                u8::from(!viable(self, j)),
+                -self.peer_bw.class(self.nodes[j].addr.raw()),
+            )
+        });
+        if !viable(self, primary) && candidates.first().is_some_and(|&j| viable(self, j)) {
+            op.failovers += 1;
+            self.stats.fetch_failovers += 1;
+            self.telemetry.instant_args(
+                "op",
+                "fetch.failover",
+                op.id.0,
+                self.now().as_nanos(),
+                vec![
+                    ("object", ArgValue::from(op.name.as_str())),
+                    ("skipped", ArgValue::from(self.nodes[primary].name.as_str())),
+                ],
+            );
+        }
+        let order: Vec<&str> = candidates
+            .iter()
+            .map(|&j| self.nodes[j].name.as_str())
+            .collect();
+        self.telemetry.instant_args(
+            "op",
+            "fetch.rank",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("order", ArgValue::from(order.join(",").as_str())),
+            ],
+        );
+    }
+
+    /// Splits the fetch into contiguous stripes pulled concurrently from
+    /// the best-ranked viable holders, one stripe per source.
+    fn fetch_begin_stripes(&mut self, op: &mut Op, viable: Vec<usize>) -> StepOutcome {
+        let size = op.object_bytes();
+        let stripes = viable.len().min(self.config.fetch_sources) as u64;
+        op.fetch_candidates.clear();
+        op.stripe_sources = viable;
+        op.stripes_total = stripes as u32;
+        op.stripes_done = 0;
+        self.stats.striped_fetches += 1;
+        self.telemetry.instant_args(
+            "op",
+            "fetch.stripe_plan",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("stripes", ArgValue::from(stripes)),
+                ("bytes", ArgValue::from(size)),
+            ],
+        );
+        self.phase(op);
+        op.stage = Stage::FetchStriped;
+        let base = size / stripes;
+        for s in 0..stripes {
+            let offset = s * base;
+            let bytes = if s == stripes - 1 {
+                size - offset
+            } else {
+                base
+            };
+            let holder = op.stripe_sources[s as usize];
+            self.stripe_issue_request(op, s as u32, holder, offset, bytes, false);
+        }
+        None
+    }
+
+    /// Splits a cloud fetch into parallel range reads of the same S3
+    /// object. A single source means no hedging and no reassignment — a
+    /// severed range read fails the fetch exactly like a severed
+    /// monolithic cloud flow did.
+    fn fetch_begin_cloud_stripes(
+        &mut self,
+        op: &mut Op,
+        src: Addr,
+        dst: Addr,
+        size: u64,
+    ) -> StepOutcome {
+        let stripes = self.config.fetch_sources as u64;
+        op.stripes_total = stripes as u32;
+        op.stripes_done = 0;
+        self.stats.striped_fetches += 1;
+        self.telemetry.instant_args(
+            "op",
+            "fetch.stripe_plan",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("stripes", ArgValue::from(stripes)),
+                ("bytes", ArgValue::from(size)),
+            ],
+        );
+        op.stage = Stage::FetchStriped;
+        let now = self.now();
+        let base = size / stripes;
+        for s in 0..stripes {
+            let offset = s * base;
+            let bytes = if s == stripes - 1 {
+                size - offset
+            } else {
+                base
+            };
+            let flow = self.start_flow_for_op(op.id, src, dst, bytes);
+            op.stripe_flows.insert(
+                flow,
+                StripeFlight {
+                    stripe: s as u32,
+                    holder: None,
+                    src,
+                    offset,
+                    bytes,
+                    started: now,
+                    hedge: false,
+                },
+            );
+        }
+        None
+    }
+
+    /// Sends one stripe's control request to a holder: message latency plus
+    /// the holder's disk read, after which the stripe's transfer starts.
+    fn stripe_issue_request(
+        &mut self,
+        op: &mut Op,
+        stripe: u32,
+        holder: usize,
+        offset: u64,
+        bytes: u64,
+        hedge: bool,
+    ) {
+        let latency = self
+            .net
+            .topology()
+            .message_latency(
+                self.nodes[op.client].addr,
+                self.nodes[holder].addr,
+                &mut self.rng,
+            )
+            .unwrap_or_default();
+        let read = self.nodes[holder].disk.read_time(bytes);
+        let token = u64::from(stripe) | if hedge { STRIPE_HEDGE_BIT } else { 0 };
+        op.stripe_requests.insert(
+            token,
+            StripeRequest {
+                stripe,
+                holder,
+                offset,
+                bytes,
+                hedge,
+            },
+        );
+        self.wake_sub_in(
+            op.id,
+            token,
+            latency + self.config.timing.peer_request + read,
+        );
+    }
+
+    /// A stripe's control request (and the holder's disk read) completed:
+    /// start the transfer, or reassign if the holder died meanwhile. Wakes
+    /// for requests that were cancelled (lost hedge races, aborted striped
+    /// fetches) find no entry and are inert.
+    fn stripe_request_done(&mut self, op: &mut Op, token: u64) -> StepOutcome {
+        let req = op.stripe_requests.remove(&token)?;
+        if !self.nodes[req.holder].alive
+            || !self.node_reachable(op.client, req.holder)
+            || !self.nodes[req.holder].objects.contains_key(&op.name)
+        {
+            return self.stripe_reassign(
+                op,
+                req.stripe,
+                req.offset,
+                req.bytes,
+                "holder lost before serving stripe",
+            );
+        }
+        // The holder's read finished; charge it on completion (mirroring
+        // the single-source path's accounting fix).
+        op.breakdown.disk += self.nodes[req.holder].disk.read_time(req.bytes);
+        let src = self.nodes[req.holder].addr;
+        let dst = self.nodes[op.client].addr;
+        let flow = self.start_flow_for_op(op.id, src, dst, req.bytes);
+        op.stripe_flows.insert(
+            flow,
+            StripeFlight {
+                stripe: req.stripe,
+                holder: Some(req.holder),
+                src,
+                offset: req.offset,
+                bytes: req.bytes,
+                started: self.now(),
+                hedge: req.hedge,
+            },
+        );
+        None
+    }
+
+    /// One stripe delivered its last byte: record it, feed the bandwidth
+    /// table, cancel any losing hedge copy of the same stripe, and either
+    /// finish the fetch or consider hedging the new slowest stripe.
+    fn stripe_flow_done(&mut self, op: &mut Op, flow: FlowId) -> StepOutcome {
+        let flight = op.stripe_flows.remove(&flow)?;
+        let now = self.now();
+        self.emit_stripe_span(op, flow, &flight, true);
+        let secs = now
+            .checked_duration_since(flight.started)
+            .unwrap_or_default()
+            .as_secs_f64();
+        self.peer_bw.observe(flight.src.raw(), flight.bytes, secs);
+        op.stripes_done += 1;
+        // The losing copy of a hedged stripe — a racing flow or a control
+        // request still pending — is cancelled so its bytes are never
+        // delivered (or counted) twice.
+        let losers: Vec<FlowId> = op
+            .stripe_flows
+            .iter()
+            .filter(|(_, f)| f.stripe == flight.stripe)
+            .map(|(&f, _)| f)
+            .collect();
+        for loser in losers {
+            self.stripe_drop_flow(op, loser);
+        }
+        let stale: Vec<u64> = op
+            .stripe_requests
+            .iter()
+            .filter(|(_, r)| r.stripe == flight.stripe)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in stale {
+            op.stripe_requests.remove(&t);
+        }
+        if op.stripes_done >= op.stripes_total {
+            debug_assert!(op.stripe_flows.is_empty() && op.stripe_requests.is_empty());
+            return self.stripe_finish(op);
+        }
+        self.stripe_maybe_hedge(op);
+        None
+    }
+
+    /// Cancels one in-flight stripe flow (a lost hedge race or an aborted
+    /// striped fetch) and records its span as lost.
+    fn stripe_drop_flow(&mut self, op: &mut Op, flow: FlowId) {
+        let Some(flight) = op.stripe_flows.remove(&flow) else {
+            return;
+        };
+        self.net.cancel(flow);
+        self.flow_waiters.remove(&flow);
+        self.flow_endpoints.remove(&flow);
+        self.emit_stripe_span(op, flow, &flight, false);
+    }
+
+    /// Every stripe landed: close the striped stage and hand the bytes to
+    /// the client channel.
+    fn stripe_finish(&mut self, op: &mut Op) -> StepOutcome {
+        {
+            let el = self.phase(op);
+            op.breakdown.inter_node += el;
+        }
+        if op.staged.is_none() {
+            // Home stripes: stage the bytes from any surviving holder
+            // (cloud stripes staged them at the S3 get).
+            let blob = op
+                .stripe_sources
+                .iter()
+                .copied()
+                .filter(|&j| self.nodes[j].alive)
+                .find_map(|j| self.nodes[j].objects.get(&op.name).cloned());
+            match blob {
+                Some(b) => op.staged = Some(b),
+                // Every holder vanished in the final instant; fall back to
+                // the retry path, which re-derives the candidate set.
+                None => return self.fetch_try_next(op, true),
+            }
+        }
+        op.stripe_sources.clear();
+        self.fetch_channel_out(op)
+    }
+
+    /// Hedged tail requests: when the slowest in-flight stripe's estimated
+    /// time to completion exceeds `fetch_hedge ×` what the best idle holder
+    /// would need for the whole stripe, re-issue it there and race the two
+    /// copies. Evaluated only at stripe completions, so the decision is a
+    /// deterministic function of simulation state.
+    fn stripe_maybe_hedge(&mut self, op: &mut Op) {
+        let factor = self.config.fetch_hedge;
+        if factor <= 0.0 {
+            return;
+        }
+        // The slowest unhedged home stripe by predicted remaining seconds.
+        // Cloud ranges have no second source; hedges never re-hedge.
+        let mut slowest: Option<StripeFlight> = None;
+        let mut slowest_eta = 0.0_f64;
+        for (&flow, flight) in &op.stripe_flows {
+            if flight.holder.is_none() || flight.hedge {
+                continue;
+            }
+            let partnered = op
+                .stripe_requests
+                .values()
+                .any(|r| r.stripe == flight.stripe)
+                || op
+                    .stripe_flows
+                    .values()
+                    .any(|f| f.stripe == flight.stripe && f.hedge);
+            if partnered {
+                continue;
+            }
+            let Some(p) = self.net.progress(flow) else {
+                continue;
+            };
+            if p.rate_bps <= 0.0 {
+                continue; // still in connection setup; no estimate yet
+            }
+            let eta = (p.total_bytes as f64 - p.sent_bytes).max(0.0) / p.rate_bps;
+            if slowest.is_none() || eta > slowest_eta {
+                slowest = Some(*flight);
+                slowest_eta = eta;
+            }
+        }
+        let Some(flight) = slowest else { return };
+        let slow_holder = flight.holder.expect("cloud stripes filtered above");
+        let Some(idle) = self.stripe_pick_source(op, true, Some(slow_holder)) else {
+            return;
+        };
+        let est = self
+            .peer_bw
+            .predict_secs(self.nodes[idle].addr.raw(), flight.bytes);
+        if slowest_eta <= factor * est {
+            return;
+        }
+        self.stats.hedged_fetches += 1;
+        self.telemetry.instant_args(
+            "op",
+            "fetch.hedge",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("stripe", ArgValue::from(u64::from(flight.stripe))),
+                (
+                    "slow",
+                    ArgValue::from(self.nodes[slow_holder].name.as_str()),
+                ),
+                ("via", ArgValue::from(self.nodes[idle].name.as_str())),
+                ("eta_us", ArgValue::from((slowest_eta * 1e6) as u64)),
+                ("est_us", ArgValue::from((est * 1e6) as u64)),
+            ],
+        );
+        self.stripe_issue_request(op, flight.stripe, idle, flight.offset, flight.bytes, true);
+    }
+
+    /// The best holder to (re)issue a stripe from: live, reachable, still
+    /// holding the bytes; idle holders (nothing in flight or requested)
+    /// outrank busy ones, then the higher bandwidth estimate, then rank
+    /// order. With `require_idle`, busy holders are excluded outright.
+    fn stripe_pick_source(
+        &self,
+        op: &Op,
+        require_idle: bool,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        let busy = |j: usize| {
+            op.stripe_flows.values().any(|f| f.holder == Some(j))
+                || op.stripe_requests.values().any(|r| r.holder == j)
+        };
+        op.stripe_sources
+            .iter()
+            .copied()
+            .filter(|&j| {
+                Some(j) != exclude
+                    && !(require_idle && busy(j))
+                    && self.nodes[j].alive
+                    && self.node_reachable(op.client, j)
+                    && self.nodes[j].objects.contains_key(&op.name)
+            })
+            .min_by(|&a, &b| {
+                busy(a).cmp(&busy(b)).then_with(|| {
+                    self.peer_bw
+                        .bps(self.nodes[b].addr.raw())
+                        .partial_cmp(&self.peer_bw.bps(self.nodes[a].addr.raw()))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            })
+    }
+
+    /// One stripe lost its source (a severed flow, or a holder death
+    /// discovered when its control request completed). A partner copy still
+    /// racing means nothing needs doing; otherwise only this stripe is
+    /// re-issued to the best remaining holder — the other stripes keep
+    /// flowing. With no holder left, the striped attempt is abandoned and
+    /// the fetch falls back to the capped retry path.
+    fn stripe_reassign(
+        &mut self,
+        op: &mut Op,
+        stripe: u32,
+        offset: u64,
+        bytes: u64,
+        why: &str,
+    ) -> StepOutcome {
+        let covered = op.stripe_flows.values().any(|f| f.stripe == stripe)
+            || op.stripe_requests.values().any(|r| r.stripe == stripe);
+        if covered {
+            return None;
+        }
+        op.failovers += 1;
+        self.stats.fetch_failovers += 1;
+        self.telemetry.instant_args(
+            "op",
+            "fetch.failover",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("stripe", ArgValue::from(u64::from(stripe))),
+            ],
+        );
+        match self.stripe_pick_source(op, false, None) {
+            Some(holder) => {
+                self.telemetry.instant_args(
+                    "op",
+                    "fetch.stripe_reassign",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("object", ArgValue::from(op.name.as_str())),
+                        ("stripe", ArgValue::from(u64::from(stripe))),
+                        ("via", ArgValue::from(self.nodes[holder].name.as_str())),
+                        ("why", ArgValue::from(why)),
+                    ],
+                );
+                self.stripe_issue_request(op, stripe, holder, offset, bytes, false);
+                None
+            }
+            None => {
+                let flows: Vec<FlowId> = op.stripe_flows.keys().copied().collect();
+                for flow in flows {
+                    self.stripe_drop_flow(op, flow);
+                }
+                op.stripe_requests.clear();
+                op.stripe_sources.clear();
+                op.stripes_total = 0;
+                op.stripes_done = 0;
+                op.fetch_candidates.clear();
+                self.fetch_try_next(op, false)
+            }
+        }
+    }
+
+    /// Records one stripe transfer on the stripe track (base + flow id),
+    /// with `won` false for severed flows and lost hedge races. Zero-length
+    /// spans (cancelled the instant they started) are skipped like
+    /// [`Self::phase`]'s.
+    fn emit_stripe_span(&self, op: &Op, flow: FlowId, flight: &StripeFlight, won: bool) {
+        let now = self.now();
+        let elapsed = now
+            .checked_duration_since(flight.started)
+            .unwrap_or_default();
+        if elapsed.is_zero() || !self.telemetry.enabled() {
+            return;
+        }
+        let src = match flight.holder {
+            Some(j) => self.nodes[j].name.as_str(),
+            None => "cloud",
+        };
+        self.telemetry.span_args(
+            "stripe",
+            "fetch.stripe",
+            STRIPE_TRACK_BASE + flow.raw(),
+            flight.started.as_nanos(),
+            now.as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("stripe", ArgValue::from(u64::from(flight.stripe))),
+                ("src", ArgValue::from(src)),
+                ("offset", ArgValue::from(flight.offset)),
+                ("bytes", ArgValue::from(flight.bytes)),
+                ("hedge", ArgValue::from(flight.hedge)),
+                ("won", ArgValue::from(won)),
+            ],
+        );
     }
 
     /// Removes the deleted object's bytes from its bin or bucket, charging

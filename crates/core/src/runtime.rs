@@ -33,6 +33,7 @@ use c4h_simnet::{
 use c4h_telemetry::{ArgValue, Recorder, SpanId};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
 
+use crate::adaptive::PeerBandwidth;
 use crate::config::{Config, NodeId, ServiceKind};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::object::{synth_bytes, Blob};
@@ -56,6 +57,9 @@ const REPAIR_TRACK_BASE: u64 = 4_000_000;
 
 /// Trace track base for detached replica fan-out spans (base + flow id).
 pub(crate) const FANOUT_TRACK_BASE: u64 = 5_000_000;
+
+/// Trace track base for per-stripe fetch transfer spans (base + flow id).
+pub(crate) const STRIPE_TRACK_BASE: u64 = 6_000_000;
 
 /// One home node's full runtime state.
 #[derive(Debug)]
@@ -150,6 +154,19 @@ pub struct RunStats {
     /// Stores whose metadata was published at quorum, before every replica
     /// flow finished (the stragglers detach and land in the background).
     pub quorum_publishes: u64,
+    /// Fetches that split the read into concurrent stripes pulled from
+    /// several holders (or parallel cloud range reads).
+    pub striped_fetches: u64,
+    /// Tail stripes re-issued from a second holder because the original
+    /// source's ETA exceeded the hedging threshold.
+    pub hedged_fetches: u64,
+    /// Metadata lookups answered from a node-local cache instead of a
+    /// remote overlay request.
+    pub cache_answers: u64,
+    /// Metadata-cache hits across all nodes.
+    pub cache_hits: u64,
+    /// Metadata-cache misses across all nodes.
+    pub cache_misses: u64,
 }
 
 /// Why a churn action could not be carried out.
@@ -255,6 +272,9 @@ pub struct Cloud4Home {
     pub(crate) fanout_flows: HashMap<FlowId, FanoutJob>,
     /// Peers whose failure the repair daemon has already reacted to.
     pub(crate) repaired_peers: BTreeSet<Key>,
+    /// Per-peer bandwidth estimates (keyed by raw address) learned from
+    /// completed transfers; drives fetch source ranking and hedging.
+    pub(crate) peer_bw: PeerBandwidth,
     /// The deployment-wide telemetry collector; clones of this handle live
     /// in the flow network and every overlay node.
     pub(crate) telemetry: Recorder,
@@ -407,6 +427,10 @@ impl Cloud4Home {
             repair_flows: HashMap::new(),
             fanout_flows: HashMap::new(),
             repaired_peers: BTreeSet::new(),
+            // Prior: the LAN's nominal per-flow TCP cap. Unseen peers all
+            // rank equal, so candidate order matches the metadata until
+            // real transfers are observed.
+            peer_bw: PeerBandwidth::new(10.3e6, 0.3),
             telemetry,
             tick_armed: false,
             tick_horizon: SimTime::ZERO,
@@ -564,9 +588,19 @@ impl Cloud4Home {
         }
     }
 
-    /// Runtime statistics.
+    /// Runtime statistics. The metadata-cache fields are aggregated live
+    /// from the per-node kvstore counters.
     pub fn stats(&self) -> RunStats {
-        self.stats
+        let mut s = self.stats;
+        let (hits, misses) = self.cache_stats();
+        s.cache_hits = hits;
+        s.cache_misses = misses;
+        s.cache_answers = self
+            .nodes
+            .iter()
+            .map(|n| n.chimera.stats().cache_answers)
+            .sum();
+        s
     }
 
     /// The deployment's telemetry recorder (spans, instants, counters,
@@ -604,7 +638,7 @@ impl Cloud4Home {
     /// Mirrors [`RunStats`] into the metrics registry so dumps carry the
     /// runtime aggregates alongside subsystem counters.
     fn sync_stats_counters(&self) {
-        let s = &self.stats;
+        let s = self.stats();
         for (name, v) in [
             ("stats.ops_completed", s.ops_completed),
             ("stats.flows_started", s.flows_started),
@@ -619,6 +653,11 @@ impl Cloud4Home {
             ("stats.partial_replication", s.partial_replication),
             ("stats.chunked_transfers", s.chunked_transfers),
             ("stats.quorum_publishes", s.quorum_publishes),
+            ("stats.striped_fetches", s.striped_fetches),
+            ("stats.hedged_fetches", s.hedged_fetches),
+            ("stats.cache_answers", s.cache_answers),
+            ("stats.cache_hits", s.cache_hits),
+            ("stats.cache_misses", s.cache_misses),
         ] {
             self.telemetry.set_counter(name, v);
         }

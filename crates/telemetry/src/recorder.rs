@@ -39,6 +39,17 @@ impl ArgValue {
             _ => None,
         }
     }
+
+    /// The value as a boolean, if it is an integer `0` or `1` (the encoding
+    /// `From<bool>` produces — floats and free-form strings are banned from
+    /// the telemetry path).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.as_u64() {
+            Some(0) => Some(false),
+            Some(1) => Some(true),
+            _ => None,
+        }
+    }
 }
 
 impl From<u64> for ArgValue {
