@@ -336,6 +336,12 @@ impl ChimeraNode {
         (self.cache.hits(), self.cache.misses())
     }
 
+    /// Number of keys currently populated in the prefix routing table — a
+    /// health-plane gauge for overlay connectivity.
+    pub fn routing_table_size(&self) -> usize {
+        self.table.entries().count()
+    }
+
     /// The known peers, in key order — the red-black-tree "logical tree
     /// view" used by `chimeraGetDecision` to enumerate candidate nodes.
     pub fn peer_keys(&self) -> Vec<Key> {

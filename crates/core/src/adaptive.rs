@@ -230,6 +230,7 @@ mod tests {
             retries: 0,
             failovers: 0,
             partial_replication: 0,
+            critical_path: crate::report::PathAttribution::default(),
             outcome: Ok(OpOutput {
                 bytes,
                 via_cloud,

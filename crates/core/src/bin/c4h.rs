@@ -113,6 +113,10 @@ fn run_command(home: &mut Cloud4Home, line: &str) -> CommandResult {
         "fault" => fault(home, &tokens),
         "trace" => trace_cmd(home, &tokens),
         "metrics" => metrics_cmd(home, &tokens),
+        "health" => CommandResult::Output(home.health_text().trim_end().to_owned()),
+        "top" => CommandResult::Output(home.top_text().trim_end().to_owned()),
+        "prom" => export_cmd(home, &tokens, "prom"),
+        "postmortem" => export_cmd(home, &tokens, "postmortem"),
         "wan" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
             Some(f) if f > 0.0 && f <= 1.0 => {
                 home.set_wan_quality(f);
@@ -150,6 +154,10 @@ commands:
   trace on|off                                          toggle recording
   trace save <path>                                     Chrome trace JSON
   metrics [save <path>]                                 metrics JSON dump
+  health                                                SLO window summary
+  top                                                   gauges + slowest ops
+  prom [save <path>]                                    Prometheus text dump
+  postmortem [save <path>]                              flight-recorder dumps
   help / quit
 sizes: 512KB, 2MB …  durations: 500ms, 10s, 2m
 services: face-detect, face-recognize, x264-convert, archive-compress";
@@ -445,6 +453,28 @@ fn metrics_cmd(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
     }
 }
 
+/// `prom [save <path>]` / `postmortem [save <path>]` — print or export the
+/// Prometheus text snapshot or the flight recorder's post-mortem dumps.
+fn export_cmd(home: &mut Cloud4Home, tokens: &[&str], kind: &str) -> CommandResult {
+    let body = match kind {
+        "prom" => home.prometheus_text(),
+        _ => home.postmortem_json(),
+    };
+    match tokens.get(1).copied() {
+        None => CommandResult::Output(body.trim_end().to_owned()),
+        Some("save") => {
+            let Some(&path) = tokens.get(2) else {
+                return CommandResult::Error(format!("usage: {kind} save <path>"));
+            };
+            match std::fs::write(path, &body) {
+                Ok(()) => CommandResult::Output(format!("{kind} written to {path}")),
+                Err(e) => CommandResult::Error(format!("cannot write {path}: {e}")),
+            }
+        }
+        Some(_) => CommandResult::Error(format!("usage: {kind} [save <path>]")),
+    }
+}
+
 fn describe(report: &cloud4home::OpReport) -> String {
     match &report.outcome {
         Ok(out) => {
@@ -611,6 +641,30 @@ mod tests {
         assert!(body.contains("\"traceEvents\""));
         assert!(body.contains("\"store\""));
         std::fs::remove_file(&path).ok();
+
+        // `health` summarizes the SLO windows; `top` lists latest gauges.
+        let CommandResult::Output(health) = run_command(&mut home, "health") else {
+            panic!("health should print");
+        };
+        assert!(health.contains("store"), "{health}");
+        assert!(health.contains("p99"), "{health}");
+        assert!(health.contains("violations="), "{health}");
+        let CommandResult::Output(top) = run_command(&mut home, "top") else {
+            panic!("top should print");
+        };
+        assert!(top.contains("runtime.ops_inflight"), "{top}");
+        assert!(top.contains("slowest ops:"), "{top}");
+
+        // Prometheus snapshot and (empty) post-mortem dump round-trip.
+        let CommandResult::Output(prom) = run_command(&mut home, "prom") else {
+            panic!("prom should print");
+        };
+        assert!(prom.contains("# TYPE c4h_op_store_ok counter"), "{prom}");
+        assert!(prom.contains("c4h_runtime_queue_depth"), "{prom}");
+        let CommandResult::Output(pm) = run_command(&mut home, "postmortem") else {
+            panic!("postmortem should print");
+        };
+        assert_eq!(pm, "[\n\n]");
 
         assert_eq!(
             run_command(&mut home, "trace off"),

@@ -1,5 +1,6 @@
 //! Home-cloud configuration and the paper-testbed preset.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use c4h_chimera::ChimeraConfig;
@@ -242,6 +243,21 @@ pub struct Config {
     /// [`Cloud4Home::set_tracing`](crate::Cloud4Home::set_tracing); either
     /// way, the overlay warm-up is never recorded.
     pub tracing: bool,
+    /// Per-op-kind latency objectives, milliseconds of virtual time, keyed
+    /// by op kind (`"store"`, `"fetch"`, `"process"`, `"delete"`). When the
+    /// sliding-window p99 for a kind exceeds its threshold at op
+    /// completion, the health plane emits an `slo.violation` instant and
+    /// bumps `slo.violation.<kind>`. Kinds without an entry are never
+    /// checked.
+    pub slo_ms: BTreeMap<String, u64>,
+    /// Health-plane gauge sampling cadence, milliseconds of virtual time.
+    /// Samples are recorded only while tracing is enabled; `0` disables the
+    /// periodic sampler entirely.
+    pub health_sample_ms: u64,
+    /// Width of the sliding latency window the SLO check and the `health`
+    /// shell command evaluate percentiles over, milliseconds of virtual
+    /// time.
+    pub health_window_ms: u64,
 }
 
 impl Config {
@@ -281,6 +297,17 @@ impl Config {
             fetch_sources: 1,
             fetch_hedge: 2.0,
             tracing: false,
+            // Generous defaults sized to the testbed's WAN-bound worst
+            // cases (Table I: a 100 MB cloud store runs minutes), so
+            // healthy runs stay quiet and genuine stalls still surface.
+            slo_ms: BTreeMap::from([
+                ("store".to_owned(), 300_000),
+                ("fetch".to_owned(), 240_000),
+                ("process".to_owned(), 600_000),
+                ("delete".to_owned(), 60_000),
+            ]),
+            health_sample_ms: 500,
+            health_window_ms: 30_000,
         }
     }
 }

@@ -1,0 +1,338 @@
+//! The runtime half of the continuous health plane.
+//!
+//! `c4h-telemetry` provides the deterministic substrate (gauge series,
+//! sliding histograms, the flight recorder); this module gives those
+//! primitives their Cloud4Home meaning: which op kinds have latency
+//! objectives, how a completed op's stage log maps onto critical-path
+//! buckets, and what context a post-mortem carries. The runtime drives it
+//! from the event loop — see `Event::HealthSample` in `runtime.rs`.
+//!
+//! Determinism rules (the same ones the rest of the telemetry stack obeys):
+//! the health plane reads simulation state, it never mutates it; it draws
+//! no randomness; every derived value is integer fixed-point; and every
+//! collection it keeps is bounded and deterministically ordered. With
+//! tracing disabled none of this code runs beyond one relaxed atomic load
+//! per call site.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+use c4h_simnet::SimTime;
+use c4h_telemetry::{CriticalPath, FlightRecorder, PathBucket, SlidingHistogram};
+
+use crate::config::Config;
+use crate::report::{OpId, PathAttribution};
+
+/// Fault notes the flight recorder keeps for post-mortem context.
+const FAULT_RING: usize = 32;
+
+/// Gauge sample rows the flight recorder keeps ("the last N samples").
+const GAUGE_RING: usize = 8;
+
+/// Post-mortem dumps kept per run; later failures only bump a counter.
+const DUMP_CAP: usize = 16;
+
+/// Completed-op critical paths kept for the `top` surface.
+const PATH_RING: usize = 64;
+
+/// Sliding-window slices per window (granularity of expiry).
+const WINDOW_SLICES: u64 = 16;
+
+/// One completed operation's critical path, kept for the `top` surface.
+#[derive(Debug, Clone)]
+pub(crate) struct PathRow {
+    pub(crate) op: OpId,
+    pub(crate) kind: &'static str,
+    pub(crate) object: String,
+    pub(crate) total_ns: u64,
+    pub(crate) path: PathAttribution,
+}
+
+/// An SLO breach detected at op completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SloBreach {
+    /// The sliding window's p99 at completion, nanoseconds.
+    pub(crate) p99_ns: u64,
+    /// The configured objective, nanoseconds.
+    pub(crate) slo_ns: u64,
+}
+
+/// Per-kind latency summary for the `health` surface.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KindHealth {
+    pub(crate) count: u64,
+    pub(crate) p50_ns: u64,
+    pub(crate) p95_ns: u64,
+    pub(crate) p99_ns: u64,
+    /// Configured objective, if any.
+    pub(crate) slo_ns: Option<u64>,
+}
+
+/// Runtime state of the health plane: SLO windows, the worst-path ring,
+/// the flight recorder, and the sampler's arming bookkeeping.
+#[derive(Debug)]
+pub(crate) struct HealthPlane {
+    /// Gauge sampling cadence; `Duration::ZERO` disables the sampler.
+    pub(crate) sample_period: Duration,
+    window_ns: u64,
+    slice_ns: u64,
+    slo_ns: BTreeMap<String, u64>,
+    /// Per-op-kind sliding latency windows, populated on first completion.
+    windows: BTreeMap<&'static str, SlidingHistogram>,
+    /// Post-mortem context ring + dumps.
+    pub(crate) flight: FlightRecorder,
+    paths: VecDeque<PathRow>,
+    /// Virtual time of the most recent gauge sample.
+    pub(crate) last_sample: Option<SimTime>,
+    /// Whether a `HealthSample` event is pending in the queue.
+    pub(crate) armed: bool,
+    /// Total SLO violations detected.
+    pub(crate) violations: u64,
+}
+
+impl HealthPlane {
+    pub(crate) fn new(config: &Config) -> Self {
+        let window_ns = config.health_window_ms.saturating_mul(1_000_000).max(1);
+        HealthPlane {
+            sample_period: Duration::from_millis(config.health_sample_ms),
+            window_ns,
+            slice_ns: (window_ns / WINDOW_SLICES).max(1),
+            slo_ns: config
+                .slo_ms
+                .iter()
+                .map(|(k, ms)| (k.clone(), ms.saturating_mul(1_000_000)))
+                .collect(),
+            windows: BTreeMap::new(),
+            flight: FlightRecorder::new(FAULT_RING, GAUGE_RING, DUMP_CAP),
+            paths: VecDeque::new(),
+            last_sample: None,
+            armed: false,
+            violations: 0,
+        }
+    }
+
+    /// Feeds one completed op's latency into its kind's sliding window and
+    /// checks the window p99 against the kind's objective, if configured.
+    pub(crate) fn observe_latency(
+        &mut self,
+        kind: &'static str,
+        now: SimTime,
+        total_ns: u64,
+    ) -> Option<SloBreach> {
+        let window = self
+            .windows
+            .entry(kind)
+            .or_insert_with(|| SlidingHistogram::new(self.window_ns, self.slice_ns));
+        window.observe(now.as_nanos(), total_ns);
+        let slo_ns = *self.slo_ns.get(kind)?;
+        let p99_ns = window.merged(now.as_nanos()).value_at_quantile(99, 100);
+        if p99_ns > slo_ns {
+            self.violations += 1;
+            Some(SloBreach { p99_ns, slo_ns })
+        } else {
+            None
+        }
+    }
+
+    /// Current per-kind window summaries, in kind order.
+    pub(crate) fn summaries(&self, now: SimTime) -> Vec<(&'static str, KindHealth)> {
+        self.windows
+            .iter()
+            .map(|(kind, w)| {
+                let m = w.merged(now.as_nanos());
+                (
+                    *kind,
+                    KindHealth {
+                        count: m.count,
+                        p50_ns: m.value_at_quantile(1, 2),
+                        p95_ns: m.value_at_quantile(95, 100),
+                        p99_ns: m.value_at_quantile(99, 100),
+                        slo_ns: self.slo_ns.get(*kind).copied(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Remembers a completed op's critical path (bounded ring).
+    pub(crate) fn record_path(&mut self, row: PathRow) {
+        if self.paths.len() == PATH_RING {
+            self.paths.pop_front();
+        }
+        self.paths.push_back(row);
+    }
+
+    /// The `n` slowest recently completed ops, worst first (ties keep
+    /// completion order, so the output is deterministic).
+    pub(crate) fn worst_paths(&self, n: usize) -> Vec<PathRow> {
+        let mut rows: Vec<PathRow> = self.paths.iter().cloned().collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.op.0.cmp(&b.op.0)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+/// Maps a recorded stage span onto its critical-path bucket.
+///
+/// `fetch.striped` pulls either from home peers or from the cloud via
+/// parallel range reads; `via_cloud` disambiguates. Unknown stages charge
+/// to `Other` rather than panicking so new stages degrade gracefully.
+pub(crate) fn bucket_for_stage(name: &str, via_cloud: bool) -> PathBucket {
+    match name {
+        "store.query_peers"
+        | "store.meta_put"
+        | "store.dir_put"
+        | "fetch.meta_get"
+        | "delete.meta_get"
+        | "delete.dht_delete"
+        | "delete.dir_put"
+        | "list.dir_get"
+        | "proc.meta_svc_get"
+        | "proc.query_resources" => PathBucket::Dht,
+        "store.disk_write" | "delete.remove_bytes" | "fetch.disk_local" | "proc.read_arg" => {
+            PathBucket::Disk
+        }
+        "store.flow_to_peer"
+        | "store.fanout"
+        | "fetch.owner_request"
+        | "fetch.flow_home"
+        | "proc.move_arg"
+        | "proc.move_result" => PathBucket::Lan,
+        "store.flow_to_cloud" | "store.cloud_put" | "fetch.cloud_request" | "fetch.flow_cloud" => {
+            PathBucket::Wan
+        }
+        "fetch.striped" => {
+            if via_cloud {
+                PathBucket::Wan
+            } else {
+                PathBucket::Lan
+            }
+        }
+        "fetch.retry_wait" => PathBucket::Backoff,
+        "proc.exec" => PathBucket::Service,
+        _ => PathBucket::Other,
+    }
+}
+
+/// Attributes an op's end-to-end latency across buckets from its stage log
+/// (the sequential `(name, start_ns, end_ns)` spans `phase()` charged).
+///
+/// Stages on the sequential path never overlap, so bucket sums plus the
+/// `Other` remainder (queueing, command processing, uncharged transitions)
+/// equal `total_ns` exactly.
+pub(crate) fn attribute(
+    stage_log: &[(&'static str, u64, u64)],
+    total_ns: u64,
+    via_cloud: bool,
+) -> CriticalPath {
+    let mut cp = CriticalPath::default();
+    for (name, start_ns, end_ns) in stage_log {
+        cp.add(
+            bucket_for_stage(name, via_cloud),
+            end_ns.saturating_sub(*start_ns),
+        );
+    }
+    let accounted = cp.total();
+    cp.add(PathBucket::Other, total_ns.saturating_sub(accounted));
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(slo_fetch_ms: u64) -> HealthPlane {
+        let mut cfg = Config::paper_testbed(1);
+        cfg.slo_ms = BTreeMap::from([("fetch".to_owned(), slo_fetch_ms)]);
+        cfg.health_window_ms = 10_000;
+        HealthPlane::new(&cfg)
+    }
+
+    #[test]
+    fn breach_fires_iff_window_p99_exceeds_slo() {
+        let mut hp = plane(100); // 100 ms objective
+        let t = SimTime::from_secs(1);
+        assert!(hp.observe_latency("fetch", t, 50_000_000).is_none());
+        let breach = hp
+            .observe_latency("fetch", t, 500_000_000)
+            .expect("p99 is now 500ms > 100ms");
+        assert_eq!(breach.slo_ns, 100_000_000);
+        assert!(breach.p99_ns >= 500_000_000);
+        assert_eq!(hp.violations, 1);
+        // Kinds without an objective are tracked but never breach.
+        assert!(hp.observe_latency("store", t, u64::MAX / 2).is_none());
+        assert_eq!(hp.summaries(t).len(), 2);
+    }
+
+    #[test]
+    fn stale_samples_age_out_of_the_window() {
+        let mut hp = plane(100);
+        let slow = 500_000_000;
+        assert!(hp
+            .observe_latency("fetch", SimTime::from_secs(1), slow)
+            .is_some());
+        // 60s later (window is 10s) the slow sample is gone; a fast op
+        // completes without a breach.
+        assert!(hp
+            .observe_latency("fetch", SimTime::from_secs(61), 1_000_000)
+            .is_none());
+        let (_, h) = hp.summaries(SimTime::from_secs(61))[0];
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn stage_buckets_cover_every_kind_of_work() {
+        assert_eq!(bucket_for_stage("fetch.meta_get", false), PathBucket::Dht);
+        assert_eq!(
+            bucket_for_stage("store.disk_write", false),
+            PathBucket::Disk
+        );
+        assert_eq!(bucket_for_stage("fetch.flow_home", false), PathBucket::Lan);
+        assert_eq!(bucket_for_stage("fetch.flow_cloud", true), PathBucket::Wan);
+        assert_eq!(bucket_for_stage("fetch.striped", true), PathBucket::Wan);
+        assert_eq!(bucket_for_stage("fetch.striped", false), PathBucket::Lan);
+        assert_eq!(
+            bucket_for_stage("fetch.retry_wait", false),
+            PathBucket::Backoff
+        );
+        assert_eq!(bucket_for_stage("proc.exec", false), PathBucket::Service);
+        assert_eq!(
+            bucket_for_stage("fetch.channel_out", false),
+            PathBucket::Other
+        );
+        assert_eq!(bucket_for_stage("not.a.stage", false), PathBucket::Other);
+    }
+
+    #[test]
+    fn attribution_sums_to_total_with_other_as_remainder() {
+        let log: Vec<(&'static str, u64, u64)> = vec![
+            ("fetch.meta_get", 0, 10),
+            ("fetch.flow_home", 10, 70),
+            ("fetch.channel_out", 70, 80),
+        ];
+        let cp = attribute(&log, 100, false);
+        assert_eq!(cp.dht_ns, 10);
+        assert_eq!(cp.lan_ns, 60);
+        assert_eq!(cp.other_ns, 30); // 10 charged + 20 gap
+        assert_eq!(cp.total(), 100);
+        assert_eq!(cp.dominant(), ("lan", 60));
+    }
+
+    #[test]
+    fn worst_paths_sort_descending_and_stay_bounded() {
+        let mut hp = plane(100);
+        for i in 0..(PATH_RING as u64 + 10) {
+            hp.record_path(PathRow {
+                op: OpId(i),
+                kind: "fetch",
+                object: format!("o{i}"),
+                total_ns: i * 100,
+                path: PathAttribution::default(),
+            });
+        }
+        let worst = hp.worst_paths(3);
+        assert_eq!(worst.len(), 3);
+        assert!(worst[0].total_ns > worst[1].total_ns);
+        assert_eq!(worst[0].op, OpId(PATH_RING as u64 + 9));
+    }
+}

@@ -56,6 +56,7 @@ mod adaptive;
 mod config;
 mod decision;
 mod fault;
+mod health;
 mod object;
 mod ops;
 mod policy;
@@ -71,5 +72,5 @@ pub use fault::{FaultEvent, FaultPlan};
 pub use object::{synth_bytes, Blob, Object, SAMPLE_WINDOW};
 pub use ops::{ExecTarget, Placement};
 pub use policy::{PlacementClass, RoutePolicy, StorePolicy};
-pub use report::{Breakdown, OpError, OpId, OpOutput, OpReport};
+pub use report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
 pub use runtime::{ChurnError, Cloud4Home, RunStats};

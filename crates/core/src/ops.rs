@@ -24,9 +24,10 @@ use c4h_telemetry::ArgValue;
 
 use crate::config::{NodeId, ServiceKind};
 use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
+use crate::health::{attribute, PathRow};
 use crate::object::{Blob, Object, SAMPLE_WINDOW};
 use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
-use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport};
+use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
 use crate::runtime::{Cloud4Home, FanoutJob, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE};
 
 /// Size of a command packet on the guest ↔ dom0 channel ("commands are
@@ -245,6 +246,10 @@ pub(crate) struct Op {
     pub(crate) backoff: Duration,
     /// Absolute recovery deadline; failovers past it fail with `Timeout`.
     pub(crate) deadline: SimTime,
+    /// Sequential stage spans `(name, start_ns, end_ns)` recorded while
+    /// tracing is on; the critical-path analyzer buckets them at
+    /// completion. Empty when tracing is disabled.
+    pub(crate) stage_log: Vec<(&'static str, u64, u64)>,
 }
 
 impl Op {
@@ -294,6 +299,7 @@ impl Op {
             store_target: None,
             backoff: INITIAL_BACKOFF,
             deadline: now + OP_DEADLINE,
+            stage_log: Vec::new(),
         }
     }
 
@@ -749,6 +755,7 @@ impl Cloud4Home {
             op.stripe_requests.clear();
         }
         self.stats.ops_completed += 1;
+        let mut critical = PathAttribution::default();
         if self.telemetry.enabled() {
             let now = self.now();
             let ok = outcome.is_ok();
@@ -768,10 +775,69 @@ impl Cloud4Home {
             let outcome_tag = if ok { "ok" } else { "err" };
             self.telemetry
                 .add(format!("op.{}.{outcome_tag}", op.kind), 1);
-            self.telemetry.observe(
-                format!("op.{}.total_ns", op.kind),
-                now.as_nanos().saturating_sub(op.submitted.as_nanos()),
-            );
+            let total_ns = now.as_nanos().saturating_sub(op.submitted.as_nanos());
+            self.telemetry
+                .observe(format!("op.{}.total_ns", op.kind), total_ns);
+
+            // Critical-path attribution: bucket the recorded stage spans,
+            // with queueing/control time as the remainder.
+            critical = attribute(&op.stage_log, total_ns, op.via_cloud).into();
+            self.stats.crit_dht_ns += critical.dht_ns;
+            self.stats.crit_disk_ns += critical.disk_ns;
+            self.stats.crit_lan_ns += critical.lan_ns;
+            self.stats.crit_wan_ns += critical.wan_ns;
+            self.stats.crit_service_ns += critical.service_ns;
+            self.stats.crit_backoff_ns += critical.backoff_ns;
+            self.stats.crit_other_ns += critical.other_ns;
+            self.health.record_path(PathRow {
+                op: op.id,
+                kind: op.kind,
+                object: op.name.clone(),
+                total_ns,
+                path: critical,
+            });
+
+            // SLO windows: fold the latency in, flag a breach if the
+            // sliding p99 now exceeds the kind's objective.
+            if let Some(breach) = self.health.observe_latency(op.kind, now, total_ns) {
+                self.telemetry.instant_args(
+                    "health",
+                    "slo.violation",
+                    op.id.0,
+                    now.as_nanos(),
+                    vec![
+                        ("kind", ArgValue::from(op.kind)),
+                        ("p99_ns", ArgValue::from(breach.p99_ns)),
+                        ("slo_ns", ArgValue::from(breach.slo_ns)),
+                    ],
+                );
+                self.telemetry.add(format!("slo.violation.{}", op.kind), 1);
+            }
+
+            // Flight recorder: hard failures (deadline blown, every executor
+            // dead, owner gone) cut a post-mortem dump with recent context.
+            if let Err(e) = &outcome {
+                if matches!(
+                    e,
+                    OpError::Timeout(_) | OpError::ExecutorFailed(_) | OpError::OwnerUnreachable(_)
+                ) {
+                    let stages = op
+                        .stage_log
+                        .iter()
+                        .map(|(n, s, e)| ((*n).to_owned(), *s, *e))
+                        .collect();
+                    self.health.flight.record(
+                        now.as_nanos(),
+                        op.id.0,
+                        op.kind,
+                        &op.name,
+                        e.label(),
+                        op.submitted.as_nanos(),
+                        stages,
+                    );
+                    self.telemetry.add("health.postmortems", 1);
+                }
+            }
         }
         let report = OpReport {
             id: op.id,
@@ -783,6 +849,7 @@ impl Cloud4Home {
             retries: u32::from(op.retries),
             failovers: op.failovers,
             partial_replication: op.partial_replication,
+            critical_path: critical,
             outcome,
         };
         self.reports.insert(op.id, report);
@@ -813,6 +880,8 @@ impl Cloud4Home {
             );
             self.telemetry
                 .observe(format!("phase.{name}_ns"), elapsed.as_nanos() as u64);
+            op.stage_log
+                .push((name, op.phase_started.as_nanos(), now.as_nanos()));
         }
         op.phase_started = now;
         elapsed
@@ -2090,6 +2159,11 @@ impl Cloud4Home {
                 ("order", ArgValue::from(order.join(",").as_str())),
             ],
         );
+        // Typed counters mirroring the instant's payload, so dashboards can
+        // aggregate without parsing trace args.
+        self.telemetry.add("fetch.rank.events", 1);
+        let demoted = candidates.iter().filter(|&&j| !viable(self, j)).count();
+        self.telemetry.add("fetch.rank.demotions", demoted as u64);
     }
 
     /// Splits the fetch into contiguous stripes pulled concurrently from
@@ -2411,6 +2485,12 @@ impl Cloud4Home {
                 ("est_us", ArgValue::from((est * 1e6) as u64)),
             ],
         );
+        // Typed counter + histograms mirroring the instant's payload.
+        self.telemetry.add("fetch.hedge.events", 1);
+        self.telemetry
+            .observe("fetch.hedge.eta_us", (slowest_eta * 1e6) as u64);
+        self.telemetry
+            .observe("fetch.hedge.est_us", (est * 1e6) as u64);
         self.stripe_issue_request(op, flight.stripe, idle, flight.offset, flight.bytes, true);
     }
 

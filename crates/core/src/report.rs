@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use c4h_chimera::DhtError;
 use c4h_simnet::SimTime;
+use c4h_telemetry::CriticalPath;
 use serde::{Deserialize, Serialize};
 
 /// Correlates a submitted operation with its report.
@@ -98,11 +99,94 @@ impl std::fmt::Display for OpError {
     }
 }
 
+impl OpError {
+    /// A stable short label for metrics and post-mortems (no payload).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpError::NotFound(_) => "NotFound",
+            OpError::NoSpace(_) => "NoSpace",
+            OpError::ServiceUnavailable(_) => "ServiceUnavailable",
+            OpError::Dht(_) => "Dht",
+            OpError::OwnerUnreachable(_) => "OwnerUnreachable",
+            OpError::AccessDenied(_) => "AccessDenied",
+            OpError::Timeout(_) => "Timeout",
+            OpError::ExecutorFailed(_) => "ExecutorFailed",
+        }
+    }
+}
+
 impl std::error::Error for OpError {}
 
 impl From<DhtError> for OpError {
     fn from(e: DhtError) -> Self {
         OpError::Dht(e.to_string())
+    }
+}
+
+/// Critical-path attribution of one operation's end-to-end latency: which
+/// kind of work the elapsed virtual time was spent on, bucketed by the
+/// health plane's analyzer. Buckets sum to [`OpReport::total`] (`other_ns`
+/// absorbs queueing/control time not covered by a recorded stage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathAttribution {
+    /// Nanoseconds on overlay lookups and metadata access.
+    pub dht_ns: u64,
+    /// Nanoseconds on local disk I/O.
+    pub disk_ns: u64,
+    /// Nanoseconds on home-network (LAN) transfers.
+    pub lan_ns: u64,
+    /// Nanoseconds on wide-area transfers and cloud requests.
+    pub wan_ns: u64,
+    /// Nanoseconds executing services.
+    pub service_ns: u64,
+    /// Nanoseconds waiting in retry back-off.
+    pub backoff_ns: u64,
+    /// Nanoseconds of queueing, command processing, and control.
+    pub other_ns: u64,
+}
+
+impl PathAttribution {
+    /// `(label, ns)` pairs in fixed bucket order.
+    pub fn buckets(&self) -> [(&'static str, u64); 7] {
+        [
+            ("dht", self.dht_ns),
+            ("disk", self.disk_ns),
+            ("lan", self.lan_ns),
+            ("wan", self.wan_ns),
+            ("service", self.service_ns),
+            ("backoff", self.backoff_ns),
+            ("other", self.other_ns),
+        ]
+    }
+
+    /// Sum over all buckets, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.buckets().iter().map(|&(_, ns)| ns).sum()
+    }
+
+    /// The bucket charged the most time (first in bucket order on ties).
+    pub fn dominant(&self) -> (&'static str, u64) {
+        let mut best = ("other", 0);
+        for (label, ns) in self.buckets() {
+            if ns > best.1 {
+                best = (label, ns);
+            }
+        }
+        best
+    }
+}
+
+impl From<CriticalPath> for PathAttribution {
+    fn from(cp: CriticalPath) -> Self {
+        PathAttribution {
+            dht_ns: cp.dht_ns,
+            disk_ns: cp.disk_ns,
+            lan_ns: cp.lan_ns,
+            wan_ns: cp.wan_ns,
+            service_ns: cp.service_ns,
+            backoff_ns: cp.backoff_ns,
+            other_ns: cp.other_ns,
+        }
     }
 }
 
@@ -132,6 +216,11 @@ pub struct OpReport {
     /// with no substitute). Zero for fully replicated stores and for all
     /// other operation kinds.
     pub partial_replication: u32,
+    /// Where the operation's wall-clock time went, bucketed by the
+    /// critical-path analyzer. All-zero when tracing was disabled (stage
+    /// timings are only collected while the recorder is on).
+    #[serde(default)]
+    pub critical_path: PathAttribution,
     /// Success output or failure.
     pub outcome: Result<OpOutput, OpError>,
 }
@@ -184,6 +273,7 @@ mod tests {
             retries: 0,
             failovers: 0,
             partial_replication: 0,
+            critical_path: PathAttribution::default(),
             outcome: Ok(OpOutput {
                 bytes: 10,
                 via_cloud: false,
@@ -210,9 +300,35 @@ mod tests {
             retries: 0,
             failovers: 1,
             partial_replication: 0,
+            critical_path: PathAttribution::default(),
             outcome: Err(OpError::NotFound("ghost".into())),
         };
         r.expect_ok();
+    }
+
+    #[test]
+    fn path_attribution_totals_and_dominant() {
+        let mut cp = CriticalPath::default();
+        cp.add(c4h_telemetry::PathBucket::Wan, 700);
+        cp.add(c4h_telemetry::PathBucket::Dht, 200);
+        let p: PathAttribution = cp.into();
+        assert_eq!(p.wan_ns, 700);
+        assert_eq!(p.total_ns(), 900);
+        assert_eq!(p.dominant(), ("wan", 700));
+        assert_eq!(PathAttribution::default().dominant(), ("other", 0));
+    }
+
+    #[test]
+    fn error_labels_are_stable() {
+        assert_eq!(OpError::Timeout("x".into()).label(), "Timeout");
+        assert_eq!(
+            OpError::ExecutorFailed("x".into()).label(),
+            "ExecutorFailed"
+        );
+        assert_eq!(
+            OpError::OwnerUnreachable("x".into()).label(),
+            "OwnerUnreachable"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
 use crate::adaptive::PeerBandwidth;
 use crate::config::{Config, NodeId, ServiceKind};
 use crate::fault::{FaultEvent, FaultPlan};
+use crate::health::HealthPlane;
 use crate::object::{synth_bytes, Blob};
 use crate::ops::{Op, OpInput};
 use crate::report::{OpId, OpReport};
@@ -112,6 +113,8 @@ pub(crate) enum Event {
     DhtDone { op: OpId, ev: DhtEvent },
     /// A scheduled fault-plan event fires.
     Fault(FaultEvent),
+    /// The health plane's periodic gauge sample fires.
+    HealthSample,
 }
 
 /// Who is waiting on a DHT request.
@@ -167,6 +170,21 @@ pub struct RunStats {
     pub cache_hits: u64,
     /// Metadata-cache misses across all nodes.
     pub cache_misses: u64,
+    /// Aggregate critical-path nanoseconds on DHT/metadata work, across
+    /// completed ops (collected only while tracing is enabled).
+    pub crit_dht_ns: u64,
+    /// Aggregate critical-path nanoseconds on local disk I/O.
+    pub crit_disk_ns: u64,
+    /// Aggregate critical-path nanoseconds on home-network transfers.
+    pub crit_lan_ns: u64,
+    /// Aggregate critical-path nanoseconds on WAN/cloud transfers.
+    pub crit_wan_ns: u64,
+    /// Aggregate critical-path nanoseconds executing services.
+    pub crit_service_ns: u64,
+    /// Aggregate critical-path nanoseconds in retry back-off.
+    pub crit_backoff_ns: u64,
+    /// Aggregate critical-path nanoseconds of queueing/control remainder.
+    pub crit_other_ns: u64,
 }
 
 /// Why a churn action could not be carried out.
@@ -278,6 +296,9 @@ pub struct Cloud4Home {
     /// The deployment-wide telemetry collector; clones of this handle live
     /// in the flow network and every overlay node.
     pub(crate) telemetry: Recorder,
+    /// SLO windows, critical-path ring, and the post-mortem flight
+    /// recorder (see [`crate::health`]).
+    pub(crate) health: HealthPlane,
     tick_armed: bool,
     tick_horizon: SimTime,
 }
@@ -432,6 +453,7 @@ impl Cloud4Home {
             // real transfers are observed.
             peer_bw: PeerBandwidth::new(10.3e6, 0.3),
             telemetry,
+            health: HealthPlane::new(&config),
             tick_armed: false,
             tick_horizon: SimTime::ZERO,
             config,
@@ -440,6 +462,7 @@ impl Cloud4Home {
         // Recording starts after warm-up so traces cover only submitted
         // work, and identically so for every run of the same seed.
         home.telemetry.set_enabled(home.config.tracing);
+        home.ensure_health();
         home
     }
 
@@ -610,9 +633,13 @@ impl Cloud4Home {
     }
 
     /// Turns trace/metric recording on or off at runtime. Spans opened
-    /// while enabled still close cleanly after a disable.
+    /// while enabled still close cleanly after a disable. Enabling also
+    /// arms the health plane's gauge sampler.
     pub fn set_tracing(&mut self, on: bool) {
         self.telemetry.set_enabled(on);
+        if on {
+            self.ensure_health();
+        }
     }
 
     /// Whether trace/metric recording is currently enabled.
@@ -633,6 +660,111 @@ impl Cloud4Home {
     pub fn metrics_json(&self) -> String {
         self.sync_stats_counters();
         self.telemetry.metrics_json()
+    }
+
+    /// Serializes counters, the latest gauge values, and histograms in the
+    /// Prometheus text exposition format (metric names prefixed `c4h_`).
+    /// Deterministic for a given seed and workload.
+    pub fn prometheus_text(&self) -> String {
+        self.sync_stats_counters();
+        self.telemetry.prometheus_text()
+    }
+
+    /// Serializes every recorded gauge time series (full history, virtual
+    /// timestamps in nanoseconds) as sorted JSON. Deterministic for a given
+    /// seed and workload.
+    pub fn series_json(&self) -> String {
+        self.telemetry.series_json()
+    }
+
+    /// Serializes the flight recorder's post-mortem dumps — one JSON object
+    /// per hard operation failure, carrying the op's stage spans, recent
+    /// fault notes, and the last gauge samples before the failure.
+    /// Deterministic for a given seed and workload.
+    pub fn postmortem_json(&self) -> String {
+        self.health.flight.dumps_json()
+    }
+
+    /// A human-readable health summary: per-op-kind sliding-window latency
+    /// percentiles against their objectives, violation and post-mortem
+    /// counts. Integer-only formatting, deterministic per seed.
+    pub fn health_text(&self) -> String {
+        let now = self.now();
+        let mut out = String::new();
+        out.push_str(&format!("health @ {} ms\n", now.as_nanos() / 1_000_000));
+        let summaries = self.health.summaries(now);
+        if summaries.is_empty() {
+            out.push_str("no operations observed in the window\n");
+        }
+        for (kind, h) in summaries {
+            let slo = match h.slo_ns {
+                Some(slo_ns) => {
+                    let status = if h.p99_ns > slo_ns { "BREACH" } else { "ok" };
+                    format!("slo {} ms [{status}]", slo_ns / 1_000_000)
+                }
+                None => "no slo".to_owned(),
+            };
+            out.push_str(&format!(
+                "{kind:8} n={} p50={} ms p95={} ms p99={} ms {slo}\n",
+                h.count,
+                h.p50_ns / 1_000_000,
+                h.p95_ns / 1_000_000,
+                h.p99_ns / 1_000_000,
+            ));
+        }
+        out.push_str(&format!(
+            "violations={} postmortems={} (dropped {})\n",
+            self.health.violations,
+            self.health.flight.dumps().len(),
+            self.health.flight.dropped(),
+        ));
+        out
+    }
+
+    /// A `top`-style snapshot: the latest gauge sample plus the slowest
+    /// recently completed operations with their dominant critical-path
+    /// bucket. Integer-only formatting, deterministic per seed.
+    ///
+    /// Takes a fresh gauge sample first (when recording is on and none was
+    /// taken at the current instant), so the snapshot is always live.
+    pub fn top_text(&mut self) -> String {
+        if self.telemetry.enabled()
+            && !self.health.sample_period.is_zero()
+            && self.health.last_sample != Some(self.now())
+        {
+            self.sample_health();
+        }
+        let mut out = String::new();
+        out.push_str(&format!("top @ {} ms\n", self.now().as_nanos() / 1_000_000));
+        let snap = self.telemetry.snapshot();
+        let mut latest: Vec<(String, i64)> = snap
+            .series
+            .iter()
+            .filter_map(|(name, s)| s.last().map(|(_, v)| (name.clone(), v)))
+            .collect();
+        latest.sort_by(|a, b| a.0.cmp(&b.0));
+        if latest.is_empty() {
+            out.push_str("no gauge samples recorded\n");
+        }
+        for (name, v) in latest {
+            out.push_str(&format!("{name} = {v}\n"));
+        }
+        let worst = self.health.worst_paths(8);
+        if !worst.is_empty() {
+            out.push_str("slowest ops:\n");
+            for row in worst {
+                let (bucket, ns) = row.path.dominant();
+                out.push_str(&format!(
+                    "{} {} {} total={} ms dominant={bucket} ({} ms)\n",
+                    row.op,
+                    row.kind,
+                    row.object,
+                    row.total_ns / 1_000_000,
+                    ns / 1_000_000,
+                ));
+            }
+        }
+        out
     }
 
     /// Mirrors [`RunStats`] into the metrics registry so dumps carry the
@@ -658,6 +790,13 @@ impl Cloud4Home {
             ("stats.cache_answers", s.cache_answers),
             ("stats.cache_hits", s.cache_hits),
             ("stats.cache_misses", s.cache_misses),
+            ("stats.crit_dht_ns", s.crit_dht_ns),
+            ("stats.crit_disk_ns", s.crit_disk_ns),
+            ("stats.crit_lan_ns", s.crit_lan_ns),
+            ("stats.crit_wan_ns", s.crit_wan_ns),
+            ("stats.crit_service_ns", s.crit_service_ns),
+            ("stats.crit_backoff_ns", s.crit_backoff_ns),
+            ("stats.crit_other_ns", s.crit_other_ns),
         ] {
             self.telemetry.set_counter(name, v);
         }
@@ -755,6 +894,12 @@ impl Cloud4Home {
                 ("addr", ArgValue::from(addr.raw())),
             ],
         );
+        if self.telemetry.enabled() {
+            self.health.flight.note_fault(
+                self.now().as_nanos(),
+                format!("crash {}", self.nodes[id.0].name),
+            );
+        }
         let why = format!("transfer peer {} crashed", self.nodes[id.0].name);
         self.abort_flows(|src, dst| src == addr || dst == addr, &why);
         self.ensure_tick();
@@ -833,6 +978,11 @@ impl Cloud4Home {
             now.as_nanos(),
             vec![("node", ArgValue::from(self.nodes[id.0].name.as_str()))],
         );
+        if self.telemetry.enabled() {
+            self.health
+                .flight
+                .note_fault(now.as_nanos(), format!("rejoin {}", self.nodes[id.0].name));
+        }
         self.nodes[id.0].chimera.join_via(seed_key, now);
         self.run_for(Duration::from_secs(2));
         self.publish_service_records();
@@ -902,8 +1052,13 @@ impl Cloud4Home {
                     "fault.partition",
                     RUNTIME_TRACK,
                     self.now().as_nanos(),
-                    vec![("groups", ArgValue::from(desc))],
+                    vec![("groups", ArgValue::from(desc.clone()))],
                 );
+                if self.telemetry.enabled() {
+                    self.health
+                        .flight
+                        .note_fault(self.now().as_nanos(), format!("partition {desc}"));
+                }
                 self.partition = Partition::new(addr_groups);
                 let cut = self.partition.clone();
                 self.abort_flows(
@@ -915,6 +1070,11 @@ impl Cloud4Home {
             FaultEvent::Heal => {
                 self.telemetry
                     .instant("fault", "fault.heal", RUNTIME_TRACK, self.now().as_nanos());
+                if self.telemetry.enabled() {
+                    self.health
+                        .flight
+                        .note_fault(self.now().as_nanos(), "heal".to_owned());
+                }
                 self.partition = Partition::default();
             }
             FaultEvent::WanDegrade(factor) => {
@@ -926,6 +1086,12 @@ impl Cloud4Home {
                     self.now().as_nanos(),
                     vec![("factor_permille", ArgValue::from((factor * 1000.0) as u64))],
                 );
+                if self.telemetry.enabled() {
+                    self.health.flight.note_fault(
+                        self.now().as_nanos(),
+                        format!("wan_degrade {}", (factor * 1000.0) as u64),
+                    );
+                }
                 self.set_wan_quality(factor);
             }
             FaultEvent::BurstyLoss {
@@ -948,6 +1114,12 @@ impl Cloud4Home {
                         ),
                     ],
                 );
+                if self.telemetry.enabled() {
+                    self.health.flight.note_fault(
+                        self.now().as_nanos(),
+                        format!("bursty_loss {}", (mean_loss * 1000.0) as u64),
+                    );
+                }
                 self.ge_chains.clear();
                 self.bursty = if mean_loss > 0.0 {
                     Some(GilbertElliott::bursty(mean_loss, mean_burst_len))
@@ -967,6 +1139,12 @@ impl Cloud4Home {
                         ("factor_permille", ArgValue::from((factor * 1000.0) as u64)),
                     ],
                 );
+                if self.telemetry.enabled() {
+                    self.health.flight.note_fault(
+                        self.now().as_nanos(),
+                        format!("slow_node {}", self.nodes[node.0].name),
+                    );
+                }
                 self.slow_factor[node.0] = factor;
             }
         }
@@ -981,6 +1159,17 @@ impl Cloud4Home {
         if !self.tick_armed {
             self.tick_armed = true;
             self.queue.schedule_in(TICK_PERIOD, Event::Tick);
+        }
+        self.ensure_health();
+    }
+
+    /// Ensures the health plane's gauge-sample chain is armed, if the
+    /// sampler is configured and recording is on.
+    pub(crate) fn ensure_health(&mut self) {
+        if !self.health.armed && !self.health.sample_period.is_zero() && self.telemetry.enabled() {
+            self.health.armed = true;
+            self.queue
+                .schedule_in(self.health.sample_period, Event::HealthSample);
         }
     }
 
@@ -1028,6 +1217,14 @@ impl Cloud4Home {
         {
             self.ensure_tick();
             assert!(self.step(), "simulation stalled with operations pending");
+        }
+        // Flush a final gauge sample at quiescence so the series always
+        // ends with the settled state, even off the sampling cadence.
+        if self.telemetry.enabled()
+            && !self.health.sample_period.is_zero()
+            && self.health.last_sample != Some(self.now())
+        {
+            self.sample_health();
         }
     }
 
@@ -1122,7 +1319,79 @@ impl Cloud4Home {
             Event::OpSubWake { op, token } => self.op_continue(op, OpInput::SubWake { token }),
             Event::DhtDone { op, ev } => self.op_continue(op, OpInput::Dht(ev)),
             Event::Fault(ev) => self.apply_fault(ev),
+            Event::HealthSample => {
+                self.health.armed = false;
+                if self.telemetry.enabled() && !self.health.sample_period.is_zero() {
+                    self.sample_health();
+                    // Re-arm directly (not via ensure_health) so the cadence
+                    // stays exactly periodic while work remains.
+                    if !self.ops.is_empty() || self.now() < self.tick_horizon {
+                        self.health.armed = true;
+                        self.queue
+                            .schedule_in(self.health.sample_period, Event::HealthSample);
+                    }
+                }
+            }
         }
+    }
+
+    /// Records one gauge sample row: runtime queue depths, per-link
+    /// utilization, and per-node resource/overlay gauges. Read-only with
+    /// respect to simulation state and draws no randomness, so enabling the
+    /// sampler cannot perturb event timing or the RNG stream.
+    pub(crate) fn sample_health(&mut self) {
+        let now = self.now();
+        self.health.last_sample = Some(now);
+        let ts = now.as_nanos();
+        let mut row: Vec<(String, i64)> = vec![
+            ("runtime.queue_depth".to_owned(), self.queue.len() as i64),
+            ("runtime.ops_inflight".to_owned(), self.ops.len() as i64),
+            (
+                "runtime.flows_inflight".to_owned(),
+                self.flow_waiters.len() as i64,
+            ),
+            (
+                "runtime.background_jobs".to_owned(),
+                (self.repair_flows.len() + self.fanout_flows.len()) as i64,
+            ),
+        ];
+        for load in self.net.segment_loads() {
+            row.push((
+                format!("net.{}.util_permille", load.name),
+                load.util_permille() as i64,
+            ));
+            row.push((format!("net.{}.flows", load.name), load.flows as i64));
+        }
+        for n in self.nodes.iter().filter(|n| n.alive) {
+            let peek = n.sampler.peek();
+            row.push((
+                format!("node.{}.cpu_milli", n.name),
+                (peek.cpu_load * 1000.0).round() as i64,
+            ));
+            row.push((
+                format!("node.{}.mem_free_mib", n.name),
+                peek.mem_free_mib as i64,
+            ));
+            row.push((
+                format!("node.{}.disk_used_bytes", n.name),
+                (n.bins.used_bytes(Bin::Mandatory) + n.bins.used_bytes(Bin::Voluntary)) as i64,
+            ));
+            row.push((
+                format!("node.{}.dht_table", n.name),
+                n.chimera.routing_table_size() as i64,
+            ));
+            let (hits, misses) = n.chimera.cache_stats();
+            let permille = (hits * 1000).checked_div(hits + misses).unwrap_or(0);
+            row.push((
+                format!("node.{}.cache_hit_permille", n.name),
+                permille as i64,
+            ));
+        }
+        row.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, value) in &row {
+            self.telemetry.gauge(name.clone(), ts, *value);
+        }
+        self.health.flight.note_gauges(ts, row);
     }
 
     /// Drains overlay outboxes into scheduled deliveries and overlay events

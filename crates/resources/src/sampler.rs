@@ -142,6 +142,24 @@ impl ResourceSampler {
         self.active_tasks
     }
 
+    /// The current sample **without** advancing the ambient process,
+    /// draining the battery, or drawing randomness.
+    ///
+    /// This is the health-plane bridge: the periodic gauge sampler runs only
+    /// while tracing is enabled, so it must not consume RNG draws or mutate
+    /// simulation state — otherwise a traced run would diverge from an
+    /// untraced one under the same seed. `peek` reads what the most recent
+    /// [`ResourceSampler::sample`] call (driven by the monitoring loop,
+    /// which runs regardless of tracing) left behind.
+    pub fn peek(&self) -> Sample {
+        let mem_used = self.config.mem_baseline_mib + self.active_mem_mib;
+        Sample {
+            cpu_load: self.ambient_load + self.active_tasks as f64,
+            mem_free_mib: self.config.mem_total_mib.saturating_sub(mem_used),
+            battery_pct: self.battery_pct,
+        }
+    }
+
     /// Takes a sample at `now`, advancing the ambient process and draining
     /// the battery for the elapsed interval.
     pub fn sample(&mut self, now: SimTime, rng: &mut DetRng) -> Sample {
@@ -249,6 +267,28 @@ mod tests {
         let mut s = ResourceSampler::new(SamplerConfig::default());
         let mut rng = DetRng::seed(4);
         assert_eq!(s.sample(SimTime::from_secs(1), &mut rng).battery_pct, None);
+    }
+
+    #[test]
+    fn peek_reads_without_mutating_or_drawing_rng() {
+        let mut s = ResourceSampler::new(SamplerConfig {
+            battery: Some(BatteryConfig::default()),
+            ..SamplerConfig::default()
+        });
+        let mut rng = DetRng::seed(5);
+        let sampled = s.sample(SimTime::from_secs(1), &mut rng);
+        let next_draw = rng.uniform(0.0, 1.0);
+        // Peeking any number of times returns the same values and leaves
+        // the RNG stream untouched.
+        assert_eq!(s.peek(), sampled);
+        assert_eq!(s.peek(), sampled);
+        let mut rng2 = DetRng::seed(5);
+        let _ = s.sample(SimTime::from_secs(1), &mut rng2); // replay draw 1
+        assert_eq!(rng2.uniform(0.0, 1.0), next_draw);
+        // Peek still tracks task registration (no sampling step needed).
+        s.task_started(64);
+        assert!(s.peek().cpu_load >= 1.0);
+        assert_eq!(s.peek().mem_free_mib, sampled.mem_free_mib - 64);
     }
 
     #[test]

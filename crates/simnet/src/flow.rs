@@ -210,6 +210,35 @@ pub struct FlowProgress {
     pub rate_bps: f64,
 }
 
+/// Point-in-time load on one topology segment, for the health plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentLoad {
+    /// The segment's name (e.g. `"home-lan"`, `"wan-up"`).
+    pub name: String,
+    /// Sum of the rates currently allocated to flows crossing the segment,
+    /// bytes/second.
+    pub allocated_bps: f64,
+    /// The segment's configured capacity, bytes/second.
+    pub capacity_bps: f64,
+    /// Number of active flows (chunk flows included) crossing the segment.
+    pub flows: usize,
+}
+
+impl SegmentLoad {
+    /// Utilization as integer permille of capacity, clamped to `[0, 1000]`.
+    ///
+    /// Integer fixed-point keeps gauge exports byte-stable; the max-min
+    /// allocator never overfills a segment, so the clamp only guards
+    /// floating-point rounding at the top.
+    pub fn util_permille(&self) -> u64 {
+        if self.capacity_bps <= 0.0 {
+            return 0;
+        }
+        let permille = (self.allocated_bps * 1000.0 / self.capacity_bps).round();
+        (permille.max(0.0) as u64).min(1000)
+    }
+}
+
 /// The fluid-flow bulk transfer network.
 ///
 /// # Examples
@@ -357,6 +386,38 @@ impl FlowNet {
     /// counts once, however many chunk flows it has live).
     pub fn in_flight(&self) -> usize {
         self.flows.values().filter(|f| f.parent.is_none()).count() + self.transfers.len()
+    }
+
+    /// Current load on every topology segment, in segment-id order.
+    ///
+    /// Takes `&mut self` because pending flow arrivals/departures may have
+    /// marked the allocation dirty; rates are re-derived first (like
+    /// [`FlowNet::next_event`]) so the report reflects the engine's present
+    /// instant. Reallocation is deterministic, so probing for health
+    /// samples never perturbs flow outcomes.
+    pub fn segment_loads(&mut self) -> Vec<SegmentLoad> {
+        if self.alloc_dirty {
+            self.reallocate();
+        }
+        let mut loads: Vec<SegmentLoad> = self
+            .topology
+            .segments()
+            .iter()
+            .map(|s| SegmentLoad {
+                name: s.name().to_owned(),
+                allocated_bps: 0.0,
+                capacity_bps: s.capacity_bps(),
+                flows: 0,
+            })
+            .collect();
+        for f in self.flows.values() {
+            for seg in &f.path {
+                let load = &mut loads[seg.0];
+                load.allocated_bps += f.rate;
+                load.flows += 1;
+            }
+        }
+        loads
     }
 
     /// Progress of a flow or chunked transfer, if still in flight.
@@ -789,6 +850,35 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn segment_loads_report_allocation_and_flow_counts() {
+        // Segment 1000 B/s, per-flow cap 2000: two flows get 500 each.
+        let mut net = FlowNet::new(topo(1_000.0, 2_000.0));
+        let mut rng = DetRng::seed(0);
+        for i in 0..2 {
+            net.start_flow(
+                SimTime::ZERO,
+                Addr::new(i),
+                Addr::new(i + 2),
+                10_000,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let loads = net.segment_loads();
+        assert_eq!(loads.len(), 1);
+        let lan = &loads[0];
+        assert_eq!(lan.name, "lan");
+        assert_eq!(lan.flows, 2);
+        assert_eq!(lan.capacity_bps, 1_000.0);
+        assert!((lan.allocated_bps - 1_000.0).abs() < 1e-6);
+        assert_eq!(lan.util_permille(), 1000);
+        drain(&mut net);
+        let idle = net.segment_loads();
+        assert_eq!(idle[0].flows, 0);
+        assert_eq!(idle[0].util_permille(), 0);
     }
 
     #[test]

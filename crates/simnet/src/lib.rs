@@ -64,7 +64,9 @@ mod time;
 mod topology;
 
 pub use fault::{GilbertElliott, Partition};
-pub use flow::{ChunkSpec, FlowEvent, FlowId, FlowNet, FlowProgress, NetError, NET_TRACK_BASE};
+pub use flow::{
+    ChunkSpec, FlowEvent, FlowId, FlowNet, FlowProgress, NetError, SegmentLoad, NET_TRACK_BASE,
+};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use tcp::{mbps, mib, SustainedCap, TcpProfile};

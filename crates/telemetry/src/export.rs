@@ -11,7 +11,7 @@ use std::fmt::Write;
 use crate::recorder::{ArgValue, Args, EventRec, Inner};
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -144,6 +144,84 @@ pub(crate) fn metrics_json(inner: &Inner) -> String {
     out
 }
 
+/// Writes `name` as a Prometheus metric name: `c4h_` prefix, every
+/// character outside `[a-zA-Z0-9_]` mapped to `_`.
+fn prom_name_into(out: &mut String, name: &str) {
+    out.push_str("c4h_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+/// Serializes counters, the latest gauge values, and histograms in
+/// Prometheus text exposition format.
+///
+/// Counters come first, then gauges (one sample per series: the last
+/// point), then histograms with cumulative `_bucket{le="..."}` lines, all
+/// in `BTreeMap` name order — the output is byte-stable for a fixed seed.
+pub(crate) fn prometheus_text(inner: &Inner) -> String {
+    let mut out = String::with_capacity(512);
+    for (name, value) in &inner.counters {
+        out.push_str("# TYPE ");
+        prom_name_into(&mut out, name);
+        out.push_str(" counter\n");
+        prom_name_into(&mut out, name);
+        let _ = writeln!(out, " {value}");
+    }
+    for (name, series) in &inner.series {
+        let Some((_, value)) = series.last() else {
+            continue;
+        };
+        out.push_str("# TYPE ");
+        prom_name_into(&mut out, name);
+        out.push_str(" gauge\n");
+        prom_name_into(&mut out, name);
+        let _ = writeln!(out, " {value}");
+    }
+    for (name, h) in &inner.hists {
+        out.push_str("# TYPE ");
+        prom_name_into(&mut out, name);
+        out.push_str(" histogram\n");
+        for (bound, cum) in h.cumulative_buckets() {
+            prom_name_into(&mut out, name);
+            let _ = writeln!(out, "_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        prom_name_into(&mut out, name);
+        let _ = writeln!(out, "_bucket{{le=\"+Inf\"}} {}", h.count);
+        prom_name_into(&mut out, name);
+        let _ = writeln!(out, "_sum {}", h.sum);
+        prom_name_into(&mut out, name);
+        let _ = writeln!(out, "_count {}", h.count);
+    }
+    out
+}
+
+/// Serializes every gauge time series as a flat JSON document: one series
+/// per line, sorted by name, each an array of `[ts_ns, value]` pairs.
+pub(crate) fn series_json(inner: &Inner) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n\"series\":{");
+    for (i, (name, series)) in inner.series.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push('"');
+        escape_into(&mut out, name);
+        out.push_str("\":[");
+        for (j, &(ts, v)) in series.points().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{ts},{v}]");
+        }
+        out.push(']');
+    }
+    out.push_str("\n}\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{ArgValue, Recorder};
@@ -207,6 +285,40 @@ mod tests {
         let b = sample();
         assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
         assert_eq!(a.metrics_json(), b.metrics_json());
+        assert_eq!(a.prometheus_text(), b.prometheus_text());
+        assert_eq!(a.series_json(), b.series_json());
+    }
+
+    #[test]
+    fn prometheus_text_has_counters_gauges_histograms() {
+        let rec = sample();
+        rec.gauge("node0.cpu_milli", 500_000_000, 250);
+        rec.gauge("node0.cpu_milli", 1_000_000_000, 310);
+        let text = rec.prometheus_text();
+        assert!(text.contains("# TYPE c4h_op_fetch_ok counter\nc4h_op_fetch_ok 1\n"));
+        // Gauges export only the latest point.
+        assert!(text.contains("# TYPE c4h_node0_cpu_milli gauge\nc4h_node0_cpu_milli 310\n"));
+        assert!(!text.contains("c4h_node0_cpu_milli 250"));
+        // Histogram exposition: cumulative buckets, +Inf, sum, count.
+        assert!(text.contains("# TYPE c4h_op_fetch_total_us histogram\n"));
+        assert!(text.contains("c4h_op_fetch_total_us_bucket{le=\"4095\"} 1\n"));
+        assert!(text.contains("c4h_op_fetch_total_us_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("c4h_op_fetch_total_us_sum 2222\n"));
+        assert!(text.contains("c4h_op_fetch_total_us_count 1\n"));
+    }
+
+    #[test]
+    fn series_json_lists_all_points_sorted() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.gauge("b.gauge", 0, 1);
+        rec.gauge("a.gauge", 500, -2);
+        rec.gauge("b.gauge", 500, 3);
+        let json = rec.series_json();
+        assert_eq!(
+            json,
+            "{\n\"series\":{\n\"a.gauge\":[[500,-2]],\n\"b.gauge\":[[0,1],[500,3]]\n}\n}\n"
+        );
     }
 
     #[test]

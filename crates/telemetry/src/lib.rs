@@ -57,12 +57,16 @@
 
 mod dispatch;
 mod export;
+mod health;
 mod recorder;
+mod series;
 
 pub use dispatch::{add, install, observe, with, DispatchGuard};
+pub use health::{CriticalPath, FlightRecorder, PathBucket, Postmortem, SlidingHistogram};
 pub use recorder::{
     ArgValue, Args, EventRec, Histogram, InstantRec, Recorder, Snapshot, SpanId, SpanRec,
 };
+pub use series::GaugeSeries;
 
 /// Virtual time in nanoseconds, as produced by `simnet::time::SimTime`.
 ///

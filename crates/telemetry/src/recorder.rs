@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::series::GaugeSeries;
 use crate::TimeNs;
 
 /// A recorded argument value attached to a span or instant.
@@ -251,6 +252,69 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The value at quantile `numer / denom`, as the inclusive upper bound
+    /// of the bucket holding the sample of that rank (clamped to the
+    /// observed maximum so single-sample and top-bucket queries stay tight).
+    ///
+    /// The rank is `ceil(count * numer / denom)` computed in `u128`, so the
+    /// result is exact integer math — no floats, byte-stable across hosts.
+    /// Returns 0 when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is 0 or `numer > denom`.
+    pub fn value_at_quantile(&self, numer: u64, denom: u64) -> u64 {
+        assert!(denom > 0, "quantile denominator must be non-zero");
+        assert!(numer <= denom, "quantile must be at most 1");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank_u128 = (u128::from(self.count) * u128::from(numer)).div_ceil(u128::from(denom));
+        let rank = u64::try_from(rank_u128.max(1)).expect("rank fits: rank <= count");
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = ((1u128 << i) - 1) as u64;
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// Used by sliding windows that keep one histogram per time slice and
+    /// merge the live slices on demand.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Cumulative `(inclusive upper bound, samples ≤ bound)` pairs over the
+    /// non-empty buckets, in ascending order — the shape Prometheus
+    /// histogram exposition wants.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.buckets().map(move |(bound, n)| {
+            acc += n;
+            (bound, acc)
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -269,6 +333,7 @@ pub(crate) struct Inner {
     pub(crate) events: Vec<EventRec>,
     pub(crate) counters: BTreeMap<Cow<'static, str>, u64>,
     pub(crate) hists: BTreeMap<Cow<'static, str>, Histogram>,
+    pub(crate) series: BTreeMap<Cow<'static, str>, GaugeSeries>,
 }
 
 #[derive(Debug)]
@@ -321,6 +386,7 @@ impl Recorder {
         inner.events.clear();
         inner.counters.clear();
         inner.hists.clear();
+        inner.series.clear();
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -490,8 +556,25 @@ impl Recorder {
             .observe(value);
     }
 
+    /// Appends one point to a named gauge time series.
+    ///
+    /// Gauges are sampled values (queue depths, utilizations, cache ratios)
+    /// recorded at virtual-time instants by the health-plane sampler; each
+    /// series keeps its full point history in record order.
+    pub fn gauge(&self, name: impl Into<Cow<'static, str>>, ts_ns: TimeNs, value: i64) {
+        if !self.enabled() {
+            return;
+        }
+        self.lock()
+            .series
+            .entry(name.into())
+            .or_default()
+            .push(ts_ns, value);
+    }
+
     /// A structured copy of everything recorded so far (completed spans,
-    /// instants, counters, histograms). Open spans are not included.
+    /// instants, counters, histograms, gauge series). Open spans are not
+    /// included.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock();
         Snapshot {
@@ -503,6 +586,11 @@ impl Recorder {
                 .collect(),
             histograms: inner
                 .hists
+                .iter()
+                .map(|(k, v)| (k.clone().into_owned(), v.clone()))
+                .collect(),
+            series: inner
+                .series
                 .iter()
                 .map(|(k, v)| (k.clone().into_owned(), v.clone()))
                 .collect(),
@@ -518,6 +606,17 @@ impl Recorder {
     pub fn metrics_json(&self) -> String {
         crate::export::metrics_json(&self.lock())
     }
+
+    /// Serializes counters, histograms, and the latest gauge values in
+    /// Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        crate::export::prometheus_text(&self.lock())
+    }
+
+    /// Serializes all gauge time series as a sorted JSON document.
+    pub fn series_json(&self) -> String {
+        crate::export::series_json(&self.lock())
+    }
 }
 
 /// A structured copy of a recorder's state, for tests and reports.
@@ -529,6 +628,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Gauge time series by name.
+    pub series: BTreeMap<String, GaugeSeries>,
 }
 
 impl Snapshot {
@@ -622,17 +723,108 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.value_at_quantile(99, 100), 0);
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bound_clamped_to_max() {
+        let mut h = Histogram::default();
+        h.observe(100); // bucket (63, 127]
+        assert_eq!(h.value_at_quantile(1, 2), 100); // bound 127 clamped to max
+        assert_eq!(h.value_at_quantile(1, 1), 100);
+        h.observe(1000); // bucket (511, 1023]
+        h.observe(2000); // bucket (1023, 2047]
+        h.observe(3000); // bucket (2047, 4095]
+                         // rank(p50) = ceil(4 * 1/2) = 2 → second sample → bound 1023.
+        assert_eq!(h.value_at_quantile(1, 2), 1023);
+        // rank(p99) = ceil(4 * 99/100) = 4 → top bucket, clamped to max.
+        assert_eq!(h.value_at_quantile(99, 100), 3000);
+        // p0 still picks the first sample's bucket.
+        assert_eq!(h.value_at_quantile(0, 100), 127);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_integer_math() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(10); // (7, 15]
+        }
+        for _ in 0..10 {
+            h.observe(5000); // (4095, 8191]
+        }
+        // rank(p90) = 90 → still in the low bucket.
+        assert_eq!(h.value_at_quantile(90, 100), 15);
+        // rank(p91) = 91 → first slow sample.
+        assert_eq!(h.value_at_quantile(91, 100), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn quantile_rejects_zero_denominator() {
+        Histogram::default().value_at_quantile(1, 0);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_extremes() {
+        let mut a = Histogram::default();
+        a.observe(4);
+        a.observe(9);
+        let mut b = Histogram::default();
+        b.observe(1);
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 114);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 100);
+        a.merge(&Histogram::default());
+        assert_eq!(a.count, 4);
+        let mut empty = Histogram::default();
+        empty.merge(&a);
+        assert_eq!(empty.min, 1);
+        assert_eq!(empty.max, 100);
+        assert_eq!(empty.value_at_quantile(1, 1), 100);
+    }
+
+    #[test]
+    fn cumulative_buckets_accumulate() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let cum: Vec<_> = h.cumulative_buckets().collect();
+        assert_eq!(cum, vec![(1, 1), (3, 3), (127, 4)]);
+    }
+
+    #[test]
+    fn gauges_record_and_survive_snapshot() {
+        let rec = Recorder::new();
+        rec.gauge("node0.cpu_milli", 0, 100); // disabled → dropped
+        rec.set_enabled(true);
+        rec.gauge("node0.cpu_milli", 500, 250);
+        rec.gauge("node0.cpu_milli", 1000, 300);
+        let snap = rec.snapshot();
+        let s = &snap.series["node0.cpu_milli"];
+        assert_eq!(s.points(), &[(500, 250), (1000, 300)]);
+        assert_eq!(s.last(), Some((1000, 300)));
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let rec = Recorder::new();
         rec.set_enabled(true);
         rec.span("op", "x", 1, 0, 5);
         rec.add("c", 1);
         rec.observe("h", 1);
+        rec.gauge("g", 0, 1);
         rec.clear();
         let snap = rec.snapshot();
         assert!(snap.events.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(snap.series.is_empty());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! plan crashes a node, severs a 30 s partition, and applies bursty loss —
 //! all with virtual-time tracing enabled.
 //!
-//! Writes `chaos_trace.json` (open in `chrome://tracing` or Perfetto) and
-//! `chaos_metrics.json` (flat counters + histograms) to the current
+//! Writes `chaos_trace.json` (open in `chrome://tracing` or Perfetto),
+//! `chaos_metrics.json` (flat counters + histograms), `chaos_health.prom`
+//! (Prometheus text snapshot), `chaos_series.json` (gauge time series), and
+//! `chaos_postmortem.json` (flight-recorder dumps) to the current
 //! directory, or to the directory given as the first argument. The output
 //! is byte-deterministic: same seed, same bytes.
 //!
@@ -68,13 +70,22 @@ fn main() {
         }
     }
 
+    home.run_until_idle();
+
     let trace_path = format!("{dir}/chaos_trace.json");
     let metrics_path = format!("{dir}/chaos_metrics.json");
+    let prom_path = format!("{dir}/chaos_health.prom");
+    let series_path = format!("{dir}/chaos_series.json");
+    let postmortem_path = format!("{dir}/chaos_postmortem.json");
     std::fs::write(&trace_path, home.chrome_trace_json()).expect("write trace");
     std::fs::write(&metrics_path, home.metrics_json()).expect("write metrics");
+    std::fs::write(&prom_path, home.prometheus_text()).expect("write prom");
+    std::fs::write(&series_path, home.series_json()).expect("write series");
+    std::fs::write(&postmortem_path, home.postmortem_json()).expect("write postmortem");
     println!(
         "{ok} ops ok, {failed} failed under chaos across {} of virtual time",
         format_args!("{:.1}s", home.now().as_secs_f64()),
     );
-    println!("wrote {trace_path} and {metrics_path}");
+    print!("{}", home.health_text());
+    println!("wrote {trace_path}, {metrics_path}, {prom_path}, {series_path}, {postmortem_path}");
 }
