@@ -38,6 +38,9 @@ fn main() {
     if let Some(h) = env_knob("C4H_FETCH_HEDGE") {
         config.fetch_hedge = h;
     }
+    if env_knob("C4H_OVERLOAD").is_some_and(|v| v != 0.0) {
+        config.overload.enabled = true;
+    }
     let mut home = Cloud4Home::new(config);
     println!(
         "cloud4home shell — {} nodes + cloud, seed {seed}. Type `help`.",
@@ -115,6 +118,8 @@ fn run_command(home: &mut Cloud4Home, line: &str) -> CommandResult {
         "metrics" => metrics_cmd(home, &tokens),
         "health" => CommandResult::Output(home.health_text().trim_end().to_owned()),
         "top" => CommandResult::Output(home.top_text().trim_end().to_owned()),
+        "shed" => CommandResult::Output(home.shed_text().trim_end().to_owned()),
+        "breaker" => CommandResult::Output(home.breaker_text().trim_end().to_owned()),
         "prom" => export_cmd(home, &tokens, "prom"),
         "postmortem" => export_cmd(home, &tokens, "postmortem"),
         "wan" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
@@ -156,6 +161,8 @@ commands:
   metrics [save <path>]                                 metrics JSON dump
   health                                                SLO window summary
   top                                                   gauges + slowest ops
+  shed                                                  admission-control state
+  breaker                                               circuit-breaker states
   prom [save <path>]                                    Prometheus text dump
   postmortem [save <path>]                              flight-recorder dumps
   help / quit
@@ -678,5 +685,38 @@ mod tests {
             run_command(&mut home, "metrics bogus"),
             CommandResult::Error(_)
         ));
+    }
+
+    #[test]
+    fn shed_and_breaker_commands() {
+        // With the default config the plane is off and both commands say so.
+        let mut home = shell();
+        let CommandResult::Output(shed) = run_command(&mut home, "shed") else {
+            panic!("shed should print");
+        };
+        assert!(shed.contains("overload plane disabled"), "{shed}");
+        let CommandResult::Output(brk) = run_command(&mut home, "breaker") else {
+            panic!("breaker should print");
+        };
+        assert!(brk.contains("overload plane disabled"), "{brk}");
+
+        // With the plane enabled the summaries report live state.
+        let mut cfg = Config::paper_testbed(901);
+        cfg.overload.enabled = true;
+        let mut home = Cloud4Home::new(cfg);
+        run_command(&mut home, "store netbook-0 s/a.jpg 256KB jpeg home");
+        run_command(&mut home, "fetch desktop s/a.jpg");
+        let CommandResult::Output(shed) = run_command(&mut home, "shed") else {
+            panic!("shed should print");
+        };
+        assert!(shed.contains("drop_permille="), "{shed}");
+        assert!(shed.contains("retry_budget_denied="), "{shed}");
+        assert!(shed.contains("tenant "), "{shed}");
+        let CommandResult::Output(brk) = run_command(&mut home, "breaker") else {
+            panic!("breaker should print");
+        };
+        assert!(brk.contains("trips_total="), "{brk}");
+        // A healthy run records no failures, so no per-path rows yet.
+        assert!(brk.contains("no paths have recorded failures"), "{brk}");
     }
 }

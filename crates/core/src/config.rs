@@ -185,6 +185,70 @@ impl Default for TimingConfig {
     }
 }
 
+/// Overload-protection plane knobs: gateway admission control, SLO-driven
+/// load shedding, per-node retry budgets, and per-path circuit breakers.
+///
+/// With `enabled == false` (the default) the plane is completely inert: no
+/// admission checks run, no budget tokens are consumed, no breaker state
+/// mutates, and no RNG is drawn, so default-config runs stay byte-identical
+/// to builds that predate the plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Master switch for the whole plane.
+    pub enabled: bool,
+    /// Token-bucket admission rate per op kind, operations per second of
+    /// virtual time. `0` disables rate-based admission (the shed controller
+    /// and tenant caps still apply when the plane is enabled).
+    pub admit_rate: u32,
+    /// Token-bucket burst capacity (tokens the bucket can hold).
+    pub admit_burst: u32,
+    /// How much the shed controller raises the rejection probability on
+    /// each SLO-window breach, permille.
+    pub shed_step_permille: u32,
+    /// How much each healthy (non-breaching) completion decays the
+    /// rejection probability, permille.
+    pub shed_decay_permille: u32,
+    /// Ceiling on the rejection probability, permille (at most 1000).
+    pub shed_max_permille: u32,
+    /// Hard cap on admitted-but-incomplete operations per tenant (client
+    /// node). A tenant at the cap is rejected outright; `0` disables the
+    /// cap. Tenants above their fair share of total inflight work also
+    /// shed at double the controller's current probability, so one hot
+    /// tenant cannot starve the rest.
+    pub tenant_max_inflight: u32,
+    /// Leaky-bucket retry budget per node: capacity in retry tokens.
+    /// DHT retries, fetch backoff-retries, and repair starts each consume
+    /// one token; an exhausted budget fails the retry deterministically
+    /// instead of riding the 60 s op deadline.
+    pub retry_budget: u32,
+    /// Retry-budget refill rate, tokens per second of virtual time.
+    pub retry_refill_per_sec: u32,
+    /// Consecutive recorded failures on a path (peer or cloud uplink)
+    /// that trip its circuit breaker open.
+    pub breaker_failures: u32,
+    /// How long an open breaker blocks its path before allowing a single
+    /// half-open probe, milliseconds of virtual time.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            enabled: false,
+            admit_rate: 0,
+            admit_burst: 64,
+            shed_step_permille: 125,
+            shed_decay_permille: 10,
+            shed_max_permille: 950,
+            tenant_max_inflight: 0,
+            retry_budget: 16,
+            retry_refill_per_sec: 4,
+            breaker_failures: 3,
+            breaker_cooldown_ms: 5_000,
+        }
+    }
+}
+
 /// Complete home-cloud configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -258,6 +322,20 @@ pub struct Config {
     /// shell command evaluate percentiles over, milliseconds of virtual
     /// time.
     pub health_window_ms: u64,
+    /// Overload-protection plane (admission control, load shedding, retry
+    /// budgets, circuit breakers). Disabled by default.
+    pub overload: OverloadConfig,
+    /// Flight-recorder fault-ring depth: how many recent fault/lifecycle
+    /// notes a post-mortem dump can carry.
+    pub fault_ring: usize,
+    /// Flight-recorder gauge-ring depth: how many recent gauge rows a
+    /// post-mortem dump can carry.
+    pub gauge_ring: usize,
+    /// Maximum post-mortem dumps retained per run.
+    pub dump_cap: usize,
+    /// How many worst critical-path rows the health plane retains for the
+    /// `top` shell command.
+    pub path_ring: usize,
 }
 
 impl Config {
@@ -308,7 +386,105 @@ impl Config {
             ]),
             health_sample_ms: 500,
             health_window_ms: 30_000,
+            overload: OverloadConfig::default(),
+            fault_ring: 32,
+            gauge_ring: 8,
+            dump_cap: 16,
+            path_ring: 64,
         }
+    }
+
+    /// Checks the configuration for incoherent combinations that would
+    /// otherwise misbehave silently at runtime. Called by
+    /// [`Cloud4Home::new`](crate::Cloud4Home::new), which panics on the
+    /// returned message; call it directly to validate ahead of time.
+    ///
+    /// Rejections:
+    /// - no nodes configured;
+    /// - `replica_quorum > replication` (the quorum could never be met, so
+    ///   every store would silently behave as quorum = replication);
+    /// - `fetch_sources == 0` (fetches would have no source budget at all;
+    ///   `1` is the no-striping default);
+    /// - chunking enabled (`chunk_bytes > 0`) with `chunk_window < 2`
+    ///   (today the window is silently clamped up to 2);
+    /// - a health sampling cadence coarser than the SLO window
+    ///   (`health_sample_ms > health_window_ms`, both nonzero): windows
+    ///   would expire between samples, a sampling mismatch. `chunk_bytes
+    ///   == 0` and windows shorter than an SLO threshold stay legal — the
+    ///   former is the documented chunking-off sentinel, the latter merely
+    ///   means the window holds fewer breaching completions;
+    /// - a negative or non-finite `fetch_hedge`;
+    /// - empty flight-recorder rings (`fault_ring`, `gauge_ring`, or
+    ///   `path_ring` of 0; `dump_cap` may be 0 to discard post-mortems);
+    /// - with the overload plane enabled: `shed_max_permille > 1000`,
+    ///   `breaker_failures == 0`, a positive `admit_rate` with
+    ///   `admit_burst == 0`, or a positive `retry_refill_per_sec` with
+    ///   `retry_budget == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("need at least one home node".into());
+        }
+        if self.replica_quorum > self.replication {
+            return Err(format!(
+                "replica_quorum {} exceeds replication {}: the quorum can never be met",
+                self.replica_quorum, self.replication
+            ));
+        }
+        if self.fetch_sources == 0 {
+            return Err("fetch_sources must be at least 1 (1 disables striping)".into());
+        }
+        if self.chunk_bytes > 0 && self.chunk_window < 2 {
+            return Err(format!(
+                "chunk_window {} is below the pipelining minimum of 2",
+                self.chunk_window
+            ));
+        }
+        if self.health_window_ms > 0
+            && self.health_sample_ms > 0
+            && self.health_sample_ms > self.health_window_ms
+        {
+            return Err(format!(
+                "health_sample_ms {} is coarser than health_window_ms {}: \
+                 SLO windows would expire between samples",
+                self.health_sample_ms, self.health_window_ms
+            ));
+        }
+        if !self.fetch_hedge.is_finite() || self.fetch_hedge < 0.0 {
+            return Err(format!(
+                "fetch_hedge {} must be finite and non-negative (0 disables hedging)",
+                self.fetch_hedge
+            ));
+        }
+        if self.fault_ring == 0 || self.gauge_ring == 0 || self.path_ring == 0 {
+            return Err("flight-recorder rings (fault_ring, gauge_ring, path_ring) \
+                 must be non-empty"
+                .into());
+        }
+        if self.overload.enabled {
+            let o = &self.overload;
+            if o.shed_max_permille > 1000 {
+                return Err(format!(
+                    "shed_max_permille {} exceeds 1000 (a probability ceiling)",
+                    o.shed_max_permille
+                ));
+            }
+            if o.breaker_failures == 0 {
+                return Err("breaker_failures must be at least 1".into());
+            }
+            if o.admit_rate > 0 && o.admit_burst == 0 {
+                return Err("admit_rate without admit_burst admits nothing".into());
+            }
+            if o.retry_refill_per_sec > 0 && o.retry_budget == 0 {
+                return Err("retry_refill_per_sec without retry_budget capacity \
+                     refills into a zero-size bucket"
+                    .into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -345,5 +521,113 @@ mod tests {
         assert_eq!(n.services, vec![ServiceKind::Transcode]);
         assert_eq!(n.service_vm, VmSpec::new(128, 4));
         assert_eq!(NodeId(3).to_string(), "node3");
+    }
+
+    #[test]
+    fn default_testbed_validates() {
+        assert_eq!(Config::paper_testbed(1).validate(), Ok(()));
+        // The chunking-off sentinel and sub-SLO windows are both legal.
+        let mut c = Config::paper_testbed(1);
+        c.chunk_bytes = 0;
+        c.health_window_ms = 1_000;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_node_set() {
+        let mut c = Config::paper_testbed(1);
+        c.nodes.clear();
+        assert!(c.validate().unwrap_err().contains("home node"));
+    }
+
+    #[test]
+    fn validate_rejects_unmeetable_quorum() {
+        let mut c = Config::paper_testbed(1);
+        c.replication = 2;
+        c.replica_quorum = 3;
+        assert!(c.validate().unwrap_err().contains("quorum"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_fetch_sources() {
+        let mut c = Config::paper_testbed(1);
+        c.fetch_sources = 0;
+        assert!(c.validate().unwrap_err().contains("fetch_sources"));
+    }
+
+    #[test]
+    fn validate_rejects_unpipelined_chunk_window() {
+        let mut c = Config::paper_testbed(1);
+        c.chunk_bytes = 1 << 20;
+        c.chunk_window = 1;
+        assert!(c.validate().unwrap_err().contains("chunk_window"));
+        // Window 1 is fine while chunking stays disabled.
+        c.chunk_bytes = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_sampling_mismatch() {
+        let mut c = Config::paper_testbed(1);
+        c.health_sample_ms = 60_000;
+        c.health_window_ms = 30_000;
+        assert!(c.validate().unwrap_err().contains("coarser"));
+        // A disabled sampler is not a mismatch.
+        c.health_sample_ms = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_hedge_factor() {
+        let mut c = Config::paper_testbed(1);
+        c.fetch_hedge = -1.0;
+        assert!(c.validate().unwrap_err().contains("fetch_hedge"));
+        c.fetch_hedge = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_rings() {
+        for field in 0..3 {
+            let mut c = Config::paper_testbed(1);
+            match field {
+                0 => c.fault_ring = 0,
+                1 => c.gauge_ring = 0,
+                _ => c.path_ring = 0,
+            }
+            assert!(c.validate().unwrap_err().contains("ring"));
+        }
+        // dump_cap 0 just discards post-mortems; it stays legal.
+        let mut c = Config::paper_testbed(1);
+        c.dump_cap = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_incoherent_overload_knobs() {
+        let mut c = Config::paper_testbed(1);
+        c.overload.enabled = true;
+        assert_eq!(c.validate(), Ok(()));
+
+        c.overload.shed_max_permille = 1_001;
+        assert!(c.validate().unwrap_err().contains("shed_max_permille"));
+        c.overload.shed_max_permille = 950;
+
+        c.overload.breaker_failures = 0;
+        assert!(c.validate().unwrap_err().contains("breaker_failures"));
+        c.overload.breaker_failures = 3;
+
+        c.overload.admit_rate = 10;
+        c.overload.admit_burst = 0;
+        assert!(c.validate().unwrap_err().contains("admit_burst"));
+        c.overload.admit_burst = 4;
+        assert_eq!(c.validate(), Ok(()));
+
+        c.overload.retry_budget = 0;
+        assert!(c.validate().unwrap_err().contains("retry_budget"));
+
+        // All of those knobs are ignored while the plane is off.
+        c.overload.enabled = false;
+        assert_eq!(c.validate(), Ok(()));
     }
 }

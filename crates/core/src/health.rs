@@ -23,19 +23,12 @@ use c4h_telemetry::{CriticalPath, FlightRecorder, PathBucket, SlidingHistogram};
 use crate::config::Config;
 use crate::report::{OpId, PathAttribution};
 
-/// Fault notes the flight recorder keeps for post-mortem context.
-const FAULT_RING: usize = 32;
-
-/// Gauge sample rows the flight recorder keeps ("the last N samples").
-const GAUGE_RING: usize = 8;
-
-/// Post-mortem dumps kept per run; later failures only bump a counter.
-const DUMP_CAP: usize = 16;
-
-/// Completed-op critical paths kept for the `top` surface.
-const PATH_RING: usize = 64;
-
 /// Sliding-window slices per window (granularity of expiry).
+///
+/// The ring depths that used to live beside this constant (`FAULT_RING`,
+/// `GAUGE_RING`, `DUMP_CAP`, `PATH_RING`) are now `Config` fields
+/// (`fault_ring`, `gauge_ring`, `dump_cap`, `path_ring`) with the same
+/// defaults.
 const WINDOW_SLICES: u64 = 16;
 
 /// One completed operation's critical path, kept for the `top` surface.
@@ -82,6 +75,8 @@ pub(crate) struct HealthPlane {
     /// Post-mortem context ring + dumps.
     pub(crate) flight: FlightRecorder,
     paths: VecDeque<PathRow>,
+    /// Bound on `paths` (`Config::path_ring`).
+    path_ring: usize,
     /// Virtual time of the most recent gauge sample.
     pub(crate) last_sample: Option<SimTime>,
     /// Whether a `HealthSample` event is pending in the queue.
@@ -103,8 +98,9 @@ impl HealthPlane {
                 .map(|(k, ms)| (k.clone(), ms.saturating_mul(1_000_000)))
                 .collect(),
             windows: BTreeMap::new(),
-            flight: FlightRecorder::new(FAULT_RING, GAUGE_RING, DUMP_CAP),
+            flight: FlightRecorder::new(config.fault_ring, config.gauge_ring, config.dump_cap),
             paths: VecDeque::new(),
+            path_ring: config.path_ring,
             last_sample: None,
             armed: false,
             violations: 0,
@@ -156,7 +152,7 @@ impl HealthPlane {
 
     /// Remembers a completed op's critical path (bounded ring).
     pub(crate) fn record_path(&mut self, row: PathRow) {
-        if self.paths.len() == PATH_RING {
+        while self.paths.len() >= self.path_ring {
             self.paths.pop_front();
         }
         self.paths.push_back(row);
@@ -321,7 +317,8 @@ mod tests {
     #[test]
     fn worst_paths_sort_descending_and_stay_bounded() {
         let mut hp = plane(100);
-        for i in 0..(PATH_RING as u64 + 10) {
+        let ring = Config::paper_testbed(1).path_ring as u64;
+        for i in 0..(ring + 10) {
             hp.record_path(PathRow {
                 op: OpId(i),
                 kind: "fetch",
@@ -333,6 +330,25 @@ mod tests {
         let worst = hp.worst_paths(3);
         assert_eq!(worst.len(), 3);
         assert!(worst[0].total_ns > worst[1].total_ns);
-        assert_eq!(worst[0].op, OpId(PATH_RING as u64 + 9));
+        assert_eq!(worst[0].op, OpId(ring + 9));
+    }
+
+    #[test]
+    fn path_ring_cap_follows_config() {
+        let mut cfg = Config::paper_testbed(1);
+        cfg.path_ring = 2;
+        let mut hp = HealthPlane::new(&cfg);
+        for i in 0..5u64 {
+            hp.record_path(PathRow {
+                op: OpId(i),
+                kind: "fetch",
+                object: format!("o{i}"),
+                total_ns: i,
+                path: PathAttribution::default(),
+            });
+        }
+        let worst = hp.worst_paths(10);
+        assert_eq!(worst.len(), 2, "ring honors the configured cap");
+        assert_eq!(worst[0].op, OpId(4));
     }
 }

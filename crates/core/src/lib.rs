@@ -59,6 +59,7 @@ mod fault;
 mod health;
 mod object;
 mod ops;
+mod overload;
 mod policy;
 mod report;
 mod runtime;
@@ -66,11 +67,12 @@ mod runtime;
 pub use adaptive::{AdaptivePlacement, EwmaRate, PeerBandwidth};
 pub use c4h_kvstore::Acl;
 pub use c4h_telemetry::{ArgValue, EventRec, Histogram, InstantRec, Recorder, Snapshot, SpanRec};
-pub use config::{CloudSpec, Config, NodeId, NodeSpec, ServiceKind, TimingConfig};
+pub use config::{CloudSpec, Config, NodeId, NodeSpec, OverloadConfig, ServiceKind, TimingConfig};
 pub use decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
 pub use fault::{FaultEvent, FaultPlan};
 pub use object::{synth_bytes, Blob, Object, SAMPLE_WINDOW};
 pub use ops::{ExecTarget, Placement};
+pub use overload::BreakerState;
 pub use policy::{PlacementClass, RoutePolicy, StorePolicy};
 pub use report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
 pub use runtime::{ChurnError, Cloud4Home, RunStats};

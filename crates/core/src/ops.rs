@@ -26,9 +26,10 @@ use crate::config::{NodeId, ServiceKind};
 use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
 use crate::health::{attribute, PathRow};
 use crate::object::{Blob, Object, SAMPLE_WINDOW};
+use crate::overload::AdmitDecision;
 use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
 use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
-use crate::runtime::{Cloud4Home, FanoutJob, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE};
+use crate::runtime::{Cloud4Home, FanoutJob, CLOUD_ADDR, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE};
 
 /// Size of a command packet on the guest ↔ dom0 channel ("commands are
 /// usually less than 50 bytes").
@@ -250,6 +251,9 @@ pub(crate) struct Op {
     /// tracing is on; the critical-path analyzer buckets them at
     /// completion. Empty when tracing is disabled.
     pub(crate) stage_log: Vec<(&'static str, u64, u64)>,
+    /// Whether the overload plane rejected this op at admission. Shed ops
+    /// never held a tenant slot and never enter the SLO windows.
+    pub(crate) shed: bool,
 }
 
 impl Op {
@@ -300,6 +304,7 @@ impl Op {
             backoff: INITIAL_BACKOFF,
             deadline: now + OP_DEADLINE,
             stage_log: Vec::new(),
+            shed: false,
         }
     }
 
@@ -448,6 +453,9 @@ impl Cloud4Home {
         let mut op = Op::new(id, "store", i, object.name.clone(), now);
         op.blocking = blocking;
         op.store_policy = policy;
+        let Some(mut op) = self.admit_gate(op) else {
+            return id;
+        };
         op.stage = Stage::StoreChannelIn;
         // CreateObject + StoreObject: command packet, then the object
         // crosses the guest → dom0 shared-memory channel.
@@ -468,7 +476,10 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let mut op = Op::new(id, "fetch", i, name.to_owned(), now);
+        let op = Op::new(id, "fetch", i, name.to_owned(), now);
+        let Some(mut op) = self.admit_gate(op) else {
+            return id;
+        };
         op.stage = Stage::FetchChannelIn;
         let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
         self.wake_in(id, self.config.timing.command_proc + channel);
@@ -490,7 +501,10 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let mut op = Op::new(id, "delete", i, name.to_owned(), now);
+        let op = Op::new(id, "delete", i, name.to_owned(), now);
+        let Some(mut op) = self.admit_gate(op) else {
+            return id;
+        };
         op.stage = Stage::DelChannelIn;
         let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
         self.wake_in(id, self.config.timing.command_proc + channel);
@@ -510,7 +524,10 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let mut op = Op::new(id, "list", i, dir.to_owned(), now);
+        let op = Op::new(id, "list", i, dir.to_owned(), now);
+        let Some(mut op) = self.admit_gate(op) else {
+            return id;
+        };
         op.stage = Stage::ListChannelIn;
         let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
         self.wake_in(id, self.config.timing.command_proc + channel);
@@ -596,8 +613,11 @@ impl Cloud4Home {
             route,
             "pipeline",
         );
-        let op = self.ops.get_mut(&id).expect("just inserted");
-        op.pipeline = services.to_vec();
+        // The overload plane may have shed the submission, in which case
+        // the op already completed and is no longer in flight.
+        if let Some(op) = self.ops.get_mut(&id) {
+            op.pipeline = services.to_vec();
+        }
         id
     }
 
@@ -618,6 +638,9 @@ impl Cloud4Home {
         op.pipeline = vec![service];
         op.placement = placement;
         op.route = route;
+        let Some(mut op) = self.admit_gate(op) else {
+            return id;
+        };
         op.stage = Stage::ProcChannelIn;
         let channel = self.nodes[i].channel_transfer(COMMAND_BYTES);
         self.wake_in(id, self.config.timing.command_proc + channel);
@@ -630,6 +653,43 @@ impl Cloud4Home {
         assert!(client.0 < self.nodes.len(), "no such node {client}");
         assert!(self.nodes[client.0].alive, "{client} is offline");
         client.0
+    }
+
+    /// Runs the overload plane's admission check for a newly built op.
+    /// Admitted ops are handed back for normal dispatch; rejected ops
+    /// complete immediately as [`OpError::Overloaded`] — a fast-fail whose
+    /// report is available to the caller at once, with no channel transfer,
+    /// queueing, or deadline attrition.
+    fn admit_gate(&mut self, mut op: Op) -> Option<Op> {
+        match self
+            .overload
+            .admit(op.kind, op.client, self.now().as_nanos())
+        {
+            AdmitDecision::Admitted => Some(op),
+            AdmitDecision::Shed(reason) => {
+                op.shed = true;
+                self.stats.ops_shed += 1;
+                self.telemetry.add(format!("shed.{}", op.kind), 1);
+                self.telemetry.instant_args(
+                    "overload",
+                    "shed.drop",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("kind", ArgValue::from(op.kind)),
+                        ("reason", ArgValue::from(reason)),
+                        ("object", ArgValue::from(op.name.as_str())),
+                        (
+                            "tenant",
+                            ArgValue::from(self.nodes[op.client].name.as_str()),
+                        ),
+                    ],
+                );
+                let name = op.name.clone();
+                self.complete_op(op, Err(OpError::Overloaded(name)));
+                None
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -659,6 +719,26 @@ impl Cloud4Home {
             // The requesting client itself is gone; nobody to recover for.
             self.complete_op(op, Err(OpError::OwnerUnreachable(why.to_owned())));
             return;
+        }
+        // Circuit breakers: charge the severed path before recovery
+        // reroutes around it, so a repeat offender trips open and later
+        // candidate selection steers clear without burning a flow on it.
+        let failed_addr = match &op.stage {
+            Stage::FetchFlowHome { owner } => Some(self.nodes[*owner].addr),
+            Stage::StoreFlowToPeer { peer } => Some(self.nodes[*peer].addr),
+            Stage::FetchStriped => op.stripe_flows.get(&flow).map(|f| match f.holder {
+                Some(h) => self.nodes[h].addr,
+                None => CLOUD_ADDR,
+            }),
+            Stage::StoreFanout => op
+                .replica_flows
+                .get(&flow)
+                .map(|f| self.nodes[f.target].addr),
+            Stage::StoreFlowToCloud | Stage::FetchFlowCloud => Some(CLOUD_ADDR),
+            _ => None,
+        };
+        if let Some(addr) = failed_addr {
+            self.breaker_failure(addr);
         }
         let outcome = match op.stage.clone() {
             Stage::FetchFlowHome { .. } => self.fetch_try_next(&mut op, true),
@@ -755,9 +835,23 @@ impl Cloud4Home {
             op.stripe_requests.clear();
         }
         self.stats.ops_completed += 1;
+        let now = self.now();
+        let total_ns = now.as_nanos().saturating_sub(op.submitted.as_nanos());
+        // SLO windows: fold the latency in, flag a breach if the sliding
+        // p99 now exceeds the kind's objective. Shed ops never enter the
+        // windows — their fast-fail latency would dilute the admitted-op
+        // p99 the shed controller steers by.
+        let breach = if (self.telemetry.enabled() || self.overload.enabled) && !op.shed {
+            self.health.observe_latency(op.kind, now, total_ns)
+        } else {
+            None
+        };
+        if self.overload.enabled && !op.shed {
+            self.overload.tenant_done(op.client);
+            self.overload.observe_completion(breach.is_some());
+        }
         let mut critical = PathAttribution::default();
         if self.telemetry.enabled() {
-            let now = self.now();
             let ok = outcome.is_ok();
             self.telemetry.span_args(
                 "op",
@@ -775,7 +869,6 @@ impl Cloud4Home {
             let outcome_tag = if ok { "ok" } else { "err" };
             self.telemetry
                 .add(format!("op.{}.{outcome_tag}", op.kind), 1);
-            let total_ns = now.as_nanos().saturating_sub(op.submitted.as_nanos());
             self.telemetry
                 .observe(format!("op.{}.total_ns", op.kind), total_ns);
 
@@ -797,9 +890,7 @@ impl Cloud4Home {
                 path: critical,
             });
 
-            // SLO windows: fold the latency in, flag a breach if the
-            // sliding p99 now exceeds the kind's objective.
-            if let Some(breach) = self.health.observe_latency(op.kind, now, total_ns) {
+            if let Some(breach) = breach {
                 self.telemetry.instant_args(
                     "health",
                     "slo.violation",
@@ -910,24 +1001,37 @@ impl Cloud4Home {
             }
         }
         // Lossy-network recovery: a timed-out metadata request is reissued
-        // (bounded) instead of failing the operation.
+        // (bounded) instead of failing the operation. The per-op cap keeps
+        // one op from looping; the node-level retry budget (overload plane)
+        // keeps a whole node's ops from amplifying a sick DHT.
         if dht_timed_out(&input) {
-            if op.retries < MAX_DHT_RETRIES && self.retry_dht(op) {
-                op.retries += 1;
-                self.stats.dht_retries += 1;
-                self.telemetry.instant_args(
-                    "dht",
-                    "dht.retry",
-                    op.id.0,
-                    self.now().as_nanos(),
-                    vec![
-                        ("stage", ArgValue::from(stage_name(&op.stage))),
-                        ("retries", ArgValue::from(u64::from(op.retries))),
-                    ],
-                );
-                return None;
+            if op.retries < MAX_DHT_RETRIES {
+                let budgeted = self.retry_budget_take(op.client, "dht", &op.name);
+                if budgeted && self.retry_dht(op) {
+                    op.retries += 1;
+                    self.stats.dht_retries += 1;
+                    self.telemetry.instant_args(
+                        "dht",
+                        "dht.retry",
+                        op.id.0,
+                        self.now().as_nanos(),
+                        vec![
+                            ("stage", ArgValue::from(stage_name(&op.stage))),
+                            ("retries", ArgValue::from(u64::from(op.retries))),
+                        ],
+                    );
+                    return None;
+                }
+                if !budgeted
+                    && !matches!(
+                        op.stage,
+                        Stage::StoreQueryPeers | Stage::ProcQueryResources | Stage::ProcMetaSvcGet
+                    )
+                {
+                    return Some(Err(OpError::Timeout(op.name.clone())));
+                }
             }
-            // Retry budget exhausted on a stage that has no fallback of its
+            // Retry cap exhausted on a stage that has no fallback of its
             // own: surface the exhaustion as an operation timeout. Stages
             // that absorb missing replies (resource queries) fall through.
             if op.retries >= MAX_DHT_RETRIES
@@ -993,6 +1097,7 @@ impl Cloud4Home {
                     let el = self.phase(op);
                     op.breakdown.inter_node += el;
                 }
+                self.breaker_success(CLOUD_ADDR);
                 let object = op.payload.as_ref().expect("store carries payload");
                 let cloud = self.cloud.as_mut().expect("cloud path requires a cloud");
                 let url = cloud
@@ -1091,6 +1196,8 @@ impl Cloud4Home {
                 // control request was in flight: fail over instead of
                 // starting a doomed transfer.
                 if !self.nodes[owner].alive || !self.node_reachable(op.client, owner) {
+                    let addr = self.nodes[owner].addr;
+                    self.breaker_failure(addr);
                     return self.fetch_try_next(op, true);
                 }
                 // Request handled; owner has read the object from disk. The
@@ -1116,6 +1223,8 @@ impl Cloud4Home {
                         el.as_secs_f64(),
                     );
                 }
+                let addr = self.nodes[owner].addr;
+                self.breaker_success(addr);
                 match self.nodes[owner].objects.get(&op.name) {
                     Some(blob) => {
                         op.staged = Some(blob.clone());
@@ -1172,6 +1281,7 @@ impl Cloud4Home {
                     let el = self.phase(op);
                     op.breakdown.inter_node += el;
                 }
+                self.breaker_success(CLOUD_ADDR);
                 self.fetch_channel_out(op)
             }
             Stage::FetchDiskLocal => {
@@ -1361,6 +1471,7 @@ impl Cloud4Home {
                 if op.batch_timed_out
                     && (op.meta.is_none() || op.svc_record.is_none())
                     && op.retries < MAX_DHT_RETRIES
+                    && self.retry_budget_take(op.client, "dht", &op.name)
                 {
                     op.retries += 1;
                     self.stats.dht_retries += 1;
@@ -1532,9 +1643,11 @@ impl Cloud4Home {
             }
             PlacementClass::HomePeer => self.store_query_peers(op),
             PlacementClass::RemoteCloud => {
-                if self.cloud.is_some() {
+                if self.cloud.is_some() && !self.breaker_blocks_path(CLOUD_ADDR) {
                     self.store_go_cloud(op)
                 } else {
+                    // No cloud, or its uplink breaker is open: fall back to
+                    // the home tier rather than queue onto a dead WAN.
                     self.store_query_peers(op)
                 }
             }
@@ -1590,7 +1703,10 @@ impl Cloud4Home {
     }
 
     fn store_spill_or_fail(&mut self, op: &mut Op) -> StepOutcome {
-        if op.store_policy.may_spill_to_cloud() && self.cloud.is_some() {
+        if op.store_policy.may_spill_to_cloud()
+            && self.cloud.is_some()
+            && !self.breaker_blocks_path(CLOUD_ADDR)
+        {
             self.store_go_cloud(op)
         } else {
             Some(Err(OpError::NoSpace(op.name.clone())))
@@ -1791,6 +1907,8 @@ impl Cloud4Home {
             op.object_bytes(),
             secs,
         );
+        let addr = self.nodes[flight.target].addr;
+        self.breaker_success(addr);
         let write = self.nodes[flight.target].disk.write_time(op.object_bytes());
         let token = flight.target as u64;
         op.replica_writes.insert(token, now);
@@ -1982,6 +2100,12 @@ impl Cloud4Home {
                 if self.cloud.is_none() {
                     return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
                 }
+                // An open cloud-uplink breaker fails the fetch fast; the
+                // half-open probe after cooldown is the first op allowed
+                // through again.
+                if self.breaker_blocks_path(CLOUD_ADDR) {
+                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                }
                 let Some(url) = S3Url::parse(url) else {
                     return Some(Err(OpError::NotFound(op.name.clone())));
                 };
@@ -2019,6 +2143,7 @@ impl Cloud4Home {
         // local disk beats any transfer), split the read into concurrent
         // stripes instead of pulling everything from the front-runner.
         if self.config.fetch_sources >= 2 && size >= self.config.fetch_sources as u64 {
+            let now_ns = self.now().as_nanos();
             let viable: Vec<usize> = op
                 .fetch_candidates
                 .iter()
@@ -2027,6 +2152,9 @@ impl Cloud4Home {
                     self.nodes[j].alive
                         && self.node_reachable(op.client, j)
                         && self.nodes[j].objects.contains_key(&op.name)
+                        && !self
+                            .overload
+                            .breaker_would_block(self.nodes[j].addr.raw(), now_ns)
                 })
                 .collect();
             if viable.len() >= 2 && !viable.contains(&op.client) {
@@ -2034,10 +2162,15 @@ impl Cloud4Home {
             }
         }
         while let Some(j) = op.fetch_candidates.pop_front() {
-            if !self.nodes[j].alive
-                || !self.node_reachable(op.client, j)
-                || !self.nodes[j].objects.contains_key(&op.name)
-            {
+            // An open breaker on the path to an otherwise-servable holder
+            // skips it like a dead one (but without wasting a probe on
+            // nodes already ruled out by liveness). Local reads have no
+            // network path to break.
+            let servable = self.nodes[j].alive
+                && self.node_reachable(op.client, j)
+                && self.nodes[j].objects.contains_key(&op.name);
+            let addr = self.nodes[j].addr;
+            if !servable || (j != op.client && self.breaker_blocks_path(addr)) {
                 // A holder that cannot serve us counts as a failover even on
                 // the first routing pass (e.g. the primary died before the
                 // fetch started and we go straight to a replica).
@@ -2093,6 +2226,12 @@ impl Cloud4Home {
             if remaining.is_zero() {
                 return Some(Err(OpError::Timeout(op.name.clone())));
             }
+            // Each backoff-and-retry cycle draws on the node's retry
+            // budget: under overload the budget drains and the op fails
+            // promptly instead of amplifying load until its deadline.
+            if !self.retry_budget_take(op.client, "fetch", &op.name) {
+                return Some(Err(OpError::Timeout(op.name.clone())));
+            }
             let wait = op
                 .backoff
                 .mul_f64(self.rng.jitter_factor(BACKOFF_JITTER))
@@ -2120,10 +2259,14 @@ impl Cloud4Home {
         let Some(&primary) = candidates.first() else {
             return;
         };
+        let now_ns = self.now().as_nanos();
         let viable = |s: &Self, j: usize| {
             s.nodes[j].alive
                 && s.node_reachable(op.client, j)
                 && s.nodes[j].objects.contains_key(&op.name)
+                && !s
+                    .overload
+                    .breaker_would_block(s.nodes[j].addr.raw(), now_ns)
         };
         candidates.sort_by_key(|&j| {
             (
@@ -2346,6 +2489,7 @@ impl Cloud4Home {
             .unwrap_or_default()
             .as_secs_f64();
         self.peer_bw.observe(flight.src.raw(), flight.bytes, secs);
+        self.breaker_success(flight.src);
         op.stripes_done += 1;
         // The losing copy of a hedged stripe — a racing flow or a control
         // request still pending — is cancelled so its bytes are never
@@ -2508,6 +2652,7 @@ impl Cloud4Home {
             op.stripe_flows.values().any(|f| f.holder == Some(j))
                 || op.stripe_requests.values().any(|r| r.holder == j)
         };
+        let now_ns = self.now().as_nanos();
         op.stripe_sources
             .iter()
             .copied()
@@ -2517,6 +2662,9 @@ impl Cloud4Home {
                     && self.nodes[j].alive
                     && self.node_reachable(op.client, j)
                     && self.nodes[j].objects.contains_key(&op.name)
+                    && !self
+                        .overload
+                        .breaker_would_block(self.nodes[j].addr.raw(), now_ns)
             })
             .min_by(|&a, &b| {
                 busy(a).cmp(&busy(b)).then_with(|| {

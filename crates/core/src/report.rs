@@ -82,6 +82,11 @@ pub enum OpError {
     Timeout(String),
     /// Every candidate executor for a service crashed before completing it.
     ExecutorFailed(String),
+    /// The gateway's overload-protection plane rejected the operation at
+    /// admission (token bucket empty, tenant over its fair share, or the
+    /// SLO-driven shed controller dropped it). Rejected operations fail
+    /// fast instead of queueing toward the 60 s deadline.
+    Overloaded(String),
 }
 
 impl std::fmt::Display for OpError {
@@ -95,6 +100,7 @@ impl std::fmt::Display for OpError {
             OpError::AccessDenied(n) => write!(f, "access to {n} denied by its ACL"),
             OpError::Timeout(n) => write!(f, "operation on {n} timed out"),
             OpError::ExecutorFailed(n) => write!(f, "every executor for {n} failed"),
+            OpError::Overloaded(n) => write!(f, "operation on {n} shed by overload control"),
         }
     }
 }
@@ -111,6 +117,7 @@ impl OpError {
             OpError::AccessDenied(_) => "AccessDenied",
             OpError::Timeout(_) => "Timeout",
             OpError::ExecutorFailed(_) => "ExecutorFailed",
+            OpError::Overloaded(_) => "Overloaded",
         }
     }
 }
@@ -329,6 +336,7 @@ mod tests {
             OpError::OwnerUnreachable("x".into()).label(),
             "OwnerUnreachable"
         );
+        assert_eq!(OpError::Overloaded("x".into()).label(), "Overloaded");
     }
 
     #[test]
@@ -343,5 +351,8 @@ mod tests {
         assert!(OpError::ExecutorFailed("svc".into())
             .to_string()
             .contains("executor"));
+        assert!(OpError::Overloaded("hot".into())
+            .to_string()
+            .contains("shed"));
     }
 }

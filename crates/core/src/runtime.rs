@@ -39,10 +39,11 @@ use crate::fault::{FaultEvent, FaultPlan};
 use crate::health::HealthPlane;
 use crate::object::{synth_bytes, Blob};
 use crate::ops::{Op, OpInput};
+use crate::overload::OverloadPlane;
 use crate::report::{OpId, OpReport};
 
 /// Address offset of the cloud site endpoint.
-const CLOUD_ADDR: Addr = Addr::new(10_000);
+pub(crate) const CLOUD_ADDR: Addr = Addr::new(10_000);
 
 /// Tick period driving overlay timers and resource publishing.
 const TICK_PERIOD: Duration = Duration::from_millis(500);
@@ -115,6 +116,11 @@ pub(crate) enum Event {
     Fault(FaultEvent),
     /// The health plane's periodic gauge sample fires.
     HealthSample,
+    /// A flow completion surfaced while the runtime was mid-step (the flow
+    /// engine's float accrual can land a completion a hair before its
+    /// predicted time). Routed through the queue so the waiter is continued
+    /// at the same instant but outside the current operation's step.
+    FlowReap { flow: FlowId },
 }
 
 /// Who is waiting on a DHT request.
@@ -170,6 +176,16 @@ pub struct RunStats {
     pub cache_hits: u64,
     /// Metadata-cache misses across all nodes.
     pub cache_misses: u64,
+    /// Operations rejected at admission by the overload plane
+    /// (`OpError::Overloaded` fast-fails).
+    pub ops_shed: u64,
+    /// Retries (DHT reissues, fetch backoff waits, repair starts) denied
+    /// because a node's retry budget was exhausted.
+    pub retry_budget_denied: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Transfer attempts skipped because the path's breaker was open.
+    pub breaker_fast_fails: u64,
     /// Aggregate critical-path nanoseconds on DHT/metadata work, across
     /// completed ops (collected only while tracing is enabled).
     pub crit_dht_ns: u64,
@@ -299,6 +315,10 @@ pub struct Cloud4Home {
     /// SLO windows, critical-path ring, and the post-mortem flight
     /// recorder (see [`crate::health`]).
     pub(crate) health: HealthPlane,
+    /// Admission control, load shedding, retry budgets, and circuit
+    /// breakers (see [`crate::overload`]). Inert unless
+    /// `config.overload.enabled`.
+    pub(crate) overload: OverloadPlane,
     tick_armed: bool,
     tick_horizon: SimTime,
 }
@@ -328,9 +348,11 @@ impl Cloud4Home {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has no nodes.
+    /// Panics if [`Config::validate`] rejects the configuration.
     pub fn new(config: Config) -> Self {
-        assert!(!config.nodes.is_empty(), "need at least one home node");
+        if let Err(why) = config.validate() {
+            panic!("invalid config: {why}");
+        }
         let mut rng = DetRng::seed(config.seed);
 
         // Topology: the paper testbed shape, one address per node.
@@ -454,6 +476,7 @@ impl Cloud4Home {
             peer_bw: PeerBandwidth::new(10.3e6, 0.3),
             telemetry,
             health: HealthPlane::new(&config),
+            overload: OverloadPlane::new(&config),
             tick_armed: false,
             tick_horizon: SimTime::ZERO,
             config,
@@ -767,6 +790,85 @@ impl Cloud4Home {
         out
     }
 
+    /// A human-readable admission/shedding summary: whether the overload
+    /// plane is active, the shed controller's current rejection
+    /// probability, breach and rejection totals, and per-tenant inflight
+    /// rows. Integer-only formatting, deterministic per seed.
+    pub fn shed_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "shed @ {} ms\n",
+            self.now().as_nanos() / 1_000_000
+        ));
+        if !self.overload.enabled {
+            out.push_str("overload plane disabled\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "drop_permille={} breaches={} shed={} inflight={}\n",
+            self.overload.shed_permille(),
+            self.overload.breaches(),
+            self.stats.ops_shed,
+            self.overload.inflight(),
+        ));
+        out.push_str(&format!(
+            "retry_budget_denied={}\n",
+            self.stats.retry_budget_denied
+        ));
+        for (tenant, inflight) in self.overload.tenant_rows() {
+            let name = self.nodes.get(tenant).map_or("?", |n| n.name.as_str());
+            out.push_str(&format!(
+                "tenant {name} inflight={inflight} retry_tokens={}\n",
+                self.overload.retry_tokens(tenant)
+            ));
+        }
+        out
+    }
+
+    /// A human-readable circuit-breaker summary: one row per path that has
+    /// recorded at least one failure, with its state, consecutive-failure
+    /// count, and trip total. Integer-only formatting, deterministic per
+    /// seed.
+    pub fn breaker_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "breakers @ {} ms\n",
+            self.now().as_nanos() / 1_000_000
+        ));
+        if !self.overload.enabled {
+            out.push_str("overload plane disabled\n");
+            return out;
+        }
+        let mut any = false;
+        for (addr, b) in self.overload.breaker_rows() {
+            any = true;
+            let path = if addr == CLOUD_ADDR.raw() {
+                "cloud-uplink".to_owned()
+            } else {
+                self.nodes
+                    .iter()
+                    .find(|n| n.addr.raw() == addr)
+                    .map_or_else(|| format!("addr-{addr}"), |n| n.name.clone())
+            };
+            out.push_str(&format!(
+                "{path} state={} failures={} trips={}\n",
+                b.state(),
+                b.failures(),
+                b.trips,
+            ));
+        }
+        if !any {
+            out.push_str("no paths have recorded failures\n");
+        }
+        out.push_str(&format!(
+            "open={} trips_total={} fast_fails={}\n",
+            self.overload.breakers_open(),
+            self.stats.breaker_trips,
+            self.stats.breaker_fast_fails,
+        ));
+        out
+    }
+
     /// Mirrors [`RunStats`] into the metrics registry so dumps carry the
     /// runtime aggregates alongside subsystem counters.
     fn sync_stats_counters(&self) {
@@ -790,6 +892,10 @@ impl Cloud4Home {
             ("stats.cache_answers", s.cache_answers),
             ("stats.cache_hits", s.cache_hits),
             ("stats.cache_misses", s.cache_misses),
+            ("stats.ops_shed", s.ops_shed),
+            ("stats.retry_budget_denied", s.retry_budget_denied),
+            ("stats.breaker_trips", s.breaker_trips),
+            ("stats.breaker_fast_fails", s.breaker_fast_fails),
             ("stats.crit_dht_ns", s.crit_dht_ns),
             ("stats.crit_disk_ns", s.crit_disk_ns),
             ("stats.crit_lan_ns", s.crit_lan_ns),
@@ -800,6 +906,114 @@ impl Cloud4Home {
         ] {
             self.telemetry.set_counter(name, v);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Overload-plane hooks (all no-ops while the plane is disabled)
+    // ------------------------------------------------------------------
+
+    /// Human name of a breaker path address: a node name or the cloud
+    /// uplink.
+    fn path_name(&self, addr: Addr) -> String {
+        if addr == CLOUD_ADDR {
+            return "cloud-uplink".to_owned();
+        }
+        self.nodes
+            .iter()
+            .find(|n| n.addr == addr)
+            .map_or_else(|| format!("addr-{}", addr.raw()), |n| n.name.clone())
+    }
+
+    /// Records a successful transfer on a path, closing its breaker when a
+    /// half-open probe just succeeded.
+    pub(crate) fn breaker_success(&mut self, addr: Addr) {
+        if !self.overload.enabled {
+            return;
+        }
+        if self.overload.record_success(addr.raw()) {
+            let path = self.path_name(addr);
+            self.telemetry.add("breaker.close", 1);
+            self.telemetry.instant_args(
+                "overload",
+                "breaker.close",
+                RUNTIME_TRACK,
+                self.now().as_nanos(),
+                vec![("path", ArgValue::from(path.as_str()))],
+            );
+        }
+    }
+
+    /// Records a failed transfer on a path, tripping its breaker open after
+    /// the configured consecutive-failure threshold.
+    pub(crate) fn breaker_failure(&mut self, addr: Addr) {
+        if !self.overload.enabled {
+            return;
+        }
+        let now_ns = self.now().as_nanos();
+        if self.overload.record_failure(addr.raw(), now_ns) {
+            self.stats.breaker_trips += 1;
+            let path = self.path_name(addr);
+            self.telemetry.add("breaker.trip", 1);
+            self.telemetry.instant_args(
+                "overload",
+                "breaker.trip",
+                RUNTIME_TRACK,
+                now_ns,
+                vec![("path", ArgValue::from(path.as_str()))],
+            );
+        }
+    }
+
+    /// Whether `addr`'s breaker currently blocks traffic. Counts and traces
+    /// the fast-fail when it does; may move an open breaker to half-open
+    /// (the deterministic probe path).
+    pub(crate) fn breaker_blocks_path(&mut self, addr: Addr) -> bool {
+        if !self.overload.enabled {
+            return false;
+        }
+        let now_ns = self.now().as_nanos();
+        if !self.overload.breaker_blocks(addr.raw(), now_ns) {
+            return false;
+        }
+        self.stats.breaker_fast_fails += 1;
+        let path = self.path_name(addr);
+        self.telemetry.add("breaker.fast_fail", 1);
+        self.telemetry.instant_args(
+            "overload",
+            "breaker.fast_fail",
+            RUNTIME_TRACK,
+            now_ns,
+            vec![("path", ArgValue::from(path.as_str()))],
+        );
+        true
+    }
+
+    /// Takes one retry token from `node`'s budget, tracing the denial when
+    /// the bucket is dry. Always grants while the plane is disabled.
+    pub(crate) fn retry_budget_take(
+        &mut self,
+        node: usize,
+        site: &'static str,
+        object: &str,
+    ) -> bool {
+        let now_ns = self.now().as_nanos();
+        if self.overload.retry_allowed(node, now_ns) {
+            return true;
+        }
+        self.stats.retry_budget_denied += 1;
+        self.telemetry.add("retry.budget_denied", 1);
+        self.telemetry.instant_args(
+            "overload",
+            "retry.budget_denied",
+            RUNTIME_TRACK,
+            now_ns,
+            vec![
+                ("site", ArgValue::from(site)),
+                ("node", ArgValue::from(self.nodes[node].name.as_str())),
+                ("object", ArgValue::from(object)),
+            ],
+        );
+        false
     }
 
     /// Objects currently stored on a node.
@@ -1182,8 +1396,43 @@ impl Cloud4Home {
             self.step();
         }
         if self.now() < target {
-            self.net.advance(target);
+            let events = self.net.advance(target);
             self.queue.advance_to(target);
+            for FlowEvent::Completed { flow, .. } in events {
+                self.reap_flow(flow);
+            }
+            // An early-fired completion may have scheduled follow-on work
+            // at or before the horizon; drain it.
+            while self.next_time().is_some_and(|t| t <= target) {
+                self.step();
+            }
+        }
+    }
+
+    /// Advances the flow engine to `now` while mid-step (starting a new
+    /// flow requires up-to-date accruals). Completions surfacing here — a
+    /// float-accrual hair before their predicted time — cannot re-enter the
+    /// operation machinery, so they are handed back to the event queue and
+    /// reaped at the same instant, after the current step finishes.
+    fn defer_flow_completions(&mut self, now: SimTime) {
+        for FlowEvent::Completed { flow, .. } in self.net.advance(now) {
+            self.queue
+                .schedule_in(Duration::ZERO, Event::FlowReap { flow });
+        }
+    }
+
+    /// Routes one completed flow to whoever was waiting on it: a foreground
+    /// operation, the repair daemon, or a background fan-out straggler. A
+    /// flow nobody claims (canceled between completion and routing) is
+    /// inert.
+    fn reap_flow(&mut self, flow: FlowId) {
+        self.flow_endpoints.remove(&flow);
+        if let Some(op) = self.flow_waiters.remove(&flow) {
+            self.op_continue(op, OpInput::FlowDone { flow });
+        } else if let Some(job) = self.repair_flows.remove(&flow) {
+            self.finish_repair(job);
+        } else if let Some(job) = self.fanout_flows.remove(&flow) {
+            self.finish_background_replica(job);
         }
     }
 
@@ -1259,17 +1508,15 @@ impl Cloud4Home {
             let events = self.net.advance(t);
             self.queue.advance_to(t);
             for FlowEvent::Completed { flow, .. } in events {
-                self.flow_endpoints.remove(&flow);
-                if let Some(op) = self.flow_waiters.remove(&flow) {
-                    self.op_continue(op, OpInput::FlowDone { flow });
-                } else if let Some(job) = self.repair_flows.remove(&flow) {
-                    self.finish_repair(job);
-                } else if let Some(job) = self.fanout_flows.remove(&flow) {
-                    self.finish_background_replica(job);
-                }
+                self.reap_flow(flow);
             }
         } else {
-            self.net.advance(t);
+            // The flow engine predicted no completion at or before `t`, but
+            // float accrual can still land one a hair early — route it, or
+            // the waiter hangs forever.
+            for FlowEvent::Completed { flow, .. } in self.net.advance(t) {
+                self.reap_flow(flow);
+            }
             let (_, event) = self.queue.pop().expect("queue has an event at t");
             self.dispatch(event);
         }
@@ -1319,6 +1566,7 @@ impl Cloud4Home {
             Event::OpSubWake { op, token } => self.op_continue(op, OpInput::SubWake { token }),
             Event::DhtDone { op, ev } => self.op_continue(op, OpInput::Dht(ev)),
             Event::Fault(ev) => self.apply_fault(ev),
+            Event::FlowReap { flow } => self.reap_flow(flow),
             Event::HealthSample => {
                 self.health.armed = false;
                 if self.telemetry.enabled() && !self.health.sample_period.is_zero() {
@@ -1385,6 +1633,20 @@ impl Cloud4Home {
             row.push((
                 format!("node.{}.cache_hit_permille", n.name),
                 permille as i64,
+            ));
+        }
+        if self.overload.enabled {
+            row.push((
+                "overload.shed_permille".to_owned(),
+                i64::from(self.overload.shed_permille()),
+            ));
+            row.push((
+                "overload.breakers_open".to_owned(),
+                self.overload.breakers_open() as i64,
+            ));
+            row.push((
+                "overload.tenants_inflight".to_owned(),
+                self.overload.inflight() as i64,
             ));
         }
         row.sort_by(|a, b| a.0.cmp(&b.0));
@@ -1510,7 +1772,7 @@ impl Cloud4Home {
         bytes: u64,
     ) -> FlowId {
         let now = self.now();
-        self.net.advance(now);
+        self.defer_flow_completions(now);
         let chunking = self.chunk_spec(bytes);
         if chunking.is_some() {
             self.stats.chunked_transfers += 1;
@@ -1692,8 +1954,14 @@ impl Cloud4Home {
         let Some(dst) = dst else {
             return;
         };
+        // Repairs ride the source node's retry budget: a home cloud deep in
+        // failure churn must not amplify itself with unbounded repair
+        // traffic.
+        if !self.retry_budget_take(src, "repair", name) {
+            return;
+        }
         let now = self.now();
-        self.net.advance(now);
+        self.defer_flow_completions(now);
         let Ok(flow) = self.net.start_flow(
             now,
             self.nodes[src].addr,

@@ -322,6 +322,56 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_text_neutralizes_hostile_metric_names() {
+        // Metric names flow in from user-visible strings (object names, op
+        // kinds, node names); none of them may break the exposition format
+        // or inject phantom samples/labels.
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add("evil{label=\"x\"} 999\nfake_metric 1", 7);
+        rec.add("newline\nc4h_phantom 42", 1);
+        rec.add("spaced out name", 2);
+        rec.add("unicode-Ω☃", 3);
+        rec.gauge("gauge\"quote", 1_000, -5);
+        rec.observe("hist{le=\"+Inf\"} 0", 11);
+        let text = rec.prometheus_text();
+
+        // Every line is either a TYPE comment or a sample whose name is
+        // `c4h_` followed strictly by [A-Za-z0-9_]; the only brace pair
+        // allowed is the histogram's own `_bucket{le="..."}`.
+        for line in text.lines() {
+            let sample = line.strip_prefix("# TYPE ").unwrap_or(line);
+            assert!(
+                sample.starts_with("c4h_"),
+                "unprefixed exposition line: {line:?}"
+            );
+            let name_end = sample
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(sample.len());
+            let rest = &sample[name_end..];
+            assert!(
+                rest.starts_with(' ') || rest.starts_with("{le=\""),
+                "metric name must stop at a space or its own le label: {line:?}"
+            );
+        }
+        // The injection attempts are flattened into the metric name, not
+        // parsed as exposition syntax.
+        assert!(text.contains("c4h_evil_label__x___999_fake_metric_1 7\n"));
+        assert!(text.contains("c4h_newline_c4h_phantom_42 1\n"));
+        assert!(!text.contains("fake_metric 1\n"));
+        assert!(!text.contains("\nc4h_phantom 42"));
+        assert!(text.contains("c4h_spaced_out_name 2\n"));
+        // Each non-ASCII scalar collapses to one underscore.
+        assert!(text.contains("c4h_unicode___ 3\n"));
+        assert!(text.contains("c4h_gauge_quote -5\n"));
+        // The hostile histogram name cannot forge bucket/label syntax: its
+        // own buckets still parse, under the flattened name.
+        assert!(text.contains("# TYPE c4h_hist_le___Inf___0 histogram\n"));
+        assert!(text.contains("c4h_hist_le___Inf___0_count 1\n"));
+        assert!(!text.contains("c4h_hist{"));
+    }
+
+    #[test]
     fn empty_recorder_exports_are_well_formed() {
         let rec = Recorder::new();
         let trace = rec.chrome_trace_json();

@@ -6,10 +6,17 @@
 //! large / super-large size buckets, and a Figure 6 variant restricted to
 //! "optimal"-sized (10–25 MB) objects with `.mp3` files treated as private.
 //! [`generate`] reproduces that workload deterministically from a seed.
+//!
+//! For capacity and overload experiments, [`arrivals`] instead draws an
+//! **open-loop** Poisson arrival stream — offered load fixed by the outside
+//! world rather than paced by system responsiveness — with optional
+//! flash-crowd surges and multi-tenant mixes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod openloop;
 mod trace;
 
+pub use openloop::{arrivals, Arrival, OpenLoopConfig};
 pub use trace::{generate, FileKind, FileSpec, OpKind, SizeBucket, Trace, TraceConfig, TraceOp};

@@ -1,0 +1,525 @@
+//! Acceptance tests for the overload-protection plane: SLO-driven load
+//! shedding under an open-loop flash crowd, fast-fail semantics of shed
+//! operations, retry budgets bounding retry amplification, circuit breakers
+//! around a crashed peer, retry accounting reconciliation, and the plane's
+//! determinism (on) and invisibility (off).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use c4h_workloads::{arrivals, Arrival, OpKind, OpenLoopConfig};
+use cloud4home::{Cloud4Home, Config, NodeId, Object, OpError, OpReport, StorePolicy};
+
+/// Bytes per open-loop operation: big enough that a flash crowd saturates
+/// the shared home LAN, small enough that steady load clears it.
+const OBJ_BYTES: u64 = 256 << 10;
+
+/// The fetch objective the flash-crowd experiments steer by.
+const FETCH_SLO_MS: u64 = 2_000;
+/// The store objective (stores fan out and write disks; give them slack).
+const STORE_SLO_MS: u64 = 4_000;
+
+/// Testbed with tight (but steady-state achievable) SLOs and tracing on.
+fn frontier_config(seed: u64) -> Config {
+    let mut config = Config::paper_testbed(seed);
+    config.tracing = true;
+    config.slo_ms = BTreeMap::from([
+        ("fetch".to_owned(), FETCH_SLO_MS),
+        ("store".to_owned(), STORE_SLO_MS),
+    ]);
+    // A short SLO window so the sliding p99 tracks the flash in near real
+    // time — with the default 30 s window the pre-flash samples dominate
+    // and the breach signal lags the overload by seconds.
+    config.health_window_ms = 5_000;
+    config
+}
+
+/// The same testbed with the overload plane switched on: an aggressive
+/// SLO-driven shed controller plus per-tenant inflight caps. The caps are
+/// the proactive half — they bound the queue (and with it every admitted
+/// op's sojourn) *before* the first over-SLO completion can land, which a
+/// purely reactive controller cannot do: by the time one op has proven the
+/// SLO blown, every op admitted in the meantime is already doomed.
+fn protected_config(seed: u64) -> Config {
+    let mut config = frontier_config(seed);
+    config.overload.enabled = true;
+    config.overload.shed_step_permille = 450;
+    config.overload.shed_decay_permille = 10;
+    config.overload.shed_max_permille = 950;
+    // 4 tenants x 16 admitted-but-incomplete ops ~= 64 queued transfers,
+    // about 1.4 s of LAN backlog at 256 KiB each: under the 2 s objective.
+    config.overload.tenant_max_inflight = 16;
+    config
+}
+
+/// A steady stream that surges 10x for four seconds in the middle: the
+/// surge offers roughly twice the home LAN's capacity, building a backlog
+/// that blows the fetch objective unless admissions are shed.
+fn flash_stream() -> Vec<Arrival> {
+    let config = OpenLoopConfig::steady(10.0, Duration::from_secs(15), 4).with_flash(
+        Duration::from_secs(3),
+        Duration::from_secs(5),
+        16.0,
+    );
+    arrivals(&config, 91)
+}
+
+/// Pre-stores the fetch catalog (each object on its tenant's own node) so
+/// open-loop fetches always have a home holder.
+fn seed_catalog(home: &mut Cloud4Home, tenants: usize, catalog: usize) -> Vec<String> {
+    let mut names = Vec::with_capacity(catalog);
+    for i in 0..catalog {
+        let name = format!("catalog/obj-{i:03}.bin");
+        let obj = Object::synthetic(&name, 10_000 + i as u64, OBJ_BYTES, "doc");
+        let op = home.store_object(NodeId(i % tenants), obj, StorePolicy::MandatoryFirst, true);
+        home.run_until_complete(op).expect_ok();
+        names.push(name);
+    }
+    home.run_until_idle();
+    names
+}
+
+/// Replays an open-loop arrival stream against the deployment: each arrival
+/// is submitted at its appointed virtual time regardless of how far behind
+/// the system is (that is the point), then the run drains to idle and every
+/// report is collected.
+fn drive_open_loop(home: &mut Cloud4Home, stream: &[Arrival], catalog: &[String]) -> Vec<OpReport> {
+    let start = home.now();
+    let mut ids = Vec::with_capacity(stream.len());
+    for (n, a) in stream.iter().enumerate() {
+        let target = start + a.at;
+        if let Some(gap) = target.checked_duration_since(home.now()) {
+            home.run_for(gap);
+        }
+        let client = NodeId(a.tenant);
+        let id = match a.op {
+            OpKind::Store => {
+                let name = format!("open/st-{n:05}.bin");
+                let obj = Object::synthetic(&name, 50_000 + n as u64, OBJ_BYTES, "doc");
+                home.store_object(client, obj, StorePolicy::MandatoryFirst, true)
+            }
+            OpKind::Fetch => home.fetch_object(client, &catalog[a.object % catalog.len()]),
+        };
+        ids.push(id);
+    }
+    home.run_until_idle();
+    ids.iter()
+        .map(|&id| home.take_report(id).expect("run drained to idle"))
+        .collect()
+}
+
+/// Whether a completed report is an admission-control rejection.
+fn is_shed(r: &OpReport) -> bool {
+    matches!(r.outcome, Err(OpError::Overloaded(_)))
+}
+
+/// The SLO (in ns) that applies to a report's kind.
+fn slo_ns(r: &OpReport) -> u64 {
+    let ms = if r.kind == "fetch" {
+        FETCH_SLO_MS
+    } else {
+        STORE_SLO_MS
+    };
+    ms * 1_000_000
+}
+
+/// p99 latency in ns over a set of reports (0 when empty).
+fn p99_ns(reports: &[&OpReport]) -> u64 {
+    if reports.is_empty() {
+        return 0;
+    }
+    let mut lat: Vec<u64> = reports
+        .iter()
+        .map(|r| r.total().as_nanos() as u64)
+        .collect();
+    lat.sort_unstable();
+    lat[(lat.len() - 1) * 99 / 100]
+}
+
+/// Ops that completed Ok within their kind's SLO — the goodput numerator.
+fn goodput(reports: &[OpReport]) -> usize {
+    reports
+        .iter()
+        .filter(|r| r.outcome.is_ok() && (r.total().as_nanos() as u64) <= slo_ns(r))
+        .count()
+}
+
+#[test]
+fn flash_crowd_shedding_keeps_admitted_p99_within_slo() {
+    let stream = flash_stream();
+
+    // Baseline: no protection. The flash crowd queues everything behind
+    // the saturated LAN and the p99 blows through the objective.
+    let mut base = Cloud4Home::new(frontier_config(4242));
+    let catalog = seed_catalog(&mut base, 4, 12);
+    let base_reports = drive_open_loop(&mut base, &stream, &catalog);
+    let base_ok: Vec<&OpReport> = base_reports.iter().filter(|r| r.outcome.is_ok()).collect();
+    let base_goodput = goodput(&base_reports);
+    assert_eq!(base.stats().ops_shed, 0, "plane off must never shed");
+    assert!(
+        base_ok
+            .iter()
+            .any(|r| (r.total().as_nanos() as u64) > slo_ns(r)),
+        "the flash crowd must actually overload the unprotected testbed"
+    );
+
+    // Protected: the shed controller reacts to SLO breaches by rejecting a
+    // ramping fraction of admissions, keeping the admitted ops' latency
+    // under control.
+    let mut prot = Cloud4Home::new(protected_config(4242));
+    let catalog = seed_catalog(&mut prot, 4, 12);
+    let prot_reports = drive_open_loop(&mut prot, &stream, &catalog);
+
+    let shed: Vec<&OpReport> = prot_reports.iter().filter(|r| is_shed(r)).collect();
+    let admitted: Vec<&OpReport> = prot_reports.iter().filter(|r| !is_shed(r)).collect();
+    assert!(!shed.is_empty(), "the flash crowd must trigger shedding");
+    assert_eq!(prot.stats().ops_shed, shed.len() as u64);
+
+    // Admitted fetches' p99 stays within the fetch objective; admitted
+    // stores within theirs.
+    for kind in ["fetch", "store"] {
+        let of_kind: Vec<&OpReport> = admitted
+            .iter()
+            .copied()
+            .filter(|r| r.kind == kind && r.outcome.is_ok())
+            .collect();
+        let p99 = p99_ns(&of_kind);
+        let slo = if kind == "fetch" {
+            FETCH_SLO_MS
+        } else {
+            STORE_SLO_MS
+        } * 1_000_000;
+        assert!(
+            p99 <= slo,
+            "admitted {kind} p99 {:.1} ms must stay within the {} ms objective",
+            p99 as f64 / 1e6,
+            slo / 1_000_000
+        );
+    }
+
+    // Shedding must not cost meaningful goodput: within 20% of the
+    // unprotected run's ok-within-SLO throughput.
+    let prot_goodput = goodput(&prot_reports);
+    assert!(
+        prot_goodput * 5 >= base_goodput * 4,
+        "goodput with shedding ({prot_goodput}) must stay within 20% of the \
+         no-shed peak ({base_goodput})"
+    );
+
+    // The plane leaves typed telemetry behind.
+    let snap = prot.telemetry().snapshot();
+    assert!(
+        snap.counter("shed.fetch") + snap.counter("shed.store") >= shed.len() as u64,
+        "typed shed counters must cover every rejection"
+    );
+    assert!(
+        snap.instants().any(|i| i.name == "shed.drop"),
+        "rejections must leave trace instants"
+    );
+    assert!(
+        prot.shed_text().contains("drop_permille="),
+        "{}",
+        prot.shed_text()
+    );
+}
+
+#[test]
+fn shed_operations_fail_fast_as_overloaded() {
+    let stream = flash_stream();
+    let mut home = Cloud4Home::new(protected_config(555));
+    let catalog = seed_catalog(&mut home, 4, 12);
+    let reports = drive_open_loop(&mut home, &stream, &catalog);
+
+    let shed: Vec<&OpReport> = reports.iter().filter(|r| is_shed(r)).collect();
+    assert!(!shed.is_empty(), "the flash crowd must trigger shedding");
+    for r in &shed {
+        // Rejected at admission: zero virtual time consumed, no channel
+        // transfer, no retries, no failovers.
+        assert_eq!(
+            r.total(),
+            Duration::ZERO,
+            "shed op must fail instantly: {r:?}"
+        );
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.failovers, 0);
+        match &r.outcome {
+            Err(OpError::Overloaded(name)) => assert_eq!(*name, r.object),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn retry_budget_bounds_retry_amplification() {
+    // Plane off: a fetch whose every holder crashed retries (backoff capped
+    // at 5 s) until the 60 s op deadline.
+    let run = |protected: bool| -> (Cloud4Home, OpReport) {
+        let mut config = frontier_config(777);
+        config.replication = 2;
+        if protected {
+            config.overload.enabled = true;
+            config.overload.retry_budget = 3;
+            config.overload.retry_refill_per_sec = 0;
+        }
+        let mut home = Cloud4Home::new(config);
+        let obj = Object::synthetic("fragile/replicated.bin", 17, OBJ_BYTES, "doc");
+        let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+        home.run_until_idle();
+        let holders: Vec<usize> = (0..home.node_count())
+            .filter(|&i| home.objects_on(NodeId(i)) > 0)
+            .collect();
+        assert!(holders.len() >= 2, "replication must place two copies");
+        let reader = (0..home.node_count())
+            .find(|i| !holders.contains(i))
+            .expect("a non-holder survives");
+        for &h in &holders {
+            home.crash_node(NodeId(h));
+        }
+        let op = home.fetch_object(NodeId(reader), "fragile/replicated.bin");
+        let report = home.run_until_complete(op);
+        assert!(report.outcome.is_err(), "all holders are down: {report:?}");
+        (home, report)
+    };
+
+    let (unprotected, slow) = run(false);
+    assert!(
+        slow.total() >= Duration::from_secs(50),
+        "without a budget the fetch must grind until its deadline, took {:?}",
+        slow.total()
+    );
+    assert_eq!(unprotected.stats().retry_budget_denied, 0);
+
+    let (protected, fast) = run(true);
+    assert!(
+        fast.total() < Duration::from_secs(10),
+        "a 3-token budget must cut the retry loop short, took {:?}",
+        fast.total()
+    );
+    assert!(
+        protected.stats().retry_budget_denied >= 1,
+        "the budget must record its denial"
+    );
+    let snap = protected.telemetry().snapshot();
+    assert_eq!(
+        snap.counter("retry.budget_denied"),
+        protected.stats().retry_budget_denied
+    );
+    assert!(
+        snap.instants().any(|i| i.name == "retry.budget_denied"),
+        "denials must leave trace instants"
+    );
+}
+
+#[test]
+fn breaker_opens_on_crashed_peer_and_recovers_after_rejoin() {
+    let mut config = frontier_config(999);
+    config.overload.enabled = true;
+    config.overload.breaker_failures = 2;
+    config.overload.breaker_cooldown_ms = 10_000;
+    let mut home = Cloud4Home::new(config);
+
+    // Place the object on netbook-1 and confirm it serves fetches.
+    let obj = Object::synthetic("brk/payload.bin", 5, OBJ_BYTES, "doc");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    assert!(
+        home.objects_on(NodeId(1)) > 0,
+        "the store must land locally"
+    );
+    let op = home.fetch_object(NodeId(2), "brk/payload.bin");
+    home.run_until_complete(op).expect_ok();
+
+    // Three concurrent fetches are mid-transfer when the holder crashes
+    // (a lone 256 KiB fetch takes ~110 ms; three share the LAN): each
+    // severed path charges the breaker, tripping it open.
+    let pending: Vec<_> = [2usize, 3, 4]
+        .iter()
+        .map(|&c| home.fetch_object(NodeId(c), "brk/payload.bin"))
+        .collect();
+    home.run_for(Duration::from_millis(80));
+    home.crash_node(NodeId(1));
+    let failed = pending
+        .into_iter()
+        .filter(|&id| home.run_until_complete(id).outcome.is_err())
+        .count();
+    assert!(
+        failed >= 2,
+        "crash mid-flow must fail the in-flight fetches"
+    );
+    assert!(home.stats().breaker_trips >= 1, "the breaker must trip");
+    assert!(
+        home.breaker_text().contains("state=open"),
+        "{}",
+        home.breaker_text()
+    );
+
+    // The peer rejoins (bytes intact on its disk), but the breaker is
+    // still inside its cooldown: traffic keeps failing fast without
+    // touching the path.
+    home.rejoin_node(NodeId(1)).expect("a live seed exists");
+    let fast_fails_before = home.stats().breaker_fast_fails;
+    let op = home.fetch_object(NodeId(2), "brk/payload.bin");
+    let report = home.run_until_complete(op);
+    assert!(
+        report.outcome.is_err(),
+        "open breaker must fast-fail: {report:?}"
+    );
+    assert!(
+        report.total() < Duration::from_secs(5),
+        "fast-fail must not grind through retries, took {:?}",
+        report.total()
+    );
+    assert!(home.stats().breaker_fast_fails > fast_fails_before);
+
+    // After the cooldown a half-open probe is let through; its success
+    // closes the breaker and traffic resumes.
+    home.run_for(Duration::from_secs(11));
+    let op = home.fetch_object(NodeId(2), "brk/payload.bin");
+    home.run_until_complete(op).expect_ok();
+    assert!(
+        home.breaker_text().contains("state=closed"),
+        "{}",
+        home.breaker_text()
+    );
+    let snap = home.telemetry().snapshot();
+    assert!(snap.counter("breaker.trip") >= 1);
+    assert!(snap.counter("breaker.close") >= 1);
+    assert!(snap.counter("breaker.fast_fail") >= 1);
+}
+
+#[test]
+fn plane_on_runs_are_deterministic_under_a_fixed_seed() {
+    let run = || {
+        let stream = flash_stream();
+        let mut home = Cloud4Home::new(protected_config(31337));
+        let catalog = seed_catalog(&mut home, 4, 12);
+        drive_open_loop(&mut home, &stream, &catalog);
+        home
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.now(), b.now(), "same-seed runs diverged in virtual time");
+    assert!(a.prometheus_text() == b.prometheus_text());
+    assert!(a.series_json() == b.series_json());
+    assert_eq!(a.shed_text(), b.shed_text());
+    assert_eq!(a.breaker_text(), b.breaker_text());
+}
+
+#[test]
+fn plane_off_is_invisible() {
+    // With the plane at its default (off), no shed/breaker/budget artifact
+    // may appear anywhere — counters, stats, or the text surfaces.
+    let mut home = Cloud4Home::new(frontier_config(2024));
+    let catalog = seed_catalog(&mut home, 4, 8);
+    let stream = arrivals(&OpenLoopConfig::steady(10.0, Duration::from_secs(10), 4), 7);
+    let reports = drive_open_loop(&mut home, &stream, &catalog);
+    assert!(reports.iter().all(|r| !is_shed(r)));
+
+    let stats = home.stats();
+    assert_eq!(stats.ops_shed, 0);
+    assert_eq!(stats.retry_budget_denied, 0);
+    assert_eq!(stats.breaker_trips, 0);
+    assert_eq!(stats.breaker_fast_fails, 0);
+    let snap = home.telemetry().snapshot();
+    for counter in [
+        "shed.fetch",
+        "shed.store",
+        "retry.budget_denied",
+        "breaker.trip",
+        "breaker.close",
+        "breaker.fast_fail",
+    ] {
+        assert_eq!(snap.counter(counter), 0, "{counter} must stay zero");
+    }
+    assert!(
+        !snap
+            .instants()
+            .any(|i| i.name == "shed.drop" || i.name == "breaker.trip"),
+        "no plane instants may appear while disabled"
+    );
+    assert!(home.shed_text().contains("overload plane disabled"));
+}
+
+#[test]
+fn retry_accounting_reconciles_across_stats_reports_and_trace() {
+    // A lossy network provokes DHT retries; every surface that counts them
+    // must agree: per-op reports, aggregate RunStats, typed counters, and
+    // raw trace instants.
+    let mut home = Cloud4Home::new(frontier_config(808));
+    home.set_message_loss(0.25);
+    let mut reports = Vec::new();
+    for i in 0..10u64 {
+        let name = format!("lossy/obj-{i}.bin");
+        let obj = Object::synthetic(&name, 100 + i, 512 << 10, "doc");
+        let op = home.store_object(NodeId((i % 4) as usize), obj, StorePolicy::ForceHome, true);
+        reports.push(home.run_until_complete(op));
+        let op = home.fetch_object(NodeId(((i + 1) % 4) as usize), &name);
+        reports.push(home.run_until_complete(op));
+    }
+    home.run_until_idle();
+
+    let stats = home.stats();
+    let snap = home.telemetry().snapshot();
+    let report_retries: u64 = reports.iter().map(|r| u64::from(r.retries)).sum();
+    assert!(report_retries > 0, "a 25% loss rate must force retries");
+    assert_eq!(
+        report_retries, stats.dht_retries,
+        "per-op retry counts must sum to the aggregate"
+    );
+    let retry_instants = snap.instants().filter(|i| i.name == "dht.retry").count() as u64;
+    assert_eq!(
+        retry_instants, stats.dht_retries,
+        "every retry must leave exactly one trace instant"
+    );
+    let failover_instants = snap
+        .instants()
+        .filter(|i| i.name == "fetch.failover")
+        .count() as u64;
+    assert_eq!(
+        failover_instants, stats.fetch_failovers,
+        "every failover must leave exactly one trace instant"
+    );
+}
+
+#[test]
+fn fetch_backoff_waits_never_exceed_the_jittered_cap() {
+    // A replicated object with every holder down exercises the capped
+    // exponential backoff path until the op deadline. No single recorded
+    // backoff wait may exceed the 5 s cap times the 1.2 jitter ceiling.
+    let mut config = frontier_config(606);
+    config.replication = 2;
+    let mut home = Cloud4Home::new(config);
+    let obj = Object::synthetic("capped/replicated.bin", 23, OBJ_BYTES, "doc");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    home.run_until_idle();
+    let holders: Vec<usize> = (0..home.node_count())
+        .filter(|&i| home.objects_on(NodeId(i)) > 0)
+        .collect();
+    let reader = (0..home.node_count())
+        .find(|i| !holders.contains(i))
+        .expect("a non-holder survives");
+    for &h in &holders {
+        home.crash_node(NodeId(h));
+    }
+    let op = home.fetch_object(NodeId(reader), "capped/replicated.bin");
+    let report = home.run_until_complete(op);
+    assert!(report.outcome.is_err());
+
+    let snap = home.telemetry().snapshot();
+    let cap_ns = (5_000_000_000f64 * 1.2) as u64;
+    let mut waits = 0;
+    for s in snap.spans().filter(|s| s.name == "fetch.retry_wait") {
+        waits += 1;
+        let dur = s.end_ns.saturating_sub(s.start_ns);
+        assert!(
+            dur <= cap_ns,
+            "backoff wait {dur} ns exceeds the jittered 5 s cap"
+        );
+    }
+    assert!(
+        waits >= 8,
+        "a 60 s deadline over capped backoff must record many waits, got {waits}"
+    );
+}
