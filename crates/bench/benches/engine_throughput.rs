@@ -1,0 +1,199 @@
+//! Event-engine throughput — the timer wheel vs the `BinaryHeap` oracle.
+//!
+//! Two sections:
+//!
+//! 1. **Hold model** (classic calendar-queue benchmark): pre-fill the
+//!    queue with N pending events, then repeatedly pop-one/push-one so the
+//!    population holds at N. Reports raw events/sec for the production
+//!    wheel (`EventQueue`) and the reference heap (`queue::reference::
+//!    RefQueue`) at N = 1k / 10k / 100k, and the speedup. Delays span
+//!    nine orders of magnitude (same splitmix64 stream for both engines),
+//!    so the wheel pays its real cascade costs.
+//! 2. **Runtime ops/sec**: end-to-end mixed store/fetch workload on the
+//!    paper testbed — how much of the engine win survives under the full
+//!    stack (overlay, flows, services).
+//!
+//! In full mode the 100k-point speedup is *asserted* ≥ 2× — the PR-6
+//! engine-replacement acceptance bar — not just printed.
+//!
+//! Run with: `cargo bench -p c4h-bench --bench engine_throughput`
+//! (set `C4H_SMOKE=1` for the CI smoke variant: fewer hold ops, no
+//! speedup assertion; set `C4H_ENGINE_DIR=<dir>` to write the table as
+//! JSON for artifact upload).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use c4h_bench::banner;
+use c4h_simnet::queue::reference::RefQueue;
+use c4h_simnet::EventQueue;
+use cloud4home::{Cloud4Home, Config, NodeId, Object, StorePolicy};
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn smoke() -> bool {
+    std::env::var_os("C4H_SMOKE").is_some()
+}
+
+/// Hold operations measured per size (after a 1/10 warmup).
+fn hold_ops() -> u64 {
+    if smoke() {
+        200_000
+    } else {
+        2_000_000
+    }
+}
+
+/// Deterministic splitmix64 — identical delay streams for both engines.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Delays from 1 ns to ~30 s, log-uniform-ish, with occasional exact
+    /// ties — the distribution simulation timers actually draw from.
+    fn delay(&mut self) -> u64 {
+        let r = self.next();
+        if r.is_multiple_of(16) {
+            0
+        } else {
+            r % (1u64 << (4 + (r >> 8) % 31))
+        }
+    }
+}
+
+/// Events/sec for the production wheel holding `n` pending events.
+fn hold_wheel(n: usize, ops: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut mix = Mix(0x000e_1113 + n as u64);
+    for i in 0..n as u64 {
+        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), i);
+    }
+    let warmup = ops / 10;
+    for i in 0..warmup {
+        let (_, p) = q.pop().expect("population is held at n");
+        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
+    }
+    let started = Instant::now();
+    for i in 0..ops {
+        let (_, p) = q.pop().expect("population is held at n");
+        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
+    }
+    ops as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Events/sec for the reference heap holding `n` pending events — the
+/// identical op stream (`Mix` seeds match `hold_wheel`).
+fn hold_heap(n: usize, ops: u64) -> f64 {
+    let mut q: RefQueue<u64> = RefQueue::new();
+    let mut mix = Mix(0x000e_1113 + n as u64);
+    for i in 0..n as u64 {
+        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), i);
+    }
+    let warmup = ops / 10;
+    for i in 0..warmup {
+        let (_, p) = q.pop().expect("population is held at n");
+        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
+    }
+    let started = Instant::now();
+    for i in 0..ops {
+        let (_, p) = q.pop().expect("population is held at n");
+        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
+    }
+    ops as f64 / started.elapsed().as_secs_f64()
+}
+
+/// End-to-end ops/sec: a mixed store/fetch workload on the paper testbed,
+/// wall-clock timed through the full stack.
+fn runtime_ops_per_sec() -> (u64, f64) {
+    let rounds = if smoke() { 4u64 } else { 40 };
+    let mut config = Config::paper_testbed(61_803);
+    config.replication = 2;
+    let mut home = Cloud4Home::new(config);
+    let n = home.node_count();
+    let started = Instant::now();
+    let mut done = 0u64;
+    for r in 0..rounds {
+        for i in 0..6u64 {
+            let name = format!("engine/{r}/{i}.bin");
+            let obj = Object::synthetic(&name, r * 6 + i, (64 + 32 * i) << 10, "doc");
+            let op = home.store_object(
+                NodeId((r as usize + i as usize) % n),
+                obj,
+                StorePolicy::MandatoryFirst,
+                true,
+            );
+            home.run_until_complete(op).expect_ok();
+            let op = home.fetch_object(NodeId((r as usize + i as usize + 3) % n), &name);
+            home.run_until_complete(op).expect_ok();
+            done += 2;
+        }
+    }
+    home.run_until_idle();
+    (done, done as f64 / started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    banner(
+        "Engine throughput",
+        "timer wheel vs BinaryHeap reference (hold model + full stack)",
+    );
+    let ops = hold_ops();
+    println!(
+        "{:>8} | {:>16} {:>16} {:>9}",
+        "pending", "wheel (ev/s)", "heap (ev/s)", "speedup"
+    );
+    println!("{}", "-".repeat(56));
+
+    let mut json = String::from("{\n  \"hold\": [\n");
+    let mut speedup_100k = 0.0;
+    for (i, &n) in SIZES.iter().enumerate() {
+        let wheel = hold_wheel(n, ops);
+        let heap = hold_heap(n, ops);
+        let speedup = wheel / heap;
+        if n == 100_000 {
+            speedup_100k = speedup;
+        }
+        println!("{n:>8} | {wheel:>16.0} {heap:>16.0} {speedup:>8.2}x");
+        let comma = if i + 1 == SIZES.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"pending\": {n}, \"wheel_events_per_sec\": {wheel:.0}, \
+             \"heap_events_per_sec\": {heap:.0}, \"speedup\": {speedup:.3}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+
+    let (runtime_ops, runtime_rate) = runtime_ops_per_sec();
+    println!("\nfull stack: {runtime_ops} mixed ops at {runtime_rate:.0} ops/sec wall");
+    let _ = writeln!(
+        json,
+        "  \"runtime_ops\": {runtime_ops},\n  \"runtime_ops_per_sec\": {runtime_rate:.1},\n  \
+         \"hold_ops_per_point\": {ops},\n  \"smoke\": {}\n}}",
+        smoke()
+    );
+
+    if let Some(dir) = std::env::var_os("C4H_ENGINE_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create artifact dir");
+        let path = dir.join("engine_throughput.json");
+        std::fs::write(&path, &json).expect("write engine_throughput.json");
+        println!("wrote {}", path.display());
+    }
+
+    // The engine-replacement acceptance bar. Smoke runs (CI shared
+    // runners, tiny op counts) print but don't gate.
+    if !smoke() {
+        assert!(
+            speedup_100k >= 2.0,
+            "timer wheel must be ≥2x the BinaryHeap reference at 100k \
+             pending events; measured {speedup_100k:.2}x"
+        );
+    }
+}

@@ -14,7 +14,9 @@
 //! object information is routed to a node with an ID closest to the hash
 //! value").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use c4h_simnet::FxHashMap;
 use std::time::Duration;
 
 use c4h_simnet::SimTime;
@@ -221,13 +223,13 @@ pub struct ChimeraNode {
     incarnation: u32,
     config: ChimeraConfig,
     peers: RbTree<Key, PeerState>,
-    retired: HashMap<Key, u32>,
+    retired: FxHashMap<Key, u32>,
     table: RoutingTable,
     leaf: LeafSet,
     store: LocalStore,
     replicas: LocalStore,
     cache: MetaCache,
-    pending: HashMap<ReqId, Pending>,
+    pending: FxHashMap<ReqId, Pending>,
     outbox: VecDeque<Envelope>,
     events: VecDeque<DhtEvent>,
     joined: bool,
@@ -235,7 +237,7 @@ pub struct ChimeraNode {
     last_ping_round: Option<SimTime>,
     stats: NodeStats,
     telemetry: Option<(Recorder, u64)>,
-    req_spans: HashMap<ReqId, SpanId>,
+    req_spans: FxHashMap<ReqId, SpanId>,
 }
 
 impl ChimeraNode {
@@ -248,11 +250,11 @@ impl ChimeraNode {
             table: RoutingTable::new(id),
             leaf: LeafSet::new(),
             peers: RbTree::new(),
-            retired: HashMap::new(),
+            retired: FxHashMap::default(),
             store: LocalStore::new(),
             replicas: LocalStore::new(),
             cache: MetaCache::new(cache_capacity),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             outbox: VecDeque::new(),
             events: VecDeque::new(),
             joined: false,
@@ -261,7 +263,7 @@ impl ChimeraNode {
             config,
             stats: NodeStats::default(),
             telemetry: None,
-            req_spans: HashMap::new(),
+            req_spans: FxHashMap::default(),
         }
     }
 
@@ -1035,7 +1037,35 @@ impl ChimeraNode {
         if !self.learn_peer_quiet(node, incarnation) {
             return;
         }
-        self.rebuild_views();
+        // The leaf set is a pure function of (owner, ordered peers, size):
+        // when both sides are already full and the new node falls outside
+        // the covered ring interval, a rebuild reproduces the identical
+        // leaf set. Announce floods visit every node for every join, so
+        // skipping the redundant O(leaf_size · log n) tree walks here is
+        // the difference between a linear and a quadratic-feeling join.
+        // `covers` describes the arc lo→owner→hi only when the two sides
+        // are disjoint, which needs strictly more pre-insert peers than
+        // leaf slots (on tiny rings the sides wrap and overlap) — hence
+        // the strict `>` against the post-insert count.
+        let leaf_unchanged = self.peers.len() > 2 * self.config.leaf_size
+            && self.leaf.left().len() == self.config.leaf_size
+            && self.leaf.right().len() == self.config.leaf_size
+            && !self.leaf.covers(self.id, node);
+        if !leaf_unchanged {
+            self.rebuild_views();
+        } else if cfg!(debug_assertions) {
+            let before = self.leaf.clone();
+            self.rebuild_views();
+            debug_assert!(
+                before.left() == self.leaf.left() && before.right() == self.leaf.right(),
+                "leaf skip was not a no-op: node={node} owner={} before=({:?},{:?}) after=({:?},{:?})",
+                self.id,
+                before.left(),
+                before.right(),
+                self.leaf.left(),
+                self.leaf.right(),
+            );
+        }
         self.events.push_back(DhtEvent::PeerJoined { node });
         // Propagate along the ring ("it sends a message to its right and
         // left nodes in the logical tree structure").
@@ -1045,22 +1075,27 @@ impl ChimeraNode {
             }
         }
         // Redistribute records the new node now owns; keep local replicas.
-        let peers_and_self: Vec<Key> = self
-            .peers
-            .keys()
-            .copied()
-            .chain(std::iter::once(self.id))
-            .collect();
-        let moved = self
-            .store
-            .drain_matching(|k| root_of(k, peers_and_self.iter().copied()) == Some(node));
-        if !moved.is_empty() {
-            for (k, v) in &moved {
-                self.replicas.install(*k, v.clone());
+        // With nothing stored there is nothing to move or re-replicate, so
+        // skip materializing the O(peers) membership vector — announce
+        // floods hit every node for every join, and this is their hot path.
+        if !self.store.is_empty() {
+            let peers_and_self: Vec<Key> = self
+                .peers
+                .keys()
+                .copied()
+                .chain(std::iter::once(self.id))
+                .collect();
+            let moved = self
+                .store
+                .drain_matching(|k| root_of(k, peers_and_self.iter().copied()) == Some(node));
+            if !moved.is_empty() {
+                for (k, v) in &moved {
+                    self.replicas.install(*k, v.clone());
+                }
+                self.send(node, Message::KeyTransfer { records: moved });
             }
-            self.send(node, Message::KeyTransfer { records: moved });
+            self.refresh_replication();
         }
-        self.refresh_replication();
     }
 
     fn retire_peer(&mut self, node: Key, incarnation: u32, failed: bool, now: SimTime) {

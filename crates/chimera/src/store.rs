@@ -10,7 +10,9 @@
 //! key-value entries; entries are refreshed when newer versions pass through
 //! and evicted FIFO when the cache is full.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use c4h_simnet::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -100,7 +102,7 @@ impl StoredValue {
 /// The records a node owns as DHT root.
 #[derive(Debug, Clone, Default)]
 pub struct LocalStore {
-    records: HashMap<Key, StoredValue>,
+    records: FxHashMap<Key, StoredValue>,
 }
 
 impl LocalStore {
@@ -192,7 +194,7 @@ impl LocalStore {
 #[derive(Debug, Clone)]
 pub struct MetaCache {
     capacity: usize,
-    entries: HashMap<Key, StoredValue>,
+    entries: FxHashMap<Key, StoredValue>,
     order: VecDeque<Key>,
     hits: u64,
     misses: u64,
@@ -203,7 +205,7 @@ impl MetaCache {
     pub fn new(capacity: usize) -> Self {
         MetaCache {
             capacity,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             order: VecDeque::new(),
             hits: 0,
             misses: 0,

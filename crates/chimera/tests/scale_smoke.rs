@@ -1,0 +1,182 @@
+//! Scale smoke test: a 10k-node overlay join followed by a 1k-op mixed
+//! workload, under an explicit wall-clock budget.
+//!
+//! This is the engine-speed canary the `engine_throughput` bench can't be
+//! (benches don't gate CI): if the event engine, the overlay's hot maps,
+//! or the message pump regress to accidentally-quadratic behavior, the
+//! budget blows and the release-tier CI step fails. The pump here is
+//! O(messages) — a work queue of nodes with pending sends and an
+//! `FxHashMap` id→index route table — so the budget measures the
+//! per-message cost, not harness overhead.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use c4h_chimera::{ChimeraConfig, ChimeraNode, DhtEvent, Key, OverwritePolicy};
+use c4h_simnet::{FxHashMap, SimTime};
+
+/// Deterministic splitmix64 stream for origin/key selection.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// An overlay harness built for size: O(1) id→index routing and a
+/// message pump that only visits nodes with work.
+struct ScaleCluster {
+    nodes: Vec<ChimeraNode>,
+    index: FxHashMap<Key, usize>,
+    now: SimTime,
+}
+
+impl ScaleCluster {
+    fn build(n: usize) -> Self {
+        let config = ChimeraConfig::default();
+        let mut c = ScaleCluster {
+            nodes: Vec::with_capacity(n),
+            index: FxHashMap::default(),
+            now: SimTime::ZERO,
+        };
+        for i in 0..n {
+            let id = Key::from_name(&format!("scale-node-{i}"));
+            c.index.insert(id, i);
+            c.nodes.push(ChimeraNode::new(id, config.clone()));
+        }
+        c.nodes[0].bootstrap(c.now);
+        let seed = c.nodes[0].id();
+        for i in 1..n {
+            c.nodes[i].join_via(seed, c.now);
+            c.drain_from(i, None);
+        }
+        c
+    }
+
+    /// Delivers every message transitively reachable from `start`'s
+    /// outbox. Visiting only nodes known to have work keeps one pump at
+    /// O(messages) instead of O(nodes), and discarding byproduct events
+    /// (`PeerJoined` floods — ~n per node over a full join) as they appear
+    /// keeps memory flat; `keep`'s events are preserved for the caller.
+    fn drain_from(&mut self, start: usize, keep: Option<usize>) {
+        let mut work: VecDeque<usize> = VecDeque::new();
+        work.push_back(start);
+        let mut delivered: u64 = 0;
+        while let Some(i) = work.pop_front() {
+            if Some(i) != keep {
+                while self.nodes[i].poll_event().is_some() {}
+            }
+            while let Some(env) = self.nodes[i].poll_send() {
+                delivered += 1;
+                assert!(
+                    delivered < 50_000_000,
+                    "overlay failed to quiesce (message storm)"
+                );
+                let j = *self
+                    .index
+                    .get(&env.to)
+                    .unwrap_or_else(|| panic!("unknown destination {}", env.to));
+                let now = self.now;
+                self.nodes[j].handle(env, now);
+                if Some(j) != keep {
+                    while self.nodes[j].poll_event().is_some() {}
+                }
+                work.push_back(j);
+            }
+        }
+    }
+
+    fn put(&mut self, origin: usize, key: Key, data: Vec<u8>) {
+        let now = self.now;
+        self.nodes[origin]
+            .put(key, data, OverwritePolicy::Overwrite, now)
+            .expect("node is joined");
+        self.drain_from(origin, None);
+    }
+
+    fn get(&mut self, origin: usize, key: Key) -> Option<Vec<u8>> {
+        let now = self.now;
+        let req = self.nodes[origin].get(key, now).expect("node is joined");
+        self.drain_from(origin, Some(origin));
+        while let Some(e) = self.nodes[origin].poll_event() {
+            if let DhtEvent::GetCompleted {
+                req: r,
+                value,
+                result,
+                ..
+            } = e
+            {
+                if r == req {
+                    result.expect("get failed");
+                    return value.map(|v| v.latest().to_vec());
+                }
+            }
+        }
+        panic!("get {key} did not complete");
+    }
+}
+
+/// Joins `n` nodes, runs `ops` mixed puts/gets, and asserts the whole
+/// run fits in `budget` wall-clock time with every read returning the
+/// last written bytes.
+fn join_and_churn(n: usize, ops: usize, budget: Duration) {
+    let started = Instant::now();
+    let mut cluster = ScaleCluster::build(n);
+    let join_elapsed = started.elapsed();
+
+    let mut mix = Mix(0xC10D_4B0E);
+    let mut written: Vec<(Key, Vec<u8>)> = Vec::new();
+    for i in 0..ops {
+        let origin = (mix.next() % n as u64) as usize;
+        // 50/50 put/get, reads always hitting previously written keys.
+        if written.is_empty() || i % 2 == 0 {
+            let key = Key::from_name(&format!("scale-obj-{i}"));
+            let data = format!("payload-{i}-{}", mix.next()).into_bytes();
+            cluster.put(origin, key, data.clone());
+            written.push((key, data));
+        } else {
+            let (key, expect) = &written[(mix.next() % written.len() as u64) as usize];
+            let got = cluster.get(origin, *key);
+            assert_eq!(
+                got.as_deref(),
+                Some(expect.as_slice()),
+                "read returned wrong bytes for {key}"
+            );
+        }
+    }
+
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= budget,
+        "scale smoke blew its wall-clock budget: {n} nodes joined in \
+         {join_elapsed:?}, {ops} ops finished at {elapsed:?} (budget {budget:?}) \
+         — the engine or overlay has regressed super-linearly"
+    );
+}
+
+/// Release-tier smoke: 10k nodes, 1k mixed ops. Full membership makes
+/// the join flood inherently O(n²) messages (~5×10⁷ deliveries), so the
+/// healthy release runtime is ~6.5 min; the budget is ~3× that — loose
+/// enough for slower CI runners, tight enough to catch super-linear
+/// regressions (which overshoot by an order of magnitude). Debug builds
+/// skip it (`cargo test --release` runs it; see the CI release step).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-tier scale smoke; run with --release"
+)]
+fn ten_k_node_join_and_mixed_workload() {
+    join_and_churn(10_000, 1_000, Duration::from_secs(1200));
+}
+
+/// Debug-tier variant: same shape at 1/10 scale so every `cargo test`
+/// still exercises the scale harness end to end.
+#[test]
+fn one_k_node_join_and_mixed_workload() {
+    join_and_churn(1_000, 100, Duration::from_secs(120));
+}

@@ -12,7 +12,7 @@
 //! [`OpReport`](crate::report::OpReport) carrying the Table-I-style cost
 //! breakdown.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,8 +27,8 @@ use c4h_services::{
     Compress, FaceDetect, FaceRecognize, Service, ServiceRegistry, TrainingSet, Transcode,
 };
 use c4h_simnet::{
-    presets, Addr, ChunkSpec, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, GilbertElliott,
-    Partition, SimTime,
+    presets, Addr, ChunkSpec, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, FxHashMap,
+    GilbertElliott, Partition, SimTime,
 };
 use c4h_telemetry::{ArgValue, Recorder, SpanId};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
@@ -80,7 +80,7 @@ pub(crate) struct NodeRt {
     pub(crate) monitor: ResourceMonitor,
     pub(crate) registry: ServiceRegistry,
     /// The node's object file system (one file per object).
-    pub(crate) objects: HashMap<String, Blob>,
+    pub(crate) objects: FxHashMap<String, Blob>,
     pub(crate) gateway: bool,
     pub(crate) alive: bool,
 }
@@ -278,12 +278,12 @@ pub struct Cloud4Home {
     pub(crate) rng: DetRng,
     pub(crate) nodes: Vec<NodeRt>,
     pub(crate) cloud: Option<CloudRt>,
-    pub(crate) node_of_key: HashMap<Key, usize>,
-    pub(crate) ops: HashMap<OpId, Op>,
-    pub(crate) reports: HashMap<OpId, OpReport>,
-    pub(crate) dht_waiters: HashMap<(usize, ReqId), DhtWaiter>,
-    pub(crate) flow_waiters: HashMap<FlowId, OpId>,
-    pub(crate) flow_endpoints: HashMap<FlowId, (Addr, Addr)>,
+    pub(crate) node_of_key: FxHashMap<Key, usize>,
+    pub(crate) ops: FxHashMap<OpId, Op>,
+    pub(crate) reports: FxHashMap<OpId, OpReport>,
+    pub(crate) dht_waiters: FxHashMap<(usize, ReqId), DhtWaiter>,
+    pub(crate) flow_waiters: FxHashMap<FlowId, OpId>,
+    pub(crate) flow_endpoints: FxHashMap<FlowId, (Addr, Addr)>,
     pub(crate) next_op: u64,
     pub(crate) stats: RunStats,
     pub(crate) message_loss: f64,
@@ -294,16 +294,22 @@ pub struct Cloud4Home {
     /// Per-directed-route Gilbert–Elliott chains, spawned lazily from
     /// `bursty`. Keyed access only — never iterated — so `HashMap` ordering
     /// cannot perturb determinism.
-    pub(crate) ge_chains: HashMap<(Addr, Addr), GilbertElliott>,
+    pub(crate) ge_chains: FxHashMap<(Addr, Addr), GilbertElliott>,
     /// Per-node gray-failure processing-delay multiplier (1.0 = healthy).
     pub(crate) slow_factor: Vec<f64>,
     /// Metadata of replicated home objects, indexed for the repair daemon.
     /// `BTreeMap` so repair scans are deterministic.
     pub(crate) replica_meta: BTreeMap<String, ObjectMeta>,
     /// Background re-replication transfers keyed by their flow.
-    pub(crate) repair_flows: HashMap<FlowId, RepairJob>,
+    pub(crate) repair_flows: FxHashMap<FlowId, RepairJob>,
     /// Detached store fan-out transfers keyed by their flow.
-    pub(crate) fanout_flows: HashMap<FlowId, FanoutJob>,
+    pub(crate) fanout_flows: FxHashMap<FlowId, FanoutJob>,
+    /// Reusable scratch buffer for [`FlowNet::advance_into`] — the main
+    /// loop drains flow completions every step, so the allocation is paid
+    /// once instead of per step. Taken (`mem::take`) while in use; a
+    /// nested advance during completion handling just starts from an
+    /// empty spare.
+    pub(crate) flow_scratch: Vec<FlowEvent>,
     /// Peers whose failure the repair daemon has already reacted to.
     pub(crate) repaired_peers: BTreeSet<Key>,
     /// Per-peer bandwidth estimates (keyed by raw address) learned from
@@ -386,7 +392,7 @@ impl Cloud4Home {
         };
 
         let mut nodes = Vec::new();
-        let mut node_of_key = HashMap::new();
+        let mut node_of_key = FxHashMap::default();
         for (i, spec) in config.nodes.iter().enumerate() {
             let key = Key::from_name(&spec.name);
             assert!(
@@ -417,7 +423,7 @@ impl Cloud4Home {
                 bins: BinWatcher::new(spec.mandatory_bytes, spec.voluntary_bytes),
                 monitor: ResourceMonitor::new(config.monitor),
                 registry: build_registry(&spec.services),
-                objects: HashMap::new(),
+                objects: FxHashMap::default(),
                 gateway: spec.gateway,
                 alive: true,
             });
@@ -454,21 +460,22 @@ impl Cloud4Home {
             nodes,
             cloud,
             node_of_key,
-            ops: HashMap::new(),
-            reports: HashMap::new(),
-            dht_waiters: HashMap::new(),
-            flow_waiters: HashMap::new(),
-            flow_endpoints: HashMap::new(),
+            ops: FxHashMap::default(),
+            reports: FxHashMap::default(),
+            dht_waiters: FxHashMap::default(),
+            flow_waiters: FxHashMap::default(),
+            flow_endpoints: FxHashMap::default(),
             next_op: 1,
             stats: RunStats::default(),
             message_loss: 0.0,
             partition: Partition::default(),
             bursty: None,
-            ge_chains: HashMap::new(),
+            ge_chains: FxHashMap::default(),
             slow_factor,
             replica_meta: BTreeMap::new(),
-            repair_flows: HashMap::new(),
-            fanout_flows: HashMap::new(),
+            repair_flows: FxHashMap::default(),
+            fanout_flows: FxHashMap::default(),
+            flow_scratch: Vec::new(),
             repaired_peers: BTreeSet::new(),
             // Prior: the LAN's nominal per-flow TCP cap. Unseen peers all
             // rank equal, so candidate order matches the metadata until
@@ -1021,6 +1028,15 @@ impl Cloud4Home {
         self.nodes[id.0].objects.len()
     }
 
+    /// Whether a node is currently up (not crashed by a fault plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn node_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.0].alive
+    }
+
     /// Total DHT lookup hops across nodes (for overlay statistics).
     pub fn dht_lookup_hops(&self) -> u64 {
         self.nodes
@@ -1396,11 +1412,13 @@ impl Cloud4Home {
             self.step();
         }
         if self.now() < target {
-            let events = self.net.advance(target);
+            let mut events = std::mem::take(&mut self.flow_scratch);
+            self.net.advance_into(target, &mut events);
             self.queue.advance_to(target);
-            for FlowEvent::Completed { flow, .. } in events {
+            for &FlowEvent::Completed { flow, .. } in &events {
                 self.reap_flow(flow);
             }
+            self.flow_scratch = events;
             // An early-fired completion may have scheduled follow-on work
             // at or before the horizon; drain it.
             while self.next_time().is_some_and(|t| t <= target) {
@@ -1415,10 +1433,13 @@ impl Cloud4Home {
     /// operation machinery, so they are handed back to the event queue and
     /// reaped at the same instant, after the current step finishes.
     fn defer_flow_completions(&mut self, now: SimTime) {
-        for FlowEvent::Completed { flow, .. } in self.net.advance(now) {
+        let mut events = std::mem::take(&mut self.flow_scratch);
+        self.net.advance_into(now, &mut events);
+        for &FlowEvent::Completed { flow, .. } in &events {
             self.queue
                 .schedule_in(Duration::ZERO, Event::FlowReap { flow });
         }
+        self.flow_scratch = events;
     }
 
     /// Routes one completed flow to whoever was waiting on it: a foreground
@@ -1505,18 +1526,23 @@ impl Cloud4Home {
             (None, Some(b)) => b,
         };
         if nt == Some(t) && qt.is_none_or(|q| t <= q) {
-            let events = self.net.advance(t);
+            let mut events = std::mem::take(&mut self.flow_scratch);
+            self.net.advance_into(t, &mut events);
             self.queue.advance_to(t);
-            for FlowEvent::Completed { flow, .. } in events {
+            for &FlowEvent::Completed { flow, .. } in &events {
                 self.reap_flow(flow);
             }
+            self.flow_scratch = events;
         } else {
             // The flow engine predicted no completion at or before `t`, but
             // float accrual can still land one a hair early — route it, or
             // the waiter hangs forever.
-            for FlowEvent::Completed { flow, .. } in self.net.advance(t) {
+            let mut events = std::mem::take(&mut self.flow_scratch);
+            self.net.advance_into(t, &mut events);
+            for &FlowEvent::Completed { flow, .. } in &events {
                 self.reap_flow(flow);
             }
+            self.flow_scratch = events;
             let (_, event) = self.queue.pop().expect("queue has an event at t");
             self.dispatch(event);
         }
@@ -2129,5 +2155,108 @@ impl Cloud4Home {
         ) {
             self.dht_waiters.insert((i, req), DhtWaiter::Ignore);
         }
+    }
+}
+
+#[cfg(test)]
+mod step_order_tests {
+    //! Pins the same-instant tie-break in [`Cloud4Home::step`]: when a flow
+    //! completion and a queued event land on the identical virtual
+    //! nanosecond, the completion is reaped *first* and the queue event is
+    //! delivered after it, within the same instant.
+    //!
+    //! Audit of the four `net.advance()` call sites this ordering rests on
+    //! (see DESIGN.md §12 for the full notes):
+    //!
+    //! * `step`, net branch — taken when `net_t <= queue_t`, so the tie
+    //!   goes to the network by construction; this test pins it.
+    //! * `step`, queue branch — advances the net to the queue instant
+    //!   first and reaps any float-accrual-early completions before
+    //!   dispatching, so a completion can never be processed *after* a
+    //!   queue event of a strictly earlier instant.
+    //! * `run_for` — horizon drain; advances net and queue to the same
+    //!   target and reaps before stepping again.
+    //! * `defer_flow_completions` — mid-dispatch advances; completions
+    //!   surfacing here become `Event::FlowReap` at `Duration::ZERO`,
+    //!   which seq-orders *after* everything already queued at the
+    //!   current instant (the wheel preserves exactly this).
+
+    use super::*;
+
+    /// Discovers the completion instant of a raw flow via a twin run, then
+    /// schedules an inert queue event at exactly that instant and asserts
+    /// the step at the tie reaps the network completion while the queue
+    /// event stays pending.
+    #[test]
+    fn net_completion_wins_same_instant_tie_against_queue_event() {
+        let config = Config::paper_testbed(9);
+        let bytes = 256 << 10;
+
+        // Twin run: learn the exact completion instant. Drain the
+        // construction-time overlay join traffic first so the raw flow is
+        // the only thing in flight (the drain consumes rng identically in
+        // both runs, keeping them in lockstep).
+        let mut twin = Cloud4Home::new(config.clone());
+        while twin.step() {}
+        let (src, dst) = (twin.nodes[0].addr, twin.nodes[1].addr);
+        let now = twin.now();
+        let flow = twin
+            .net
+            .start_flow(now, src, dst, bytes, &mut twin.rng)
+            .expect("route exists");
+        let done_at = loop {
+            let t = twin.net.next_event().expect("flow must complete");
+            if twin
+                .net
+                .advance(t)
+                .iter()
+                .any(|FlowEvent::Completed { flow: f, .. }| *f == flow)
+            {
+                break t;
+            }
+        };
+
+        // Main run: identical flow, plus a queue event at the completion
+        // instant. `FlowReap` for this raw flow is inert (no waiter), so
+        // it observes ordering without perturbing state.
+        let mut home = Cloud4Home::new(config);
+        while home.step() {}
+        let now = home.now();
+        let flow = home
+            .net
+            .start_flow(now, src, dst, bytes, &mut home.rng)
+            .expect("route exists");
+        home.queue.schedule_at(done_at, Event::FlowReap { flow });
+
+        // Drain the flow engine's internal rate-change instants, all
+        // strictly before the completion; the marker must stay pending.
+        while home.net.next_event().is_some_and(|t| t < done_at) {
+            assert!(home.step());
+            assert_eq!(home.queue.peek_time(), Some(done_at));
+        }
+        assert_eq!(home.net.next_event(), Some(done_at), "twin diverged");
+        assert_eq!(home.queue.peek_time(), Some(done_at));
+        assert!(home.net.progress(flow).is_some());
+
+        // The tie step: net completion reaped, queue event still pending,
+        // clock parked on the shared instant.
+        assert!(home.step());
+        assert_eq!(home.now(), done_at);
+        assert!(
+            home.net.progress(flow).is_none(),
+            "the step at the tie must consume the flow completion"
+        );
+        assert_eq!(
+            home.queue.peek_time(),
+            Some(done_at),
+            "the same-instant queue event must be delivered after the completion"
+        );
+        assert_eq!(home.queue.len(), 1);
+
+        // The queue event drains at the same instant; nothing remains.
+        assert!(home.step());
+        assert_eq!(home.now(), done_at);
+        assert!(home.queue.is_empty());
+        assert_eq!(home.net.next_event(), None);
     }
 }

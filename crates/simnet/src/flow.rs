@@ -676,12 +676,28 @@ impl FlowNet {
     /// Advances the engine to `to`, accruing transfer progress, and returns
     /// the completions that occurred (in completion order).
     ///
+    /// Allocates a fresh `Vec` per call; hot loops should prefer
+    /// [`FlowNet::advance_into`] with a reused buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `to` is in the past.
     pub fn advance(&mut self, to: SimTime) -> Vec<FlowEvent> {
-        assert!(to >= self.now, "cannot rewind flow engine");
         let mut out = Vec::new();
+        self.advance_into(to, &mut out);
+        out
+    }
+
+    /// Allocation-lean [`FlowNet::advance`]: appends the completions that
+    /// occurred to `out` (cleared first) instead of returning a fresh `Vec`,
+    /// so a caller-held buffer amortizes across the simulation's main loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past.
+    pub fn advance_into(&mut self, to: SimTime, out: &mut Vec<FlowEvent>) {
+        assert!(to >= self.now, "cannot rewind flow engine");
+        out.clear();
         while self.now < to {
             if self.alloc_dirty {
                 self.reallocate();
@@ -699,14 +715,13 @@ impl FlowNet {
                 }
             }
             self.now = step_end;
-            self.fire_completions(&mut out);
+            self.fire_completions(out);
             // Caps may have changed at this boundary (setup completion, ramp
             // step, sustained-threshold crossing) — always refresh rates.
             self.alloc_dirty = true;
         }
         // Completions landing exactly on `to` when the loop body didn't run.
-        self.fire_completions(&mut out);
-        out
+        self.fire_completions(out);
     }
 
     /// Removes completed flows at the current instant.

@@ -1,0 +1,153 @@
+//! A fast, deterministic hasher for simulation-internal maps.
+//!
+//! `std`'s default `SipHash-1-3` exists to resist HashDoS from untrusted
+//! keys; simulation-internal maps (routing tables, flow registries, op
+//! indexes) only ever hash trusted keys, so the hot loop pays SipHash's
+//! per-byte cost for nothing. [`FxHasher`] is the multiply-xor hash used
+//! by the Rust compiler's own interning tables (`rustc-hash`): one
+//! wrapping multiply per word of input, typically 3–6× faster on the
+//! short integer-ish keys these maps use.
+//!
+//! It is also *deterministic*: no per-instance random state, so iteration
+//! order for a given insertion history is stable across runs and
+//! machines. The simulation's behavior never depends on map iteration
+//! order (the golden byte-determinism corpus in `tests/golden_runs.rs`
+//! enforces this), so determinism here is a hardening bonus rather than a
+//! requirement — but it means a latent iteration-order dependence shows
+//! up as a reproducible digest mismatch instead of a cross-machine
+//! heisenbug.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`] — drop-in for `std::collections::HashMap`
+/// on trusted simulation-internal keys.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` variant of [`FxHashMap`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-state builder producing [`FxHasher`]s; `Default` yields identical
+/// hashers everywhere, which is what makes the maps deterministic.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit odd constant from the golden-ratio family (same as `rustc-hash`):
+/// multiplication by it mixes low-entropy integer keys across the high
+/// bits that `HashMap` actually uses for bucket selection.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+const ROTATE: u32 = 5;
+
+/// The `rustc-hash` multiply-xor hasher: `hash = (hash.rotl(5) ^ word) * SEED`
+/// per 8-byte word, with the tail bytes folded in the same way.
+///
+/// Not HashDoS-resistant — use only on keys the simulation itself
+/// generates, never on external input.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"route-key"), hash_of(&"route-key"));
+        assert_eq!(hash_of(&(3usize, 7usize)), hash_of(&(3usize, 7usize)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test — just a tripwire against a degenerate
+        // implementation (e.g. dropping the multiply).
+        let hashes: std::collections::HashSet<u64> = (0u64..1000).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn tail_bytes_affect_the_hash() {
+        assert_ne!(hash_of(&"abcdefgh"), hash_of(&"abcdefgi"));
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get("key-37"), Some(&37));
+        assert_eq!(m.remove("key-37"), Some(37));
+        assert_eq!(m.get("key-37"), None);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

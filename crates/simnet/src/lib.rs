@@ -56,8 +56,9 @@
 
 mod fault;
 mod flow;
+pub mod hash;
 pub mod presets;
-mod queue;
+pub mod queue;
 mod rng;
 mod tcp;
 mod time;
@@ -67,6 +68,7 @@ pub use fault::{GilbertElliott, Partition};
 pub use flow::{
     ChunkSpec, FlowEvent, FlowId, FlowNet, FlowProgress, NetError, SegmentLoad, NET_TRACK_BASE,
 };
+pub use hash::{FxHashMap, FxHashSet};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use tcp::{mbps, mib, SustainedCap, TcpProfile};

@@ -2,42 +2,65 @@
 //!
 //! Events scheduled for the same instant are delivered in insertion order
 //! (FIFO), which keeps simulations reproducible regardless of payload type.
+//!
+//! # Engine
+//!
+//! [`EventQueue`] is a hierarchical timer wheel: 11 levels of 64 slots,
+//! each level bucketing events by one 6-bit group of their nanosecond
+//! timestamp (level 0 = 1 ns slots, level 1 = 64 ns, … level 10 ≈ 36.6
+//! virtual years per slot). 11 × 6 = 66 bits cover the entire `u64`
+//! timestamp domain, so arbitrarily far-future events — including
+//! [`SimTime::MAX`] sentinels — park in the top levels with no separate
+//! overflow structure. Scheduling is O(1); popping finds the earliest
+//! occupied slot through per-level occupancy bitmaps and cascades coarse
+//! buckets downward as the clock reaches them, so each event is touched at
+//! most once per level over its lifetime. Same-instant events share one
+//! level-0 bucket and are delivered in `seq` (insertion) order, preserving
+//! the `(at, seq)` total order the simulation's byte-determinism contract
+//! is built on.
+//!
+//! The previous `BinaryHeap` scheduler survives as
+//! [`reference::RefQueue`]: a deliberately simple oracle that the
+//! differential property tests (`tests/queue_equiv.rs`) and the
+//! `engine_throughput` bench drive in lockstep with the wheel.
 
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::mem;
 use std::time::Duration;
 
 use crate::time::SimTime;
 
-/// A pending entry in the [`EventQueue`].
+/// Bits of the timestamp consumed per wheel level.
+const SLOT_BITS: usize = 6;
+/// Slots per level (`2^SLOT_BITS`).
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels needed to cover all 64 timestamp bits (`ceil(64 / 6)`).
+const LEVELS: usize = 11;
+
+/// A pending entry: the scheduled instant (nanoseconds), the insertion
+/// sequence number breaking same-instant ties, and the payload.
 #[derive(Debug)]
-struct Scheduled<E> {
-    at: SimTime,
+struct Entry<E> {
+    at: u64,
     seq: u64,
     payload: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// One wheel slot: its pending entries plus a cached minimum timestamp,
+/// maintained on push and reset on drain, so finding the earliest event
+/// never rescans bucket contents.
+#[derive(Debug)]
+struct Bucket<E> {
+    entries: Vec<Entry<E>>,
+    min_at: u64,
 }
 
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // breaking ties by insertion sequence for determinism.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Bucket<E> {
+    fn new() -> Self {
+        Bucket {
+            entries: Vec::new(),
+            min_at: u64::MAX,
+        }
     }
 }
 
@@ -64,8 +87,18 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    now: SimTime,
+    /// `LEVELS × SLOTS` buckets, flattened level-major.
+    buckets: Vec<Bucket<E>>,
+    /// One occupancy bit per slot, per level: bit `s` of `occupied[l]` is
+    /// set iff `buckets[l * SLOTS + s]` is non-empty.
+    occupied: [u64; LEVELS],
+    /// Entries at exactly `now`, drained from their level-0 bucket and
+    /// sorted by `seq`; popped from the front. This is the hot path: a
+    /// burst of same-instant events costs one bucket drain, then pure
+    /// `VecDeque` pops.
+    ready: VecDeque<Entry<E>>,
+    now: u64,
+    len: usize,
     next_seq: u64,
 }
 
@@ -75,29 +108,46 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// The wheel coordinates of timestamp `at` relative to clock `now`:
+/// the level of the highest 6-bit group where they differ (0 when equal),
+/// and `at`'s slot index within that level.
+fn level_slot(now: u64, at: u64) -> (usize, usize) {
+    let xor = at ^ now;
+    let level = if xor == 0 {
+        0
+    } else {
+        (63 - xor.leading_zeros() as usize) / SLOT_BITS
+    };
+    let slot = ((at >> (level * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+    (level, slot)
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            now: SimTime::ZERO,
+            buckets: (0..LEVELS * SLOTS).map(|_| Bucket::new()).collect(),
+            occupied: [0; LEVELS],
+            ready: VecDeque::new(),
+            now: 0,
+            len: 0,
             next_seq: 0,
         }
     }
 
     /// The current virtual time (the timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_nanos(self.now)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Schedules `payload` at the absolute instant `at`.
@@ -107,32 +157,69 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current virtual time.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) {
         assert!(
-            at >= self.now,
+            at.as_nanos() >= self.now,
             "cannot schedule into the past: at={at} now={}",
-            self.now
+            SimTime::from_nanos(self.now)
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.insert(Entry {
+            at: at.as_nanos(),
+            seq,
+            payload,
+        });
+        self.len += 1;
     }
 
     /// Schedules `payload` after a relative `delay` from the current time.
     pub fn schedule_in(&mut self, delay: Duration, payload: E) {
-        let at = self.now + delay;
+        let at = SimTime::from_nanos(self.now) + delay;
         self.schedule_at(at, payload);
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        if !self.ready.is_empty() {
+            return Some(SimTime::from_nanos(self.now));
+        }
+        self.earliest_bucket()
+            .map(|(_, _, at)| SimTime::from_nanos(at))
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now);
-        self.now = s.at;
-        Some((s.at, s.payload))
+        loop {
+            if let Some(e) = self.ready.pop_front() {
+                debug_assert_eq!(e.at, self.now, "ready entries live at the clock instant");
+                self.len -= 1;
+                return Some((SimTime::from_nanos(e.at), e.payload));
+            }
+            let (level, slot, at) = self.earliest_bucket()?;
+            debug_assert!(at >= self.now, "wheel surfaced an event from the past");
+            // Advance the clock to the earliest pending instant, then move
+            // that bucket: a level-0 bucket holds exactly the events at
+            // `at` and drains into the ready run; a coarser bucket spans a
+            // range of instants and cascades down a level (re-placement is
+            // relative to the new clock, so entries at exactly `at` land
+            // in the level-0 slot picked up on the next loop iteration).
+            self.now = at;
+            let idx = level * SLOTS + slot;
+            self.occupied[level] &= !(1u64 << slot);
+            let mut drained = mem::take(&mut self.buckets[idx].entries);
+            self.buckets[idx].min_at = u64::MAX;
+            if level == 0 {
+                debug_assert!(drained.iter().all(|e| e.at == at));
+                drained.sort_unstable_by_key(|e| e.seq);
+                self.ready.extend(drained.drain(..));
+            } else {
+                for e in drained.drain(..) {
+                    self.insert(e);
+                }
+            }
+            // Hand the emptied allocation back to its bucket so steady-state
+            // churn re-uses capacity instead of re-allocating.
+            self.buckets[idx].entries = drained;
+        }
     }
 
     /// Advances the clock to `at` without delivering events.
@@ -145,16 +232,200 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current time, or if an event is
     /// pending before `at` (advancing past it would drop causality).
     pub fn advance_to(&mut self, at: SimTime) {
-        assert!(at >= self.now, "cannot rewind the clock");
+        assert!(at.as_nanos() >= self.now, "cannot rewind the clock");
         if let Some(t) = self.peek_time() {
             assert!(t >= at, "cannot advance past a pending event at {t}");
         }
-        self.now = at;
+        // Pending entries keep valid wheel coordinates across the jump:
+        // every entry's timestamp is ≥ `at`, and an interval sharing a
+        // binary prefix at its endpoints shares it throughout, so each
+        // entry's stored level can only be coarser than (never below) its
+        // ideal level relative to the new clock. `earliest_bucket` reads
+        // coarse slots through their cached minima and `pop` cascades them
+        // lazily, so no eager re-filing is needed.
+        self.now = at.as_nanos();
+    }
+
+    /// Files an entry into the wheel relative to the current clock.
+    fn insert(&mut self, e: Entry<E>) {
+        let (level, slot) = level_slot(self.now, e.at);
+        let b = &mut self.buckets[level * SLOTS + slot];
+        b.min_at = b.min_at.min(e.at);
+        b.entries.push(e);
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    /// The bucket holding the earliest pending event:
+    /// `(level, slot, min_at)`.
+    ///
+    /// Per level, only slots at or after the clock's own slot can be
+    /// occupied (entries are never in the past), and their time windows
+    /// ascend with the slot index, so the first occupied slot holds the
+    /// level's minimum; the cached `min_at` makes the cross-level compare
+    /// exact even for coarse buckets. Ties prefer the highest level so
+    /// `pop` cascades stale coarse buckets before draining the level-0
+    /// bucket of the same instant — all same-instant events must share one
+    /// ready run for `seq` ordering to be global.
+    fn earliest_bucket(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for level in 0..LEVELS {
+            let cursor = (self.now >> (level * SLOT_BITS)) & (SLOTS as u64 - 1);
+            let mask = self.occupied[level] & (!0u64 << cursor);
+            if mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                let at = self.buckets[level * SLOTS + slot].min_at;
+                if best.is_none_or(|(_, _, b)| at <= b) {
+                    best = Some((level, slot, at));
+                }
+            }
+        }
+        best
+    }
+}
+
+pub mod reference {
+    //! The reference scheduler: the pre-wheel `BinaryHeap` implementation,
+    //! kept verbatim as the differential-testing oracle and benchmark
+    //! baseline. Production code uses [`EventQueue`](super::EventQueue);
+    //! this type exists so tests can prove the two agree on every
+    //! schedule/pop/advance sequence and benches can measure the speedup.
+
+    use std::collections::BinaryHeap;
+    use std::time::Duration;
+
+    use crate::time::SimTime;
+
+    /// A pending entry in the [`RefQueue`].
+    #[derive(Debug)]
+    struct Scheduled<E> {
+        at: SimTime,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Scheduled<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+
+    impl<E> Eq for Scheduled<E> {}
+
+    impl<E> PartialOrd for Scheduled<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Scheduled<E> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert so the earliest event pops
+            // first, breaking ties by insertion sequence for determinism.
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    /// The `BinaryHeap`-backed reference implementation of the event-queue
+    /// contract: identical API and `(at, seq)` delivery order to
+    /// [`EventQueue`](super::EventQueue), O(log n) operations. Test and
+    /// bench use only.
+    #[derive(Debug)]
+    pub struct RefQueue<E> {
+        heap: BinaryHeap<Scheduled<E>>,
+        now: SimTime,
+        next_seq: u64,
+    }
+
+    impl<E> Default for RefQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> RefQueue<E> {
+        /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+        pub fn new() -> Self {
+            RefQueue {
+                heap: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                next_seq: 0,
+            }
+        }
+
+        /// The current virtual time (the timestamp of the last popped
+        /// event).
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// Returns `true` if no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+
+        /// Schedules `payload` at the absolute instant `at`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `at` is earlier than the current virtual time.
+        pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+            assert!(
+                at >= self.now,
+                "cannot schedule into the past: at={at} now={}",
+                self.now
+            );
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Scheduled { at, seq, payload });
+        }
+
+        /// Schedules `payload` after a relative `delay` from the current
+        /// time.
+        pub fn schedule_in(&mut self, delay: Duration, payload: E) {
+            let at = self.now + delay;
+            self.schedule_at(at, payload);
+        }
+
+        /// Timestamp of the next pending event, if any.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|s| s.at)
+        }
+
+        /// Pops the earliest event, advancing the clock to its timestamp.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let s = self.heap.pop()?;
+            debug_assert!(s.at >= self.now);
+            self.now = s.at;
+            Some((s.at, s.payload))
+        }
+
+        /// Advances the clock to `at` without delivering events.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `at` is earlier than the current time, or if an event
+        /// is pending before `at`.
+        pub fn advance_to(&mut self, at: SimTime) {
+            assert!(at >= self.now, "cannot rewind the clock");
+            if let Some(t) = self.peek_time() {
+                assert!(t >= at, "cannot advance past a pending event at {t}");
+            }
+            self.now = at;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::RefQueue;
     use super::*;
 
     #[test]
@@ -211,5 +482,144 @@ mod tests {
         assert_eq!(q.now(), SimTime::from_secs(1));
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    /// Same instant scheduled from different clock positions: the entries
+    /// start in different wheel levels but must merge into one seq-ordered
+    /// delivery run.
+    #[test]
+    fn same_instant_entries_merge_across_levels() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(10);
+        q.schedule_at(t, 0); // filed at a coarse level relative to now = 0
+        q.schedule_at(SimTime::from_millis(9_999), -1);
+        q.pop(); // now = 9.999 s: t is one millisecond out
+        q.schedule_at(t, 1); // filed at a fine level relative to the new now
+        q.schedule_at(t, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2], "seq order must survive cascades");
+    }
+
+    /// Far-future events (including the `SimTime::MAX` sentinel) park in
+    /// the top wheel levels and still pop in order.
+    #[test]
+    fn far_future_events_pop_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::MAX, 3);
+        q.schedule_at(SimTime::from_secs(3_600 * 24 * 365), 2); // one year
+        q.schedule_at(SimTime::from_millis(1), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.now(), SimTime::MAX);
+    }
+
+    /// Zero-delay re-arming from inside the pop loop: each rescheduled
+    /// event lands at the same instant with a later seq, after events
+    /// already queued there.
+    #[test]
+    fn zero_delay_rearm_delivers_after_queued_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(2);
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first, "a");
+        q.schedule_in(Duration::ZERO, "rearmed"); // at == now == t
+        let (t2, second) = q.pop().unwrap();
+        assert_eq!((t2, second), (t, "b"), "queued tie pops before re-arm");
+        let (t3, third) = q.pop().unwrap();
+        assert_eq!((t3, third), (t, "rearmed"));
+    }
+
+    /// `advance_to` across a long empty stretch, then scheduling near the
+    /// new clock: lazily mis-leveled coarse buckets must still surface
+    /// their minima correctly.
+    #[test]
+    fn advance_past_empty_slots_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(100), "far");
+        q.advance_to(SimTime::from_secs(99));
+        q.schedule_at(SimTime::from_secs(99) + Duration::from_nanos(1), "near");
+        assert_eq!(
+            q.peek_time(),
+            Some(SimTime::from_secs(99) + Duration::from_nanos(1))
+        );
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["near", "far"]);
+    }
+
+    /// A randomized hold-model churn must agree with the reference heap
+    /// exactly — the in-crate smoke version of the differential oracle in
+    /// `tests/queue_equiv.rs`.
+    #[test]
+    fn wheel_agrees_with_reference_under_churn() {
+        let mut wheel = EventQueue::new();
+        let mut oracle = RefQueue::new();
+        // Deterministic splitmix64 stream.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in 0..50_000u64 {
+            let r = rng();
+            if r % 3 == 0 && !wheel.is_empty() {
+                let a = wheel.pop();
+                let b = oracle.pop();
+                assert_eq!(a, b, "divergence at op {i}");
+            } else {
+                // Delays spanning ten orders of magnitude, with a bias
+                // toward ties (delay 0).
+                let shift = (r >> 8) % 34;
+                let delay = Duration::from_nanos(if r % 5 == 0 { 0 } else { r % (1 << shift) });
+                wheel.schedule_in(delay, i);
+                oracle.schedule_in(delay, i);
+            }
+            assert_eq!(wheel.len(), oracle.len());
+            assert_eq!(wheel.peek_time(), oracle.peek_time());
+            assert_eq!(wheel.now(), oracle.now());
+        }
+        while let Some(a) = wheel.pop() {
+            assert_eq!(Some(a), oracle.pop());
+        }
+        assert!(oracle.is_empty());
+    }
+
+    mod reference_contract {
+        //! The oracle itself honors the documented contract.
+        use super::*;
+
+        #[test]
+        fn pops_in_time_order_with_fifo_ties() {
+            let mut q = RefQueue::new();
+            let t = SimTime::from_millis(5);
+            q.schedule_at(SimTime::from_millis(9), 99);
+            for i in 0..4 {
+                q.schedule_at(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 99]);
+        }
+
+        #[test]
+        #[should_panic(expected = "into the past")]
+        fn scheduling_into_past_panics() {
+            let mut q = RefQueue::new();
+            q.schedule_at(SimTime::from_millis(10), ());
+            q.pop();
+            q.schedule_at(SimTime::from_millis(5), ());
+        }
+
+        #[test]
+        #[should_panic(expected = "pending event")]
+        fn advance_past_pending_event_panics() {
+            let mut q = RefQueue::new();
+            q.schedule_at(SimTime::from_millis(10), ());
+            q.advance_to(SimTime::from_millis(20));
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! bulk transfer traverses, the control-message latency model, the TCP
 //! profile bulk flows use, and the bandwidth-variability of the path.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -154,8 +154,8 @@ impl Route {
 pub struct Topology {
     segments: Vec<Segment>,
     site_names: Vec<String>,
-    routes: HashMap<(SiteId, SiteId), Route>,
-    attachments: HashMap<Addr, SiteId>,
+    routes: FxHashMap<(SiteId, SiteId), Route>,
+    attachments: FxHashMap<Addr, SiteId>,
 }
 
 impl Topology {
@@ -251,7 +251,7 @@ impl Topology {
 pub struct TopologyBuilder {
     segments: Vec<Segment>,
     site_names: Vec<String>,
-    routes: HashMap<(SiteId, SiteId), Route>,
+    routes: FxHashMap<(SiteId, SiteId), Route>,
 }
 
 impl TopologyBuilder {
@@ -309,7 +309,7 @@ impl TopologyBuilder {
             segments: self.segments,
             site_names: self.site_names,
             routes: self.routes,
-            attachments: HashMap::new(),
+            attachments: FxHashMap::default(),
         }
     }
 }
