@@ -66,6 +66,7 @@ fn bench_codecs(c: &mut Criterion) {
         acl: Acl::Public,
         created_at_ns: 123_456_789,
         replicas: vec![Key::from_name("netbook-1")],
+        ec: None,
     });
     let encoded = record.encode();
     c.bench_function("kvstore/record_encode", |b| b.iter(|| record.encode()));

@@ -366,6 +366,15 @@ impl ChimeraNode {
         self.store.get(key).or_else(|| self.replicas.get(key))
     }
 
+    /// Drops any cached copy of `key`'s record. Cache entries are refreshed
+    /// only by puts routed *through* this node, so a record rewritten
+    /// elsewhere (e.g. an object converted to erasure-coded form) can leave
+    /// a stale copy here indefinitely; control planes that know a record
+    /// changed call this to force the next lookup back to the root.
+    pub fn invalidate_cached(&mut self, key: Key) {
+        self.cache.invalidate(key);
+    }
+
     /// Whether this node is the root for `key` among its known membership.
     pub fn is_root_for(&self, key: Key) -> bool {
         root_of(

@@ -127,6 +127,115 @@ impl PeerBandwidth {
     pub fn samples(&self, peer: u64) -> u64 {
         self.peers.get(&peer).map_or(0, EwmaRate::samples)
     }
+
+    /// Forgets everything learned about `peer`, dropping it back to the
+    /// shared prior. Called when the peer crashes: a rejoined node comes
+    /// back on unknown hardware/link conditions, and ranking it on
+    /// pre-crash estimates would either starve it (stale slow estimate) or
+    /// stampede it (stale fast estimate) until enough fresh transfers
+    /// happened to wash the history out.
+    pub fn reset(&mut self, peer: u64) {
+        self.peers.remove(&peer);
+    }
+}
+
+/// Per-object fetch-heat estimates for the adaptive placement plane.
+///
+/// Every completed fetch folds an instantaneous rate sample (the inverse
+/// of the gap since the object's previous fetch) into a per-object EWMA
+/// and remembers the most recent reader nodes. The placement pass reads
+/// the decayed rate — the estimate capped by the rate implied by the time
+/// since the *last* fetch, so an object that stops being read cools down
+/// without needing further events — and grows, shrinks, or erasure-codes
+/// the object's copies accordingly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectHeat {
+    alpha: f64,
+    entries: std::collections::BTreeMap<String, HeatEntry>,
+}
+
+/// One object's heat state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatEntry {
+    /// EWMA of instantaneous fetch rate, fetches per second.
+    rate_per_sec: f64,
+    /// Virtual timestamp of the most recent fetch, nanoseconds.
+    last_fetch_ns: u64,
+    /// Most recent distinct reader nodes, newest first (bounded).
+    readers: Vec<usize>,
+    /// Total fetches observed.
+    fetches: u64,
+}
+
+/// How many recent distinct readers each object remembers.
+const READERS_KEPT: usize = 4;
+
+impl ObjectHeat {
+    /// Creates an empty tracker with EWMA smoothing factor `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        ObjectHeat {
+            alpha,
+            entries: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Folds one completed fetch of `name` by `reader` at `now_ns` into
+    /// the object's estimate.
+    pub fn observe_fetch(&mut self, name: &str, reader: usize, now_ns: u64) {
+        let entry = self.entries.entry(name.to_owned()).or_insert(HeatEntry {
+            rate_per_sec: 0.0,
+            last_fetch_ns: now_ns,
+            readers: Vec::new(),
+            fetches: 0,
+        });
+        if entry.fetches > 0 {
+            let gap_s = (now_ns.saturating_sub(entry.last_fetch_ns) as f64 / 1e9).max(1e-3);
+            let sample = 1.0 / gap_s;
+            entry.rate_per_sec = self.alpha * sample + (1.0 - self.alpha) * entry.rate_per_sec;
+        }
+        entry.last_fetch_ns = now_ns;
+        entry.fetches += 1;
+        entry.readers.retain(|&r| r != reader);
+        entry.readers.insert(0, reader);
+        entry.readers.truncate(READERS_KEPT);
+    }
+
+    /// The object's decayed fetch rate in fetches per minute at `now_ns`:
+    /// the EWMA estimate, capped by the rate the silence since the last
+    /// fetch already disproves. Unknown objects answer 0 (stone cold).
+    pub fn rate_per_min(&self, name: &str, now_ns: u64) -> f64 {
+        let Some(e) = self.entries.get(name) else {
+            return 0.0;
+        };
+        if e.fetches < 2 {
+            // One fetch fixes a timestamp but no interval: no rate
+            // estimate exists yet, and a just-stored object reads as cold.
+            return 0.0;
+        }
+        let idle_s = (now_ns.saturating_sub(e.last_fetch_ns) as f64 / 1e9).max(1e-3);
+        e.rate_per_sec.min(1.0 / idle_s) * 60.0
+    }
+
+    /// Recent distinct readers of `name`, newest first.
+    pub fn recent_readers(&self, name: &str) -> &[usize] {
+        self.entries.get(name).map_or(&[], |e| e.readers.as_slice())
+    }
+
+    /// Fetches observed for `name`.
+    pub fn fetches(&self, name: &str) -> u64 {
+        self.entries.get(name).map_or(0, |e| e.fetches)
+    }
+
+    /// Drops an object's state (deletes / EC conversions).
+    pub fn forget(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+
+    /// Objects currently tracked, in name order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
 }
 
 /// A placement learner deriving store policies from observed completions.
@@ -325,6 +434,71 @@ mod tests {
         assert_eq!(t.bps(9), 2.0e6);
         // Predictions scale with the estimate.
         assert!(t.predict_secs(7, 8 << 20) < t.predict_secs(9, 8 << 20));
+    }
+
+    #[test]
+    fn reset_drops_peer_back_to_prior() {
+        let mut t = PeerBandwidth::new(10.0e6, 0.5);
+        for _ in 0..10 {
+            t.observe(3, 100 << 10, 1.0); // ~0.1 MB/s: a WAN-class peer
+        }
+        assert!(t.class(3) < 0);
+        assert_eq!(t.samples(3), 10);
+        t.reset(3);
+        assert_eq!(t.bps(3), 10.0e6, "back to the shared prior");
+        assert_eq!(t.class(3), 0);
+        assert_eq!(t.samples(3), 0);
+        // Resetting an unknown peer is a no-op, not a panic.
+        t.reset(99);
+    }
+
+    #[test]
+    fn object_heat_tracks_rate_and_readers() {
+        let mut h = ObjectHeat::new(0.5);
+        assert_eq!(h.rate_per_min("x", 0), 0.0);
+        let s = 1_000_000_000u64;
+        // One fetch per second from rotating readers.
+        for i in 0..10u64 {
+            h.observe_fetch("x", (i % 3) as usize, i * s);
+        }
+        let rate = h.rate_per_min("x", 10 * s);
+        assert!(
+            (50.0..=70.0).contains(&rate),
+            "1/s steady fetching should read ≈60/min, got {rate}"
+        );
+        assert_eq!(h.fetches("x"), 10);
+        // Readers newest-first, deduplicated.
+        assert_eq!(h.recent_readers("x"), &[0, 2, 1]);
+        // A different object is untouched.
+        assert_eq!(h.rate_per_min("y", 10 * s), 0.0);
+    }
+
+    #[test]
+    fn object_heat_decays_with_silence() {
+        let mut h = ObjectHeat::new(0.5);
+        let s = 1_000_000_000u64;
+        for i in 0..10u64 {
+            h.observe_fetch("x", 0, i * s);
+        }
+        let hot = h.rate_per_min("x", 10 * s);
+        // Ten minutes of silence must cool the estimate without any
+        // further events — the decay cap, not the EWMA, answers.
+        let cold = h.rate_per_min("x", (10 + 600) * s);
+        assert!(
+            cold < 0.2,
+            "after 10 min idle, rate {cold} should be ≪ 1/min"
+        );
+        assert!(cold < hot / 100.0);
+        h.forget("x");
+        assert_eq!(h.fetches("x"), 0);
+    }
+
+    #[test]
+    fn single_fetch_reads_cold() {
+        let mut h = ObjectHeat::new(0.3);
+        h.observe_fetch("x", 1, 5_000_000_000);
+        assert_eq!(h.rate_per_min("x", 5_000_000_001), 0.0);
+        assert_eq!(h.recent_readers("x"), &[1]);
     }
 
     #[test]

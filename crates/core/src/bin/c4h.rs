@@ -41,6 +41,9 @@ fn main() {
     if env_knob("C4H_OVERLOAD").is_some_and(|v| v != 0.0) {
         config.overload.enabled = true;
     }
+    if env_knob("C4H_ADAPTIVE").is_some_and(|v| v != 0.0) {
+        config.adaptive.enabled = true;
+    }
     let mut home = Cloud4Home::new(config);
     println!(
         "cloud4home shell — {} nodes + cloud, seed {seed}. Type `help`.",

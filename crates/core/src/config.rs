@@ -249,6 +249,65 @@ impl Default for OverloadConfig {
     }
 }
 
+/// Adaptive-placement plane knobs: heat-driven replica counts, reader-local
+/// re-placement, and (k, m) erasure coding for cold bulk data.
+///
+/// With `enabled == false` (the default) the plane is completely inert —
+/// no heat is tracked, replica counts never move, nothing converts to
+/// erasure-coded form, and no RNG is drawn — so default-config runs stay
+/// byte-identical to builds that predate the plane (the same contract the
+/// overload plane keeps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Master switch for the whole plane.
+    pub enabled: bool,
+    /// Floor on the number of full copies the plane may shrink a cooling
+    /// object down to.
+    pub replication_min: usize,
+    /// Ceiling on the number of full copies the plane may grow a hot
+    /// object up to.
+    pub replication_max: usize,
+    /// EWMA smoothing factor for the per-object fetch-rate estimate.
+    pub heat_alpha: f64,
+    /// Fetch rate (fetches per minute of virtual time) at or above which
+    /// an object counts as hot and gains replicas toward recent readers.
+    pub hot_per_min: f64,
+    /// Fetch rate (fetches per minute) at or below which an object counts
+    /// as cold: replicas shrink toward `replication_min`, and large-enough
+    /// objects convert to erasure-coded stripes. Must stay below
+    /// `hot_per_min` so the two bands cannot overlap.
+    pub cold_per_min: f64,
+    /// Cadence of the adaptive placement pass, milliseconds of virtual
+    /// time (rounded up to the 500 ms runtime tick).
+    pub interval_ms: u64,
+    /// Cold objects of at least this many bytes convert from full copies
+    /// to (k, m) erasure-coded stripes. `0` keeps every object on full
+    /// copies (erasure coding off) while the rest of the plane still runs.
+    pub ec_threshold_bytes: u64,
+    /// Data stripes per erasure-coded object.
+    pub ec_k: usize,
+    /// Parity stripes per erasure-coded object: the object survives any
+    /// `ec_m` simultaneous stripe-holder losses.
+    pub ec_m: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            replication_min: 1,
+            replication_max: 3,
+            heat_alpha: 0.3,
+            hot_per_min: 4.0,
+            cold_per_min: 0.5,
+            interval_ms: 2_000,
+            ec_threshold_bytes: 1 << 20,
+            ec_k: 3,
+            ec_m: 2,
+        }
+    }
+}
+
 /// Complete home-cloud configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -325,6 +384,15 @@ pub struct Config {
     /// Overload-protection plane (admission control, load shedding, retry
     /// budgets, circuit breakers). Disabled by default.
     pub overload: OverloadConfig,
+    /// Adaptive-placement plane (heat-driven replication, reader-local
+    /// copies, erasure coding for cold bulk data). Disabled by default.
+    pub adaptive: AdaptiveConfig,
+    /// Anti-entropy sweep cadence, milliseconds of virtual time: a
+    /// low-cadence scan (piggybacked on the runtime tick) that re-checks
+    /// replicated objects for holders lost to failed straggler flows and
+    /// queues repairs, instead of waiting for an unrelated peer death to
+    /// trigger a full scan. `0` disables the sweep.
+    pub anti_entropy_ms: u64,
     /// Flight-recorder fault-ring depth: how many recent fault/lifecycle
     /// notes a post-mortem dump can carry.
     pub fault_ring: usize,
@@ -387,6 +455,8 @@ impl Config {
             health_sample_ms: 500,
             health_window_ms: 30_000,
             overload: OverloadConfig::default(),
+            adaptive: AdaptiveConfig::default(),
+            anti_entropy_ms: 10_000,
             fault_ring: 32,
             gauge_ring: 8,
             dump_cap: 16,
@@ -419,7 +489,16 @@ impl Config {
     /// - with the overload plane enabled: `shed_max_permille > 1000`,
     ///   `breaker_failures == 0`, a positive `admit_rate` with
     ///   `admit_burst == 0`, or a positive `retry_refill_per_sec` with
-    ///   `retry_budget == 0`.
+    ///   `retry_budget == 0`;
+    /// - with the adaptive plane enabled: a replication band that does not
+    ///   bracket the static factor (`replication_min ≤ replication ≤
+    ///   replication_max` must hold, with `replication_min ≥ 1`), `ec_k`
+    ///   or `ec_m` of 0 when erasure coding is on (`ec_threshold_bytes >
+    ///   0`), `ec_k + ec_m` beyond GF(256)'s 255 distinct rows or beyond
+    ///   the home-node count (stripes never leave the home cloud), a
+    ///   `heat_alpha` outside `(0, 1]`, a non-finite or negative heat
+    ///   threshold, a cold threshold at or above the hot threshold, or an
+    ///   `interval_ms` of 0.
     ///
     /// # Errors
     ///
@@ -481,6 +560,64 @@ impl Config {
             if o.retry_refill_per_sec > 0 && o.retry_budget == 0 {
                 return Err("retry_refill_per_sec without retry_budget capacity \
                      refills into a zero-size bucket"
+                    .into());
+            }
+        }
+        if self.adaptive.enabled {
+            let a = &self.adaptive;
+            if a.replication_min == 0 {
+                return Err("replication_min must be at least 1".into());
+            }
+            if !(a.replication_min <= self.replication && self.replication <= a.replication_max) {
+                return Err(format!(
+                    "adaptive replication band [{}, {}] must bracket replication {}",
+                    a.replication_min, a.replication_max, self.replication
+                ));
+            }
+            if a.ec_threshold_bytes > 0 {
+                if a.ec_k == 0 {
+                    return Err("ec_k must be at least 1 when erasure coding is on".into());
+                }
+                if a.ec_m == 0 {
+                    return Err(
+                        "ec_m must be at least 1 when erasure coding is on (0 parity \
+                         stripes protect nothing)"
+                            .into(),
+                    );
+                }
+                if a.ec_k + a.ec_m > 255 {
+                    return Err(format!(
+                        "ec_k {} + ec_m {} exceeds GF(256)'s 255 distinct code rows",
+                        a.ec_k, a.ec_m
+                    ));
+                }
+                if a.ec_k + a.ec_m > self.nodes.len() {
+                    return Err(format!(
+                        "ec_k {} + ec_m {} stripes need as many distinct home nodes \
+                         (have {})",
+                        a.ec_k,
+                        a.ec_m,
+                        self.nodes.len()
+                    ));
+                }
+            }
+            if !(a.heat_alpha > 0.0 && a.heat_alpha <= 1.0) {
+                return Err(format!("heat_alpha {} must be in (0, 1]", a.heat_alpha));
+            }
+            if !a.hot_per_min.is_finite()
+                || !a.cold_per_min.is_finite()
+                || a.cold_per_min < 0.0
+                || a.hot_per_min <= a.cold_per_min
+            {
+                return Err(format!(
+                    "heat thresholds must be finite with cold_per_min {} below \
+                     hot_per_min {}",
+                    a.cold_per_min, a.hot_per_min
+                ));
+            }
+            if a.interval_ms == 0 {
+                return Err("adaptive interval_ms of 0 would re-plan every tick; \
+                     disable the plane instead"
                     .into());
             }
         }
@@ -628,6 +765,92 @@ mod tests {
 
         // All of those knobs are ignored while the plane is off.
         c.overload.enabled = false;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_adaptive_band_outside_replication() {
+        let mut c = Config::paper_testbed(1);
+        c.adaptive.enabled = true;
+        assert_eq!(c.validate(), Ok(()), "defaults must be coherent");
+
+        // replication below the floor…
+        c.adaptive.replication_min = 2;
+        assert!(c.validate().unwrap_err().contains("bracket"));
+        c.adaptive.replication_min = 1;
+
+        // …or above the ceiling is rejected.
+        c.replication = 5;
+        c.adaptive.replication_max = 3;
+        assert!(c.validate().unwrap_err().contains("bracket"));
+        c.adaptive.replication_max = 5;
+        assert_eq!(c.validate(), Ok(()));
+
+        c.adaptive.replication_min = 0;
+        assert!(c.validate().unwrap_err().contains("replication_min"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_ec_shape() {
+        let mut c = Config::paper_testbed(1);
+        c.adaptive.enabled = true;
+
+        c.adaptive.ec_k = 0;
+        assert!(c.validate().unwrap_err().contains("ec_k"));
+        c.adaptive.ec_k = 3;
+
+        c.adaptive.ec_m = 0;
+        assert!(c.validate().unwrap_err().contains("ec_m"));
+        c.adaptive.ec_m = 2;
+
+        // More stripes than home nodes cannot all land on distinct nodes.
+        c.adaptive.ec_k = 5;
+        c.adaptive.ec_m = 2;
+        assert!(c.validate().unwrap_err().contains("distinct home nodes"));
+
+        // GF(256) runs out of rows past 255.
+        c.adaptive.ec_k = 200;
+        c.adaptive.ec_m = 56;
+        assert!(c.validate().unwrap_err().contains("GF(256)"));
+
+        // The threshold-0 sentinel turns erasure coding off and the shape
+        // knobs become inert.
+        c.adaptive.ec_threshold_bytes = 0;
+        c.adaptive.ec_k = 0;
+        c.adaptive.ec_m = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_incoherent_heat_knobs() {
+        let mut c = Config::paper_testbed(1);
+        c.adaptive.enabled = true;
+
+        c.adaptive.heat_alpha = 0.0;
+        assert!(c.validate().unwrap_err().contains("heat_alpha"));
+        c.adaptive.heat_alpha = 1.5;
+        assert!(c.validate().unwrap_err().contains("heat_alpha"));
+        c.adaptive.heat_alpha = 0.3;
+
+        // An inverted (or touching) hot/cold band can never classify.
+        c.adaptive.hot_per_min = 0.5;
+        c.adaptive.cold_per_min = 0.5;
+        assert!(c.validate().unwrap_err().contains("hot_per_min"));
+        c.adaptive.hot_per_min = f64::NAN;
+        assert!(c.validate().is_err());
+        c.adaptive.hot_per_min = 4.0;
+        c.adaptive.cold_per_min = 0.5;
+
+        c.adaptive.interval_ms = 0;
+        assert!(c.validate().unwrap_err().contains("interval_ms"));
+        c.adaptive.interval_ms = 2_000;
+        assert_eq!(c.validate(), Ok(()));
+
+        // Every adaptive knob is ignored while the plane is off.
+        c.adaptive.enabled = false;
+        c.adaptive.heat_alpha = -3.0;
+        c.adaptive.ec_k = 0;
+        c.adaptive.replication_min = 0;
         assert_eq!(c.validate(), Ok(()));
     }
 }

@@ -55,6 +55,7 @@
 mod adaptive;
 mod config;
 mod decision;
+mod ec;
 mod fault;
 mod health;
 mod object;
@@ -64,15 +65,18 @@ mod policy;
 mod report;
 mod runtime;
 
-pub use adaptive::{AdaptivePlacement, EwmaRate, PeerBandwidth};
+pub use adaptive::{AdaptivePlacement, EwmaRate, ObjectHeat, PeerBandwidth};
 pub use c4h_kvstore::Acl;
 pub use c4h_telemetry::{ArgValue, EventRec, Histogram, InstantRec, Recorder, Snapshot, SpanRec};
-pub use config::{CloudSpec, Config, NodeId, NodeSpec, OverloadConfig, ServiceKind, TimingConfig};
+pub use config::{
+    AdaptiveConfig, CloudSpec, Config, NodeId, NodeSpec, OverloadConfig, ServiceKind, TimingConfig,
+};
 pub use decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
+pub use ec::{gf_inv, gf_mul, ErasureCode};
 pub use fault::{FaultEvent, FaultPlan};
 pub use object::{synth_bytes, Blob, Object, SAMPLE_WINDOW};
 pub use ops::{ExecTarget, Placement};
 pub use overload::BreakerState;
-pub use policy::{PlacementClass, RoutePolicy, StorePolicy};
+pub use policy::{adaptive_action, AdaptiveAction, PlacementClass, RoutePolicy, StorePolicy};
 pub use report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
 pub use runtime::{ChurnError, Cloud4Home, RunStats};

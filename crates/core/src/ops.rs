@@ -24,12 +24,15 @@ use c4h_telemetry::ArgValue;
 
 use crate::config::{NodeId, ServiceKind};
 use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
+use crate::ec::ErasureCode;
 use crate::health::{attribute, PathRow};
 use crate::object::{Blob, Object, SAMPLE_WINDOW};
 use crate::overload::AdmitDecision;
 use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
 use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
-use crate::runtime::{Cloud4Home, FanoutJob, CLOUD_ADDR, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE};
+use crate::runtime::{
+    ec_stripe_name, Cloud4Home, FanoutJob, CLOUD_ADDR, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE,
+};
 
 /// Size of a command packet on the guest ↔ dom0 channel ("commands are
 /// usually less than 50 bytes").
@@ -232,6 +235,8 @@ pub(crate) struct Op {
     pub(crate) stripe_requests: BTreeMap<u64, StripeRequest>,
     /// Ranked holder pool the striped fetch may (re)assign stripes from.
     pub(crate) stripe_sources: Vec<usize>,
+    /// Decode plan of an erasure-coded fetch (`None` for plain fetches).
+    pub(crate) ec_plan: Option<EcPlan>,
     /// Stripes this fetch was split into.
     pub(crate) stripes_total: u32,
     /// Stripes whose bytes have fully arrived.
@@ -296,6 +301,7 @@ impl Op {
             stripe_flows: BTreeMap::new(),
             stripe_requests: BTreeMap::new(),
             stripe_sources: Vec::new(),
+            ec_plan: None,
             stripes_total: 0,
             stripes_done: 0,
             partial_replication: 0,
@@ -366,6 +372,23 @@ pub(crate) struct StripeFlight {
     pub(crate) started: SimTime,
     /// Whether this is the hedged (re-issued) copy of its stripe.
     pub(crate) hedge: bool,
+}
+
+/// The decode plan of an erasure-coded fetch: which code rows the `k`
+/// stripe slots are reading and who holds each row. Present on an op only
+/// while a coded read is in flight; the stripe machinery branches on it.
+#[derive(Debug, Clone)]
+pub(crate) struct EcPlan {
+    /// Data shards needed to decode.
+    pub(crate) k: u32,
+    /// Bytes per stripe (the cost model charges every row this much).
+    pub(crate) stripe_len: u64,
+    /// Node index holding each code row (`None` = key resolves to no
+    /// known node).
+    pub(crate) row_holders: Vec<Option<usize>>,
+    /// The code row each stripe slot `0..k` is currently reading; a slot
+    /// whose row is lost re-points here at a spare parity row.
+    pub(crate) slot_rows: Vec<u32>,
 }
 
 /// A stripe's control request + holder disk read still in progress.
@@ -930,6 +953,13 @@ impl Cloud4Home {
                 }
             }
         }
+        // Heat tracking: each successful fetch feeds the per-object rate
+        // EWMA and reader history that the adaptive placement pass steers
+        // replica counts and placement by.
+        if self.config.adaptive.enabled && op.kind == "fetch" && outcome.is_ok() {
+            self.object_heat
+                .observe_fetch(&op.name, op.client, now.as_nanos());
+        }
         let report = OpReport {
             id: op.id,
             kind: op.kind,
@@ -1242,6 +1272,16 @@ impl Cloud4Home {
                 {
                     let el = self.phase(op);
                     op.breakdown.inter_node += el;
+                }
+                // With the adaptive plane on, the object may have changed
+                // shape while this op was backing off (converted to coded
+                // stripes, replicas re-placed); the snapshot in `op.meta`
+                // — and any cached copy of the record — can be stale, so
+                // re-read the authoritative metadata before retrying.
+                if self.config.adaptive.enabled {
+                    op.stage = Stage::FetchMetaGet;
+                    self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                    return None;
                 }
                 // Re-derive the candidate set: a holder may have rejoined
                 // or the partition healed since the last attempt.
@@ -2026,12 +2066,30 @@ impl Cloud4Home {
             acl: object.acl.clone(),
             created_at_ns: self.now().as_nanos(),
             replicas: op.replicas_done.clone(),
+            ec: None,
         };
+        if self.config.adaptive.enabled {
+            // A re-store supersedes any erasure-coded form of the same
+            // name; scrub stale stripes so readers never decode old bytes.
+            self.ec_scrub(&meta.name);
+        }
         // Index replicated home objects for the background repair daemon.
-        if self.config.replication > 1 && matches!(meta.location, Location::Home { .. }) {
-            self.replica_meta.insert(meta.name.clone(), meta.clone());
+        // With the adaptive plane on, single-copy home objects are indexed
+        // too: the heat pass walks this index to grow, shrink, or convert
+        // them.
+        if (self.config.replication > 1 || self.config.adaptive.enabled)
+            && matches!(meta.location, Location::Home { .. })
+        {
+            self.replica_meta_insert(meta.name.clone(), meta.clone());
+            // A store that lost replica flights publishes short; hand the
+            // shortfall to the repair daemon now instead of hoping an
+            // unrelated peer death triggers a scan that happens to cover
+            // this object.
+            if op.partial_replication > 0 {
+                self.maybe_repair(&meta.name);
+            }
         } else {
-            self.replica_meta.remove(&meta.name);
+            self.replica_meta_remove(&meta.name);
         }
         op.meta = Some(meta.clone());
         self.phase(op);
@@ -2079,6 +2137,11 @@ impl Cloud4Home {
 
     fn fetch_route_to_owner(&mut self, op: &mut Op, meta: ObjectMeta) -> StepOutcome {
         op.meta = Some(meta.clone());
+        // An erasure-coded object has no full copy anywhere: the read is
+        // k concurrent stripe pulls plus a decode, not a holder fetch.
+        if meta.ec.is_some() {
+            return self.fetch_begin_ec(op);
+        }
         match meta.location {
             Location::Home { node } => {
                 // Candidate holders: the primary owner and every replica,
@@ -2444,9 +2507,15 @@ impl Cloud4Home {
     /// fetches) find no entry and are inert.
     fn stripe_request_done(&mut self, op: &mut Op, token: u64) -> StepOutcome {
         let req = op.stripe_requests.remove(&token)?;
+        // The bytes a holder serves: the object itself, or — on a coded
+        // read — the stripe of the code row this slot is assigned to.
+        let want = match &op.ec_plan {
+            Some(plan) => ec_stripe_name(&op.name, plan.slot_rows[req.stripe as usize]),
+            None => op.name.clone(),
+        };
         if !self.nodes[req.holder].alive
             || !self.node_reachable(op.client, req.holder)
-            || !self.nodes[req.holder].objects.contains_key(&op.name)
+            || !self.nodes[req.holder].objects.contains_key(&want)
         {
             return self.stripe_reassign(
                 op,
@@ -2539,6 +2608,9 @@ impl Cloud4Home {
             let el = self.phase(op);
             op.breakdown.inter_node += el;
         }
+        if op.ec_plan.is_some() {
+            return self.ec_decode_finish(op);
+        }
         if op.staged.is_none() {
             // Home stripes: stage the bytes from any surviving holder
             // (cloud stripes staged them at the S3 get).
@@ -2567,6 +2639,11 @@ impl Cloud4Home {
     fn stripe_maybe_hedge(&mut self, op: &mut Op) {
         let factor = self.config.fetch_hedge;
         if factor <= 0.0 {
+            return;
+        }
+        if op.ec_plan.is_some() {
+            // Coded reads have no second copy of a row to race; a slow
+            // row is handled by reassignment to a spare parity row.
             return;
         }
         // The slowest unhedged home stripe by predicted remaining seconds.
@@ -2690,6 +2767,11 @@ impl Cloud4Home {
         bytes: u64,
         why: &str,
     ) -> StepOutcome {
+        if op.ec_plan.is_some() {
+            // Coded reads substitute rows, not holders: the slot re-points
+            // at a spare parity row instead of re-pulling the same bytes.
+            return self.ec_slot_reassign(op, stripe, why);
+        }
         let covered = op.stripe_flows.values().any(|f| f.stripe == stripe)
             || op.stripe_requests.values().any(|r| r.stripe == stripe);
         if covered {
@@ -2773,6 +2855,241 @@ impl Cloud4Home {
         );
     }
 
+    // ------------------------------------------------------------------
+    // Erasure-coded fetch (decode read path)
+    // ------------------------------------------------------------------
+
+    /// Whether code row `row` of `name` can serve a stripe read for
+    /// `client` right now: holder resolved, alive, reachable, still
+    /// holding the stripe, path breaker not open.
+    fn ec_row_viable(&self, client: usize, name: &str, holder: Option<usize>, row: u32) -> bool {
+        let now_ns = self.now().as_nanos();
+        holder.is_some_and(|j| {
+            self.nodes[j].alive
+                && self.node_reachable(client, j)
+                && self.nodes[j]
+                    .objects
+                    .contains_key(&ec_stripe_name(name, row))
+                && !self
+                    .overload
+                    .breaker_would_block(self.nodes[j].addr.raw(), now_ns)
+        })
+    }
+
+    /// Routes a fetch of an erasure-coded object: pick `k` viable code
+    /// rows (fastest holders first), pull each as one concurrent stripe,
+    /// and decode when they all land. Fewer than `k` viable rows means
+    /// the object is momentarily unreadable — back off and retry like the
+    /// replicated path does (a repair may restore rows, or holders
+    /// rejoin).
+    fn fetch_begin_ec(&mut self, op: &mut Op) -> StepOutcome {
+        let layout = op
+            .meta
+            .as_ref()
+            .and_then(|m| m.ec.clone())
+            .expect("caller checked meta.ec");
+        let k = layout.k as usize;
+        let stripe_len = layout.stripe_len;
+        let row_holders: Vec<Option<usize>> = layout
+            .holders
+            .iter()
+            .map(|&key| self.node_index(key))
+            .collect();
+        let mut viable: Vec<u32> = (0..row_holders.len() as u32)
+            .filter(|&r| self.ec_row_viable(op.client, &op.name, row_holders[r as usize], r))
+            .collect();
+        if viable.len() < k {
+            return self.ec_fetch_backoff(op);
+        }
+        // The k fastest rows by the holder's bandwidth class; row order
+        // breaks ties, so on a uniform LAN the data rows are read first
+        // and the decode is a plain reassembly.
+        viable.sort_by_key(|&r| {
+            let j = row_holders[r as usize].expect("viable rows resolved");
+            (-self.peer_bw.class(self.nodes[j].addr.raw()), r)
+        });
+        viable.truncate(k);
+        let slot_rows = viable;
+        self.stats.striped_fetches += 1;
+        self.telemetry.instant_args(
+            "op",
+            "fetch.ec_plan",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("k", ArgValue::from(u64::from(layout.k))),
+                ("m", ArgValue::from(u64::from(layout.m))),
+                ("stripe_len", ArgValue::from(stripe_len)),
+            ],
+        );
+        self.phase(op);
+        op.stage = Stage::FetchStriped;
+        op.fetch_candidates.clear();
+        op.stripe_sources.clear();
+        op.stripes_total = k as u32;
+        op.stripes_done = 0;
+        op.ec_plan = Some(EcPlan {
+            k: layout.k,
+            stripe_len,
+            row_holders: row_holders.clone(),
+            slot_rows: slot_rows.clone(),
+        });
+        for (slot, &row) in slot_rows.iter().enumerate() {
+            let holder = row_holders[row as usize].expect("viable rows resolved");
+            self.stripe_issue_request(
+                op,
+                slot as u32,
+                holder,
+                u64::from(row) * stripe_len,
+                stripe_len,
+                false,
+            );
+        }
+        None
+    }
+
+    /// Too few live stripe holders to decode: back off and retry until
+    /// the deadline (a rebuild may restore rows, or holders rejoin),
+    /// failing with [`OpError::StripesLost`] once the retry budget or
+    /// deadline runs out.
+    fn ec_fetch_backoff(&mut self, op: &mut Op) -> StepOutcome {
+        op.ec_plan = None;
+        let remaining = op
+            .deadline
+            .checked_duration_since(self.now())
+            .unwrap_or_default();
+        if remaining.is_zero() {
+            return Some(Err(OpError::StripesLost(op.name.clone())));
+        }
+        if !self.retry_budget_take(op.client, "fetch", &op.name) {
+            return Some(Err(OpError::StripesLost(op.name.clone())));
+        }
+        let wait = op
+            .backoff
+            .mul_f64(self.rng.jitter_factor(BACKOFF_JITTER))
+            .min(remaining)
+            .max(Duration::from_millis(1));
+        op.backoff = op.backoff.saturating_mul(2).min(MAX_FETCH_BACKOFF);
+        self.phase(op);
+        op.stage = Stage::FetchRetry;
+        self.wake_in(op.id, wait);
+        None
+    }
+
+    /// One stripe slot of a coded read lost its source. Re-point the slot
+    /// at a spare viable code row (one no slot is reading); with none
+    /// left the decode cannot finish — the remaining slots are dropped
+    /// and the fetch backs off.
+    fn ec_slot_reassign(&mut self, op: &mut Op, slot: u32, why: &str) -> StepOutcome {
+        let covered = op.stripe_flows.values().any(|f| f.stripe == slot)
+            || op.stripe_requests.values().any(|r| r.stripe == slot);
+        if covered {
+            return None;
+        }
+        op.failovers += 1;
+        self.stats.fetch_failovers += 1;
+        self.telemetry.instant_args(
+            "op",
+            "fetch.failover",
+            op.id.0,
+            self.now().as_nanos(),
+            vec![
+                ("object", ArgValue::from(op.name.as_str())),
+                ("stripe", ArgValue::from(u64::from(slot))),
+            ],
+        );
+        let (row_holders, slot_rows, stripe_len) = {
+            let plan = op.ec_plan.as_ref().expect("caller checked ec_plan");
+            (
+                plan.row_holders.clone(),
+                plan.slot_rows.clone(),
+                plan.stripe_len,
+            )
+        };
+        let spare = (0..row_holders.len() as u32)
+            .filter(|r| !slot_rows.contains(r))
+            .find(|&r| self.ec_row_viable(op.client, &op.name, row_holders[r as usize], r));
+        match spare {
+            Some(row) => {
+                let holder = row_holders[row as usize].expect("viable row resolved");
+                op.ec_plan.as_mut().expect("checked above").slot_rows[slot as usize] = row;
+                self.telemetry.instant_args(
+                    "op",
+                    "fetch.stripe_reassign",
+                    op.id.0,
+                    self.now().as_nanos(),
+                    vec![
+                        ("object", ArgValue::from(op.name.as_str())),
+                        ("stripe", ArgValue::from(u64::from(slot))),
+                        ("row", ArgValue::from(u64::from(row))),
+                        ("via", ArgValue::from(self.nodes[holder].name.as_str())),
+                        ("why", ArgValue::from(why)),
+                    ],
+                );
+                self.stripe_issue_request(
+                    op,
+                    slot,
+                    holder,
+                    u64::from(row) * stripe_len,
+                    stripe_len,
+                    false,
+                );
+                None
+            }
+            None => {
+                let flows: Vec<FlowId> = op.stripe_flows.keys().copied().collect();
+                for flow in flows {
+                    self.stripe_drop_flow(op, flow);
+                }
+                op.stripe_requests.clear();
+                op.stripes_total = 0;
+                op.stripes_done = 0;
+                self.ec_fetch_backoff(op)
+            }
+        }
+    }
+
+    /// Every stripe slot landed: gather the `k` shard byte windows from
+    /// their holders, invert the code, and verify the decode against the
+    /// original staged at conversion time before handing the object to
+    /// the client channel.
+    fn ec_decode_finish(&mut self, op: &mut Op) -> StepOutcome {
+        let plan = op.ec_plan.take().expect("caller checked ec_plan");
+        let k = plan.k as usize;
+        let code = ErasureCode::new(k, plan.row_holders.len() - k);
+        let mut survivors: Vec<(usize, Vec<u8>)> = Vec::with_capacity(k);
+        for &row in &plan.slot_rows {
+            let shard = plan.row_holders[row as usize]
+                .filter(|&j| self.nodes[j].alive)
+                .and_then(|j| self.nodes[j].objects.get(&ec_stripe_name(&op.name, row)))
+                .map(|b| b.sample(usize::MAX));
+            match shard {
+                Some(s) => survivors.push((row as usize, s)),
+                // A holder vanished in the final instant; re-plan.
+                None => return self.ec_fetch_backoff(op),
+            }
+        }
+        let Some(original) = self.ec_originals.get(&op.name).cloned() else {
+            // The conversion registry lost the object (deleted or
+            // re-stored mid-fetch); the stripes alone cannot serve it.
+            return Some(Err(OpError::StripesLost(op.name.clone())));
+        };
+        let window = original.sample(SAMPLE_WINDOW);
+        let refs: Vec<(usize, &[u8])> = survivors.iter().map(|(r, s)| (*r, s.as_slice())).collect();
+        let decoded = code
+            .reconstruct_data(&refs)
+            .map(|shards| code.assemble(&shards, window.len()));
+        match decoded {
+            Some(bytes) if bytes == window => {
+                self.telemetry.add("fetch.ec_decodes", 1);
+                op.staged = Some(original);
+                self.fetch_channel_out(op)
+            }
+            _ => Some(Err(OpError::StripesLost(op.name.clone()))),
+        }
+    }
+
     /// Removes the deleted object's bytes from its bin or bucket, charging
     /// the appropriate access costs.
     fn delete_remove_bytes(&mut self, op: &mut Op) -> StepOutcome {
@@ -2785,7 +3102,11 @@ impl Cloud4Home {
                 self.nodes[j].bins.remove(&op.name);
             }
         }
-        self.replica_meta.remove(&op.name);
+        if self.config.adaptive.enabled {
+            self.ec_scrub(&op.name);
+            self.object_heat.forget(&op.name);
+        }
+        self.replica_meta_remove(&op.name);
         match &meta.location {
             Location::Home { node } => {
                 let Some(owner) = self.node_index(*node).filter(|&j| self.nodes[j].alive) else {
@@ -3120,7 +3441,7 @@ impl Cloud4Home {
                         .retain(|k| self.node_index(*k).is_none_or(|j| self.nodes[j].alive));
                     meta.location = Location::Home { node: owner_key };
                     if self.replica_meta.contains_key(&meta.name) {
-                        self.replica_meta.insert(meta.name.clone(), meta.clone());
+                        self.replica_meta_insert(meta.name.clone(), meta.clone());
                     }
                     self.publish_meta_background(op.client, meta.clone());
                 } else {

@@ -83,6 +83,48 @@ impl StorePolicy {
     }
 }
 
+/// What the adaptive placement pass should do with one object this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveAction {
+    /// Heat sits between the bands (or the object is already where its
+    /// band wants it): leave placement alone.
+    Hold,
+    /// Hot and below the ceiling: add one full copy toward recent readers.
+    Grow,
+    /// Cold and above the floor: drop one full copy.
+    Shrink,
+    /// Cold, at the floor, and big enough to be worth striping: convert
+    /// the full copies to (k, m) erasure-coded stripes.
+    Erasure,
+}
+
+/// Derives the adaptive action for one fully-replicated object from its
+/// decayed fetch heat, current copy count, and size. Pure, so the band
+/// semantics are testable without a runtime: one step per pass (grow and
+/// shrink move by a single copy, letting the EWMA re-observe between
+/// steps), and erasure conversion only fires once shrinking has already
+/// reached the floor — a cooling object walks down the band before it
+/// gives up its full copies.
+pub fn adaptive_action(
+    rate_per_min: f64,
+    copies: usize,
+    size_bytes: u64,
+    cfg: &crate::config::AdaptiveConfig,
+) -> AdaptiveAction {
+    if rate_per_min >= cfg.hot_per_min && copies < cfg.replication_max {
+        return AdaptiveAction::Grow;
+    }
+    if rate_per_min <= cfg.cold_per_min {
+        if copies > cfg.replication_min {
+            return AdaptiveAction::Shrink;
+        }
+        if cfg.ec_threshold_bytes > 0 && size_bytes >= cfg.ec_threshold_bytes {
+            return AdaptiveAction::Erasure;
+        }
+    }
+    AdaptiveAction::Hold
+}
+
 /// The decision policy for routing process requests
 /// (`chimeraGetDecision`'s `policy` parameter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -170,5 +212,37 @@ mod tests {
     #[test]
     fn route_policy_default_is_performance() {
         assert_eq!(RoutePolicy::default(), RoutePolicy::Performance);
+    }
+
+    #[test]
+    fn adaptive_bands_grow_shrink_and_convert() {
+        let cfg = crate::config::AdaptiveConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        // Defaults: min 1, max 3, hot ≥ 4/min, cold ≤ 0.5/min, EC ≥ 1 MiB.
+        let small = 64 << 10;
+        let big = 4 << 20;
+
+        // Hot objects grow until the ceiling, one copy per pass.
+        assert_eq!(adaptive_action(10.0, 1, small, &cfg), AdaptiveAction::Grow);
+        assert_eq!(adaptive_action(10.0, 2, small, &cfg), AdaptiveAction::Grow);
+        assert_eq!(adaptive_action(10.0, 3, small, &cfg), AdaptiveAction::Hold);
+
+        // Lukewarm heat holds everywhere in the band.
+        assert_eq!(adaptive_action(2.0, 1, big, &cfg), AdaptiveAction::Hold);
+        assert_eq!(adaptive_action(2.0, 3, big, &cfg), AdaptiveAction::Hold);
+
+        // Cold objects walk down to the floor before converting.
+        assert_eq!(adaptive_action(0.1, 3, big, &cfg), AdaptiveAction::Shrink);
+        assert_eq!(adaptive_action(0.1, 2, big, &cfg), AdaptiveAction::Shrink);
+        assert_eq!(adaptive_action(0.1, 1, big, &cfg), AdaptiveAction::Erasure);
+        // Small cold objects at the floor just stay on full copies.
+        assert_eq!(adaptive_action(0.1, 1, small, &cfg), AdaptiveAction::Hold);
+
+        // The threshold-0 sentinel disables conversion entirely.
+        let mut no_ec = cfg.clone();
+        no_ec.ec_threshold_bytes = 0;
+        assert_eq!(adaptive_action(0.1, 1, big, &no_ec), AdaptiveAction::Hold);
     }
 }

@@ -87,6 +87,9 @@ pub enum OpError {
     /// SLO-driven shed controller dropped it). Rejected operations fail
     /// fast instead of queueing toward the 60 s deadline.
     Overloaded(String),
+    /// An erasure-coded object has fewer than `k` stripe holders alive, so
+    /// the original bytes cannot be decoded until a repair restores them.
+    StripesLost(String),
 }
 
 impl std::fmt::Display for OpError {
@@ -101,6 +104,9 @@ impl std::fmt::Display for OpError {
             OpError::Timeout(n) => write!(f, "operation on {n} timed out"),
             OpError::ExecutorFailed(n) => write!(f, "every executor for {n} failed"),
             OpError::Overloaded(n) => write!(f, "operation on {n} shed by overload control"),
+            OpError::StripesLost(n) => {
+                write!(f, "too few surviving stripes to decode {n}")
+            }
         }
     }
 }
@@ -118,6 +124,7 @@ impl OpError {
             OpError::Timeout(_) => "Timeout",
             OpError::ExecutorFailed(_) => "ExecutorFailed",
             OpError::Overloaded(_) => "Overloaded",
+            OpError::StripesLost(_) => "StripesLost",
         }
     }
 }
@@ -337,6 +344,7 @@ mod tests {
             "OwnerUnreachable"
         );
         assert_eq!(OpError::Overloaded("x".into()).label(), "Overloaded");
+        assert_eq!(OpError::StripesLost("x".into()).label(), "StripesLost");
     }
 
     #[test]

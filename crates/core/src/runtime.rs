@@ -19,8 +19,8 @@ use std::time::Duration;
 use c4h_chimera::{ChimeraNode, DhtEvent, Envelope, Key, OverwritePolicy, ReqId};
 use c4h_cloud::{Ec2Fleet, S3Store};
 use c4h_kvstore::{
-    node_resource_key, object_key, service_key, Location, ObjectMeta, Record, ResourceRecord,
-    ServiceRecord,
+    node_resource_key, object_key, service_key, stripe_checksum, stripe_key, EcLayout, Location,
+    ObjectMeta, Record, ResourceRecord, ServiceRecord, StripeRecord,
 };
 use c4h_resources::{Bin, BinWatcher, ResourceMonitor, ResourceSampler, SamplerConfig};
 use c4h_services::{
@@ -33,13 +33,15 @@ use c4h_simnet::{
 use c4h_telemetry::{ArgValue, Recorder, SpanId};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
 
-use crate::adaptive::PeerBandwidth;
+use crate::adaptive::{ObjectHeat, PeerBandwidth};
 use crate::config::{Config, NodeId, ServiceKind};
+use crate::ec::ErasureCode;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::health::HealthPlane;
-use crate::object::{synth_bytes, Blob};
+use crate::object::{synth_bytes, Blob, SAMPLE_WINDOW};
 use crate::ops::{Op, OpInput};
 use crate::overload::OverloadPlane;
+use crate::policy::{adaptive_action, AdaptiveAction};
 use crate::report::{OpId, OpReport};
 
 /// Address offset of the cloud site endpoint.
@@ -254,6 +256,47 @@ pub(crate) struct RepairJob {
     pub(crate) span: SpanId,
 }
 
+/// The per-holder object name a code row's stripe is stored under.
+pub(crate) fn ec_stripe_name(name: &str, row: u32) -> String {
+    format!("{name}.ec{row}")
+}
+
+/// A full-copy → erasure-coded conversion in flight: the owner encoded the
+/// object into `k + m` shards, installed its own row locally, and is
+/// shipping the remaining rows to their holders. Full copies are stripped
+/// only once every row has landed, so an aborted conversion leaves the
+/// object exactly as replicated as before.
+#[derive(Debug, Clone)]
+pub(crate) struct EcConvert {
+    /// The object's home node (source of every stripe transfer).
+    pub(crate) owner: usize,
+    /// The target layout being installed.
+    pub(crate) layout: EcLayout,
+    /// Encoded shard bytes in row order (data rows then parity).
+    pub(crate) stripes: Vec<Vec<u8>>,
+    /// Outstanding stripe transfers: flow → code row.
+    pub(crate) pending: BTreeMap<FlowId, u32>,
+    /// Rows already installed on their holders.
+    pub(crate) installed: Vec<u32>,
+}
+
+/// A lost-stripe rebuild in flight: the destination is pulling `k`
+/// surviving stripes, and re-derives the lost row from them once all have
+/// arrived.
+#[derive(Debug, Clone)]
+pub(crate) struct EcRepair {
+    /// The erasure-coded object being repaired.
+    pub(crate) name: String,
+    /// The lost code row being rebuilt.
+    pub(crate) row: u32,
+    /// Destination node index (the row's new holder).
+    pub(crate) dst: usize,
+    /// Outstanding survivor-stripe transfers: flow → survivor row.
+    pub(crate) pending: BTreeMap<FlowId, u32>,
+    /// Survivor rows whose stripes have arrived.
+    pub(crate) arrived: Vec<u32>,
+}
+
 /// One simulated Cloud4Home deployment.
 ///
 /// # Examples
@@ -298,8 +341,21 @@ pub struct Cloud4Home {
     /// Per-node gray-failure processing-delay multiplier (1.0 = healthy).
     pub(crate) slow_factor: Vec<f64>,
     /// Metadata of replicated home objects, indexed for the repair daemon.
-    /// `BTreeMap` so repair scans are deterministic.
+    /// `BTreeMap` so repair scans are deterministic. Mutate only through
+    /// [`Self::replica_meta_insert`] / [`Self::replica_meta_remove`] so the
+    /// holder index below stays in sync.
     pub(crate) replica_meta: BTreeMap<String, ObjectMeta>,
+    /// Inverse index: holder key → names of replicated objects it holds a
+    /// copy of. Lets a peer-failure scan visit only the dead peer's
+    /// objects instead of every entry in `replica_meta`. Keyed access
+    /// only; the per-holder `BTreeSet` keeps scan order deterministic.
+    pub(crate) holder_index: FxHashMap<Key, BTreeSet<String>>,
+    /// How many objects repair scans have visited (`maybe_repair` calls);
+    /// exposed so tests can assert scan narrowing.
+    pub(crate) repair_scan_visits: u64,
+    /// Next instant the anti-entropy sweep may run (piggybacks on the
+    /// runtime tick).
+    next_anti_entropy: SimTime,
     /// Background re-replication transfers keyed by their flow.
     pub(crate) repair_flows: FxHashMap<FlowId, RepairJob>,
     /// Detached store fan-out transfers keyed by their flow.
@@ -315,6 +371,30 @@ pub struct Cloud4Home {
     /// Per-peer bandwidth estimates (keyed by raw address) learned from
     /// completed transfers; drives fetch source ranking and hedging.
     pub(crate) peer_bw: PeerBandwidth,
+    /// Per-object fetch-heat tracker feeding the adaptive placement pass.
+    /// Only populated when `config.adaptive.enabled`.
+    pub(crate) object_heat: ObjectHeat,
+    /// Original blobs of erasure-coded objects: the stripes cover the
+    /// content sample window, so the logical object handed back to a
+    /// decoding fetch (and verified against the decode) is staged here.
+    /// `BTreeMap` for deterministic iteration.
+    pub(crate) ec_originals: BTreeMap<String, Blob>,
+    /// In-flight full-copy → stripe conversions, keyed by object name.
+    pub(crate) ec_converts: BTreeMap<String, EcConvert>,
+    /// Conversion stripe transfers: flow → converting object. Keyed access
+    /// only, so `HashMap` ordering cannot perturb determinism.
+    pub(crate) ec_convert_flows: FxHashMap<FlowId, String>,
+    /// In-flight lost-stripe rebuilds, keyed by job id (`BTreeMap` so
+    /// scrub-time scans are deterministic).
+    pub(crate) ec_repairs: BTreeMap<u64, EcRepair>,
+    /// Rebuild survivor transfers: flow → rebuild job id. Keyed access
+    /// only.
+    pub(crate) ec_repair_flows: FxHashMap<FlowId, u64>,
+    /// Next lost-stripe rebuild job id.
+    next_ec_repair: u64,
+    /// Next instant the adaptive placement pass may run (piggybacks on
+    /// the runtime tick, like anti-entropy).
+    next_adaptive: SimTime,
     /// The deployment-wide telemetry collector; clones of this handle live
     /// in the flow network and every overlay node.
     pub(crate) telemetry: Recorder,
@@ -473,6 +553,9 @@ impl Cloud4Home {
             ge_chains: FxHashMap::default(),
             slow_factor,
             replica_meta: BTreeMap::new(),
+            holder_index: FxHashMap::default(),
+            repair_scan_visits: 0,
+            next_anti_entropy: SimTime::ZERO,
             repair_flows: FxHashMap::default(),
             fanout_flows: FxHashMap::default(),
             flow_scratch: Vec::new(),
@@ -481,6 +564,14 @@ impl Cloud4Home {
             // rank equal, so candidate order matches the metadata until
             // real transfers are observed.
             peer_bw: PeerBandwidth::new(10.3e6, 0.3),
+            object_heat: ObjectHeat::new(config.adaptive.heat_alpha),
+            ec_originals: BTreeMap::new(),
+            ec_converts: BTreeMap::new(),
+            ec_convert_flows: FxHashMap::default(),
+            ec_repairs: BTreeMap::new(),
+            ec_repair_flows: FxHashMap::default(),
+            next_ec_repair: 0,
+            next_adaptive: SimTime::ZERO,
             telemetry,
             health: HealthPlane::new(&config),
             overload: OverloadPlane::new(&config),
@@ -1028,6 +1119,77 @@ impl Cloud4Home {
         self.nodes[id.0].objects.len()
     }
 
+    /// Bytes currently occupying a node's storage bins (mandatory plus
+    /// voluntary). Summed across nodes this is the deployment's physical
+    /// footprint — the numerator of the storage-overhead experiments.
+    pub fn stored_bytes(&self, id: NodeId) -> u64 {
+        let bins = &self.nodes[id.0].bins;
+        bins.used_bytes(Bin::Mandatory) + bins.used_bytes(Bin::Voluntary)
+    }
+
+    /// How many objects the repair daemon's scans have visited in total.
+    /// Peer-failure scans are proportional to the dead peer's holdings,
+    /// not the deployment's object count; tests assert that narrowing
+    /// here.
+    pub fn repair_scan_visits(&self) -> u64 {
+        self.repair_scan_visits
+    }
+
+    /// Bandwidth samples observed for transfers from a node's address.
+    /// Zero for an untrained (or crash-reset) peer, whose estimate sits
+    /// at the prior.
+    pub fn peer_bw_samples(&self, id: NodeId) -> u64 {
+        self.peer_bw.samples(self.nodes[id.0].addr.raw())
+    }
+
+    /// Whether `name` is currently stored as erasure-coded stripes
+    /// rather than full copies.
+    pub fn is_erasure_coded(&self, name: &str) -> bool {
+        self.replica_meta
+            .get(name)
+            .is_some_and(|meta| meta.ec.is_some())
+    }
+
+    /// The stripe holders of an erasure-coded object, in code-row order
+    /// (empty when `name` is not erasure-coded or unknown).
+    pub fn stripe_holders(&self, name: &str) -> Vec<NodeId> {
+        self.replica_meta
+            .get(name)
+            .and_then(|meta| meta.ec.as_ref())
+            .map(|layout| {
+                layout
+                    .holders
+                    .iter()
+                    .filter_map(|&key| self.node_index(key).map(NodeId))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Live nodes currently holding a full copy of `name`'s bytes (the
+    /// home primary plus replicas), per the repair daemon's index.
+    pub fn live_copies(&self, name: &str) -> usize {
+        let Some(meta) = self.replica_meta.get(name) else {
+            return 0;
+        };
+        let mut holders: Vec<usize> = Vec::new();
+        let primary = match meta.location {
+            Location::Home { node } => Some(node),
+            _ => None,
+        };
+        for key in primary.into_iter().chain(meta.replicas.iter().copied()) {
+            if let Some(j) = self.node_index(key) {
+                if self.nodes[j].alive
+                    && self.nodes[j].objects.contains_key(name)
+                    && !holders.contains(&j)
+                {
+                    holders.push(j);
+                }
+            }
+        }
+        holders.len()
+    }
+
     /// Whether a node is currently up (not crashed by a fault plan).
     ///
     /// # Panics
@@ -1132,13 +1294,20 @@ impl Cloud4Home {
         }
         let why = format!("transfer peer {} crashed", self.nodes[id.0].name);
         self.abort_flows(|src, dst| src == addr || dst == addr, &why);
+        // A rejoined instance starts cold: bandwidth observed before the
+        // crash says nothing about the machine that comes back, so the
+        // EWMA entry reverts to the prior instead of ranking the ghost.
+        self.peer_bw.reset(addr.raw());
         self.ensure_tick();
     }
 
     /// Cancels every in-flight bulk transfer whose endpoints satisfy `cut`,
     /// rerouting the operations that were waiting on them. Repair transfers
-    /// crossing the cut are silently dropped (the daemon retries on the
-    /// next failure notification).
+    /// crossing the cut are dropped (the daemon retries on the next failure
+    /// notification or anti-entropy sweep); severed fan-out stragglers
+    /// route their object straight back into the repair daemon — their
+    /// destination never became a holder, so no peer-failure scan would
+    /// ever find the shortfall.
     fn abort_flows(&mut self, cut: impl Fn(Addr, Addr) -> bool, why: &str) {
         let mut dead_flows: Vec<FlowId> = self
             .flow_endpoints
@@ -1149,6 +1318,9 @@ impl Cloud4Home {
         // `flow_endpoints` is a HashMap; sort so the abort order (and thus
         // every downstream RNG draw) is deterministic.
         dead_flows.sort();
+        let mut orphaned: Vec<String> = Vec::new();
+        let mut dead_converts: Vec<String> = Vec::new();
+        let mut dead_ec_repairs: Vec<u64> = Vec::new();
         for flow in dead_flows {
             self.net.cancel(flow);
             self.flow_endpoints.remove(&flow);
@@ -1165,9 +1337,42 @@ impl Cloud4Home {
                     self.now().as_nanos(),
                     vec![("installed", ArgValue::from(false))],
                 );
+                orphaned.push(job.name);
+            }
+            if let Some(name) = self.ec_convert_flows.remove(&flow) {
+                dead_converts.push(name);
+            }
+            if let Some(id) = self.ec_repair_flows.remove(&flow) {
+                dead_ec_repairs.push(id);
             }
             if let Some(op) = self.flow_waiters.remove(&flow) {
                 self.transfer_failed(op, flow, why);
+            }
+        }
+        for name in orphaned {
+            self.maybe_repair(&name);
+        }
+        // A conversion losing any stripe transfer aborts whole: the object
+        // still has its full copies, so nothing of value is lost.
+        dead_converts.sort();
+        dead_converts.dedup();
+        for name in dead_converts {
+            if let Some(conv) = self.ec_converts.remove(&name) {
+                self.ec_convert_abort(&name, conv);
+            }
+        }
+        // A rebuild losing a survivor transfer restarts from scratch on
+        // the next repair trigger (the survivor set may have changed).
+        dead_ec_repairs.sort_unstable();
+        dead_ec_repairs.dedup();
+        for id in dead_ec_repairs {
+            if let Some(job) = self.ec_repairs.remove(&id) {
+                for &f in job.pending.keys() {
+                    self.net.cancel(f);
+                    self.flow_endpoints.remove(&f);
+                    self.ec_repair_flows.remove(&f);
+                }
+                self.maybe_repair(&job.name);
             }
         }
     }
@@ -1454,6 +1659,10 @@ impl Cloud4Home {
             self.finish_repair(job);
         } else if let Some(job) = self.fanout_flows.remove(&flow) {
             self.finish_background_replica(job);
+        } else if let Some(name) = self.ec_convert_flows.remove(&flow) {
+            self.ec_convert_flow_done(flow, name);
+        } else if let Some(id) = self.ec_repair_flows.remove(&flow) {
+            self.ec_repair_flow_done(flow, id);
         }
     }
 
@@ -1483,7 +1692,11 @@ impl Cloud4Home {
     /// transfer (detached store fan-out stragglers, repair re-replication)
     /// has landed.
     pub fn run_until_idle(&mut self) {
-        while !self.ops.is_empty() || !self.fanout_flows.is_empty() || !self.repair_flows.is_empty()
+        while !self.ops.is_empty()
+            || !self.fanout_flows.is_empty()
+            || !self.repair_flows.is_empty()
+            || !self.ec_convert_flows.is_empty()
+            || !self.ec_repair_flows.is_empty()
         {
             self.ensure_tick();
             assert!(self.step(), "simulation stalled with operations pending");
@@ -1573,7 +1786,9 @@ impl Cloud4Home {
                         "runtime.flows_inflight",
                         (self.flow_waiters.len()
                             + self.repair_flows.len()
-                            + self.fanout_flows.len()) as u64,
+                            + self.fanout_flows.len()
+                            + self.ec_convert_flows.len()
+                            + self.ec_repair_flows.len()) as u64,
                     );
                 }
                 for i in 0..self.nodes.len() {
@@ -1584,6 +1799,8 @@ impl Cloud4Home {
                         }
                     }
                 }
+                self.anti_entropy_sweep(now);
+                self.adaptive_pass(now);
                 if !self.ops.is_empty() || self.now() < self.tick_horizon {
                     self.ensure_tick();
                 }
@@ -1626,7 +1843,10 @@ impl Cloud4Home {
             ),
             (
                 "runtime.background_jobs".to_owned(),
-                (self.repair_flows.len() + self.fanout_flows.len()) as i64,
+                (self.repair_flows.len()
+                    + self.fanout_flows.len()
+                    + self.ec_convert_flows.len()
+                    + self.ec_repair_flows.len()) as i64,
             ),
         ];
         for load in self.net.segment_loads() {
@@ -1909,11 +2129,15 @@ impl Cloud4Home {
     // Background repair daemon
     // ------------------------------------------------------------------
 
-    /// Reacts to the liveness detector declaring a peer failed: scans the
-    /// replicated-object index and re-replicates every object the failure
-    /// left under-replicated.
+    /// Reacts to the liveness detector declaring a peer failed: looks the
+    /// dead peer up in the holder index and re-replicates every object the
+    /// failure left under-replicated. Objects the peer never held are not
+    /// visited at all — the scan is proportional to the peer's holdings,
+    /// not the deployment's object count.
     pub(crate) fn handle_peer_failed(&mut self, peer: Key) {
-        if self.config.replication <= 1 {
+        // With the adaptive plane on, even replication=1 deployments hold
+        // repairable state (erasure-coded stripes, grown replicas).
+        if self.config.replication <= 1 && !self.config.adaptive.enabled {
             return;
         }
         // Several nodes' detectors fire for the same peer; repair once.
@@ -1928,6 +2152,34 @@ impl Cloud4Home {
             }
         }
         self.repaired_peers.insert(peer);
+        let names: Vec<String> = self
+            .holder_index
+            .get(&peer)
+            .into_iter()
+            .flat_map(|names| names.iter().cloned())
+            .collect();
+        for name in names {
+            self.maybe_repair(&name);
+        }
+    }
+
+    /// Periodic catch-all for under-replication no peer death will ever
+    /// surface: objects whose straggler replica flow failed after a quorum
+    /// publish, or whose store placed fewer copies than asked. Walks the
+    /// replicated-object index at a low cadence, riding the existing tick
+    /// (no extra queue events). When every object is at target the walk is
+    /// a pure read — no RNG draws, no telemetry — so healthy runs keep
+    /// their event streams byte-identical.
+    fn anti_entropy_sweep(&mut self, now: SimTime) {
+        if self.config.anti_entropy_ms == 0
+            || (self.config.replication <= 1 && !self.config.adaptive.enabled)
+        {
+            return;
+        }
+        if now < self.next_anti_entropy {
+            return;
+        }
+        self.next_anti_entropy = now + Duration::from_millis(self.config.anti_entropy_ms);
         let names: Vec<String> = self.replica_meta.keys().cloned().collect();
         for name in names {
             self.maybe_repair(&name);
@@ -1936,15 +2188,19 @@ impl Cloud4Home {
 
     /// Re-replicates one object if it has fewer live copies than the
     /// configured replication factor and a viable destination exists.
-    fn maybe_repair(&mut self, name: &str) {
+    pub(crate) fn maybe_repair(&mut self, name: &str) {
+        self.repair_scan_visits += 1;
         let Some(meta) = self.replica_meta.get(name) else {
             return;
         };
+        if meta.ec.is_some() {
+            return self.ec_maybe_repair(name);
+        }
         let Location::Home { node } = meta.location else {
             return;
         };
         let size = meta.size_bytes;
-        // Live holders, primary first (deterministic order).
+        // Live holders, metadata order: primary first (deterministic).
         let mut holders: Vec<usize> = Vec::new();
         for key in std::iter::once(node).chain(meta.replicas.iter().copied()) {
             if let Some(j) = self.node_index(key) {
@@ -1953,15 +2209,46 @@ impl Cloud4Home {
                 }
             }
         }
-        let Some(&src) = holders.first() else {
+        if holders.is_empty() {
             return; // every copy is gone; nothing to repair from
+        }
+        // With the adaptive plane on, the daemon defends only the
+        // durability floor; copies above it are the heat tracker's call
+        // (it grows hot objects back on its own cadence).
+        let target = if self.config.adaptive.enabled {
+            self.config.adaptive.replication_min
+        } else {
+            self.config.replication
         };
-        if holders.len() >= self.config.replication {
+        if holders.len() >= target {
             return;
         }
         if self.repair_flows.values().any(|job| job.name == name) {
             return; // a repair for this object is already in flight
         }
+        if self.fanout_flows.values().any(|job| job.name == name) {
+            return; // a detached store straggler may still land the copy
+        }
+        // Source: skip holders whose path breaker is open (a read-only
+        // check — background repair must not race the half-open probe),
+        // then prefer the highest observed bandwidth class. Metadata order
+        // breaks ties, so on a uniform LAN — where every peer shares class
+        // 0 — the choice matches the old primary-first behavior exactly.
+        let now_ns = self.now().as_nanos();
+        let mut src: Option<(i64, usize)> = None;
+        for &j in &holders {
+            let addr = self.nodes[j].addr.raw();
+            if self.overload.enabled && self.overload.breaker_would_block(addr, now_ns) {
+                continue;
+            }
+            let class = self.peer_bw.class(addr);
+            if src.is_none_or(|(best, _)| class > best) {
+                src = Some((class, j));
+            }
+        }
+        let Some((_, src)) = src else {
+            return; // every live holder's path is tripped; retry later
+        };
         // Best destination: a live, reachable non-holder with voluntary
         // space, preferring the most free space (index breaks ties).
         let dst = (0..self.nodes.len())
@@ -1980,11 +2267,18 @@ impl Cloud4Home {
         let Some(dst) = dst else {
             return;
         };
+        self.start_replica_flow(name, src, dst, size);
+    }
+
+    /// Starts one full-copy replica transfer `src` → `dst` for `name`,
+    /// shared by the repair daemon and the adaptive grow path. Returns
+    /// whether the flow actually started.
+    fn start_replica_flow(&mut self, name: &str, src: usize, dst: usize, size: u64) -> bool {
         // Repairs ride the source node's retry budget: a home cloud deep in
         // failure churn must not amplify itself with unbounded repair
         // traffic.
         if !self.retry_budget_take(src, "repair", name) {
-            return;
+            return false;
         }
         let now = self.now();
         self.defer_flow_completions(now);
@@ -1995,7 +2289,7 @@ impl Cloud4Home {
             size.max(1),
             &mut self.rng,
         ) else {
-            return;
+            return false;
         };
         self.stats.flows_started += 1;
         self.stats.repairs_started += 1;
@@ -2024,6 +2318,7 @@ impl Cloud4Home {
             },
         );
         self.ensure_tick();
+        true
     }
 
     /// Installs a completed repair transfer on its destination and
@@ -2074,7 +2369,7 @@ impl Cloud4Home {
         {
             meta.replicas.push(dst_key);
         }
-        self.replica_meta.insert(job.name.clone(), meta.clone());
+        self.replica_meta_insert(job.name.clone(), meta.clone());
 
         // Republish the metadata record in the background so future
         // fetches learn the new replica.
@@ -2097,7 +2392,10 @@ impl Cloud4Home {
 
     /// Installs a replica whose transfer outlived its store (the store
     /// published at quorum and completed) and republishes the object's
-    /// metadata with the grown replica set.
+    /// metadata with the grown replica set. An install that falls through
+    /// (destination died, bin filled) leaves the object under target with
+    /// no peer-failure scan ever the wiser, so the shortfall is handed
+    /// straight back to the repair daemon.
     pub(crate) fn finish_background_replica(&mut self, job: FanoutJob) {
         let installed = self.finish_background_replica_inner(&job);
         self.telemetry.end_args(
@@ -2105,6 +2403,9 @@ impl Cloud4Home {
             self.now().as_nanos(),
             vec![("installed", ArgValue::from(installed))],
         );
+        if !installed {
+            self.maybe_repair(&job.name);
+        }
     }
 
     fn finish_background_replica_inner(&mut self, job: &FanoutJob) -> bool {
@@ -2135,9 +2436,62 @@ impl Cloud4Home {
         {
             meta.replicas.push(dst_key);
         }
-        self.replica_meta.insert(job.name.clone(), meta.clone());
+        self.replica_meta_insert(job.name.clone(), meta.clone());
         self.publish_meta_background(job.dst, meta);
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Replicated-object index maintenance
+    // ------------------------------------------------------------------
+
+    /// Every holder key a metadata record names: the home primary plus the
+    /// replica set (dead or alive — liveness is the scan's concern).
+    fn meta_holder_keys(meta: &ObjectMeta) -> impl Iterator<Item = Key> + '_ {
+        let primary = match meta.location {
+            Location::Home { node } => Some(node),
+            _ => None,
+        };
+        primary
+            .into_iter()
+            .chain(meta.replicas.iter().copied())
+            .chain(meta.ec.iter().flat_map(|l| l.holders.iter().copied()))
+    }
+
+    /// Inserts (or replaces) a replicated object's metadata, keeping the
+    /// holder → objects inverse index in sync.
+    pub(crate) fn replica_meta_insert(&mut self, name: String, meta: ObjectMeta) {
+        self.holder_unindex(&name);
+        for key in Self::meta_holder_keys(&meta) {
+            self.holder_index
+                .entry(key)
+                .or_default()
+                .insert(name.clone());
+        }
+        self.replica_meta.insert(name, meta);
+    }
+
+    /// Removes a replicated object's metadata and its index entries.
+    pub(crate) fn replica_meta_remove(&mut self, name: &str) {
+        self.holder_unindex(name);
+        self.replica_meta.remove(name);
+    }
+
+    /// Drops `name` from every holder's index set (per the currently
+    /// recorded metadata), pruning holders left with no objects.
+    fn holder_unindex(&mut self, name: &str) {
+        let Some(old) = self.replica_meta.get(name) else {
+            return;
+        };
+        let keys: Vec<Key> = Self::meta_holder_keys(old).collect();
+        for key in keys {
+            if let Some(set) = self.holder_index.get_mut(&key) {
+                set.remove(name);
+                if set.is_empty() {
+                    self.holder_index.remove(&key);
+                }
+            }
+        }
     }
 
     /// Best-effort background publish of an object metadata record from
@@ -2155,6 +2509,679 @@ impl Cloud4Home {
         ) {
             self.dht_waiters.insert((i, req), DhtWaiter::Ignore);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive placement plane (heat-driven replication + erasure coding)
+    // ------------------------------------------------------------------
+
+    /// Drops any cached copy of `name`'s metadata record on every node.
+    /// Placement changes rewrite the record at its root, but bounded FIFO
+    /// caches on nodes off the republish path would otherwise serve the
+    /// stale pre-change record forever.
+    pub(crate) fn invalidate_meta_caches(&mut self, name: &str) {
+        let key = object_key(name);
+        for n in &mut self.nodes {
+            n.chimera.invalidate_cached(key);
+        }
+    }
+
+    /// The periodic heat review, riding the runtime tick like
+    /// anti-entropy. When every object is in its band the walk is a pure
+    /// read — no RNG draws, no telemetry.
+    fn adaptive_pass(&mut self, now: SimTime) {
+        if !self.config.adaptive.enabled {
+            return;
+        }
+        if now < self.next_adaptive {
+            return;
+        }
+        self.next_adaptive = now + Duration::from_millis(self.config.adaptive.interval_ms.max(1));
+        let names: Vec<String> = self.replica_meta.keys().cloned().collect();
+        for name in names {
+            self.adaptive_review(&name);
+        }
+    }
+
+    /// Reviews one replicated object against its fetch heat: grow toward
+    /// recent readers when hot, drop a copy when cold, convert a cold
+    /// large object to erasure-coded stripes once it is at the floor.
+    fn adaptive_review(&mut self, name: &str) {
+        let Some(meta) = self.replica_meta.get(name) else {
+            return;
+        };
+        if meta.ec.is_some() {
+            return; // already striped; the rebuild path owns it now
+        }
+        let Location::Home { node } = meta.location else {
+            return;
+        };
+        if self.ec_converts.contains_key(name)
+            || self.repair_flows.values().any(|j| j.name == name)
+            || self.fanout_flows.values().any(|j| j.name == name)
+        {
+            return; // let in-flight placement work land first
+        }
+        let size = meta.size_bytes;
+        let mut holders: Vec<usize> = Vec::new();
+        for key in std::iter::once(node).chain(meta.replicas.iter().copied()) {
+            if let Some(j) = self.node_index(key) {
+                if self.nodes[j].alive && !holders.contains(&j) {
+                    holders.push(j);
+                }
+            }
+        }
+        if holders.is_empty() {
+            return;
+        }
+        let rate = self.object_heat.rate_per_min(name, self.now().as_nanos());
+        match adaptive_action(rate, holders.len(), size, &self.config.adaptive) {
+            AdaptiveAction::Grow => self.adaptive_grow(name, &holders, size),
+            AdaptiveAction::Shrink => self.adaptive_shrink(name, &holders),
+            AdaptiveAction::Erasure => self.ec_begin_convert(name),
+            AdaptiveAction::Hold => {}
+        }
+    }
+
+    /// Adds one replica of a hot object, placed at the most recent reader
+    /// that doesn't already hold a copy (falling back to the roomiest
+    /// peer), sourced like a repair: breaker-open holders skipped, then
+    /// the best observed bandwidth class.
+    fn adaptive_grow(&mut self, name: &str, holders: &[usize], size: u64) {
+        let now_ns = self.now().as_nanos();
+        let mut src: Option<(i64, usize)> = None;
+        for &j in holders {
+            let addr = self.nodes[j].addr.raw();
+            if self.overload.enabled && self.overload.breaker_would_block(addr, now_ns) {
+                continue;
+            }
+            let class = self.peer_bw.class(addr);
+            if src.is_none_or(|(best, _)| class > best) {
+                src = Some((class, j));
+            }
+        }
+        let Some((_, src)) = src else {
+            return;
+        };
+        let viable = |s: &Self, j: usize| {
+            s.nodes[j].alive
+                && !holders.contains(&j)
+                && s.node_reachable(src, j)
+                && s.nodes[j].bins.fits(size, Bin::Voluntary)
+        };
+        let reader = self
+            .object_heat
+            .recent_readers(name)
+            .iter()
+            .copied()
+            .find(|&j| j < self.nodes.len() && viable(self, j));
+        let dst = reader.or_else(|| {
+            (0..self.nodes.len())
+                .filter(|&j| viable(self, j))
+                .max_by_key(|&j| {
+                    (
+                        self.nodes[j].bins.free_bytes(Bin::Voluntary),
+                        usize::MAX - j,
+                    )
+                })
+        });
+        let Some(dst) = dst else {
+            return;
+        };
+        if self.start_replica_flow(name, src, dst, size) {
+            self.telemetry.add("adaptive.grow", 1);
+        }
+    }
+
+    /// Drops one replica of a cooling object: the last-listed live
+    /// non-primary holder that is not a recent reader. With every extra
+    /// copy parked at a recent reader the object holds steady instead.
+    fn adaptive_shrink(&mut self, name: &str, holders: &[usize]) {
+        let Some(meta) = self.replica_meta.get(name).cloned() else {
+            return;
+        };
+        let Location::Home { node } = meta.location else {
+            return;
+        };
+        let primary = self.node_index(node);
+        let readers = self.object_heat.recent_readers(name).to_vec();
+        let victim = holders
+            .iter()
+            .rev()
+            .copied()
+            .find(|&j| Some(j) != primary && !readers.contains(&j));
+        let Some(victim) = victim else {
+            return;
+        };
+        let victim_key = self.nodes[victim].key;
+        self.nodes[victim].objects.remove(name);
+        self.nodes[victim].bins.remove(name);
+        let mut meta = meta;
+        meta.replicas.retain(|&k| k != victim_key);
+        self.replica_meta_insert(name.to_owned(), meta.clone());
+        let publisher = primary
+            .filter(|&j| self.nodes[j].alive)
+            .or_else(|| holders.iter().copied().find(|&j| j != victim));
+        if let Some(p) = publisher {
+            self.publish_meta_background(p, meta);
+        }
+        self.telemetry.add("adaptive.shrink", 1);
+    }
+
+    /// Begins converting a cold object from full copies to `(k, m)`
+    /// erasure-coded stripes: the owner encodes the content window,
+    /// installs its own row locally, and ships each remaining row to a
+    /// distinct peer. Full copies survive untouched until every stripe
+    /// has landed.
+    fn ec_begin_convert(&mut self, name: &str) {
+        let Some(meta) = self.replica_meta.get(name).cloned() else {
+            return;
+        };
+        let Location::Home { node } = meta.location else {
+            return;
+        };
+        let Some(owner) = self.node_index(node).filter(|&j| self.nodes[j].alive) else {
+            return;
+        };
+        let Some(blob) = self.nodes[owner].objects.get(name).cloned() else {
+            return;
+        };
+        let k = self.config.adaptive.ec_k;
+        let m = self.config.adaptive.ec_m;
+        let total = k + m;
+        let stripe_len = meta.size_bytes.div_ceil(k as u64).max(1);
+        // Sites: the owner takes row 0; the other rows go to the roomiest
+        // live peers that can fit a stripe, one row per distinct node
+        // (losing a node must lose at most one row).
+        let mut peers: Vec<usize> = (0..self.nodes.len())
+            .filter(|&j| {
+                j != owner
+                    && self.nodes[j].alive
+                    && self.node_reachable(owner, j)
+                    && self.nodes[j].bins.fits(stripe_len, Bin::Voluntary)
+            })
+            .collect();
+        peers.sort_by_key(|&j| {
+            (
+                std::cmp::Reverse(self.nodes[j].bins.free_bytes(Bin::Voluntary)),
+                j,
+            )
+        });
+        if peers.len() + 1 < total {
+            return; // not enough distinct sites; keep the full copies
+        }
+        let sites: Vec<usize> = std::iter::once(owner).chain(peers).take(total).collect();
+        let code = ErasureCode::new(k, m);
+        let window = blob.sample(SAMPLE_WINDOW);
+        let stripes = code.encode(&window);
+        let layout = EcLayout {
+            k: k as u32,
+            m: m as u32,
+            stripe_len,
+            holders: sites.iter().map(|&j| self.nodes[j].key).collect(),
+        };
+        let sname0 = ec_stripe_name(name, 0);
+        if self.nodes[owner]
+            .bins
+            .store(&sname0, stripe_len, Bin::Voluntary)
+            .is_err()
+        {
+            return;
+        }
+        self.nodes[owner]
+            .objects
+            .insert(sname0.clone(), Blob::inline(stripes[0].clone()));
+        let now = self.now();
+        self.defer_flow_completions(now);
+        let mut pending: BTreeMap<FlowId, u32> = BTreeMap::new();
+        let mut failed = false;
+        for (row, &site) in sites.iter().enumerate().skip(1) {
+            match self.net.start_flow(
+                now,
+                self.nodes[owner].addr,
+                self.nodes[site].addr,
+                stripe_len.max(1),
+                &mut self.rng,
+            ) {
+                Ok(flow) => {
+                    self.stats.flows_started += 1;
+                    self.flow_endpoints
+                        .insert(flow, (self.nodes[owner].addr, self.nodes[site].addr));
+                    self.ec_convert_flows.insert(flow, name.to_owned());
+                    pending.insert(flow, row as u32);
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            for &flow in pending.keys() {
+                self.net.cancel(flow);
+                self.flow_endpoints.remove(&flow);
+                self.ec_convert_flows.remove(&flow);
+            }
+            self.nodes[owner].objects.remove(&sname0);
+            self.nodes[owner].bins.remove(&sname0);
+            return;
+        }
+        self.telemetry.add("adaptive.ec_converts", 1);
+        self.telemetry.instant_args(
+            "adaptive",
+            "adaptive.ec_convert",
+            RUNTIME_TRACK,
+            now.as_nanos(),
+            vec![
+                ("object", ArgValue::from(name)),
+                ("k", ArgValue::from(k as u64)),
+                ("m", ArgValue::from(m as u64)),
+                ("stripe_len", ArgValue::from(stripe_len)),
+            ],
+        );
+        self.ec_converts.insert(
+            name.to_owned(),
+            EcConvert {
+                owner,
+                layout,
+                stripes,
+                pending,
+                installed: vec![0],
+            },
+        );
+        self.ensure_tick();
+    }
+
+    /// One conversion stripe transfer landed: install the row on its
+    /// holder, and finalize the conversion once every row is in place.
+    /// An install that falls through (holder died, bin filled) aborts the
+    /// whole conversion — the full copies are still intact.
+    fn ec_convert_flow_done(&mut self, flow: FlowId, name: String) {
+        let Some(mut conv) = self.ec_converts.remove(&name) else {
+            return;
+        };
+        let Some(row) = conv.pending.remove(&flow) else {
+            self.ec_converts.insert(name, conv);
+            return;
+        };
+        let site = self.node_index(conv.layout.holders[row as usize]);
+        let sname = ec_stripe_name(&name, row);
+        let installed = site.is_some_and(|j| self.nodes[j].alive) && {
+            let j = site.expect("checked above");
+            if self.nodes[j].bins.lookup(&sname).is_some() {
+                self.nodes[j].bins.remove(&sname);
+            }
+            self.nodes[j]
+                .bins
+                .store(&sname, conv.layout.stripe_len, Bin::Voluntary)
+                .is_ok()
+        };
+        if !installed {
+            self.ec_convert_abort(&name, conv);
+            return;
+        }
+        let j = site.expect("installed above");
+        self.nodes[j]
+            .objects
+            .insert(sname, Blob::inline(conv.stripes[row as usize].clone()));
+        conv.installed.push(row);
+        if conv.pending.is_empty() {
+            self.ec_convert_finalize(name, conv);
+        } else {
+            self.ec_converts.insert(name, conv);
+        }
+    }
+
+    /// Abandons a conversion mid-flight: cancels its outstanding stripe
+    /// transfers and removes every stripe already installed. The object
+    /// keeps its full copies; a later pass may try again.
+    fn ec_convert_abort(&mut self, name: &str, conv: EcConvert) {
+        for &flow in conv.pending.keys() {
+            self.net.cancel(flow);
+            self.flow_endpoints.remove(&flow);
+            self.ec_convert_flows.remove(&flow);
+        }
+        for &row in &conv.installed {
+            if let Some(j) = self.node_index(conv.layout.holders[row as usize]) {
+                let sname = ec_stripe_name(name, row);
+                self.nodes[j].objects.remove(&sname);
+                self.nodes[j].bins.remove(&sname);
+            }
+        }
+        self.telemetry.add("adaptive.ec_converts_aborted", 1);
+    }
+
+    /// Every stripe landed: cut the object over to its erasure-coded
+    /// form. Stages the original for decode verification, strips the full
+    /// copies from live holders, rewrites the metadata with the layout,
+    /// publishes per-row stripe records, and flushes stale caches.
+    fn ec_convert_finalize(&mut self, name: String, conv: EcConvert) {
+        let Some(meta) = self.replica_meta.get(&name).cloned() else {
+            // Deleted mid-conversion; the stripes are orphans — scrub.
+            self.ec_convert_abort(&name, conv);
+            return;
+        };
+        let Some(blob) = self.nodes[conv.owner].objects.get(&name).cloned() else {
+            self.ec_convert_abort(&name, conv);
+            return;
+        };
+        self.ec_originals.insert(name.clone(), blob);
+        // Strip full copies from live holders. A dead holder's disk can't
+        // be touched; its stale copy is a harmless orphan (the metadata no
+        // longer names it).
+        let holder_keys: Vec<Key> = Self::meta_holder_keys(&meta).collect();
+        for key in holder_keys {
+            if let Some(j) = self.node_index(key) {
+                if self.nodes[j].alive {
+                    self.nodes[j].objects.remove(&name);
+                    self.nodes[j].bins.remove(&name);
+                }
+            }
+        }
+        let mut meta = meta;
+        meta.replicas.clear();
+        meta.ec = Some(conv.layout.clone());
+        self.replica_meta_insert(name.clone(), meta.clone());
+        self.publish_meta_background(conv.owner, meta);
+        // Per-row stripe records, so repair tooling can audit placement
+        // and checksums through the overlay.
+        let now = self.now();
+        if self.nodes[conv.owner].alive && self.nodes[conv.owner].chimera.is_joined() {
+            for (row, shard) in conv.stripes.iter().enumerate() {
+                let record = Record::Stripe(StripeRecord {
+                    object: name.clone(),
+                    row: row as u32,
+                    len: conv.layout.stripe_len,
+                    holder: conv.layout.holders[row],
+                    checksum: stripe_checksum(shard),
+                });
+                if let Ok(req) = self.nodes[conv.owner].chimera.put(
+                    stripe_key(&name, row as u32),
+                    record.encode(),
+                    OverwritePolicy::Overwrite,
+                    now,
+                ) {
+                    self.dht_waiters
+                        .insert((conv.owner, req), DhtWaiter::Ignore);
+                }
+            }
+        }
+        self.invalidate_meta_caches(&name);
+        // Heat restarts from scratch in the new form; the EWMA of the
+        // replicated life says nothing about the striped one.
+        self.object_heat.forget(&name);
+        self.telemetry.add("adaptive.ec_converted", 1);
+    }
+
+    /// The repair path for an erasure-coded object: rebuild every lost
+    /// row for which `k` survivor stripes are still live. Below `k`
+    /// survivors nothing can be rebuilt — fetches back off until holders
+    /// rejoin.
+    fn ec_maybe_repair(&mut self, name: &str) {
+        let Some(meta) = self.replica_meta.get(name) else {
+            return;
+        };
+        let Some(layout) = meta.ec.clone() else {
+            return;
+        };
+        let holder_idx: Vec<Option<usize>> = layout
+            .holders
+            .iter()
+            .map(|&key| self.node_index(key))
+            .collect();
+        let holds = |s: &Self, j: usize, row: u32| {
+            s.nodes[j].alive && s.nodes[j].objects.contains_key(&ec_stripe_name(name, row))
+        };
+        let survivors: Vec<u32> = (0..holder_idx.len() as u32)
+            .filter(|&r| holder_idx[r as usize].is_some_and(|j| holds(self, j, r)))
+            .collect();
+        if survivors.len() >= holder_idx.len() {
+            return; // fully intact
+        }
+        if survivors.len() < layout.k as usize {
+            return; // unrecoverable until holders rejoin
+        }
+        for row in 0..holder_idx.len() as u32 {
+            if survivors.contains(&row) {
+                continue;
+            }
+            if self
+                .ec_repairs
+                .values()
+                .any(|j| j.name == name && j.row == row)
+            {
+                continue;
+            }
+            self.ec_start_row_repair(name, &layout, row, &survivors);
+        }
+    }
+
+    /// Starts rebuilding one lost code row: a destination with space pulls
+    /// `k` surviving stripes and re-derives the row from them on arrival.
+    fn ec_start_row_repair(&mut self, name: &str, layout: &EcLayout, row: u32, survivors: &[u32]) {
+        let stripe_len = layout.stripe_len;
+        let holder_idx: Vec<Option<usize>> = layout
+            .holders
+            .iter()
+            .map(|&key| self.node_index(key))
+            .collect();
+        let live_holders: Vec<usize> = survivors
+            .iter()
+            .filter_map(|&r| holder_idx[r as usize])
+            .collect();
+        let srcs: Vec<(u32, usize)> = survivors
+            .iter()
+            .filter_map(|&r| holder_idx[r as usize].map(|j| (r, j)))
+            .take(layout.k as usize)
+            .collect();
+        if srcs.len() < layout.k as usize {
+            return;
+        }
+        let holds_any = |s: &Self, j: usize| {
+            (0..layout.holders.len() as u32)
+                .any(|r| s.nodes[j].objects.contains_key(&ec_stripe_name(name, r)))
+        };
+        let dst = (0..self.nodes.len())
+            .filter(|&j| {
+                self.nodes[j].alive
+                    && !live_holders.contains(&j)
+                    && !holds_any(self, j)
+                    && srcs.iter().all(|&(_, s)| self.node_reachable(s, j))
+                    && self.nodes[j].bins.fits(stripe_len, Bin::Voluntary)
+            })
+            .max_by_key(|&j| {
+                (
+                    self.nodes[j].bins.free_bytes(Bin::Voluntary),
+                    usize::MAX - j,
+                )
+            });
+        let Some(dst) = dst else {
+            return;
+        };
+        // Rebuilds ride the destination's retry budget (it sinks k
+        // concurrent transfers), bounding repair amplification in churn.
+        if !self.retry_budget_take(dst, "repair", name) {
+            return;
+        }
+        let now = self.now();
+        self.defer_flow_completions(now);
+        let mut pending: BTreeMap<FlowId, u32> = BTreeMap::new();
+        let mut failed = false;
+        for &(r, s) in &srcs {
+            match self.net.start_flow(
+                now,
+                self.nodes[s].addr,
+                self.nodes[dst].addr,
+                stripe_len.max(1),
+                &mut self.rng,
+            ) {
+                Ok(flow) => {
+                    self.stats.flows_started += 1;
+                    self.flow_endpoints
+                        .insert(flow, (self.nodes[s].addr, self.nodes[dst].addr));
+                    pending.insert(flow, r);
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            for &flow in pending.keys() {
+                self.net.cancel(flow);
+                self.flow_endpoints.remove(&flow);
+            }
+            return;
+        }
+        let id = self.next_ec_repair;
+        self.next_ec_repair += 1;
+        for &flow in pending.keys() {
+            self.ec_repair_flows.insert(flow, id);
+        }
+        self.stats.repairs_started += 1;
+        self.telemetry.add("adaptive.ec_repairs", 1);
+        self.ec_repairs.insert(
+            id,
+            EcRepair {
+                name: name.to_owned(),
+                row,
+                dst,
+                pending,
+                arrived: Vec::new(),
+            },
+        );
+        self.ensure_tick();
+    }
+
+    /// One survivor stripe arrived at a rebuild destination; re-derive
+    /// the lost row once all `k` are in.
+    fn ec_repair_flow_done(&mut self, flow: FlowId, id: u64) {
+        let Some(mut job) = self.ec_repairs.remove(&id) else {
+            return;
+        };
+        let Some(row) = job.pending.remove(&flow) else {
+            self.ec_repairs.insert(id, job);
+            return;
+        };
+        job.arrived.push(row);
+        if job.pending.is_empty() {
+            self.ec_repair_finish(job);
+        } else {
+            self.ec_repairs.insert(id, job);
+        }
+    }
+
+    /// All survivor stripes are in: invert the code to re-derive the lost
+    /// row, install it on the destination, re-home the row in the layout,
+    /// and republish metadata and the row's stripe record.
+    fn ec_repair_finish(&mut self, job: EcRepair) {
+        let Some(meta) = self.replica_meta.get(&job.name).cloned() else {
+            return; // deleted while the rebuild was in flight
+        };
+        let Some(mut layout) = meta.ec.clone() else {
+            return;
+        };
+        if !self.nodes[job.dst].alive {
+            return;
+        }
+        let code = ErasureCode::new(layout.k as usize, layout.m as usize);
+        let mut shards: Vec<(usize, Vec<u8>)> = Vec::with_capacity(job.arrived.len());
+        for &r in &job.arrived {
+            let Some(bytes) = self
+                .node_index(layout.holders[r as usize])
+                .filter(|&j| self.nodes[j].alive)
+                .and_then(|j| self.nodes[j].objects.get(&ec_stripe_name(&job.name, r)))
+                .map(|b| b.sample(usize::MAX))
+            else {
+                return; // a survivor vanished mid-rebuild; retry later
+            };
+            shards.push((r as usize, bytes));
+        }
+        let refs: Vec<(usize, &[u8])> = shards.iter().map(|(r, s)| (*r, s.as_slice())).collect();
+        let Some(rebuilt) = code.reconstruct_row(job.row as usize, &refs) else {
+            return;
+        };
+        let sname = ec_stripe_name(&job.name, job.row);
+        if self.nodes[job.dst].bins.lookup(&sname).is_some() {
+            self.nodes[job.dst].bins.remove(&sname);
+        }
+        if self.nodes[job.dst]
+            .bins
+            .store(&sname, layout.stripe_len, Bin::Voluntary)
+            .is_err()
+        {
+            return;
+        }
+        let checksum = stripe_checksum(&rebuilt);
+        self.nodes[job.dst]
+            .objects
+            .insert(sname, Blob::inline(rebuilt));
+        self.stats.repairs_completed += 1;
+        self.telemetry.add("adaptive.ec_rebuilt", 1);
+        let dst_key = self.nodes[job.dst].key;
+        layout.holders[job.row as usize] = dst_key;
+        let mut meta = meta;
+        meta.ec = Some(layout.clone());
+        self.replica_meta_insert(job.name.clone(), meta.clone());
+        self.publish_meta_background(job.dst, meta);
+        let now = self.now();
+        if self.nodes[job.dst].alive && self.nodes[job.dst].chimera.is_joined() {
+            let record = Record::Stripe(StripeRecord {
+                object: job.name.clone(),
+                row: job.row,
+                len: layout.stripe_len,
+                holder: dst_key,
+                checksum,
+            });
+            if let Ok(req) = self.nodes[job.dst].chimera.put(
+                stripe_key(&job.name, job.row),
+                record.encode(),
+                OverwritePolicy::Overwrite,
+                now,
+            ) {
+                self.dht_waiters.insert((job.dst, req), DhtWaiter::Ignore);
+            }
+        }
+        self.invalidate_meta_caches(&job.name);
+    }
+
+    /// Expunges every trace of an object's erasure-coded form: in-flight
+    /// conversions and rebuilds, installed stripes, the staged original,
+    /// and stale cached metadata. Called when the object is deleted or
+    /// re-stored (the new bytes supersede the old stripes).
+    pub(crate) fn ec_scrub(&mut self, name: &str) {
+        if let Some(conv) = self.ec_converts.remove(name) {
+            self.ec_convert_abort(name, conv);
+        }
+        let ids: Vec<u64> = self
+            .ec_repairs
+            .iter()
+            .filter(|(_, j)| j.name == name)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            if let Some(job) = self.ec_repairs.remove(&id) {
+                for &flow in job.pending.keys() {
+                    self.net.cancel(flow);
+                    self.flow_endpoints.remove(&flow);
+                    self.ec_repair_flows.remove(&flow);
+                }
+            }
+        }
+        if let Some(layout) = self.replica_meta.get(name).and_then(|m| m.ec.clone()) {
+            for row in 0..layout.holders.len() as u32 {
+                let sname = ec_stripe_name(name, row);
+                for j in 0..self.nodes.len() {
+                    if self.nodes[j].alive {
+                        self.nodes[j].objects.remove(&sname);
+                        self.nodes[j].bins.remove(&sname);
+                    }
+                }
+            }
+            self.invalidate_meta_caches(name);
+        }
+        self.ec_originals.remove(name);
     }
 }
 

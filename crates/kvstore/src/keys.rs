@@ -41,6 +41,14 @@ pub fn parent_dir(name: &str) -> &str {
     }
 }
 
+/// Key under which one erasure-coded stripe's record lives: derived from
+/// the parent object's name and the stripe's code row, in its own
+/// namespace so stripe entries never collide with object or directory
+/// records.
+pub fn stripe_key(name: &str, row: u32) -> Key {
+    Key::from_name(&format!("ecs:{name}#{row}"))
+}
+
 /// Key under which a service's availability record lives ("service name
 /// concatenated with service ID as key").
 pub fn service_key(name: &str, service_id: u32) -> Key {

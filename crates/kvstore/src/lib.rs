@@ -36,6 +36,7 @@
 //!     acl: c4h_kvstore::Acl::Public,
 //!     created_at_ns: 0,
 //!     replicas: Vec::new(),
+//!     ec: None,
 //! };
 //! let key = object_key(&meta.name);
 //! let bytes = Record::Object(meta.clone()).encode();
@@ -52,8 +53,9 @@ mod keys;
 mod records;
 mod wire;
 
-pub use keys::{directory_key, node_resource_key, object_key, parent_dir, service_key};
+pub use keys::{directory_key, node_resource_key, object_key, parent_dir, service_key, stripe_key};
 pub use records::{
-    Acl, DirEntry, Location, ObjectMeta, Record, ResourceRecord, ServiceRecord, SCHEMA_VERSION,
+    stripe_checksum, Acl, DirEntry, EcLayout, Location, ObjectMeta, Record, ResourceRecord,
+    ServiceRecord, StripeRecord, SCHEMA_VERSION,
 };
 pub use wire::{WireError, WireReader, WireWriter};

@@ -25,6 +25,7 @@ pub const SCHEMA_VERSION: u8 = 1;
 const TAG_OBJECT: u8 = 1;
 const TAG_SERVICE: u8 = 2;
 const TAG_RESOURCE: u8 = 3;
+const TAG_STRIPE: u8 = 4;
 
 const LOC_HOME: u8 = 0;
 const LOC_CLOUD: u8 = 1;
@@ -138,6 +139,57 @@ impl Location {
     }
 }
 
+/// Erasure-coding layout of an object whose bytes live as (k, m) stripes
+/// instead of full copies.
+///
+/// Encoded as an *optional trailing extension* of the object record: a
+/// record without the extension is byte-identical to one written before
+/// the layout existed, so fully-replicated objects — the only kind the
+/// default configuration ever produces — keep their exact pre-extension
+/// wire size (`kvstore.record_bytes` histograms included), and old
+/// readers of non-EC records need no migration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EcLayout {
+    /// Data stripe count.
+    pub k: u32,
+    /// Parity stripe count.
+    pub m: u32,
+    /// Bytes per stripe (`ceil(size_bytes / k)`, zero-padded).
+    pub stripe_len: u64,
+    /// Stripe holders in row order: `holders[i]` stores row `i` of the
+    /// code (rows `0..k` data, `k..k+m` parity). Length `k + m`.
+    pub holders: Vec<Key>,
+}
+
+impl EcLayout {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.k);
+        w.u32(self.m);
+        w.u64(self.stripe_len);
+        w.u64(self.holders.len() as u64);
+        for h in &self.holders {
+            w.u64(h.raw());
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let k = r.u32()?;
+        let m = r.u32()?;
+        let stripe_len = r.u64()?;
+        let n = r.u64()? as usize;
+        let mut holders = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            holders.push(Key::from_raw(r.u64()?));
+        }
+        Ok(EcLayout {
+            k,
+            m,
+            stripe_len,
+            holders,
+        })
+    }
+}
+
 /// Metadata for one stored object.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectMeta {
@@ -163,6 +215,10 @@ pub struct ObjectMeta {
     /// Home-cloud nodes holding extra copies of the object's bytes, in
     /// replica order. Empty when the object is unreplicated or cloud-hosted.
     pub replicas: Vec<Key>,
+    /// Erasure-coding layout when the object's bytes live as (k, m)
+    /// stripes instead of full copies. `None` (the overwhelmingly common
+    /// case) encodes to exactly the pre-extension wire bytes.
+    pub ec: Option<EcLayout>,
 }
 
 impl ObjectMeta {
@@ -182,6 +238,11 @@ impl ObjectMeta {
         w.u64(self.replicas.len() as u64);
         for rep in &self.replicas {
             w.u64(rep.raw());
+        }
+        // Trailing extension: emitted only when present, so non-EC records
+        // stay byte-identical to the pre-extension encoding.
+        if let Some(ec) = &self.ec {
+            ec.encode(w);
         }
     }
 
@@ -204,6 +265,13 @@ impl ObjectMeta {
         for _ in 0..n_replicas {
             replicas.push(Key::from_raw(r.u64()?));
         }
+        // The EC layout is a trailing extension: its presence is exactly
+        // "bytes remain after the fixed body".
+        let ec = if r.remaining() > 0 {
+            Some(EcLayout::decode(r)?)
+        } else {
+            None
+        };
         Ok(ObjectMeta {
             name,
             size_bytes,
@@ -215,8 +283,65 @@ impl ObjectMeta {
             acl,
             created_at_ns,
             replicas,
+            ec,
         })
     }
+}
+
+/// One erasure-coded stripe's metadata entry.
+///
+/// Each stripe of an erasure-coded object gets its own record under
+/// [`stripe_key`](crate::stripe_key), so the repair daemon can locate and
+/// verify individual stripes without re-reading the whole object record,
+/// and a reconstructed stripe republishes only its own entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeRecord {
+    /// The parent object's name.
+    pub object: String,
+    /// Code row of this stripe: `0..k` data, `k..k+m` parity.
+    pub row: u32,
+    /// Stripe payload length in bytes.
+    pub len: u64,
+    /// The home-cloud node holding the stripe's bytes.
+    pub holder: Key,
+    /// FNV-1a digest of the stripe bytes, for repair-time verification.
+    pub checksum: u64,
+}
+
+impl StripeRecord {
+    fn encode_body(&self, w: &mut WireWriter) {
+        w.string(&self.object);
+        w.u32(self.row);
+        w.u64(self.len);
+        w.u64(self.holder.raw());
+        w.u64(self.checksum);
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let object = r.string()?;
+        let row = r.u32()?;
+        let len = r.u64()?;
+        let holder = Key::from_raw(r.u64()?);
+        let checksum = r.u64()?;
+        Ok(StripeRecord {
+            object,
+            row,
+            len,
+            holder,
+            checksum,
+        })
+    }
+}
+
+/// FNV-1a 64-bit digest of stripe bytes (the checksum a [`StripeRecord`]
+/// carries).
+pub fn stripe_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Availability record for one deployed service.
@@ -400,6 +525,8 @@ pub enum Record {
     Service(ServiceRecord),
     /// Node resource usage.
     Resource(ResourceRecord),
+    /// One erasure-coded stripe's metadata.
+    Stripe(StripeRecord),
 }
 
 impl Record {
@@ -418,6 +545,10 @@ impl Record {
             Record::Resource(r) => {
                 w.tag(TAG_RESOURCE).tag(SCHEMA_VERSION);
                 r.encode_body(&mut w);
+            }
+            Record::Stripe(s) => {
+                w.tag(TAG_STRIPE).tag(SCHEMA_VERSION);
+                s.encode_body(&mut w);
             }
         }
         let bytes = w.into_bytes();
@@ -444,6 +575,7 @@ impl Record {
             TAG_OBJECT => Record::Object(ObjectMeta::decode_body(&mut r)?),
             TAG_SERVICE => Record::Service(ServiceRecord::decode_body(&mut r)?),
             TAG_RESOURCE => Record::Resource(ResourceRecord::decode_body(&mut r)?),
+            TAG_STRIPE => Record::Stripe(StripeRecord::decode_body(&mut r)?),
             t => return Err(WireError::UnknownTag(t)),
         };
         r.finish()?;
@@ -473,6 +605,14 @@ impl Record {
             _ => None,
         }
     }
+
+    /// The stripe record, if this is a stripe record.
+    pub fn as_stripe(&self) -> Option<&StripeRecord> {
+        match self {
+            Record::Stripe(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -493,6 +633,7 @@ mod tests {
             acl: Acl::Public,
             created_at_ns: 123_456_789,
             replicas: vec![Key::from_name("netbook-2")],
+            ec: None,
         }
     }
 
@@ -567,12 +708,27 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = Record::Object(sample_object()).encode();
+        // Extension-free record kinds still reject trailing garbage
+        // outright…
+        let mut bytes = Record::Service(ServiceRecord {
+            name: "face-detect".into(),
+            service_id: 11,
+            providers: vec![],
+            cloud_available: false,
+            policy: "performance".into(),
+        })
+        .encode();
         bytes.push(0);
         assert!(matches!(
             Record::decode(&bytes).unwrap_err(),
             WireError::TrailingBytes(1)
         ));
+        // …while an object record treats trailing bytes as the EC
+        // extension, so garbage there surfaces as a malformed extension
+        // rather than silently decoding.
+        let mut bytes = Record::Object(sample_object()).encode();
+        bytes.push(0);
+        assert!(Record::decode(&bytes).is_err());
     }
 
     #[test]
@@ -588,6 +744,96 @@ mod tests {
         // Metadata entries should be small enough for cheap DHT messages.
         let bytes = Record::Object(sample_object()).encode();
         assert!(bytes.len() < 128, "object record is {} bytes", bytes.len());
+    }
+
+    fn sample_layout() -> EcLayout {
+        EcLayout {
+            k: 3,
+            m: 2,
+            stripe_len: 700 << 10,
+            holders: (0..5)
+                .map(|i| Key::from_name(&format!("holder-{i}")))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ec_layout_roundtrips_as_trailing_extension() {
+        let mut o = sample_object();
+        o.ec = Some(sample_layout());
+        let rec = Record::Object(o.clone());
+        let decoded = Record::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded.as_object().unwrap().ec, Some(sample_layout()));
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn non_ec_records_are_byte_identical_to_pre_extension_encoding() {
+        // The layout is a *trailing* extension: an object without one must
+        // encode to exactly the bytes a pre-extension writer produced.
+        // Re-derive those bytes by hand from the wire primitives.
+        let o = sample_object();
+        assert!(o.ec.is_none());
+        let mut w = WireWriter::new();
+        w.tag(TAG_OBJECT).tag(SCHEMA_VERSION);
+        w.string(&o.name);
+        w.u64(o.size_bytes);
+        w.string(&o.content_type);
+        w.u64(o.tags.len() as u64);
+        for t in &o.tags {
+            w.string(t);
+        }
+        match &o.location {
+            Location::Home { node } => {
+                w.tag(LOC_HOME).u64(node.raw());
+            }
+            Location::Cloud { url } => {
+                w.tag(LOC_CLOUD).string(url);
+            }
+        }
+        w.bool(o.private);
+        w.u64(o.owner.raw());
+        w.tag(ACL_PUBLIC);
+        w.u64(o.created_at_ns);
+        w.u64(o.replicas.len() as u64);
+        for rep in &o.replicas {
+            w.u64(rep.raw());
+        }
+        assert_eq!(Record::Object(o).encode(), w.into_bytes());
+    }
+
+    #[test]
+    fn stripe_record_roundtrips() {
+        let rec = Record::Stripe(StripeRecord {
+            object: "videos/trip.avi".into(),
+            row: 4,
+            len: 700 << 10,
+            holder: Key::from_name("netbook-3"),
+            checksum: stripe_checksum(b"stripe bytes"),
+        });
+        let decoded = Record::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+        assert!(decoded.as_stripe().is_some());
+        assert!(decoded.as_object().is_none());
+    }
+
+    #[test]
+    fn truncated_ec_extension_is_rejected() {
+        let mut o = sample_object();
+        o.ec = Some(sample_layout());
+        let bytes = Record::Object(o).encode();
+        for cut in 1..24 {
+            assert!(
+                Record::decode(&bytes[..bytes.len() - cut]).is_err(),
+                "cut {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn stripe_checksum_is_stable_fnv() {
+        assert_eq!(stripe_checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(stripe_checksum(b"a"), stripe_checksum(b"b"));
     }
 }
 #[cfg(test)]
@@ -628,6 +874,7 @@ mod acl_tests {
                 acl: acl.clone(),
                 created_at_ns: 0,
                 replicas: Vec::new(),
+                ec: None,
             });
             let decoded = Record::decode(&rec.encode()).unwrap();
             assert_eq!(decoded.as_object().unwrap().acl, acl);

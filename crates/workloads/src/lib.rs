@@ -11,12 +11,19 @@
 //! **open-loop** Poisson arrival stream — offered load fixed by the outside
 //! world rather than paced by system responsiveness — with optional
 //! flash-crowd surges and multi-tenant mixes.
+//!
+//! For adaptive-placement experiments, [`hotset_fetches`] draws a
+//! **drifting-hotset** fetch schedule: popularity concentrates on a small
+//! window of the catalog that moves between phases, with per-phase reader
+//! locality, so heat-driven replication has something to chase.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod hotset;
 mod openloop;
 mod trace;
 
+pub use hotset::{hotset_fetches, HotsetConfig, HotsetFetch};
 pub use openloop::{arrivals, Arrival, OpenLoopConfig};
 pub use trace::{generate, FileKind, FileSpec, OpKind, SizeBucket, Trace, TraceConfig, TraceOp};

@@ -1,0 +1,282 @@
+//! Integration tests for the heat-driven adaptive placement plane and
+//! the repair-plane fixes that ride along with it: straggler-flow
+//! failures repairing without any peer death, peer-failure scans
+//! narrowed to the dead peer's holdings, bandwidth estimates reset on
+//! crash, and (k, m) erasure-coded objects surviving `m` holder losses.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use cloud4home::{Cloud4Home, Config, FaultEvent, NodeId, Object, StorePolicy};
+
+/// A run with the adaptive plane disabled must be byte-identical no
+/// matter how the (inert) adaptive knobs are set: the whole plane has to
+/// be invisible until switched on.
+#[test]
+fn disabled_adaptive_knobs_do_not_perturb_runs() {
+    let transcript = |mut config: Config| {
+        config.tracing = true;
+        let mut home = Cloud4Home::new(config);
+        let mut t = String::new();
+        for i in 0..4u64 {
+            let name = format!("inert/obj-{i}.bin");
+            let obj = Object::synthetic(&name, 50 + i, (96 + 32 * i) << 10, "doc");
+            let op = home.store_object(NodeId(i as usize % 3), obj, StorePolicy::ForceHome, true);
+            let _ = writeln!(t, "store -> {:?}", home.run_until_complete(op).outcome);
+        }
+        for i in 0..4u64 {
+            let op = home.fetch_object(NodeId((i as usize + 2) % 5), &format!("inert/obj-{i}.bin"));
+            let _ = writeln!(t, "fetch -> {:?}", home.run_until_complete(op).outcome);
+        }
+        home.run_until_idle();
+        let _ = writeln!(t, "now_ns={}", home.now().as_nanos());
+        let _ = writeln!(t, "stats={:?}", home.stats());
+        t.push_str(&home.metrics_json());
+        t.push_str(&home.prometheus_text());
+        t
+    };
+
+    let baseline = transcript(Config::paper_testbed(77));
+
+    let mut tweaked = Config::paper_testbed(77);
+    assert!(!tweaked.adaptive.enabled, "adaptive must default off");
+    tweaked.adaptive.replication_max = 4;
+    tweaked.adaptive.heat_alpha = 0.9;
+    tweaked.adaptive.hot_per_min = 50.0;
+    tweaked.adaptive.cold_per_min = 0.25;
+    tweaked.adaptive.interval_ms = 1000;
+    tweaked.adaptive.ec_threshold_bytes = 4096;
+    tweaked.adaptive.ec_k = 4;
+    tweaked.adaptive.ec_m = 1;
+    let perturbed = transcript(tweaked);
+
+    assert_eq!(
+        baseline, perturbed,
+        "inert adaptive knobs changed a disabled run's bytes"
+    );
+}
+
+/// A detached fan-out straggler severed by a transient partition — no
+/// peer dies — must still be healed: the abort routes the object into the
+/// repair daemon, and the anti-entropy sweep retries once the network is
+/// back.
+#[test]
+fn straggler_flow_failure_repairs_without_peer_death() {
+    let mut config = Config::paper_testbed(83);
+    config.replication = 3;
+    config.replica_quorum = 1; // publish early; stragglers detach
+    config.anti_entropy_ms = 5_000;
+    let mut home = Cloud4Home::new(config);
+
+    let obj = Object::synthetic("straggle/archive.bin", 9, 8 << 20, "tar");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    assert!(
+        home.stats().quorum_publishes >= 1,
+        "store should have published at quorum with a straggler in flight"
+    );
+
+    // A momentary full partition severs every in-flight transfer, then
+    // heals. No node crashes at any point.
+    home.apply_fault(FaultEvent::Partition(vec![
+        vec![NodeId(0)],
+        vec![NodeId(1)],
+        vec![NodeId(2)],
+        vec![NodeId(3)],
+        vec![NodeId(4)],
+    ]));
+    assert!(
+        home.live_copies("straggle/archive.bin") < 3,
+        "the partition should have severed the straggler before it landed"
+    );
+    home.apply_fault(FaultEvent::Heal);
+
+    home.run_for(Duration::from_secs(30));
+    home.run_until_idle();
+
+    for i in 0..home.node_count() {
+        assert!(home.node_alive(NodeId(i)), "no peer may die in this test");
+    }
+    assert_eq!(
+        home.live_copies("straggle/archive.bin"),
+        3,
+        "the repair plane must restore full replication without a peer death"
+    );
+    assert!(
+        home.stats().repairs_completed >= 1,
+        "the shortfall must be healed by a repair, not a lucky retransmit"
+    );
+}
+
+/// A peer-failure scan must be proportional to the dead peer's holdings,
+/// not the deployment's object count.
+#[test]
+fn peer_failure_scan_visits_only_dead_peers_holdings() {
+    let mut config = Config::paper_testbed(84);
+    config.replication = 2;
+    config.anti_entropy_ms = 0; // isolate the failure-driven scan
+    let mut home = Cloud4Home::new(config);
+
+    let total = 12u64;
+    for i in 0..total {
+        let obj = Object::synthetic(&format!("narrow/obj-{i}.bin"), i, 128 << 10, "doc");
+        let op = home.store_object(NodeId((i % 3) as usize), obj, StorePolicy::ForceHome, true);
+        home.run_until_complete(op).expect_ok();
+    }
+    home.run_until_idle();
+
+    let victim = NodeId(4);
+    let victim_holdings = home.objects_on(victim) as u64;
+    assert!(
+        victim_holdings < total,
+        "test needs a victim that holds only part of the corpus \
+         (holds {victim_holdings} of {total})"
+    );
+    let visits_before = home.repair_scan_visits();
+
+    home.crash_node(victim);
+    home.run_for(Duration::from_secs(10));
+    home.run_until_idle();
+
+    let scan_visits = home.repair_scan_visits() - visits_before;
+    assert!(
+        scan_visits <= victim_holdings,
+        "peer-failure scan visited {scan_visits} objects but the dead peer \
+         held only {victim_holdings} — the scan is walking the whole index"
+    );
+}
+
+/// The per-peer bandwidth EWMA must reset when its peer crashes: the
+/// machine that rejoins later says nothing about the ghost that built
+/// the estimate.
+#[test]
+fn peer_bandwidth_estimate_resets_on_crash() {
+    let mut home = Cloud4Home::new(Config::paper_testbed(85));
+
+    let obj = Object::synthetic("bw/sample.bin", 3, 512 << 10, "doc");
+    let op = home.store_object(NodeId(1), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    for client in [2usize, 3, 4] {
+        let op = home.fetch_object(NodeId(client), "bw/sample.bin");
+        home.run_until_complete(op).expect_ok();
+    }
+    assert!(
+        home.peer_bw_samples(NodeId(1)) > 0,
+        "fetch transfers from the holder should have trained its estimate"
+    );
+
+    home.crash_node(NodeId(1));
+    assert_eq!(
+        home.peer_bw_samples(NodeId(1)),
+        0,
+        "a crash must reset the peer's bandwidth estimate to the prior"
+    );
+
+    home.rejoin_node(NodeId(1)).expect("live seed exists");
+    assert_eq!(
+        home.peer_bw_samples(NodeId(1)),
+        0,
+        "the rejoined instance starts cold until new transfers are observed"
+    );
+}
+
+/// A cold, large object converts to (k, m) erasure-coded stripes, and
+/// the coded form survives `m` simultaneous holder crashes: fetches
+/// decode from any `k` survivors while the repair daemon rebuilds the
+/// lost rows.
+#[test]
+fn erasure_coded_object_survives_m_holder_crashes() {
+    let mut config = Config::paper_testbed(86);
+    config.adaptive.enabled = true;
+    let (k, m) = (config.adaptive.ec_k, config.adaptive.ec_m);
+    let mut home = Cloud4Home::new(config);
+
+    let size = 2u64 << 20; // over the 1 MiB conversion threshold
+    let obj = Object::synthetic("cold/backup.bin", 17, size, "tar");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+
+    // Never fetched → stone cold; the adaptive pass converts it.
+    home.run_for(Duration::from_secs(15));
+    assert!(
+        home.is_erasure_coded("cold/backup.bin"),
+        "a cold object over the threshold must convert to stripes"
+    );
+    let holders = home.stripe_holders("cold/backup.bin");
+    assert_eq!(holders.len(), k + m, "one holder per code row");
+    assert_eq!(
+        home.live_copies("cold/backup.bin"),
+        0,
+        "conversion must strip the full copies"
+    );
+
+    // Lose m holders at once — the worst case the code tolerates.
+    for &id in holders.iter().take(m) {
+        home.crash_node(id);
+    }
+
+    // A decode fetch succeeds immediately from the k survivors, before
+    // any repair lands. Pick a client that is still alive.
+    let client = (0..home.node_count())
+        .map(NodeId)
+        .find(|&id| home.node_alive(id))
+        .expect("live client exists");
+    let op = home.fetch_object(client, "cold/backup.bin");
+    let report = home.run_until_complete(op);
+    assert_eq!(
+        report.expect_ok().bytes,
+        size,
+        "decode fetch must reproduce the full object"
+    );
+
+    // The repair daemon rebuilds the lost rows from survivors.
+    home.run_for(Duration::from_secs(30));
+    home.run_until_idle();
+    assert!(
+        home.stats().repairs_completed >= m as u64,
+        "every lost stripe row must be rebuilt"
+    );
+    let op = home.fetch_object(client, "cold/backup.bin");
+    home.run_until_complete(op).expect_ok();
+}
+
+/// A hot object grows replicas toward its recent readers, and cooling
+/// shrinks it back — but never below copies parked at recent readers.
+#[test]
+fn hot_object_grows_then_cools_back() {
+    let mut config = Config::paper_testbed(87);
+    config.adaptive.enabled = true;
+    let mut home = Cloud4Home::new(config);
+
+    let obj = Object::synthetic("hot/reel.bin", 21, 256 << 10, "mp4");
+    let op = home.store_object(NodeId(0), obj, StorePolicy::ForceHome, true);
+    home.run_until_complete(op).expect_ok();
+    assert_eq!(home.live_copies("hot/reel.bin"), 1);
+
+    // A burst of fetches from node 3 heats the object well past the
+    // hot band (fetch gaps of ~2 virtual seconds ≫ 4/min).
+    for _ in 0..8 {
+        let op = home.fetch_object(NodeId(3), "hot/reel.bin");
+        home.run_until_complete(op).expect_ok();
+        home.run_for(Duration::from_secs(2));
+    }
+    home.run_for(Duration::from_secs(10));
+    home.run_until_idle();
+    let grown = home.live_copies("hot/reel.bin");
+    assert!(
+        grown > 1,
+        "a hot object must gain replicas (still at {grown})"
+    );
+
+    // Long silence cools it; copies shrink back toward the floor, except
+    // copies parked at recent readers (reader affinity holds them).
+    home.run_for(Duration::from_secs(300));
+    home.run_until_idle();
+    let cooled = home.live_copies("hot/reel.bin");
+    assert!(
+        cooled < grown || grown == 2,
+        "a cold object must drop surplus replicas (still at {cooled})"
+    );
+    assert!(cooled >= 1, "shrinking must never drop the last copy");
+}
