@@ -1,41 +1,69 @@
-//! Event-engine throughput — the timer wheel vs the `BinaryHeap` oracle.
+//! Event-engine throughput — slab wheel vs inline wheel vs `BinaryHeap`.
 //!
 //! Two sections:
 //!
 //! 1. **Hold model** (classic calendar-queue benchmark): pre-fill the
 //!    queue with N pending events, then repeatedly pop-one/push-one so the
 //!    population holds at N. Reports raw events/sec for the production
-//!    wheel (`EventQueue`) and the reference heap (`queue::reference::
-//!    RefQueue`) at N = 1k / 10k / 100k, and the speedup. Delays span
-//!    nine orders of magnitude (same splitmix64 stream for both engines),
-//!    so the wheel pays its real cascade costs.
+//!    slab-arena wheel (`EventQueue`), the PR-7 inline-payload wheel
+//!    (`queue::reference::InlineWheel`), and the reference heap
+//!    (`queue::reference::RefQueue`) at N = 1k / 10k / 100k / 1M. Delays
+//!    span nine orders of magnitude (same splitmix64 stream for all three
+//!    engines), so the wheels pay their real cascade costs. Payloads are
+//!    112 bytes — `size_of` of the runtime's event enum — so inline
+//!    cascades copy what they would copy in production.
 //! 2. **Runtime ops/sec**: end-to-end mixed store/fetch workload on the
 //!    paper testbed — how much of the engine win survives under the full
 //!    stack (overlay, flows, services).
 //!
-//! In full mode the 100k-point speedup is *asserted* ≥ 2× — the PR-6
-//! engine-replacement acceptance bar — not just printed.
+//! The binary installs a counting global allocator and asserts — in smoke
+//! and full mode alike, at every size including 10⁶ pending — that the
+//! slab engine reaches an **allocation-free steady state**: hold chunks
+//! run until an entire chunk performs zero heap acquisitions, and that
+//! quiescent chunk is the reported measurement. The delay stream is
+//! deterministic, so this is a hard regression gate, not a flaky timing
+//! check. In full mode two speedups are also asserted: ≥ 2× over the
+//! heap at 100k (the PR-6 bar) and ≥ 1.3× over the inline wheel at 1M
+//! (the slab-arena bar). The crossover is real and worth knowing: at
+//! ≤ 100k pending the working set fits in cache and the inline wheel's
+//! payload locality matches the slab's smaller cascades, but at 10⁶
+//! events cascade memory traffic dominates and moving 24-byte slots
+//! instead of 128-byte entries wins outright — on top of the zero-alloc
+//! guarantee, which holds at every size.
 //!
 //! Run with: `cargo bench -p c4h-bench --bench engine_throughput`
 //! (set `C4H_SMOKE=1` for the CI smoke variant: fewer hold ops, no
-//! speedup assertion; set `C4H_ENGINE_DIR=<dir>` to write the table as
-//! JSON for artifact upload).
+//! speedup assertions — the zero-alloc assertion still gates; set
+//! `C4H_ENGINE_DIR=<dir>` to write the table as JSON for artifact
+//! upload).
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use c4h_bench::banner;
-use c4h_simnet::queue::reference::RefQueue;
+use c4h_bench::{allocations, banner, CountingAlloc};
+use c4h_simnet::queue::reference::{InlineWheel, RefQueue};
 use c4h_simnet::EventQueue;
 use cloud4home::{Cloud4Home, Config, NodeId, Object, StorePolicy};
 
-const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// 112-byte payload — exactly `size_of::<Event>()` for the runtime's
+/// event enum, so the inline wheel pays the cascade-copy costs it would
+/// pay in production.
+type Payload = [u64; 14];
+
+fn payload(seed: u64) -> Payload {
+    [seed; 14]
+}
 
 fn smoke() -> bool {
     std::env::var_os("C4H_SMOKE").is_some()
 }
 
-/// Hold operations measured per size (after a 1/10 warmup).
+/// Hold operations measured per size (after warmup).
 fn hold_ops() -> u64 {
     if smoke() {
         200_000
@@ -44,7 +72,7 @@ fn hold_ops() -> u64 {
     }
 }
 
-/// Deterministic splitmix64 — identical delay streams for both engines.
+/// Deterministic splitmix64 — identical delay streams for all engines.
 struct Mix(u64);
 
 impl Mix {
@@ -68,46 +96,72 @@ impl Mix {
     }
 }
 
-/// Events/sec for the production wheel holding `n` pending events.
-fn hold_wheel(n: usize, ops: u64) -> f64 {
-    let mut q: EventQueue<u64> = EventQueue::new();
-    let mut mix = Mix(0x000e_1113 + n as u64);
-    for i in 0..n as u64 {
-        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), i);
-    }
-    let warmup = ops / 10;
-    for i in 0..warmup {
-        let (_, p) = q.pop().expect("population is held at n");
-        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
-    }
-    let started = Instant::now();
-    for i in 0..ops {
-        let (_, p) = q.pop().expect("population is held at n");
-        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
-    }
-    ops as f64 / started.elapsed().as_secs_f64()
+/// Chunks to try before giving up on allocator quiescence.
+const MAX_CHUNKS: u64 = 40;
+
+/// Generates a hold-model runner for one queue engine. All three engines
+/// share the schedule_in/pop API, identical seeds, and identical op
+/// streams; each returns (events/sec, heap acquisitions, warm chunks).
+///
+/// Steady state is found, not assumed: bucket vectors and the slab
+/// free-list grow toward high-water marks that a fixed warmup cannot be
+/// proven to reach (capacity records keep creeping, ever more rarely).
+/// So the runner executes hold chunks of `max(ops, n)` events until one
+/// entire chunk performs **zero** heap acquisitions, and reports that
+/// chunk's throughput and allocation count. The splitmix64 stream is
+/// deterministic, so the number of warm chunks — and the final verdict —
+/// is reproducible, not timing-dependent. If no chunk quiesces within
+/// [`MAX_CHUNKS`], the last chunk's (rate, allocs) is returned and the
+/// caller's assertion reports the failure.
+macro_rules! hold_model {
+    ($(#[$doc:meta])* $name:ident, $queue:ty) => {
+        $(#[$doc])*
+        fn $name(n: usize, ops: u64) -> (f64, u64, u64) {
+            let mut q: $queue = <$queue>::new();
+            let mut mix = Mix(0x000e_1113 + n as u64);
+            for i in 0..n as u64 {
+                q.schedule_in(Duration::from_nanos(mix.delay()), payload(i));
+            }
+            let chunk = ops.max(n as u64);
+            let mut rate = 0.0;
+            let mut allocs = u64::MAX;
+            let mut warm = 0;
+            for c in 0..MAX_CHUNKS {
+                let allocs0 = allocations();
+                let started = Instant::now();
+                for i in 0..chunk {
+                    let (_, p) = q.pop().expect("population is held at n");
+                    q.schedule_in(Duration::from_nanos(mix.delay()), payload(p[0] ^ i));
+                }
+                rate = chunk as f64 / started.elapsed().as_secs_f64();
+                allocs = allocations() - allocs0;
+                warm = c;
+                if allocs == 0 {
+                    break;
+                }
+            }
+            (rate, allocs, warm)
+        }
+    };
 }
 
-/// Events/sec for the reference heap holding `n` pending events — the
-/// identical op stream (`Mix` seeds match `hold_wheel`).
-fn hold_heap(n: usize, ops: u64) -> f64 {
-    let mut q: RefQueue<u64> = RefQueue::new();
-    let mut mix = Mix(0x000e_1113 + n as u64);
-    for i in 0..n as u64 {
-        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), i);
-    }
-    let warmup = ops / 10;
-    for i in 0..warmup {
-        let (_, p) = q.pop().expect("population is held at n");
-        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
-    }
-    let started = Instant::now();
-    for i in 0..ops {
-        let (_, p) = q.pop().expect("population is held at n");
-        q.schedule_in(std::time::Duration::from_nanos(mix.delay()), p ^ i);
-    }
-    ops as f64 / started.elapsed().as_secs_f64()
-}
+hold_model!(
+    /// The production slab-arena wheel: POD slots in buckets, payloads
+    /// parked in a generational slab with free-list reuse.
+    hold_slab,
+    EventQueue<Payload>
+);
+hold_model!(
+    /// The PR-7 wheel with payloads stored inline in bucket vectors —
+    /// the baseline the slab arena must beat.
+    hold_inline,
+    InlineWheel<Payload>
+);
+hold_model!(
+    /// The `BinaryHeap` oracle.
+    hold_heap,
+    RefQueue<Payload>
+);
 
 /// End-to-end ops/sec: a mixed store/fetch workload on the paper testbed,
 /// wall-clock timed through the full stack.
@@ -142,30 +196,50 @@ fn runtime_ops_per_sec() -> (u64, f64) {
 fn main() {
     banner(
         "Engine throughput",
-        "timer wheel vs BinaryHeap reference (hold model + full stack)",
+        "slab wheel vs inline wheel vs BinaryHeap (hold model + full stack)",
     );
     let ops = hold_ops();
     println!(
-        "{:>8} | {:>16} {:>16} {:>9}",
-        "pending", "wheel (ev/s)", "heap (ev/s)", "speedup"
+        "{:>8} | {:>13} {:>13} {:>13} {:>8} {:>9} {:>9}",
+        "pending", "slab (ev/s)", "inline(ev/s)", "heap (ev/s)", "vs heap", "vs inline", "allocs"
     );
-    println!("{}", "-".repeat(56));
+    println!("{}", "-".repeat(82));
 
     let mut json = String::from("{\n  \"hold\": [\n");
-    let mut speedup_100k = 0.0;
+    let mut vs_heap_100k = 0.0;
+    let mut vs_inline_1m = 0.0;
     for (i, &n) in SIZES.iter().enumerate() {
-        let wheel = hold_wheel(n, ops);
-        let heap = hold_heap(n, ops);
-        let speedup = wheel / heap;
+        let (slab, slab_allocs, warm) = hold_slab(n, ops);
+        let (inline, _, _) = hold_inline(n, ops);
+        let (heap, _, _) = hold_heap(n, ops);
+        let vs_heap = slab / heap;
+        let vs_inline = slab / inline;
         if n == 100_000 {
-            speedup_100k = speedup;
+            vs_heap_100k = vs_heap;
         }
-        println!("{n:>8} | {wheel:>16.0} {heap:>16.0} {speedup:>8.2}x");
+        if n == 1_000_000 {
+            vs_inline_1m = vs_inline;
+        }
+        println!(
+            "{n:>8} | {slab:>13.0} {inline:>13.0} {heap:>13.0} {vs_heap:>7.2}x {vs_inline:>8.2}x {slab_allocs:>9}"
+        );
+        // The tentpole contract: once warm, the slab engine never touches
+        // the heap — at any population, 10⁶ included. Deterministic delay
+        // stream ⇒ deterministic verdict.
+        assert_eq!(
+            slab_allocs, 0,
+            "slab EventQueue never produced an allocation-free steady-state \
+             chunk at n={n} ({MAX_CHUNKS} chunks tried, last chunk made \
+             {slab_allocs} allocations); the hot path must be allocation-free"
+        );
         let comma = if i + 1 == SIZES.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"pending\": {n}, \"wheel_events_per_sec\": {wheel:.0}, \
-             \"heap_events_per_sec\": {heap:.0}, \"speedup\": {speedup:.3}}}{comma}"
+            "    {{\"pending\": {n}, \"slab_events_per_sec\": {slab:.0}, \
+             \"inline_events_per_sec\": {inline:.0}, \
+             \"heap_events_per_sec\": {heap:.0}, \"speedup_vs_heap\": {vs_heap:.3}, \
+             \"speedup_vs_inline\": {vs_inline:.3}, \
+             \"slab_allocs\": {slab_allocs}, \"warm_chunks\": {warm}}}{comma}"
         );
     }
     json.push_str("  ],\n");
@@ -187,13 +261,19 @@ fn main() {
         println!("wrote {}", path.display());
     }
 
-    // The engine-replacement acceptance bar. Smoke runs (CI shared
-    // runners, tiny op counts) print but don't gate.
+    // Timing acceptance bars. Smoke runs (CI shared runners, tiny op
+    // counts) print but don't gate on wall-clock ratios; the zero-alloc
+    // assertion above gates everywhere.
     if !smoke() {
         assert!(
-            speedup_100k >= 2.0,
-            "timer wheel must be ≥2x the BinaryHeap reference at 100k \
-             pending events; measured {speedup_100k:.2}x"
+            vs_heap_100k >= 2.0,
+            "slab wheel must be ≥2x the BinaryHeap reference at 100k \
+             pending events; measured {vs_heap_100k:.2}x"
+        );
+        assert!(
+            vs_inline_1m >= 1.3,
+            "slab wheel must be ≥1.3x the inline-payload wheel at 1M \
+             pending events; measured {vs_inline_1m:.2}x"
         );
     }
 }

@@ -4,9 +4,49 @@
 //! `benches/` (run with `cargo bench -p c4h-bench --bench <name>`); this
 //! library holds the statistics and scheduling utilities they share.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use cloud4home::{Cloud4Home, OpId, OpReport};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator.
+///
+/// Install it in a bench binary with
+/// `#[global_allocator] static ALLOC: CountingAlloc = CountingAlloc;`
+/// and bracket the measured region with [`allocations`] to count how many
+/// heap acquisitions it performed. Counts allocations and reallocations
+/// (the events a steady-state hot path must not produce); frees are not
+/// counted. Relaxed ordering is fine — the benches are single-threaded
+/// and only need a consistent total at the two read points.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to `System`; the counter
+// update has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total heap acquisitions (alloc + realloc) since process start, as seen
+/// by [`CountingAlloc`]. Always zero unless the binary installed it as the
+/// global allocator.
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 /// Sample mean and (population) standard deviation.
 ///

@@ -411,6 +411,40 @@ impl ChimeraNode {
         );
     }
 
+    /// Installs a membership view directly and marks the node joined,
+    /// without exchanging a single message — the bulk-assembly path for
+    /// constructing very large overlays. A protocol join floods O(n)
+    /// announcements per joiner (O(n²) deliveries for a full cluster), and
+    /// full membership views cost O(n) entries per node; at 10⁶ nodes both
+    /// are ruinous. Assembly sidesteps both: the caller computes each
+    /// node's view offline (it knows the whole key population) and installs
+    /// it in O(view) time and memory.
+    ///
+    /// Correctness contract: routing delivers at the true root only when
+    /// every node's leaf set holds its *true* ring neighbours, so `view`
+    /// must include at least this node's `leaf_size` closest live keys on
+    /// each side of the identifier ring (slice a window around the node in
+    /// the globally sorted key list). Any further keys — e.g. one
+    /// representative per populated prefix-table slot, found by binary
+    /// search on that same sorted list — only shorten routes; with true
+    /// leaf sets, `covers`-based final delivery, prefix-table hops, and
+    /// the closest-known fallback all remain exact (each hop strictly
+    /// decreases ring distance to the root, so lookups terminate).
+    ///
+    /// Peers already known keep their state; this node's own key and
+    /// retired incarnations are ignored, mirroring a Welcome import.
+    /// Emits [`DhtEvent::Joined`] exactly like a protocol join.
+    pub fn assemble<I: IntoIterator<Item = Key>>(&mut self, view: I, _now: SimTime) {
+        for k in view {
+            self.learn_peer_quiet(k, 1);
+        }
+        self.rebuild_views();
+        self.joined = true;
+        self.events.push_back(DhtEvent::Joined {
+            peers: self.peers.len(),
+        });
+    }
+
     /// Leaves the overlay gracefully: redistributes owned records to their
     /// new roots and announces retirement to ring neighbours ("a departing
     /// node's keys are always redistributed among the available set of

@@ -14,6 +14,7 @@
 //! completions, it tracks changing network conditions (the paper's open
 //! issue (iv)) without reconfiguration.
 
+use c4h_simnet::Sym;
 use serde::{Deserialize, Serialize};
 
 use crate::object::Object;
@@ -151,7 +152,11 @@ impl PeerBandwidth {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObjectHeat {
     alpha: f64,
-    entries: std::collections::BTreeMap<String, HeatEntry>,
+    // Keyed by interned name. `Sym` orders by resolved string content, so
+    // iteration (`names`) walks the same lexicographic order the old
+    // `String`-keyed map did — the placement pass's scan order is part of
+    // the byte-determinism contract.
+    entries: std::collections::BTreeMap<Sym, HeatEntry>,
 }
 
 /// One object's heat state.
@@ -182,8 +187,8 @@ impl ObjectHeat {
 
     /// Folds one completed fetch of `name` by `reader` at `now_ns` into
     /// the object's estimate.
-    pub fn observe_fetch(&mut self, name: &str, reader: usize, now_ns: u64) {
-        let entry = self.entries.entry(name.to_owned()).or_insert(HeatEntry {
+    pub fn observe_fetch(&mut self, name: Sym, reader: usize, now_ns: u64) {
+        let entry = self.entries.entry(name).or_insert(HeatEntry {
             rate_per_sec: 0.0,
             last_fetch_ns: now_ns,
             readers: Vec::new(),
@@ -204,8 +209,8 @@ impl ObjectHeat {
     /// The object's decayed fetch rate in fetches per minute at `now_ns`:
     /// the EWMA estimate, capped by the rate the silence since the last
     /// fetch already disproves. Unknown objects answer 0 (stone cold).
-    pub fn rate_per_min(&self, name: &str, now_ns: u64) -> f64 {
-        let Some(e) = self.entries.get(name) else {
+    pub fn rate_per_min(&self, name: Sym, now_ns: u64) -> f64 {
+        let Some(e) = self.entries.get(&name) else {
             return 0.0;
         };
         if e.fetches < 2 {
@@ -218,23 +223,25 @@ impl ObjectHeat {
     }
 
     /// Recent distinct readers of `name`, newest first.
-    pub fn recent_readers(&self, name: &str) -> &[usize] {
-        self.entries.get(name).map_or(&[], |e| e.readers.as_slice())
+    pub fn recent_readers(&self, name: Sym) -> &[usize] {
+        self.entries
+            .get(&name)
+            .map_or(&[], |e| e.readers.as_slice())
     }
 
     /// Fetches observed for `name`.
-    pub fn fetches(&self, name: &str) -> u64 {
-        self.entries.get(name).map_or(0, |e| e.fetches)
+    pub fn fetches(&self, name: Sym) -> u64 {
+        self.entries.get(&name).map_or(0, |e| e.fetches)
     }
 
     /// Drops an object's state (deletes / EC conversions).
-    pub fn forget(&mut self, name: &str) {
-        self.entries.remove(name);
+    pub fn forget(&mut self, name: Sym) {
+        self.entries.remove(&name);
     }
 
     /// Objects currently tracked, in name order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(String::as_str)
+    pub fn names(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.entries.keys().copied()
     }
 }
 
@@ -455,22 +462,22 @@ mod tests {
     #[test]
     fn object_heat_tracks_rate_and_readers() {
         let mut h = ObjectHeat::new(0.5);
-        assert_eq!(h.rate_per_min("x", 0), 0.0);
+        assert_eq!(h.rate_per_min(Sym::from("x"), 0), 0.0);
         let s = 1_000_000_000u64;
         // One fetch per second from rotating readers.
         for i in 0..10u64 {
-            h.observe_fetch("x", (i % 3) as usize, i * s);
+            h.observe_fetch(Sym::from("x"), (i % 3) as usize, i * s);
         }
-        let rate = h.rate_per_min("x", 10 * s);
+        let rate = h.rate_per_min(Sym::from("x"), 10 * s);
         assert!(
             (50.0..=70.0).contains(&rate),
             "1/s steady fetching should read ≈60/min, got {rate}"
         );
-        assert_eq!(h.fetches("x"), 10);
+        assert_eq!(h.fetches(Sym::from("x")), 10);
         // Readers newest-first, deduplicated.
-        assert_eq!(h.recent_readers("x"), &[0, 2, 1]);
+        assert_eq!(h.recent_readers(Sym::from("x")), &[0, 2, 1]);
         // A different object is untouched.
-        assert_eq!(h.rate_per_min("y", 10 * s), 0.0);
+        assert_eq!(h.rate_per_min(Sym::from("y"), 10 * s), 0.0);
     }
 
     #[test]
@@ -478,27 +485,27 @@ mod tests {
         let mut h = ObjectHeat::new(0.5);
         let s = 1_000_000_000u64;
         for i in 0..10u64 {
-            h.observe_fetch("x", 0, i * s);
+            h.observe_fetch(Sym::from("x"), 0, i * s);
         }
-        let hot = h.rate_per_min("x", 10 * s);
+        let hot = h.rate_per_min(Sym::from("x"), 10 * s);
         // Ten minutes of silence must cool the estimate without any
         // further events — the decay cap, not the EWMA, answers.
-        let cold = h.rate_per_min("x", (10 + 600) * s);
+        let cold = h.rate_per_min(Sym::from("x"), (10 + 600) * s);
         assert!(
             cold < 0.2,
             "after 10 min idle, rate {cold} should be ≪ 1/min"
         );
         assert!(cold < hot / 100.0);
-        h.forget("x");
-        assert_eq!(h.fetches("x"), 0);
+        h.forget(Sym::from("x"));
+        assert_eq!(h.fetches(Sym::from("x")), 0);
     }
 
     #[test]
     fn single_fetch_reads_cold() {
         let mut h = ObjectHeat::new(0.3);
-        h.observe_fetch("x", 1, 5_000_000_000);
-        assert_eq!(h.rate_per_min("x", 5_000_000_001), 0.0);
-        assert_eq!(h.recent_readers("x"), &[1]);
+        h.observe_fetch(Sym::from("x"), 1, 5_000_000_000);
+        assert_eq!(h.rate_per_min(Sym::from("x"), 5_000_000_001), 0.0);
+        assert_eq!(h.recent_readers(Sym::from("x")), &[1]);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
-use c4h_simnet::SimTime;
+use c4h_simnet::{SimTime, Sym};
 use c4h_telemetry::{CriticalPath, FlightRecorder, PathBucket, SlidingHistogram};
 
 use crate::config::Config;
@@ -36,7 +36,7 @@ const WINDOW_SLICES: u64 = 16;
 pub(crate) struct PathRow {
     pub(crate) op: OpId,
     pub(crate) kind: &'static str,
-    pub(crate) object: String,
+    pub(crate) object: Sym,
     pub(crate) total_ns: u64,
     pub(crate) path: PathAttribution,
 }
@@ -322,7 +322,7 @@ mod tests {
             hp.record_path(PathRow {
                 op: OpId(i),
                 kind: "fetch",
-                object: format!("o{i}"),
+                object: Sym::new(&format!("o{i}")),
                 total_ns: i * 100,
                 path: PathAttribution::default(),
             });
@@ -342,7 +342,7 @@ mod tests {
             hp.record_path(PathRow {
                 op: OpId(i),
                 kind: "fetch",
-                object: format!("o{i}"),
+                object: Sym::new(&format!("o{i}")),
                 total_ns: i,
                 path: PathAttribution::default(),
             });

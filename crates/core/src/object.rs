@@ -15,6 +15,7 @@
 
 use bytes::Bytes;
 use c4h_kvstore::Acl;
+use c4h_simnet::Sym;
 use serde::{Deserialize, Serialize};
 
 /// Maximum sample window generated from a synthetic blob for service
@@ -113,8 +114,8 @@ pub fn synth_bytes(seed: u64, len: usize) -> Vec<u8> {
 /// A named object with its payload and policy-relevant metadata.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Object {
-    /// The unique object name (hashed into the metadata key).
-    pub name: String,
+    /// The unique object name (interned; hashed into the metadata key).
+    pub name: Sym,
     /// The payload.
     pub blob: Blob,
     /// Content type, e.g. `"jpeg"`, `"avi"`, `"mp3"`.
@@ -131,7 +132,7 @@ impl Object {
     /// Creates an object with an inline payload.
     pub fn new(name: &str, bytes: impl Into<Bytes>, content_type: &str) -> Self {
         Object {
-            name: name.to_owned(),
+            name: Sym::from(name),
             blob: Blob::inline(bytes),
             content_type: content_type.to_owned(),
             tags: Vec::new(),
@@ -143,7 +144,7 @@ impl Object {
     /// Creates an object with a synthetic payload of `len` bytes.
     pub fn synthetic(name: &str, seed: u64, len: u64, content_type: &str) -> Self {
         Object {
-            name: name.to_owned(),
+            name: Sym::from(name),
             blob: Blob::synthetic(seed, len),
             content_type: content_type.to_owned(),
             tags: Vec::new(),

@@ -19,7 +19,7 @@ use c4h_kvstore::{
 };
 use c4h_resources::Bin;
 use c4h_services::{ServiceDemand, ServiceId, ServiceOutput};
-use c4h_simnet::{Addr, FlowId, SimTime};
+use c4h_simnet::{Addr, FlowId, SimTime, Sym};
 use c4h_telemetry::ArgValue;
 
 use crate::config::{NodeId, ServiceKind};
@@ -186,7 +186,7 @@ pub(crate) struct Op {
     pub(crate) kind: &'static str,
     pub(crate) client: usize,
     pub(crate) submitted: SimTime,
-    pub(crate) name: String,
+    pub(crate) name: Sym,
     pub(crate) payload: Option<Object>,
     pub(crate) blocking: bool,
     pub(crate) store_policy: StorePolicy,
@@ -262,7 +262,7 @@ pub(crate) struct Op {
 }
 
 impl Op {
-    fn new(id: OpId, kind: &'static str, client: usize, name: String, now: SimTime) -> Self {
+    fn new(id: OpId, kind: &'static str, client: usize, name: Sym, now: SimTime) -> Self {
         Op {
             id,
             kind,
@@ -473,7 +473,7 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let mut op = Op::new(id, "store", i, object.name.clone(), now);
+        let mut op = Op::new(id, "store", i, object.name, now);
         op.blocking = blocking;
         op.store_policy = policy;
         let Some(mut op) = self.admit_gate(op) else {
@@ -499,7 +499,7 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let op = Op::new(id, "fetch", i, name.to_owned(), now);
+        let op = Op::new(id, "fetch", i, Sym::new(name), now);
         let Some(mut op) = self.admit_gate(op) else {
             return id;
         };
@@ -524,7 +524,7 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let op = Op::new(id, "delete", i, name.to_owned(), now);
+        let op = Op::new(id, "delete", i, Sym::new(name), now);
         let Some(mut op) = self.admit_gate(op) else {
             return id;
         };
@@ -547,7 +547,7 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let op = Op::new(id, "list", i, dir.to_owned(), now);
+        let op = Op::new(id, "list", i, Sym::new(dir), now);
         let Some(mut op) = self.admit_gate(op) else {
             return id;
         };
@@ -656,7 +656,7 @@ impl Cloud4Home {
         let i = self.require_live(client);
         let id = self.alloc_op();
         let now = self.now();
-        let mut op = Op::new(id, kind, i, name.to_owned(), now);
+        let mut op = Op::new(id, kind, i, Sym::new(name), now);
         op.service = Some(service);
         op.pipeline = vec![service];
         op.placement = placement;
@@ -708,7 +708,7 @@ impl Cloud4Home {
                         ),
                     ],
                 );
-                let name = op.name.clone();
+                let name = op.name.to_string();
                 self.complete_op(op, Err(OpError::Overloaded(name)));
                 None
             }
@@ -908,7 +908,7 @@ impl Cloud4Home {
             self.health.record_path(PathRow {
                 op: op.id,
                 kind: op.kind,
-                object: op.name.clone(),
+                object: op.name,
                 total_ns,
                 path: critical,
             });
@@ -944,7 +944,7 @@ impl Cloud4Home {
                         now.as_nanos(),
                         op.id.0,
                         op.kind,
-                        &op.name,
+                        op.name.as_str(),
                         e.label(),
                         op.submitted.as_nanos(),
                         stages,
@@ -958,7 +958,7 @@ impl Cloud4Home {
         // replica counts and placement by.
         if self.config.adaptive.enabled && op.kind == "fetch" && outcome.is_ok() {
             self.object_heat
-                .observe_fetch(&op.name, op.client, now.as_nanos());
+                .observe_fetch(op.name, op.client, now.as_nanos());
         }
         let report = OpReport {
             id: op.id,
@@ -1036,7 +1036,7 @@ impl Cloud4Home {
         // keeps a whole node's ops from amplifying a sick DHT.
         if dht_timed_out(&input) {
             if op.retries < MAX_DHT_RETRIES {
-                let budgeted = self.retry_budget_take(op.client, "dht", &op.name);
+                let budgeted = self.retry_budget_take(op.client, "dht", op.name);
                 if budgeted && self.retry_dht(op) {
                     op.retries += 1;
                     self.stats.dht_retries += 1;
@@ -1058,7 +1058,7 @@ impl Cloud4Home {
                         Stage::StoreQueryPeers | Stage::ProcQueryResources | Stage::ProcMetaSvcGet
                     )
                 {
-                    return Some(Err(OpError::Timeout(op.name.clone())));
+                    return Some(Err(OpError::Timeout(op.name.to_string())));
                 }
             }
             // Retry cap exhausted on a stage that has no fallback of its
@@ -1070,7 +1070,7 @@ impl Cloud4Home {
                     Stage::StoreQueryPeers | Stage::ProcQueryResources | Stage::ProcMetaSvcGet
                 )
             {
-                return Some(Err(OpError::Timeout(op.name.clone())));
+                return Some(Err(OpError::Timeout(op.name.to_string())));
             }
         }
         match op.stage.clone() {
@@ -1134,7 +1134,7 @@ impl Cloud4Home {
                     .s3
                     .put(
                         &cloud.bucket.clone(),
-                        &object.name,
+                        object.name.as_str(),
                         object.blob.clone(),
                         object.size_bytes(),
                     )
@@ -1161,12 +1161,12 @@ impl Cloud4Home {
                 }
                 // Append the object to its directory's entry chain.
                 let entry = DirEntry {
-                    name: op.name.clone(),
+                    name: op.name,
                     tombstone: false,
                 };
-                let dir = parent_dir(&op.name).to_owned();
+                let dir = parent_dir(op.name.as_str());
                 op.stage = Stage::StoreDirPut;
-                self.dht_chain_for_op(op.id, op.client, directory_key(&dir), entry.encode());
+                self.dht_chain_for_op(op.id, op.client, directory_key(dir), entry.encode());
                 None
             }
             Stage::StoreDirPut => {
@@ -1207,7 +1207,7 @@ impl Cloud4Home {
                     op.breakdown.inter_domain += el;
                 }
                 op.stage = Stage::FetchMetaGet;
-                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                self.dht_get_for_op(op.id, op.client, object_key(op.name.as_str()));
                 None
             }
             Stage::FetchMetaGet => {
@@ -1280,7 +1280,7 @@ impl Cloud4Home {
                 // re-read the authoritative metadata before retrying.
                 if self.config.adaptive.enabled {
                     op.stage = Stage::FetchMetaGet;
-                    self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                    self.dht_get_for_op(op.id, op.client, object_key(op.name.as_str()));
                     return None;
                 }
                 // Re-derive the candidate set: a holder may have rejoined
@@ -1313,7 +1313,7 @@ impl Cloud4Home {
                         self.start_flow_for_op(op.id, src, dst, bytes);
                         None
                     }
-                    Err(_) => Some(Err(OpError::NotFound(op.name.clone()))),
+                    Err(_) => Some(Err(OpError::NotFound(op.name.to_string()))),
                 }
             }
             Stage::FetchFlowCloud => {
@@ -1334,7 +1334,7 @@ impl Cloud4Home {
                         op.staged = Some(blob.clone());
                         self.fetch_channel_out(op)
                     }
-                    None => Some(Err(OpError::NotFound(op.name.clone()))),
+                    None => Some(Err(OpError::NotFound(op.name.to_string()))),
                 }
             }
             Stage::FetchChannelOut => {
@@ -1358,7 +1358,7 @@ impl Cloud4Home {
                     op.breakdown.inter_domain += el;
                 }
                 op.stage = Stage::DelMetaGet;
-                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                self.dht_get_for_op(op.id, op.client, object_key(op.name.as_str()));
                 None
             }
             Stage::DelMetaGet => {
@@ -1377,15 +1377,15 @@ impl Cloud4Home {
                     .and_then(|v| Record::decode(v.latest()).ok())
                     .and_then(|r| r.as_object().cloned());
                 let Some(meta) = meta else {
-                    return Some(Err(OpError::NotFound(op.name.clone())));
+                    return Some(Err(OpError::NotFound(op.name.to_string())));
                 };
                 // Only the owner principal may delete.
                 if meta.owner != self.nodes[op.client].key {
-                    return Some(Err(OpError::AccessDenied(op.name.clone())));
+                    return Some(Err(OpError::AccessDenied(op.name.to_string())));
                 }
                 op.meta = Some(meta);
                 op.stage = Stage::DelDhtDelete;
-                self.dht_delete_for_op(op.id, op.client, object_key(&op.name));
+                self.dht_delete_for_op(op.id, op.client, object_key(op.name.as_str()));
                 None
             }
             Stage::DelDhtDelete => {
@@ -1407,12 +1407,12 @@ impl Cloud4Home {
                     op.breakdown.disk += el;
                 }
                 let entry = DirEntry {
-                    name: op.name.clone(),
+                    name: op.name,
                     tombstone: true,
                 };
-                let dir = parent_dir(&op.name).to_owned();
+                let dir = parent_dir(op.name.as_str());
                 op.stage = Stage::DelDirPut;
-                self.dht_chain_for_op(op.id, op.client, directory_key(&dir), entry.encode());
+                self.dht_chain_for_op(op.id, op.client, directory_key(dir), entry.encode());
                 None
             }
             Stage::DelDirPut => {
@@ -1442,7 +1442,7 @@ impl Cloud4Home {
                     op.breakdown.inter_domain += el;
                 }
                 op.stage = Stage::ListDirGet;
-                self.dht_get_for_op(op.id, op.client, directory_key(&op.name));
+                self.dht_get_for_op(op.id, op.client, directory_key(op.name.as_str()));
                 None
             }
             Stage::ListDirGet => {
@@ -1465,7 +1465,7 @@ impl Cloud4Home {
                     via_cloud: false,
                     exec_target: None,
                     summary: Some(format!("{} objects", listing.len())),
-                    listing: Some(listing),
+                    listing: Some(listing.iter().map(|s| s.as_str().to_owned()).collect()),
                 }))
             }
 
@@ -1481,7 +1481,7 @@ impl Cloud4Home {
                 op.stage = Stage::ProcMetaSvcGet;
                 op.pending_gets = 2;
                 op.batch_timed_out = false;
-                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                self.dht_get_for_op(op.id, op.client, object_key(op.name.as_str()));
                 self.dht_get_for_op(op.id, op.client, service_key(kind.name(), kind.id()));
                 None
             }
@@ -1511,7 +1511,7 @@ impl Cloud4Home {
                 if op.batch_timed_out
                     && (op.meta.is_none() || op.svc_record.is_none())
                     && op.retries < MAX_DHT_RETRIES
-                    && self.retry_budget_take(op.client, "dht", &op.name)
+                    && self.retry_budget_take(op.client, "dht", op.name)
                 {
                     op.retries += 1;
                     self.stats.dht_retries += 1;
@@ -1528,7 +1528,7 @@ impl Cloud4Home {
                     );
                     if op.meta.is_none() {
                         op.pending_gets += 1;
-                        self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                        self.dht_get_for_op(op.id, op.client, object_key(op.name.as_str()));
                     }
                     if op.svc_record.is_none() {
                         op.pending_gets += 1;
@@ -1543,17 +1543,17 @@ impl Cloud4Home {
                 let timed_out = op.batch_timed_out;
                 let Some(meta) = op.meta.clone() else {
                     return Some(Err(if timed_out {
-                        OpError::Timeout(op.name.clone())
+                        OpError::Timeout(op.name.to_string())
                     } else {
-                        OpError::NotFound(op.name.clone())
+                        OpError::NotFound(op.name.to_string())
                     }));
                 };
                 if !meta.acl.permits(self.nodes[op.client].key, meta.owner) {
-                    return Some(Err(OpError::AccessDenied(op.name.clone())));
+                    return Some(Err(OpError::AccessDenied(op.name.to_string())));
                 }
                 if op.svc_record.is_none() {
                     return Some(Err(if timed_out {
-                        OpError::Timeout(op.name.clone())
+                        OpError::Timeout(op.name.to_string())
                     } else {
                         OpError::ServiceUnavailable(kind.id())
                     }));
@@ -1627,7 +1627,7 @@ impl Cloud4Home {
     fn retry_dht(&mut self, op: &mut Op) -> bool {
         match op.stage.clone() {
             Stage::FetchMetaGet | Stage::DelMetaGet => {
-                self.dht_get_for_op(op.id, op.client, object_key(&op.name));
+                self.dht_get_for_op(op.id, op.client, object_key(op.name.as_str()));
                 true
             }
             Stage::StoreMetaPut => {
@@ -1635,26 +1635,26 @@ impl Cloud4Home {
                 self.dht_put_for_op(
                     op.id,
                     op.client,
-                    object_key(&op.name),
+                    object_key(op.name.as_str()),
                     Record::Object(meta).encode(),
                 );
                 true
             }
             Stage::StoreDirPut | Stage::DelDirPut => {
                 let entry = DirEntry {
-                    name: op.name.clone(),
+                    name: op.name,
                     tombstone: matches!(op.stage, Stage::DelDirPut),
                 };
-                let dir = parent_dir(&op.name).to_owned();
-                self.dht_chain_for_op(op.id, op.client, directory_key(&dir), entry.encode());
+                let dir = parent_dir(op.name.as_str());
+                self.dht_chain_for_op(op.id, op.client, directory_key(dir), entry.encode());
                 true
             }
             Stage::DelDhtDelete => {
-                self.dht_delete_for_op(op.id, op.client, object_key(&op.name));
+                self.dht_delete_for_op(op.id, op.client, object_key(op.name.as_str()));
                 true
             }
             Stage::ListDirGet => {
-                self.dht_get_for_op(op.id, op.client, directory_key(&op.name));
+                self.dht_get_for_op(op.id, op.client, directory_key(op.name.as_str()));
                 true
             }
             _ => false,
@@ -1749,7 +1749,7 @@ impl Cloud4Home {
         {
             self.store_go_cloud(op)
         } else {
-            Some(Err(OpError::NoSpace(op.name.clone())))
+            Some(Err(OpError::NoSpace(op.name.to_string())))
         }
     }
 
@@ -1773,13 +1773,17 @@ impl Cloud4Home {
             Bin::Voluntary
         };
         let size = object.size_bytes();
-        let name = object.name.clone();
+        let name = object.name;
         // Re-storing an existing name overwrites it ("one-to-one mapping of
         // objects to files": the file is replaced).
-        if self.nodes[target].bins.lookup(&name).is_some() {
-            self.nodes[target].bins.remove(&name);
+        if self.nodes[target].bins.lookup(name.as_str()).is_some() {
+            self.nodes[target].bins.remove(name.as_str());
         }
-        if self.nodes[target].bins.store(&name, size, bin).is_err() {
+        if self.nodes[target]
+            .bins
+            .store(name.as_str(), size, bin)
+            .is_err()
+        {
             // Stale resource record: the bin filled since we queried.
             return self.store_spill_or_fail(op);
         }
@@ -1969,16 +1973,16 @@ impl Cloud4Home {
     /// Installs one landed replica copy on its target node.
     fn install_replica_copy(&mut self, op: &mut Op, target: usize) {
         let object = op.payload.as_ref().expect("store carries payload");
-        let name = object.name.clone();
+        let name = object.name;
         let size = object.size_bytes();
         let blob = object.blob.clone();
         if self.nodes[target].alive {
-            if self.nodes[target].bins.lookup(&name).is_some() {
-                self.nodes[target].bins.remove(&name);
+            if self.nodes[target].bins.lookup(name.as_str()).is_some() {
+                self.nodes[target].bins.remove(name.as_str());
             }
             if self.nodes[target]
                 .bins
-                .store(&name, size, Bin::Voluntary)
+                .store(name.as_str(), size, Bin::Voluntary)
                 .is_ok()
             {
                 self.nodes[target].objects.insert(name, blob);
@@ -2030,7 +2034,7 @@ impl Cloud4Home {
             self.fanout_flows.insert(
                 flow,
                 FanoutJob {
-                    name: op.name.clone(),
+                    name: op.name,
                     dst: flight.target,
                     bytes,
                     blob,
@@ -2056,7 +2060,7 @@ impl Cloud4Home {
     fn store_meta_put(&mut self, op: &mut Op, location: Location) -> StepOutcome {
         let object = op.payload.as_ref().expect("store carries payload");
         let meta = ObjectMeta {
-            name: object.name.clone(),
+            name: object.name,
             size_bytes: object.size_bytes(),
             content_type: object.content_type.clone(),
             tags: object.tags.clone(),
@@ -2071,7 +2075,7 @@ impl Cloud4Home {
         if self.config.adaptive.enabled {
             // A re-store supersedes any erasure-coded form of the same
             // name; scrub stale stripes so readers never decode old bytes.
-            self.ec_scrub(&meta.name);
+            self.ec_scrub(meta.name);
         }
         // Index replicated home objects for the background repair daemon.
         // With the adaptive plane on, single-copy home objects are indexed
@@ -2080,16 +2084,16 @@ impl Cloud4Home {
         if (self.config.replication > 1 || self.config.adaptive.enabled)
             && matches!(meta.location, Location::Home { .. })
         {
-            self.replica_meta_insert(meta.name.clone(), meta.clone());
+            self.replica_meta_insert(meta.name, meta.clone());
             // A store that lost replica flights publishes short; hand the
             // shortfall to the repair daemon now instead of hoping an
             // unrelated peer death triggers a scan that happens to cover
             // this object.
             if op.partial_replication > 0 {
-                self.maybe_repair(&meta.name);
+                self.maybe_repair(meta.name);
             }
         } else {
-            self.replica_meta_remove(&meta.name);
+            self.replica_meta_remove(meta.name);
         }
         op.meta = Some(meta.clone());
         self.phase(op);
@@ -2097,7 +2101,7 @@ impl Cloud4Home {
         self.dht_put_for_op(
             op.id,
             op.client,
-            object_key(&op.name),
+            object_key(op.name.as_str()),
             Record::Object(meta).encode(),
         );
         None
@@ -2127,10 +2131,10 @@ impl Cloud4Home {
             .as_ref()
             .and_then(|v| Record::decode(v.latest()).ok())
             .and_then(|r| r.as_object().cloned())
-            .ok_or_else(|| OpError::NotFound(op.name.clone()))?;
+            .ok_or_else(|| OpError::NotFound(op.name.to_string()))?;
         // Access control: the reader must be permitted by the object's ACL.
         if !meta.acl.permits(self.nodes[op.client].key, meta.owner) {
-            return Err(OpError::AccessDenied(op.name.clone()));
+            return Err(OpError::AccessDenied(op.name.to_string()));
         }
         Ok(meta)
     }
@@ -2161,16 +2165,16 @@ impl Cloud4Home {
             }
             Location::Cloud { ref url } => {
                 if self.cloud.is_none() {
-                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                    return Some(Err(OpError::OwnerUnreachable(op.name.to_string())));
                 }
                 // An open cloud-uplink breaker fails the fetch fast; the
                 // half-open probe after cooldown is the first op allowed
                 // through again.
                 if self.breaker_blocks_path(CLOUD_ADDR) {
-                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                    return Some(Err(OpError::OwnerUnreachable(op.name.to_string())));
                 }
                 let Some(url) = S3Url::parse(url) else {
-                    return Some(Err(OpError::NotFound(op.name.clone())));
+                    return Some(Err(OpError::NotFound(op.name.to_string())));
                 };
                 self.phase(op);
                 op.stage = Stage::FetchCloudRequest { url };
@@ -2199,7 +2203,7 @@ impl Cloud4Home {
             );
         }
         if self.now() > op.deadline {
-            return Some(Err(OpError::Timeout(op.name.clone())));
+            return Some(Err(OpError::Timeout(op.name.to_string())));
         }
         let size = op.object_bytes();
         // With several live holders (none of them the client itself, whose
@@ -2287,13 +2291,13 @@ impl Cloud4Home {
                 .checked_duration_since(self.now())
                 .unwrap_or_default();
             if remaining.is_zero() {
-                return Some(Err(OpError::Timeout(op.name.clone())));
+                return Some(Err(OpError::Timeout(op.name.to_string())));
             }
             // Each backoff-and-retry cycle draws on the node's retry
             // budget: under overload the budget drains and the op fails
             // promptly instead of amplifying load until its deadline.
-            if !self.retry_budget_take(op.client, "fetch", &op.name) {
-                return Some(Err(OpError::Timeout(op.name.clone())));
+            if !self.retry_budget_take(op.client, "fetch", op.name) {
+                return Some(Err(OpError::Timeout(op.name.to_string())));
             }
             let wait = op
                 .backoff
@@ -2306,7 +2310,7 @@ impl Cloud4Home {
             self.wake_in(op.id, wait);
             return None;
         }
-        Some(Err(OpError::OwnerUnreachable(op.name.clone())))
+        Some(Err(OpError::OwnerUnreachable(op.name.to_string())))
     }
 
     /// Orders fetch candidates best-first: holders that can actually serve
@@ -2510,8 +2514,8 @@ impl Cloud4Home {
         // The bytes a holder serves: the object itself, or — on a coded
         // read — the stripe of the code row this slot is assigned to.
         let want = match &op.ec_plan {
-            Some(plan) => ec_stripe_name(&op.name, plan.slot_rows[req.stripe as usize]),
-            None => op.name.clone(),
+            Some(plan) => ec_stripe_name(op.name, plan.slot_rows[req.stripe as usize]),
+            None => op.name,
         };
         if !self.nodes[req.holder].alive
             || !self.node_reachable(op.client, req.holder)
@@ -2862,7 +2866,7 @@ impl Cloud4Home {
     /// Whether code row `row` of `name` can serve a stripe read for
     /// `client` right now: holder resolved, alive, reachable, still
     /// holding the stripe, path breaker not open.
-    fn ec_row_viable(&self, client: usize, name: &str, holder: Option<usize>, row: u32) -> bool {
+    fn ec_row_viable(&self, client: usize, name: Sym, holder: Option<usize>, row: u32) -> bool {
         let now_ns = self.now().as_nanos();
         holder.is_some_and(|j| {
             self.nodes[j].alive
@@ -2896,7 +2900,7 @@ impl Cloud4Home {
             .map(|&key| self.node_index(key))
             .collect();
         let mut viable: Vec<u32> = (0..row_holders.len() as u32)
-            .filter(|&r| self.ec_row_viable(op.client, &op.name, row_holders[r as usize], r))
+            .filter(|&r| self.ec_row_viable(op.client, op.name, row_holders[r as usize], r))
             .collect();
         if viable.len() < k {
             return self.ec_fetch_backoff(op);
@@ -2960,10 +2964,10 @@ impl Cloud4Home {
             .checked_duration_since(self.now())
             .unwrap_or_default();
         if remaining.is_zero() {
-            return Some(Err(OpError::StripesLost(op.name.clone())));
+            return Some(Err(OpError::StripesLost(op.name.to_string())));
         }
-        if !self.retry_budget_take(op.client, "fetch", &op.name) {
-            return Some(Err(OpError::StripesLost(op.name.clone())));
+        if !self.retry_budget_take(op.client, "fetch", op.name) {
+            return Some(Err(OpError::StripesLost(op.name.to_string())));
         }
         let wait = op
             .backoff
@@ -3009,7 +3013,7 @@ impl Cloud4Home {
         };
         let spare = (0..row_holders.len() as u32)
             .filter(|r| !slot_rows.contains(r))
-            .find(|&r| self.ec_row_viable(op.client, &op.name, row_holders[r as usize], r));
+            .find(|&r| self.ec_row_viable(op.client, op.name, row_holders[r as usize], r));
         match spare {
             Some(row) => {
                 let holder = row_holders[row as usize].expect("viable row resolved");
@@ -3062,7 +3066,7 @@ impl Cloud4Home {
         for &row in &plan.slot_rows {
             let shard = plan.row_holders[row as usize]
                 .filter(|&j| self.nodes[j].alive)
-                .and_then(|j| self.nodes[j].objects.get(&ec_stripe_name(&op.name, row)))
+                .and_then(|j| self.nodes[j].objects.get(&ec_stripe_name(op.name, row)))
                 .map(|b| b.sample(usize::MAX));
             match shard {
                 Some(s) => survivors.push((row as usize, s)),
@@ -3073,7 +3077,7 @@ impl Cloud4Home {
         let Some(original) = self.ec_originals.get(&op.name).cloned() else {
             // The conversion registry lost the object (deleted or
             // re-stored mid-fetch); the stripes alone cannot serve it.
-            return Some(Err(OpError::StripesLost(op.name.clone())));
+            return Some(Err(OpError::StripesLost(op.name.to_string())));
         };
         let window = original.sample(SAMPLE_WINDOW);
         let refs: Vec<(usize, &[u8])> = survivors.iter().map(|(r, s)| (*r, s.as_slice())).collect();
@@ -3086,7 +3090,7 @@ impl Cloud4Home {
                 op.staged = Some(original);
                 self.fetch_channel_out(op)
             }
-            _ => Some(Err(OpError::StripesLost(op.name.clone()))),
+            _ => Some(Err(OpError::StripesLost(op.name.to_string()))),
         }
     }
 
@@ -3099,14 +3103,14 @@ impl Cloud4Home {
         for key in &meta.replicas {
             if let Some(j) = self.node_index(*key) {
                 self.nodes[j].objects.remove(&op.name);
-                self.nodes[j].bins.remove(&op.name);
+                self.nodes[j].bins.remove(op.name.as_str());
             }
         }
         if self.config.adaptive.enabled {
-            self.ec_scrub(&op.name);
-            self.object_heat.forget(&op.name);
+            self.ec_scrub(op.name);
+            self.object_heat.forget(op.name);
         }
-        self.replica_meta_remove(&op.name);
+        self.replica_meta_remove(op.name);
         match &meta.location {
             Location::Home { node } => {
                 let Some(owner) = self.node_index(*node).filter(|&j| self.nodes[j].alive) else {
@@ -3121,7 +3125,7 @@ impl Cloud4Home {
                     }));
                 };
                 self.nodes[owner].objects.remove(&op.name);
-                self.nodes[owner].bins.remove(&op.name);
+                self.nodes[owner].bins.remove(op.name.as_str());
                 let latency = if owner == op.client {
                     Duration::ZERO
                 } else {
@@ -3416,10 +3420,10 @@ impl Cloud4Home {
                             && self.nodes[j].objects.contains_key(&op.name)
                     });
                 let Some(owner) = holder else {
-                    return Some(Err(OpError::OwnerUnreachable(op.name.clone())));
+                    return Some(Err(OpError::OwnerUnreachable(op.name.to_string())));
                 };
                 let Some(blob) = self.nodes[owner].objects.get(&op.name).cloned() else {
-                    return Some(Err(OpError::NotFound(op.name.clone())));
+                    return Some(Err(OpError::NotFound(op.name.to_string())));
                 };
                 // Record the effective holder so the move flow and movement
                 // estimates use the copy actually being read. The displaced
@@ -3441,7 +3445,7 @@ impl Cloud4Home {
                         .retain(|k| self.node_index(*k).is_none_or(|j| self.nodes[j].alive));
                     meta.location = Location::Home { node: owner_key };
                     if self.replica_meta.contains_key(&meta.name) {
-                        self.replica_meta_insert(meta.name.clone(), meta.clone());
+                        self.replica_meta_insert(meta.name, meta.clone());
                     }
                     self.publish_meta_background(op.client, meta.clone());
                 } else {
@@ -3457,7 +3461,7 @@ impl Cloud4Home {
             }
             Location::Cloud { url } => {
                 let Some(url) = S3Url::parse(url) else {
-                    return Some(Err(OpError::NotFound(op.name.clone())));
+                    return Some(Err(OpError::NotFound(op.name.to_string())));
                 };
                 let cloud = self.cloud.as_mut().expect("cloud location requires cloud");
                 match cloud.s3.get(&url) {
@@ -3469,7 +3473,7 @@ impl Cloud4Home {
                         self.wake_in(op.id, REQUEST_LATENCY);
                         None
                     }
-                    Err(_) => Some(Err(OpError::NotFound(op.name.clone()))),
+                    Err(_) => Some(Err(OpError::NotFound(op.name.to_string()))),
                 }
             }
         }

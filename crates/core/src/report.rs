@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use c4h_chimera::DhtError;
-use c4h_simnet::SimTime;
+use c4h_simnet::{SimTime, Sym};
 use c4h_telemetry::CriticalPath;
 use serde::{Deserialize, Serialize};
 
@@ -211,8 +211,8 @@ pub struct OpReport {
     pub id: OpId,
     /// `"store"`, `"fetch"`, `"process"`, or `"fetch_process"`.
     pub kind: &'static str,
-    /// The object operated on.
-    pub object: String,
+    /// The object operated on (interned name).
+    pub object: Sym,
     /// Submission time.
     pub submitted: SimTime,
     /// Completion time.

@@ -28,7 +28,7 @@ use c4h_services::{
 };
 use c4h_simnet::{
     presets, Addr, ChunkSpec, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, FxHashMap,
-    GilbertElliott, Partition, SimTime,
+    GilbertElliott, Partition, SimTime, Sym, SymMap,
 };
 use c4h_telemetry::{ArgValue, Recorder, SpanId};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
@@ -69,6 +69,9 @@ pub(crate) const STRIPE_TRACK_BASE: u64 = 6_000_000;
 #[derive(Debug)]
 pub(crate) struct NodeRt {
     pub(crate) name: String,
+    /// The node name interned, so hot paths can stamp it into jobs and
+    /// telemetry without cloning the `String`.
+    pub(crate) name_sym: Sym,
     pub(crate) addr: Addr,
     pub(crate) key: Key,
     pub(crate) machine: Machine,
@@ -81,8 +84,8 @@ pub(crate) struct NodeRt {
     pub(crate) bins: BinWatcher,
     pub(crate) monitor: ResourceMonitor,
     pub(crate) registry: ServiceRegistry,
-    /// The node's object file system (one file per object).
-    pub(crate) objects: FxHashMap<String, Blob>,
+    /// The node's object file system (one file per object, interned keys).
+    pub(crate) objects: SymMap<Blob>,
     pub(crate) gateway: bool,
     pub(crate) alive: bool,
 }
@@ -229,7 +232,7 @@ impl std::error::Error for ChurnError {}
 #[derive(Debug, Clone)]
 pub(crate) struct FanoutJob {
     /// Object being replicated.
-    pub(crate) name: String,
+    pub(crate) name: Sym,
     /// Destination node index (the new replica holder).
     pub(crate) dst: usize,
     /// Object size in bytes.
@@ -245,7 +248,7 @@ pub(crate) struct FanoutJob {
 #[derive(Debug, Clone)]
 pub(crate) struct RepairJob {
     /// Object being re-replicated.
-    pub(crate) name: String,
+    pub(crate) name: Sym,
     /// Source node index (a surviving holder).
     pub(crate) src: usize,
     /// Destination node index (the new replica).
@@ -257,8 +260,10 @@ pub(crate) struct RepairJob {
 }
 
 /// The per-holder object name a code row's stripe is stored under.
-pub(crate) fn ec_stripe_name(name: &str, row: u32) -> String {
-    format!("{name}.ec{row}")
+/// Interned: conversions are cold-path, and repeated repair scans of the
+/// same stripe resolve to the same `Sym` without re-allocating.
+pub(crate) fn ec_stripe_name(name: Sym, row: u32) -> Sym {
+    Sym::new(&format!("{name}.ec{row}"))
 }
 
 /// A full-copy → erasure-coded conversion in flight: the owner encoded the
@@ -286,7 +291,7 @@ pub(crate) struct EcConvert {
 #[derive(Debug, Clone)]
 pub(crate) struct EcRepair {
     /// The erasure-coded object being repaired.
-    pub(crate) name: String,
+    pub(crate) name: Sym,
     /// The lost code row being rebuilt.
     pub(crate) row: u32,
     /// Destination node index (the row's new holder).
@@ -344,12 +349,13 @@ pub struct Cloud4Home {
     /// `BTreeMap` so repair scans are deterministic. Mutate only through
     /// [`Self::replica_meta_insert`] / [`Self::replica_meta_remove`] so the
     /// holder index below stays in sync.
-    pub(crate) replica_meta: BTreeMap<String, ObjectMeta>,
+    pub(crate) replica_meta: BTreeMap<Sym, ObjectMeta>,
     /// Inverse index: holder key → names of replicated objects it holds a
     /// copy of. Lets a peer-failure scan visit only the dead peer's
     /// objects instead of every entry in `replica_meta`. Keyed access
-    /// only; the per-holder `BTreeSet` keeps scan order deterministic.
-    pub(crate) holder_index: FxHashMap<Key, BTreeSet<String>>,
+    /// only; the per-holder `BTreeSet` keeps scan order deterministic
+    /// (`Sym` orders by string content, matching the old `String` order).
+    pub(crate) holder_index: FxHashMap<Key, BTreeSet<Sym>>,
     /// How many objects repair scans have visited (`maybe_repair` calls);
     /// exposed so tests can assert scan narrowing.
     pub(crate) repair_scan_visits: u64,
@@ -366,6 +372,12 @@ pub struct Cloud4Home {
     /// nested advance during completion handling just starts from an
     /// empty spare.
     pub(crate) flow_scratch: Vec<FlowEvent>,
+    /// Reusable scratch buffer of object names for the periodic scans
+    /// (anti-entropy, adaptive review, peer-failure repair). The sweeps
+    /// run every tick; reusing one buffer keeps the steady-state event
+    /// loop allocation-free. Same take/restore discipline as
+    /// `flow_scratch`.
+    names_scratch: Vec<Sym>,
     /// Peers whose failure the repair daemon has already reacted to.
     pub(crate) repaired_peers: BTreeSet<Key>,
     /// Per-peer bandwidth estimates (keyed by raw address) learned from
@@ -378,12 +390,12 @@ pub struct Cloud4Home {
     /// content sample window, so the logical object handed back to a
     /// decoding fetch (and verified against the decode) is staged here.
     /// `BTreeMap` for deterministic iteration.
-    pub(crate) ec_originals: BTreeMap<String, Blob>,
+    pub(crate) ec_originals: BTreeMap<Sym, Blob>,
     /// In-flight full-copy → stripe conversions, keyed by object name.
-    pub(crate) ec_converts: BTreeMap<String, EcConvert>,
+    pub(crate) ec_converts: BTreeMap<Sym, EcConvert>,
     /// Conversion stripe transfers: flow → converting object. Keyed access
     /// only, so `HashMap` ordering cannot perturb determinism.
-    pub(crate) ec_convert_flows: FxHashMap<FlowId, String>,
+    pub(crate) ec_convert_flows: FxHashMap<FlowId, Sym>,
     /// In-flight lost-stripe rebuilds, keyed by job id (`BTreeMap` so
     /// scrub-time scans are deterministic).
     pub(crate) ec_repairs: BTreeMap<u64, EcRepair>,
@@ -486,6 +498,7 @@ impl Cloud4Home {
                 .expect("service VM must fit the platform");
             nodes.push(NodeRt {
                 name: spec.name.clone(),
+                name_sym: Sym::new(&spec.name),
                 addr: Addr::new(i as u64),
                 key,
                 disk: DiskModel::for_platform(&spec.platform),
@@ -503,7 +516,7 @@ impl Cloud4Home {
                 bins: BinWatcher::new(spec.mandatory_bytes, spec.voluntary_bytes),
                 monitor: ResourceMonitor::new(config.monitor),
                 registry: build_registry(&spec.services),
-                objects: FxHashMap::default(),
+                objects: SymMap::default(),
                 gateway: spec.gateway,
                 alive: true,
             });
@@ -559,6 +572,7 @@ impl Cloud4Home {
             repair_flows: FxHashMap::default(),
             fanout_flows: FxHashMap::default(),
             flow_scratch: Vec::new(),
+            names_scratch: Vec::new(),
             repaired_peers: BTreeSet::new(),
             // Prior: the LAN's nominal per-flow TCP cap. Unseen peers all
             // rank equal, so candidate order matches the metadata until
@@ -940,14 +954,7 @@ impl Cloud4Home {
         let mut any = false;
         for (addr, b) in self.overload.breaker_rows() {
             any = true;
-            let path = if addr == CLOUD_ADDR.raw() {
-                "cloud-uplink".to_owned()
-            } else {
-                self.nodes
-                    .iter()
-                    .find(|n| n.addr.raw() == addr)
-                    .map_or_else(|| format!("addr-{addr}"), |n| n.name.clone())
-            };
+            let path = self.path_name(Addr::new(addr));
             out.push_str(&format!(
                 "{path} state={} failures={} trips={}\n",
                 b.state(),
@@ -1011,15 +1018,17 @@ impl Cloud4Home {
     // ------------------------------------------------------------------
 
     /// Human name of a breaker path address: a node name or the cloud
-    /// uplink.
-    fn path_name(&self, addr: Addr) -> String {
+    /// uplink. Returns the interned name, so the common cases (known
+    /// node, cloud) never allocate; an unknown address formats once and
+    /// its interned fallback is reused from then on.
+    fn path_name(&self, addr: Addr) -> Sym {
         if addr == CLOUD_ADDR {
-            return "cloud-uplink".to_owned();
+            return Sym::new("cloud-uplink");
         }
         self.nodes
             .iter()
             .find(|n| n.addr == addr)
-            .map_or_else(|| format!("addr-{}", addr.raw()), |n| n.name.clone())
+            .map_or_else(|| Sym::new(&format!("addr-{}", addr.raw())), |n| n.name_sym)
     }
 
     /// Records a successful transfer on a path, closing its breaker when a
@@ -1092,7 +1101,7 @@ impl Cloud4Home {
         &mut self,
         node: usize,
         site: &'static str,
-        object: &str,
+        object: Sym,
     ) -> bool {
         let now_ns = self.now().as_nanos();
         if self.overload.retry_allowed(node, now_ns) {
@@ -1108,7 +1117,7 @@ impl Cloud4Home {
             vec![
                 ("site", ArgValue::from(site)),
                 ("node", ArgValue::from(self.nodes[node].name.as_str())),
-                ("object", ArgValue::from(object)),
+                ("object", ArgValue::from(object.as_str())),
             ],
         );
         false
@@ -1145,16 +1154,16 @@ impl Cloud4Home {
     /// Whether `name` is currently stored as erasure-coded stripes
     /// rather than full copies.
     pub fn is_erasure_coded(&self, name: &str) -> bool {
-        self.replica_meta
-            .get(name)
+        Sym::lookup(name)
+            .and_then(|sym| self.replica_meta.get(&sym))
             .is_some_and(|meta| meta.ec.is_some())
     }
 
     /// The stripe holders of an erasure-coded object, in code-row order
     /// (empty when `name` is not erasure-coded or unknown).
     pub fn stripe_holders(&self, name: &str) -> Vec<NodeId> {
-        self.replica_meta
-            .get(name)
+        Sym::lookup(name)
+            .and_then(|sym| self.replica_meta.get(&sym))
             .and_then(|meta| meta.ec.as_ref())
             .map(|layout| {
                 layout
@@ -1169,7 +1178,10 @@ impl Cloud4Home {
     /// Live nodes currently holding a full copy of `name`'s bytes (the
     /// home primary plus replicas), per the repair daemon's index.
     pub fn live_copies(&self, name: &str) -> usize {
-        let Some(meta) = self.replica_meta.get(name) else {
+        let Some(name) = Sym::lookup(name) else {
+            return 0;
+        };
+        let Some(meta) = self.replica_meta.get(&name) else {
             return 0;
         };
         let mut holders: Vec<usize> = Vec::new();
@@ -1180,7 +1192,7 @@ impl Cloud4Home {
         for key in primary.into_iter().chain(meta.replicas.iter().copied()) {
             if let Some(j) = self.node_index(key) {
                 if self.nodes[j].alive
-                    && self.nodes[j].objects.contains_key(name)
+                    && self.nodes[j].objects.contains_key(&name)
                     && !holders.contains(&j)
                 {
                     holders.push(j);
@@ -1318,8 +1330,8 @@ impl Cloud4Home {
         // `flow_endpoints` is a HashMap; sort so the abort order (and thus
         // every downstream RNG draw) is deterministic.
         dead_flows.sort();
-        let mut orphaned: Vec<String> = Vec::new();
-        let mut dead_converts: Vec<String> = Vec::new();
+        let mut orphaned: Vec<Sym> = Vec::new();
+        let mut dead_converts: Vec<Sym> = Vec::new();
         let mut dead_ec_repairs: Vec<u64> = Vec::new();
         for flow in dead_flows {
             self.net.cancel(flow);
@@ -1350,7 +1362,7 @@ impl Cloud4Home {
             }
         }
         for name in orphaned {
-            self.maybe_repair(&name);
+            self.maybe_repair(name);
         }
         // A conversion losing any stripe transfer aborts whole: the object
         // still has its full copies, so nothing of value is lost.
@@ -1358,7 +1370,7 @@ impl Cloud4Home {
         dead_converts.dedup();
         for name in dead_converts {
             if let Some(conv) = self.ec_converts.remove(&name) {
-                self.ec_convert_abort(&name, conv);
+                self.ec_convert_abort(name, conv);
             }
         }
         // A rebuild losing a survivor transfer restarts from scratch on
@@ -1372,7 +1384,7 @@ impl Cloud4Home {
                     self.flow_endpoints.remove(&f);
                     self.ec_repair_flows.remove(&f);
                 }
-                self.maybe_repair(&job.name);
+                self.maybe_repair(job.name);
             }
         }
     }
@@ -2152,15 +2164,18 @@ impl Cloud4Home {
             }
         }
         self.repaired_peers.insert(peer);
-        let names: Vec<String> = self
-            .holder_index
-            .get(&peer)
-            .into_iter()
-            .flat_map(|names| names.iter().cloned())
-            .collect();
-        for name in names {
-            self.maybe_repair(&name);
+        let mut names = std::mem::take(&mut self.names_scratch);
+        names.clear();
+        names.extend(
+            self.holder_index
+                .get(&peer)
+                .into_iter()
+                .flat_map(|names| names.iter().copied()),
+        );
+        for &name in &names {
+            self.maybe_repair(name);
         }
+        self.names_scratch = names;
     }
 
     /// Periodic catch-all for under-replication no peer death will ever
@@ -2180,17 +2195,20 @@ impl Cloud4Home {
             return;
         }
         self.next_anti_entropy = now + Duration::from_millis(self.config.anti_entropy_ms);
-        let names: Vec<String> = self.replica_meta.keys().cloned().collect();
-        for name in names {
-            self.maybe_repair(&name);
+        let mut names = std::mem::take(&mut self.names_scratch);
+        names.clear();
+        names.extend(self.replica_meta.keys().copied());
+        for &name in &names {
+            self.maybe_repair(name);
         }
+        self.names_scratch = names;
     }
 
     /// Re-replicates one object if it has fewer live copies than the
     /// configured replication factor and a viable destination exists.
-    pub(crate) fn maybe_repair(&mut self, name: &str) {
+    pub(crate) fn maybe_repair(&mut self, name: Sym) {
         self.repair_scan_visits += 1;
-        let Some(meta) = self.replica_meta.get(name) else {
+        let Some(meta) = self.replica_meta.get(&name) else {
             return;
         };
         if meta.ec.is_some() {
@@ -2273,7 +2291,7 @@ impl Cloud4Home {
     /// Starts one full-copy replica transfer `src` → `dst` for `name`,
     /// shared by the repair daemon and the adaptive grow path. Returns
     /// whether the flow actually started.
-    fn start_replica_flow(&mut self, name: &str, src: usize, dst: usize, size: u64) -> bool {
+    fn start_replica_flow(&mut self, name: Sym, src: usize, dst: usize, size: u64) -> bool {
         // Repairs ride the source node's retry budget: a home cloud deep in
         // failure churn must not amplify itself with unbounded repair
         // traffic.
@@ -2301,7 +2319,7 @@ impl Cloud4Home {
             REPAIR_TRACK_BASE + flow.raw(),
             now.as_nanos(),
             vec![
-                ("object", ArgValue::from(name)),
+                ("object", ArgValue::from(name.as_str())),
                 ("src", ArgValue::from(self.nodes[src].name.as_str())),
                 ("dst", ArgValue::from(self.nodes[dst].name.as_str())),
                 ("bytes", ArgValue::from(size)),
@@ -2310,7 +2328,7 @@ impl Cloud4Home {
         self.repair_flows.insert(
             flow,
             RepairJob {
-                name: name.to_owned(),
+                name,
                 src,
                 dst,
                 bytes: size,
@@ -2344,17 +2362,17 @@ impl Cloud4Home {
         let Some(blob) = self.nodes[job.src].objects.get(&job.name).cloned() else {
             return false; // the source lost the bytes mid-repair
         };
-        if self.nodes[job.dst].bins.lookup(&job.name).is_some() {
-            self.nodes[job.dst].bins.remove(&job.name);
+        if self.nodes[job.dst].bins.lookup(job.name.as_str()).is_some() {
+            self.nodes[job.dst].bins.remove(job.name.as_str());
         }
         if self.nodes[job.dst]
             .bins
-            .store(&job.name, job.bytes, Bin::Voluntary)
+            .store(job.name.as_str(), job.bytes, Bin::Voluntary)
             .is_err()
         {
             return false;
         }
-        self.nodes[job.dst].objects.insert(job.name.clone(), blob);
+        self.nodes[job.dst].objects.insert(job.name, blob);
         self.stats.replicas_written += 1;
         self.stats.repairs_completed += 1;
 
@@ -2369,14 +2387,14 @@ impl Cloud4Home {
         {
             meta.replicas.push(dst_key);
         }
-        self.replica_meta_insert(job.name.clone(), meta.clone());
+        self.replica_meta_insert(job.name, meta.clone());
 
         // Republish the metadata record in the background so future
         // fetches learn the new replica.
         let publisher = job.src;
         let now = self.now();
         if let Ok(req) = self.nodes[publisher].chimera.put(
-            object_key(&meta.name),
+            object_key(meta.name.as_str()),
             Record::Object(meta).encode(),
             OverwritePolicy::Overwrite,
             now,
@@ -2397,37 +2415,38 @@ impl Cloud4Home {
     /// no peer-failure scan ever the wiser, so the shortfall is handed
     /// straight back to the repair daemon.
     pub(crate) fn finish_background_replica(&mut self, job: FanoutJob) {
-        let installed = self.finish_background_replica_inner(&job);
+        let (name, span) = (job.name, job.span);
+        let installed = self.finish_background_replica_inner(job);
         self.telemetry.end_args(
-            job.span,
+            span,
             self.now().as_nanos(),
             vec![("installed", ArgValue::from(installed))],
         );
         if !installed {
-            self.maybe_repair(&job.name);
+            self.maybe_repair(name);
         }
     }
 
-    fn finish_background_replica_inner(&mut self, job: &FanoutJob) -> bool {
+    /// Consumes the job so the carried blob moves into the destination's
+    /// object file system instead of being cloned.
+    fn finish_background_replica_inner(&mut self, job: FanoutJob) -> bool {
         let Some(meta) = self.replica_meta.get(&job.name).cloned() else {
             return false; // deleted while the straggler was in flight
         };
         if !self.nodes[job.dst].alive {
             return false;
         }
-        if self.nodes[job.dst].bins.lookup(&job.name).is_some() {
-            self.nodes[job.dst].bins.remove(&job.name);
+        if self.nodes[job.dst].bins.lookup(job.name.as_str()).is_some() {
+            self.nodes[job.dst].bins.remove(job.name.as_str());
         }
         if self.nodes[job.dst]
             .bins
-            .store(&job.name, job.bytes, Bin::Voluntary)
+            .store(job.name.as_str(), job.bytes, Bin::Voluntary)
             .is_err()
         {
             return false;
         }
-        self.nodes[job.dst]
-            .objects
-            .insert(job.name.clone(), job.blob.clone());
+        self.nodes[job.dst].objects.insert(job.name, job.blob);
         self.stats.replicas_written += 1;
 
         let mut meta = meta;
@@ -2436,7 +2455,7 @@ impl Cloud4Home {
         {
             meta.replicas.push(dst_key);
         }
-        self.replica_meta_insert(job.name.clone(), meta.clone());
+        self.replica_meta_insert(job.name, meta.clone());
         self.publish_meta_background(job.dst, meta);
         true
     }
@@ -2460,33 +2479,30 @@ impl Cloud4Home {
 
     /// Inserts (or replaces) a replicated object's metadata, keeping the
     /// holder → objects inverse index in sync.
-    pub(crate) fn replica_meta_insert(&mut self, name: String, meta: ObjectMeta) {
-        self.holder_unindex(&name);
+    pub(crate) fn replica_meta_insert(&mut self, name: Sym, meta: ObjectMeta) {
+        self.holder_unindex(name);
         for key in Self::meta_holder_keys(&meta) {
-            self.holder_index
-                .entry(key)
-                .or_default()
-                .insert(name.clone());
+            self.holder_index.entry(key).or_default().insert(name);
         }
         self.replica_meta.insert(name, meta);
     }
 
     /// Removes a replicated object's metadata and its index entries.
-    pub(crate) fn replica_meta_remove(&mut self, name: &str) {
+    pub(crate) fn replica_meta_remove(&mut self, name: Sym) {
         self.holder_unindex(name);
-        self.replica_meta.remove(name);
+        self.replica_meta.remove(&name);
     }
 
     /// Drops `name` from every holder's index set (per the currently
     /// recorded metadata), pruning holders left with no objects.
-    fn holder_unindex(&mut self, name: &str) {
-        let Some(old) = self.replica_meta.get(name) else {
+    fn holder_unindex(&mut self, name: Sym) {
+        let Some(old) = self.replica_meta.get(&name) else {
             return;
         };
         let keys: Vec<Key> = Self::meta_holder_keys(old).collect();
         for key in keys {
             if let Some(set) = self.holder_index.get_mut(&key) {
-                set.remove(name);
+                set.remove(&name);
                 if set.is_empty() {
                     self.holder_index.remove(&key);
                 }
@@ -2502,7 +2518,7 @@ impl Cloud4Home {
         }
         let now = self.now();
         if let Ok(req) = self.nodes[i].chimera.put(
-            object_key(&meta.name),
+            object_key(meta.name.as_str()),
             Record::Object(meta).encode(),
             OverwritePolicy::Overwrite,
             now,
@@ -2519,8 +2535,8 @@ impl Cloud4Home {
     /// Placement changes rewrite the record at its root, but bounded FIFO
     /// caches on nodes off the republish path would otherwise serve the
     /// stale pre-change record forever.
-    pub(crate) fn invalidate_meta_caches(&mut self, name: &str) {
-        let key = object_key(name);
+    pub(crate) fn invalidate_meta_caches(&mut self, name: Sym) {
+        let key = object_key(name.as_str());
         for n in &mut self.nodes {
             n.chimera.invalidate_cached(key);
         }
@@ -2537,17 +2553,20 @@ impl Cloud4Home {
             return;
         }
         self.next_adaptive = now + Duration::from_millis(self.config.adaptive.interval_ms.max(1));
-        let names: Vec<String> = self.replica_meta.keys().cloned().collect();
-        for name in names {
-            self.adaptive_review(&name);
+        let mut names = std::mem::take(&mut self.names_scratch);
+        names.clear();
+        names.extend(self.replica_meta.keys().copied());
+        for &name in &names {
+            self.adaptive_review(name);
         }
+        self.names_scratch = names;
     }
 
     /// Reviews one replicated object against its fetch heat: grow toward
     /// recent readers when hot, drop a copy when cold, convert a cold
     /// large object to erasure-coded stripes once it is at the floor.
-    fn adaptive_review(&mut self, name: &str) {
-        let Some(meta) = self.replica_meta.get(name) else {
+    fn adaptive_review(&mut self, name: Sym) {
+        let Some(meta) = self.replica_meta.get(&name) else {
             return;
         };
         if meta.ec.is_some() {
@@ -2556,7 +2575,7 @@ impl Cloud4Home {
         let Location::Home { node } = meta.location else {
             return;
         };
-        if self.ec_converts.contains_key(name)
+        if self.ec_converts.contains_key(&name)
             || self.repair_flows.values().any(|j| j.name == name)
             || self.fanout_flows.values().any(|j| j.name == name)
         {
@@ -2587,7 +2606,7 @@ impl Cloud4Home {
     /// that doesn't already hold a copy (falling back to the roomiest
     /// peer), sourced like a repair: breaker-open holders skipped, then
     /// the best observed bandwidth class.
-    fn adaptive_grow(&mut self, name: &str, holders: &[usize], size: u64) {
+    fn adaptive_grow(&mut self, name: Sym, holders: &[usize], size: u64) {
         let now_ns = self.now().as_nanos();
         let mut src: Option<(i64, usize)> = None;
         for &j in holders {
@@ -2636,8 +2655,8 @@ impl Cloud4Home {
     /// Drops one replica of a cooling object: the last-listed live
     /// non-primary holder that is not a recent reader. With every extra
     /// copy parked at a recent reader the object holds steady instead.
-    fn adaptive_shrink(&mut self, name: &str, holders: &[usize]) {
-        let Some(meta) = self.replica_meta.get(name).cloned() else {
+    fn adaptive_shrink(&mut self, name: Sym, holders: &[usize]) {
+        let Some(meta) = self.replica_meta.get(&name).cloned() else {
             return;
         };
         let Location::Home { node } = meta.location else {
@@ -2654,11 +2673,11 @@ impl Cloud4Home {
             return;
         };
         let victim_key = self.nodes[victim].key;
-        self.nodes[victim].objects.remove(name);
-        self.nodes[victim].bins.remove(name);
+        self.nodes[victim].objects.remove(&name);
+        self.nodes[victim].bins.remove(name.as_str());
         let mut meta = meta;
         meta.replicas.retain(|&k| k != victim_key);
-        self.replica_meta_insert(name.to_owned(), meta.clone());
+        self.replica_meta_insert(name, meta.clone());
         let publisher = primary
             .filter(|&j| self.nodes[j].alive)
             .or_else(|| holders.iter().copied().find(|&j| j != victim));
@@ -2673,8 +2692,8 @@ impl Cloud4Home {
     /// installs its own row locally, and ships each remaining row to a
     /// distinct peer. Full copies survive untouched until every stripe
     /// has landed.
-    fn ec_begin_convert(&mut self, name: &str) {
-        let Some(meta) = self.replica_meta.get(name).cloned() else {
+    fn ec_begin_convert(&mut self, name: Sym) {
+        let Some(meta) = self.replica_meta.get(&name).cloned() else {
             return;
         };
         let Location::Home { node } = meta.location else {
@@ -2683,7 +2702,7 @@ impl Cloud4Home {
         let Some(owner) = self.node_index(node).filter(|&j| self.nodes[j].alive) else {
             return;
         };
-        let Some(blob) = self.nodes[owner].objects.get(name).cloned() else {
+        let Some(blob) = self.nodes[owner].objects.get(&name).cloned() else {
             return;
         };
         let k = self.config.adaptive.ec_k;
@@ -2723,14 +2742,14 @@ impl Cloud4Home {
         let sname0 = ec_stripe_name(name, 0);
         if self.nodes[owner]
             .bins
-            .store(&sname0, stripe_len, Bin::Voluntary)
+            .store(sname0.as_str(), stripe_len, Bin::Voluntary)
             .is_err()
         {
             return;
         }
         self.nodes[owner]
             .objects
-            .insert(sname0.clone(), Blob::inline(stripes[0].clone()));
+            .insert(sname0, Blob::inline(stripes[0].clone()));
         let now = self.now();
         self.defer_flow_completions(now);
         let mut pending: BTreeMap<FlowId, u32> = BTreeMap::new();
@@ -2747,7 +2766,7 @@ impl Cloud4Home {
                     self.stats.flows_started += 1;
                     self.flow_endpoints
                         .insert(flow, (self.nodes[owner].addr, self.nodes[site].addr));
-                    self.ec_convert_flows.insert(flow, name.to_owned());
+                    self.ec_convert_flows.insert(flow, name);
                     pending.insert(flow, row as u32);
                 }
                 Err(_) => {
@@ -2763,7 +2782,7 @@ impl Cloud4Home {
                 self.ec_convert_flows.remove(&flow);
             }
             self.nodes[owner].objects.remove(&sname0);
-            self.nodes[owner].bins.remove(&sname0);
+            self.nodes[owner].bins.remove(sname0.as_str());
             return;
         }
         self.telemetry.add("adaptive.ec_converts", 1);
@@ -2773,14 +2792,14 @@ impl Cloud4Home {
             RUNTIME_TRACK,
             now.as_nanos(),
             vec![
-                ("object", ArgValue::from(name)),
+                ("object", ArgValue::from(name.as_str())),
                 ("k", ArgValue::from(k as u64)),
                 ("m", ArgValue::from(m as u64)),
                 ("stripe_len", ArgValue::from(stripe_len)),
             ],
         );
         self.ec_converts.insert(
-            name.to_owned(),
+            name,
             EcConvert {
                 owner,
                 layout,
@@ -2796,7 +2815,7 @@ impl Cloud4Home {
     /// holder, and finalize the conversion once every row is in place.
     /// An install that falls through (holder died, bin filled) aborts the
     /// whole conversion — the full copies are still intact.
-    fn ec_convert_flow_done(&mut self, flow: FlowId, name: String) {
+    fn ec_convert_flow_done(&mut self, flow: FlowId, name: Sym) {
         let Some(mut conv) = self.ec_converts.remove(&name) else {
             return;
         };
@@ -2805,19 +2824,19 @@ impl Cloud4Home {
             return;
         };
         let site = self.node_index(conv.layout.holders[row as usize]);
-        let sname = ec_stripe_name(&name, row);
+        let sname = ec_stripe_name(name, row);
         let installed = site.is_some_and(|j| self.nodes[j].alive) && {
             let j = site.expect("checked above");
-            if self.nodes[j].bins.lookup(&sname).is_some() {
-                self.nodes[j].bins.remove(&sname);
+            if self.nodes[j].bins.lookup(sname.as_str()).is_some() {
+                self.nodes[j].bins.remove(sname.as_str());
             }
             self.nodes[j]
                 .bins
-                .store(&sname, conv.layout.stripe_len, Bin::Voluntary)
+                .store(sname.as_str(), conv.layout.stripe_len, Bin::Voluntary)
                 .is_ok()
         };
         if !installed {
-            self.ec_convert_abort(&name, conv);
+            self.ec_convert_abort(name, conv);
             return;
         }
         let j = site.expect("installed above");
@@ -2835,7 +2854,7 @@ impl Cloud4Home {
     /// Abandons a conversion mid-flight: cancels its outstanding stripe
     /// transfers and removes every stripe already installed. The object
     /// keeps its full copies; a later pass may try again.
-    fn ec_convert_abort(&mut self, name: &str, conv: EcConvert) {
+    fn ec_convert_abort(&mut self, name: Sym, conv: EcConvert) {
         for &flow in conv.pending.keys() {
             self.net.cancel(flow);
             self.flow_endpoints.remove(&flow);
@@ -2845,7 +2864,7 @@ impl Cloud4Home {
             if let Some(j) = self.node_index(conv.layout.holders[row as usize]) {
                 let sname = ec_stripe_name(name, row);
                 self.nodes[j].objects.remove(&sname);
-                self.nodes[j].bins.remove(&sname);
+                self.nodes[j].bins.remove(sname.as_str());
             }
         }
         self.telemetry.add("adaptive.ec_converts_aborted", 1);
@@ -2855,17 +2874,17 @@ impl Cloud4Home {
     /// form. Stages the original for decode verification, strips the full
     /// copies from live holders, rewrites the metadata with the layout,
     /// publishes per-row stripe records, and flushes stale caches.
-    fn ec_convert_finalize(&mut self, name: String, conv: EcConvert) {
+    fn ec_convert_finalize(&mut self, name: Sym, conv: EcConvert) {
         let Some(meta) = self.replica_meta.get(&name).cloned() else {
             // Deleted mid-conversion; the stripes are orphans — scrub.
-            self.ec_convert_abort(&name, conv);
+            self.ec_convert_abort(name, conv);
             return;
         };
         let Some(blob) = self.nodes[conv.owner].objects.get(&name).cloned() else {
-            self.ec_convert_abort(&name, conv);
+            self.ec_convert_abort(name, conv);
             return;
         };
-        self.ec_originals.insert(name.clone(), blob);
+        self.ec_originals.insert(name, blob);
         // Strip full copies from live holders. A dead holder's disk can't
         // be touched; its stale copy is a harmless orphan (the metadata no
         // longer names it).
@@ -2874,14 +2893,14 @@ impl Cloud4Home {
             if let Some(j) = self.node_index(key) {
                 if self.nodes[j].alive {
                     self.nodes[j].objects.remove(&name);
-                    self.nodes[j].bins.remove(&name);
+                    self.nodes[j].bins.remove(name.as_str());
                 }
             }
         }
         let mut meta = meta;
         meta.replicas.clear();
         meta.ec = Some(conv.layout.clone());
-        self.replica_meta_insert(name.clone(), meta.clone());
+        self.replica_meta_insert(name, meta.clone());
         self.publish_meta_background(conv.owner, meta);
         // Per-row stripe records, so repair tooling can audit placement
         // and checksums through the overlay.
@@ -2889,14 +2908,14 @@ impl Cloud4Home {
         if self.nodes[conv.owner].alive && self.nodes[conv.owner].chimera.is_joined() {
             for (row, shard) in conv.stripes.iter().enumerate() {
                 let record = Record::Stripe(StripeRecord {
-                    object: name.clone(),
+                    object: name,
                     row: row as u32,
                     len: conv.layout.stripe_len,
                     holder: conv.layout.holders[row],
                     checksum: stripe_checksum(shard),
                 });
                 if let Ok(req) = self.nodes[conv.owner].chimera.put(
-                    stripe_key(&name, row as u32),
+                    stripe_key(name.as_str(), row as u32),
                     record.encode(),
                     OverwritePolicy::Overwrite,
                     now,
@@ -2906,10 +2925,10 @@ impl Cloud4Home {
                 }
             }
         }
-        self.invalidate_meta_caches(&name);
+        self.invalidate_meta_caches(name);
         // Heat restarts from scratch in the new form; the EWMA of the
         // replicated life says nothing about the striped one.
-        self.object_heat.forget(&name);
+        self.object_heat.forget(name);
         self.telemetry.add("adaptive.ec_converted", 1);
     }
 
@@ -2917,8 +2936,8 @@ impl Cloud4Home {
     /// row for which `k` survivor stripes are still live. Below `k`
     /// survivors nothing can be rebuilt — fetches back off until holders
     /// rejoin.
-    fn ec_maybe_repair(&mut self, name: &str) {
-        let Some(meta) = self.replica_meta.get(name) else {
+    fn ec_maybe_repair(&mut self, name: Sym) {
+        let Some(meta) = self.replica_meta.get(&name) else {
             return;
         };
         let Some(layout) = meta.ec.clone() else {
@@ -2958,7 +2977,7 @@ impl Cloud4Home {
 
     /// Starts rebuilding one lost code row: a destination with space pulls
     /// `k` surviving stripes and re-derives the row from them on arrival.
-    fn ec_start_row_repair(&mut self, name: &str, layout: &EcLayout, row: u32, survivors: &[u32]) {
+    fn ec_start_row_repair(&mut self, name: Sym, layout: &EcLayout, row: u32, survivors: &[u32]) {
         let stripe_len = layout.stripe_len;
         let holder_idx: Vec<Option<usize>> = layout
             .holders
@@ -3044,7 +3063,7 @@ impl Cloud4Home {
         self.ec_repairs.insert(
             id,
             EcRepair {
-                name: name.to_owned(),
+                name,
                 row,
                 dst,
                 pending,
@@ -3091,7 +3110,7 @@ impl Cloud4Home {
             let Some(bytes) = self
                 .node_index(layout.holders[r as usize])
                 .filter(|&j| self.nodes[j].alive)
-                .and_then(|j| self.nodes[j].objects.get(&ec_stripe_name(&job.name, r)))
+                .and_then(|j| self.nodes[j].objects.get(&ec_stripe_name(job.name, r)))
                 .map(|b| b.sample(usize::MAX))
             else {
                 return; // a survivor vanished mid-rebuild; retry later
@@ -3102,13 +3121,13 @@ impl Cloud4Home {
         let Some(rebuilt) = code.reconstruct_row(job.row as usize, &refs) else {
             return;
         };
-        let sname = ec_stripe_name(&job.name, job.row);
-        if self.nodes[job.dst].bins.lookup(&sname).is_some() {
-            self.nodes[job.dst].bins.remove(&sname);
+        let sname = ec_stripe_name(job.name, job.row);
+        if self.nodes[job.dst].bins.lookup(sname.as_str()).is_some() {
+            self.nodes[job.dst].bins.remove(sname.as_str());
         }
         if self.nodes[job.dst]
             .bins
-            .store(&sname, layout.stripe_len, Bin::Voluntary)
+            .store(sname.as_str(), layout.stripe_len, Bin::Voluntary)
             .is_err()
         {
             return;
@@ -3123,19 +3142,19 @@ impl Cloud4Home {
         layout.holders[job.row as usize] = dst_key;
         let mut meta = meta;
         meta.ec = Some(layout.clone());
-        self.replica_meta_insert(job.name.clone(), meta.clone());
+        self.replica_meta_insert(job.name, meta.clone());
         self.publish_meta_background(job.dst, meta);
         let now = self.now();
         if self.nodes[job.dst].alive && self.nodes[job.dst].chimera.is_joined() {
             let record = Record::Stripe(StripeRecord {
-                object: job.name.clone(),
+                object: job.name,
                 row: job.row,
                 len: layout.stripe_len,
                 holder: dst_key,
                 checksum,
             });
             if let Ok(req) = self.nodes[job.dst].chimera.put(
-                stripe_key(&job.name, job.row),
+                stripe_key(job.name.as_str(), job.row),
                 record.encode(),
                 OverwritePolicy::Overwrite,
                 now,
@@ -3143,15 +3162,15 @@ impl Cloud4Home {
                 self.dht_waiters.insert((job.dst, req), DhtWaiter::Ignore);
             }
         }
-        self.invalidate_meta_caches(&job.name);
+        self.invalidate_meta_caches(job.name);
     }
 
     /// Expunges every trace of an object's erasure-coded form: in-flight
     /// conversions and rebuilds, installed stripes, the staged original,
     /// and stale cached metadata. Called when the object is deleted or
     /// re-stored (the new bytes supersede the old stripes).
-    pub(crate) fn ec_scrub(&mut self, name: &str) {
-        if let Some(conv) = self.ec_converts.remove(name) {
+    pub(crate) fn ec_scrub(&mut self, name: Sym) {
+        if let Some(conv) = self.ec_converts.remove(&name) {
             self.ec_convert_abort(name, conv);
         }
         let ids: Vec<u64> = self
@@ -3169,19 +3188,19 @@ impl Cloud4Home {
                 }
             }
         }
-        if let Some(layout) = self.replica_meta.get(name).and_then(|m| m.ec.clone()) {
+        if let Some(layout) = self.replica_meta.get(&name).and_then(|m| m.ec.clone()) {
             for row in 0..layout.holders.len() as u32 {
                 let sname = ec_stripe_name(name, row);
                 for j in 0..self.nodes.len() {
                     if self.nodes[j].alive {
                         self.nodes[j].objects.remove(&sname);
-                        self.nodes[j].bins.remove(&sname);
+                        self.nodes[j].bins.remove(sname.as_str());
                     }
                 }
             }
             self.invalidate_meta_caches(name);
         }
-        self.ec_originals.remove(name);
+        self.ec_originals.remove(&name);
     }
 }
 

@@ -5,8 +5,13 @@
 //! concatenated with service ID" and resource keys "derived based on the
 //! nodes' IP address in the home cloud". Namespace prefixes keep the three
 //! families collision-free in the shared 40-bit space.
+//!
+//! Every function hashes the namespace prefix and the name pieces
+//! incrementally through [`KeyHasher`], so deriving a key allocates nothing
+//! — the derived values are byte-identical to hashing the formatted
+//! concatenation (`"obj:{name}"` etc.), which the tests pin.
 
-use c4h_chimera::Key;
+use c4h_chimera::{Key, KeyHasher};
 
 /// Key under which an object's metadata lives.
 ///
@@ -20,7 +25,10 @@ use c4h_chimera::Key;
 /// assert_ne!(k, object_key("videos/trip2.avi"));
 /// ```
 pub fn object_key(name: &str) -> Key {
-    Key::from_name(&format!("obj:{name}"))
+    let mut h = KeyHasher::new();
+    h.update(b"obj:");
+    h.update(name.as_bytes());
+    h.finish()
 }
 
 /// Key under which a directory's entry chain lives.
@@ -29,7 +37,10 @@ pub fn object_key(name: &str) -> Key {
 /// appends a [`DirEntry`](crate::DirEntry) under the parent directory's
 /// key with the `Chain` overwrite policy, and listings read the chain back.
 pub fn directory_key(dir: &str) -> Key {
-    Key::from_name(&format!("dir:{dir}"))
+    let mut h = KeyHasher::new();
+    h.update(b"dir:");
+    h.update(dir.as_bytes());
+    h.finish()
 }
 
 /// The parent directory of a path-like object name (empty string for
@@ -46,19 +57,32 @@ pub fn parent_dir(name: &str) -> &str {
 /// namespace so stripe entries never collide with object or directory
 /// records.
 pub fn stripe_key(name: &str, row: u32) -> Key {
-    Key::from_name(&format!("ecs:{name}#{row}"))
+    let mut h = KeyHasher::new();
+    h.update(b"ecs:");
+    h.update(name.as_bytes());
+    h.update(b"#");
+    h.update_decimal(row as u64);
+    h.finish()
 }
 
 /// Key under which a service's availability record lives ("service name
 /// concatenated with service ID as key").
 pub fn service_key(name: &str, service_id: u32) -> Key {
-    Key::from_name(&format!("svc:{name}#{service_id}"))
+    let mut h = KeyHasher::new();
+    h.update(b"svc:");
+    h.update(name.as_bytes());
+    h.update(b"#");
+    h.update_decimal(service_id as u64);
+    h.finish()
 }
 
 /// Key under which a node's resource record lives ("keys derived based on
 /// the nodes' IP address").
 pub fn node_resource_key(node_addr: &str) -> Key {
-    Key::from_name(&format!("res:{node_addr}"))
+    let mut h = KeyHasher::new();
+    h.update(b"res:");
+    h.update(node_addr.as_bytes());
+    h.finish()
 }
 
 #[cfg(test)]
@@ -98,5 +122,30 @@ mod tests {
     #[test]
     fn derivation_is_stable() {
         assert_eq!(node_resource_key("10.0.0.7"), node_resource_key("10.0.0.7"));
+    }
+
+    /// The incremental derivation must match the original formatted form
+    /// byte for byte — these are the keys under which every record ever
+    /// published lives.
+    #[test]
+    fn incremental_derivation_matches_formatted_names() {
+        let name = "camera/front/img-17.jpg";
+        assert_eq!(object_key(name), Key::from_name(&format!("obj:{name}")));
+        assert_eq!(
+            directory_key("camera/front"),
+            Key::from_name("dir:camera/front")
+        );
+        assert_eq!(
+            stripe_key(name, 4),
+            Key::from_name(&format!("ecs:{name}#4"))
+        );
+        assert_eq!(
+            service_key("face-detect", 11),
+            Key::from_name("svc:face-detect#11")
+        );
+        assert_eq!(
+            node_resource_key("10.0.0.7"),
+            Key::from_name("res:10.0.0.7")
+        );
     }
 }

@@ -38,7 +38,7 @@
 //!     replicas: Vec::new(),
 //!     ec: None,
 //! };
-//! let key = object_key(&meta.name);
+//! let key = object_key(meta.name.as_str());
 //! let bytes = Record::Object(meta.clone()).encode();
 //! let decoded = Record::decode(&bytes)?;
 //! assert_eq!(decoded.as_object(), Some(&meta));

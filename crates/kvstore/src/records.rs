@@ -15,6 +15,7 @@
 //! All three encode to the hand-rolled wire format in [`crate::wire`].
 
 use c4h_chimera::Key;
+use c4h_simnet::Sym;
 use serde::{Deserialize, Serialize};
 
 use crate::wire::{WireError, WireReader, WireWriter};
@@ -193,8 +194,11 @@ impl EcLayout {
 /// Metadata for one stored object.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectMeta {
-    /// The object's user-visible name (hashed to form its key).
-    pub name: String,
+    /// The object's user-visible name (hashed to form its key). Interned:
+    /// copying metadata between nodes copies four bytes, and the name
+    /// resolves to `&str` only at the wire boundary below — the encoded
+    /// bytes are identical to the historical `String`-keyed format.
+    pub name: Sym,
     /// Object size in bytes.
     pub size_bytes: u64,
     /// Content type, e.g. `"mp3"`, `"avi"`, `"jpeg"`.
@@ -223,7 +227,7 @@ pub struct ObjectMeta {
 
 impl ObjectMeta {
     fn encode_body(&self, w: &mut WireWriter) {
-        w.string(&self.name);
+        w.string(self.name.as_str());
         w.u64(self.size_bytes);
         w.string(&self.content_type);
         w.u64(self.tags.len() as u64);
@@ -247,7 +251,7 @@ impl ObjectMeta {
     }
 
     fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let name = r.string()?;
+        let name = Sym::from(r.str_ref()?);
         let size_bytes = r.u64()?;
         let content_type = r.string()?;
         let n_tags = r.u64()? as usize;
@@ -296,8 +300,9 @@ impl ObjectMeta {
 /// and a reconstructed stripe republishes only its own entry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StripeRecord {
-    /// The parent object's name.
-    pub object: String,
+    /// The parent object's name (interned; resolved to `&str` only when
+    /// encoding, keeping the wire bytes identical to the `String` era).
+    pub object: Sym,
     /// Code row of this stripe: `0..k` data, `k..k+m` parity.
     pub row: u32,
     /// Stripe payload length in bytes.
@@ -310,7 +315,7 @@ pub struct StripeRecord {
 
 impl StripeRecord {
     fn encode_body(&self, w: &mut WireWriter) {
-        w.string(&self.object);
+        w.string(self.object.as_str());
         w.u32(self.row);
         w.u64(self.len);
         w.u64(self.holder.raw());
@@ -318,7 +323,7 @@ impl StripeRecord {
     }
 
     fn decode_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let object = r.string()?;
+        let object = Sym::from(r.str_ref()?);
         let row = r.u32()?;
         let len = r.u64()?;
         let holder = Key::from_raw(r.u64()?);
@@ -468,8 +473,8 @@ impl ResourceRecord {
 /// determines if … newer version of metadata is to be added by chaining".
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirEntry {
-    /// The full object name.
-    pub name: String,
+    /// The full object name (interned).
+    pub name: Sym,
     /// `true` when this version removes the name from the listing.
     pub tombstone: bool,
 }
@@ -478,7 +483,7 @@ impl DirEntry {
     /// Serializes the entry.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.bool(self.tombstone).string(&self.name);
+        w.bool(self.tombstone).string(self.name.as_str());
         w.into_bytes()
     }
 
@@ -490,18 +495,18 @@ impl DirEntry {
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(bytes);
         let tombstone = r.bool()?;
-        let name = r.string()?;
+        let name = Sym::from(r.str_ref()?);
         r.finish()?;
         Ok(DirEntry { name, tombstone })
     }
 
     /// Folds a chain of encoded entries (oldest first) into the live
     /// listing, applying tombstones in order.
-    pub fn fold_listing<'a, I>(versions: I) -> Vec<String>
+    pub fn fold_listing<'a, I>(versions: I) -> Vec<Sym>
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        let mut live: Vec<String> = Vec::new();
+        let mut live: Vec<Sym> = Vec::new();
         for v in versions {
             let Ok(entry) = DirEntry::decode(v) else {
                 continue;
@@ -776,7 +781,7 @@ mod tests {
         assert!(o.ec.is_none());
         let mut w = WireWriter::new();
         w.tag(TAG_OBJECT).tag(SCHEMA_VERSION);
-        w.string(&o.name);
+        w.string(o.name.as_str());
         w.u64(o.size_bytes);
         w.string(&o.content_type);
         w.u64(o.tags.len() as u64);
@@ -828,6 +833,39 @@ mod tests {
                 "cut {cut} bytes"
             );
         }
+    }
+
+    /// Regression for the interning migration: `Sym`-keyed records must
+    /// serialize byte-identically to the historical `String`-keyed wire
+    /// format. The expected buffers are hand-written with the raw wire
+    /// primitives exactly as the pre-`Sym` encoder emitted them.
+    #[test]
+    fn sym_keyed_records_match_string_keyed_wire_format() {
+        // Stripe record: name field first, as a length-prefixed string.
+        let rec = Record::Stripe(StripeRecord {
+            object: "videos/trip.avi".into(),
+            row: 4,
+            len: 700 << 10,
+            holder: Key::from_name("netbook-3"),
+            checksum: 0xDEAD_BEEF,
+        });
+        let mut w = WireWriter::new();
+        w.tag(TAG_STRIPE).tag(SCHEMA_VERSION);
+        w.string("videos/trip.avi"); // the old `w.string(&self.object)`
+        w.u32(4);
+        w.u64(700 << 10);
+        w.u64(Key::from_name("netbook-3").raw());
+        w.u64(0xDEAD_BEEF);
+        assert_eq!(rec.encode(), w.into_bytes());
+
+        // Directory entry: tombstone byte then the name string.
+        let entry = DirEntry {
+            name: "camera/front/img-17.jpg".into(),
+            tombstone: false,
+        };
+        let mut w = WireWriter::new();
+        w.bool(false).string("camera/front/img-17.jpg");
+        assert_eq!(entry.encode(), w.into_bytes());
     }
 
     #[test]

@@ -225,10 +225,19 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::InvalidUtf8`] for malformed data.
     pub fn string(&mut self) -> Result<String, WireError> {
+        Ok(self.str_ref()?.to_owned())
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a borrow of the input
+    /// buffer — the allocation-free variant of [`WireReader::string`],
+    /// used where the decoded name is interned rather than owned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidUtf8`] for malformed data.
+    pub fn str_ref(&mut self) -> Result<&'a str, WireError> {
         let raw = self.bytes()?;
-        std::str::from_utf8(raw)
-            .map(str::to_owned)
-            .map_err(|_| WireError::InvalidUtf8)
+        std::str::from_utf8(raw).map_err(|_| WireError::InvalidUtf8)
     }
 }
 

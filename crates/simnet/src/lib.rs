@@ -57,6 +57,7 @@
 mod fault;
 mod flow;
 pub mod hash;
+pub mod intern;
 pub mod presets;
 pub mod queue;
 mod rng;
@@ -69,6 +70,7 @@ pub use flow::{
     ChunkSpec, FlowEvent, FlowId, FlowNet, FlowProgress, NetError, SegmentLoad, NET_TRACK_BASE,
 };
 pub use hash::{FxHashMap, FxHashSet};
+pub use intern::{Interner, Sym, SymMap, SymSet};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use tcp::{mbps, mib, SustainedCap, TcpProfile};

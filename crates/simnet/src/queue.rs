@@ -19,16 +19,46 @@
 //! the `(at, seq)` total order the simulation's byte-determinism contract
 //! is built on.
 //!
-//! The previous `BinaryHeap` scheduler survives as
-//! [`reference::RefQueue`]: a deliberately simple oracle that the
-//! differential property tests (`tests/queue_equiv.rs`) and the
-//! `engine_throughput` bench drive in lockstep with the wheel.
+//! # Payload slab
+//!
+//! Payloads live in a generational slab owned by the queue; the wheel's
+//! buckets hold only 24-byte `(at, seq, id)` slots. Cascading a coarse
+//! bucket and sorting a same-instant run therefore move plain-old-data
+//! slots, never the payloads themselves — for the runtime's event enum
+//! (~100 bytes) that cuts the memory traffic of a cascade ~5×. Freed slab
+//! cells go on a free list and are reused, and cascaded bucket
+//! allocations are recycled through a spare pool to the slots filling
+//! ahead of the clock, so the steady-state schedule/pop cycle allocates
+//! nothing once capacities have converged (the counting-allocator harness
+//! in `c4h-bench` asserts exactly this).
+//!
+//! Two baselines survive for differential testing and benchmarking:
+//! [`reference::RefQueue`], the pre-wheel `BinaryHeap` scheduler, and
+//! [`reference::InlineWheel`], the first-generation wheel that stored
+//! payloads inline in its buckets. `tests/queue_equiv.rs` drives all three
+//! in lockstep; `engine_throughput` measures the slab wheel against both.
 
 use std::collections::VecDeque;
 use std::mem;
 use std::time::Duration;
 
 use crate::time::SimTime;
+
+/// Minimum capacity (in slots) a cascaded bucket must have for its
+/// allocation to be donated to the spare pool rather than restored in
+/// place. Small buckets recur too often to be worth pooling — donating
+/// them would leave most of the wheel at zero capacity and turn every
+/// insert into an adoption check; only the big accumulator buckets carry
+/// capacity worth recycling across slots.
+const SPARE_MIN: usize = 64;
+
+/// Maximum donated allocations held in the spare pool. A small hard cap
+/// keeps both sides of the recycling O(1): donation falls back to
+/// restoring in place when the pool is full (the pre-pool behavior), and
+/// adoption's largest-first scan touches at most this many entries. A
+/// handful is enough — only one accumulator slot per active level needs
+/// big capacity at a time.
+const SPARE_MAX: usize = 8;
 
 /// Bits of the timestamp consumed per wheel level.
 const SLOT_BITS: usize = 6;
@@ -37,31 +67,45 @@ const SLOTS: usize = 1 << SLOT_BITS;
 /// Levels needed to cover all 64 timestamp bits (`ceil(64 / 6)`).
 const LEVELS: usize = 11;
 
-/// A pending entry: the scheduled instant (nanoseconds), the insertion
-/// sequence number breaking same-instant ties, and the payload.
-#[derive(Debug)]
-struct Entry<E> {
+/// A pending wheel slot: the scheduled instant (nanoseconds), the
+/// insertion sequence number breaking same-instant ties, and the payload's
+/// slab cell. Plain old data — cascades and same-instant sorts copy these
+/// 24 bytes, never the payload.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
     at: u64,
     seq: u64,
-    payload: E,
+    id: u32,
+    /// Generation of the slab cell when this slot was filed; checked on
+    /// redemption (debug builds) to catch internal filing bugs — an id
+    /// must never be redeemed after its cell was freed and reused.
+    gen: u32,
 }
 
-/// One wheel slot: its pending entries plus a cached minimum timestamp,
+/// One wheel bucket: its pending slots plus a cached minimum timestamp,
 /// maintained on push and reset on drain, so finding the earliest event
 /// never rescans bucket contents.
 #[derive(Debug)]
-struct Bucket<E> {
-    entries: Vec<Entry<E>>,
+struct Bucket {
+    entries: Vec<Slot>,
     min_at: u64,
 }
 
-impl<E> Bucket<E> {
+impl Bucket {
     fn new() -> Self {
         Bucket {
             entries: Vec::new(),
             min_at: u64::MAX,
         }
     }
+}
+
+/// A slab cell: the payload (taken on pop) and the cell's generation,
+/// bumped on every free so stale slots are detectable.
+#[derive(Debug)]
+struct Cell<E> {
+    gen: u32,
+    payload: Option<E>,
 }
 
 /// A min-priority queue of simulation events ordered by virtual time.
@@ -88,15 +132,28 @@ impl<E> Bucket<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     /// `LEVELS × SLOTS` buckets, flattened level-major.
-    buckets: Vec<Bucket<E>>,
+    buckets: Vec<Bucket>,
     /// One occupancy bit per slot, per level: bit `s` of `occupied[l]` is
     /// set iff `buckets[l * SLOTS + s]` is non-empty.
     occupied: [u64; LEVELS],
-    /// Entries at exactly `now`, drained from their level-0 bucket and
+    /// Slots at exactly `now`, drained from their level-0 bucket and
     /// sorted by `seq`; popped from the front. This is the hot path: a
     /// burst of same-instant events costs one bucket drain, then pure
     /// `VecDeque` pops.
-    ready: VecDeque<Entry<E>>,
+    ready: VecDeque<Slot>,
+    /// The payload arena. Cells are reused through `free`; capacity
+    /// converges to the peak pending population and then stays put.
+    slab: Vec<Cell<E>>,
+    /// Free slab cells, reused LIFO.
+    free: Vec<u32>,
+    /// Spare bucket allocations recycled across slots. Cascading a coarse
+    /// bucket empties a slot that will not refill until the clock wraps
+    /// its entire level, so parking the allocation there would strand it;
+    /// instead it is pooled here and handed to the next zero-capacity
+    /// bucket that fills — typically the accumulator slot just ahead of
+    /// the clock, which would otherwise grow from scratch on every
+    /// first visit forever.
+    spare: Vec<Vec<Slot>>,
     now: u64,
     len: usize,
     next_seq: u64,
@@ -129,6 +186,9 @@ impl<E> EventQueue<E> {
             buckets: (0..LEVELS * SLOTS).map(|_| Bucket::new()).collect(),
             occupied: [0; LEVELS],
             ready: VecDeque::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            spare: Vec::new(),
             now: 0,
             len: 0,
             next_seq: 0,
@@ -163,10 +223,12 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.insert(Entry {
+        let (id, gen) = self.store(payload);
+        self.insert(Slot {
             at: at.as_nanos(),
             seq,
-            payload,
+            id,
+            gen,
         });
         self.len += 1;
     }
@@ -189,10 +251,13 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            if let Some(e) = self.ready.pop_front() {
-                debug_assert_eq!(e.at, self.now, "ready entries live at the clock instant");
+            if let Some(s) = self.ready.pop_front() {
+                debug_assert_eq!(s.at, self.now, "ready entries live at the clock instant");
+                if let Some(next) = self.ready.front() {
+                    self.prefetch_cell(next.id);
+                }
                 self.len -= 1;
-                return Some((SimTime::from_nanos(e.at), e.payload));
+                return Some((SimTime::from_nanos(s.at), self.redeem(s)));
             }
             let (level, slot, at) = self.earliest_bucket()?;
             debug_assert!(at >= self.now, "wheel surfaced an event from the past");
@@ -202,23 +267,62 @@ impl<E> EventQueue<E> {
             // range of instants and cascades down a level (re-placement is
             // relative to the new clock, so entries at exactly `at` land
             // in the level-0 slot picked up on the next loop iteration).
+            // Both moves copy 24-byte slots; payloads never leave the slab.
             self.now = at;
             let idx = level * SLOTS + slot;
             self.occupied[level] &= !(1u64 << slot);
+            // Most instants hold exactly one event; skip the
+            // drain/sort/ready round trip and redeem it in place.
+            if level == 0 && self.buckets[idx].entries.len() == 1 {
+                let s = self.buckets[idx].entries[0];
+                self.buckets[idx].entries.clear();
+                self.buckets[idx].min_at = u64::MAX;
+                self.len -= 1;
+                return Some((SimTime::from_nanos(s.at), self.redeem(s)));
+            }
             let mut drained = mem::take(&mut self.buckets[idx].entries);
             self.buckets[idx].min_at = u64::MAX;
             if level == 0 {
-                debug_assert!(drained.iter().all(|e| e.at == at));
-                drained.sort_unstable_by_key(|e| e.seq);
+                debug_assert!(drained.iter().all(|s| s.at == at));
+                // Start the payload reads now: the head of this run is
+                // redeemed as soon as the sort and drain finish.
+                for s in drained.iter().take(4) {
+                    self.prefetch_cell(s.id);
+                }
+                drained.sort_unstable_by_key(|s| s.seq);
                 self.ready.extend(drained.drain(..));
+                // Level-0 slots recur every 64 ns of clock, so hand the
+                // emptied allocation straight back to its bucket.
+                self.buckets[idx].entries = drained;
             } else {
-                for e in drained.drain(..) {
-                    self.insert(e);
+                for s in drained.drain(..) {
+                    self.insert(s);
+                }
+                // A big coarse slot will not refill until the clock wraps
+                // its whole level; pool the allocation for the bucket
+                // that needs it next instead of stranding it here. Small
+                // slots keep theirs — they recur constantly and pooling
+                // them would just churn the pool. A full pool keeps the
+                // largest allocations: evicting its smallest entry into
+                // this bucket strands the least capacity, so the top
+                // accumulators always round-trip through the pool.
+                if drained.capacity() >= SPARE_MIN {
+                    if self.spare.len() < SPARE_MAX {
+                        self.spare.push(drained);
+                    } else {
+                        let min = (0..self.spare.len())
+                            .min_by_key(|&i| self.spare[i].capacity())
+                            .expect("spare pool is non-empty");
+                        if self.spare[min].capacity() < drained.capacity() {
+                            self.buckets[idx].entries = mem::replace(&mut self.spare[min], drained);
+                        } else {
+                            self.buckets[idx].entries = drained;
+                        }
+                    }
+                } else {
+                    self.buckets[idx].entries = drained;
                 }
             }
-            // Hand the emptied allocation back to its bucket so steady-state
-            // churn re-uses capacity instead of re-allocating.
-            self.buckets[idx].entries = drained;
         }
     }
 
@@ -246,12 +350,78 @@ impl<E> EventQueue<E> {
         self.now = at.as_nanos();
     }
 
-    /// Files an entry into the wheel relative to the current clock.
-    fn insert(&mut self, e: Entry<E>) {
-        let (level, slot) = level_slot(self.now, e.at);
-        let b = &mut self.buckets[level * SLOTS + slot];
-        b.min_at = b.min_at.min(e.at);
-        b.entries.push(e);
+    /// Parks a payload in the slab, reusing a freed cell when one exists.
+    fn store(&mut self, payload: E) -> (u32, u32) {
+        match self.free.pop() {
+            Some(id) => {
+                let cell = &mut self.slab[id as usize];
+                debug_assert!(cell.payload.is_none(), "free-listed cell still occupied");
+                cell.payload = Some(payload);
+                (id, cell.gen)
+            }
+            None => {
+                let id = u32::try_from(self.slab.len()).expect("event slab exhausted");
+                self.slab.push(Cell {
+                    gen: 0,
+                    payload: Some(payload),
+                });
+                (id, 0)
+            }
+        }
+    }
+
+    /// Hints the prefetcher at a slab cell about to be redeemed.
+    ///
+    /// Payload cells go cold between schedule and redemption (every other
+    /// pending event is written in between), so without the hint each pop
+    /// stalls on the cell read — the one place the arena's
+    /// move-slots-not-payloads design touches uncached memory.
+    #[inline]
+    fn prefetch_cell(&self, id: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `id` indexes a live slab cell; prefetch has no effect
+        // on program semantics even for a dangling address.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(
+                self.slab.as_ptr().add(id as usize).cast::<i8>(),
+                _MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = id;
+    }
+
+    /// Takes a popped slot's payload back out of the slab, bumping the
+    /// cell's generation and returning the cell to the free list.
+    fn redeem(&mut self, s: Slot) -> E {
+        let cell = &mut self.slab[s.id as usize];
+        debug_assert_eq!(cell.gen, s.gen, "slot redeemed against a reused cell");
+        let payload = cell.payload.take().expect("slot points at an empty cell");
+        cell.gen = cell.gen.wrapping_add(1);
+        self.free.push(s.id);
+        payload
+    }
+
+    /// Files a slot into the wheel relative to the current clock.
+    fn insert(&mut self, s: Slot) {
+        let (level, slot) = level_slot(self.now, s.at);
+        let idx = level * SLOTS + slot;
+        if self.buckets[idx].entries.capacity() == 0 && !self.spare.is_empty() {
+            // First fill since this slot's last cascade (or ever): adopt
+            // the largest pooled allocation. Accumulator buckets inherit
+            // the high-water capacity of their predecessors, so the
+            // steady-state schedule/pop cycle stays allocation-free even
+            // as the clock sweeps into virgin slots. The scan is cheap:
+            // adoption only happens on a slot's first fill per level wrap.
+            let best = (0..self.spare.len())
+                .max_by_key(|&i| self.spare[i].capacity())
+                .expect("spare pool is non-empty");
+            self.buckets[idx].entries = self.spare.swap_remove(best);
+        }
+        let b = &mut self.buckets[idx];
+        b.min_at = b.min_at.min(s.at);
+        b.entries.push(s);
         self.occupied[level] |= 1u64 << slot;
     }
 
@@ -284,16 +454,26 @@ impl<E> EventQueue<E> {
 }
 
 pub mod reference {
-    //! The reference scheduler: the pre-wheel `BinaryHeap` implementation,
-    //! kept verbatim as the differential-testing oracle and benchmark
-    //! baseline. Production code uses [`EventQueue`](super::EventQueue);
-    //! this type exists so tests can prove the two agree on every
-    //! schedule/pop/advance sequence and benches can measure the speedup.
+    //! Reference schedulers kept for differential testing and benchmark
+    //! baselines. Production code uses [`EventQueue`](super::EventQueue);
+    //! these types exist so tests can prove the engines agree on every
+    //! schedule/pop/advance sequence and benches can measure the speedups.
+    //!
+    //! * [`RefQueue`] — the original `BinaryHeap` scheduler, the simplest
+    //!   possible statement of the `(at, seq)` contract.
+    //! * [`InlineWheel`] — the first-generation hierarchical timer wheel,
+    //!   which stored payloads inline in its buckets (so cascades moved
+    //!   whole payloads). The slab wheel's throughput gains are measured
+    //!   against this baseline.
 
     use std::collections::BinaryHeap;
+    use std::collections::VecDeque;
+    use std::mem;
     use std::time::Duration;
 
     use crate::time::SimTime;
+
+    use super::{level_slot, LEVELS, SLOTS, SLOT_BITS};
 
     /// A pending entry in the [`RefQueue`].
     #[derive(Debug)]
@@ -421,11 +601,189 @@ pub mod reference {
             self.now = at;
         }
     }
+
+    /// A pending entry in the [`InlineWheel`], payload stored inline.
+    #[derive(Debug)]
+    struct Entry<E> {
+        at: u64,
+        seq: u64,
+        payload: E,
+    }
+
+    /// One inline-wheel slot with its cached minimum timestamp.
+    #[derive(Debug)]
+    struct Bucket<E> {
+        entries: Vec<Entry<E>>,
+        min_at: u64,
+    }
+
+    impl<E> Bucket<E> {
+        fn new() -> Self {
+            Bucket {
+                entries: Vec::new(),
+                min_at: u64::MAX,
+            }
+        }
+    }
+
+    /// The first-generation hierarchical timer wheel, preserved verbatim:
+    /// identical wheel geometry and `(at, seq)` contract to
+    /// [`EventQueue`](super::EventQueue), but payloads live inline in the
+    /// buckets, so every cascade and same-instant sort moves whole
+    /// payloads. Test and bench use only.
+    #[derive(Debug)]
+    pub struct InlineWheel<E> {
+        buckets: Vec<Bucket<E>>,
+        occupied: [u64; LEVELS],
+        ready: VecDeque<Entry<E>>,
+        now: u64,
+        len: usize,
+        next_seq: u64,
+    }
+
+    impl<E> Default for InlineWheel<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> InlineWheel<E> {
+        /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+        pub fn new() -> Self {
+            InlineWheel {
+                buckets: (0..LEVELS * SLOTS).map(|_| Bucket::new()).collect(),
+                occupied: [0; LEVELS],
+                ready: VecDeque::new(),
+                now: 0,
+                len: 0,
+                next_seq: 0,
+            }
+        }
+
+        /// The current virtual time (the timestamp of the last popped
+        /// event).
+        pub fn now(&self) -> SimTime {
+            SimTime::from_nanos(self.now)
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Returns `true` if no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Schedules `payload` at the absolute instant `at`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `at` is earlier than the current virtual time.
+        pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+            assert!(
+                at.as_nanos() >= self.now,
+                "cannot schedule into the past: at={at} now={}",
+                SimTime::from_nanos(self.now)
+            );
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.insert(Entry {
+                at: at.as_nanos(),
+                seq,
+                payload,
+            });
+            self.len += 1;
+        }
+
+        /// Schedules `payload` after a relative `delay` from the current
+        /// time.
+        pub fn schedule_in(&mut self, delay: Duration, payload: E) {
+            let at = SimTime::from_nanos(self.now) + delay;
+            self.schedule_at(at, payload);
+        }
+
+        /// Timestamp of the next pending event, if any.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            if !self.ready.is_empty() {
+                return Some(SimTime::from_nanos(self.now));
+            }
+            self.earliest_bucket()
+                .map(|(_, _, at)| SimTime::from_nanos(at))
+        }
+
+        /// Pops the earliest event, advancing the clock to its timestamp.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            loop {
+                if let Some(e) = self.ready.pop_front() {
+                    debug_assert_eq!(e.at, self.now);
+                    self.len -= 1;
+                    return Some((SimTime::from_nanos(e.at), e.payload));
+                }
+                let (level, slot, at) = self.earliest_bucket()?;
+                debug_assert!(at >= self.now);
+                self.now = at;
+                let idx = level * SLOTS + slot;
+                self.occupied[level] &= !(1u64 << slot);
+                let mut drained = mem::take(&mut self.buckets[idx].entries);
+                self.buckets[idx].min_at = u64::MAX;
+                if level == 0 {
+                    debug_assert!(drained.iter().all(|e| e.at == at));
+                    drained.sort_unstable_by_key(|e| e.seq);
+                    self.ready.extend(drained.drain(..));
+                } else {
+                    for e in drained.drain(..) {
+                        self.insert(e);
+                    }
+                }
+                self.buckets[idx].entries = drained;
+            }
+        }
+
+        /// Advances the clock to `at` without delivering events.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `at` is earlier than the current time, or if an event
+        /// is pending before `at`.
+        pub fn advance_to(&mut self, at: SimTime) {
+            assert!(at.as_nanos() >= self.now, "cannot rewind the clock");
+            if let Some(t) = self.peek_time() {
+                assert!(t >= at, "cannot advance past a pending event at {t}");
+            }
+            self.now = at.as_nanos();
+        }
+
+        fn insert(&mut self, e: Entry<E>) {
+            let (level, slot) = level_slot(self.now, e.at);
+            let b = &mut self.buckets[level * SLOTS + slot];
+            b.min_at = b.min_at.min(e.at);
+            b.entries.push(e);
+            self.occupied[level] |= 1u64 << slot;
+        }
+
+        fn earliest_bucket(&self) -> Option<(usize, usize, u64)> {
+            let mut best: Option<(usize, usize, u64)> = None;
+            for level in 0..LEVELS {
+                let cursor = (self.now >> (level * SLOT_BITS)) & (SLOTS as u64 - 1);
+                let mask = self.occupied[level] & (!0u64 << cursor);
+                if mask != 0 {
+                    let slot = mask.trailing_zeros() as usize;
+                    let at = self.buckets[level * SLOTS + slot].min_at;
+                    if best.is_none_or(|(_, _, b)| at <= b) {
+                        best = Some((level, slot, at));
+                    }
+                }
+            }
+            best
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::reference::RefQueue;
+    use super::reference::{InlineWheel, RefQueue};
     use super::*;
 
     #[test]
@@ -549,12 +907,42 @@ mod tests {
         assert_eq!(order, vec!["near", "far"]);
     }
 
-    /// A randomized hold-model churn must agree with the reference heap
-    /// exactly — the in-crate smoke version of the differential oracle in
-    /// `tests/queue_equiv.rs`.
+    /// Slab cells are reused: a long schedule/pop churn at a held
+    /// population must not grow the slab beyond the peak population.
     #[test]
-    fn wheel_agrees_with_reference_under_churn() {
+    fn slab_reuses_freed_cells() {
+        let mut q = EventQueue::new();
+        let mut state = 0xD1CEu64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        for i in 0..64u64 {
+            q.schedule_in(Duration::from_nanos(rng() % 1_000_000), i);
+        }
+        for i in 0..100_000u64 {
+            let (_, _) = q.pop().expect("population held at 64");
+            q.schedule_in(Duration::from_nanos(rng() % 1_000_000), i);
+        }
+        assert_eq!(q.len(), 64);
+        // 100k events flowed through; the slab stayed at the held
+        // population (cells reused through the free list).
+        assert!(
+            q.slab.len() <= 64,
+            "slab grew to {} cells for a held population of 64",
+            q.slab.len()
+        );
+    }
+
+    /// A randomized hold-model churn must agree with both reference
+    /// engines exactly — the in-crate smoke version of the differential
+    /// oracle in `tests/queue_equiv.rs`.
+    #[test]
+    fn wheel_agrees_with_references_under_churn() {
         let mut wheel = EventQueue::new();
+        let mut inline = InlineWheel::new();
         let mut oracle = RefQueue::new();
         // Deterministic splitmix64 stream.
         let mut state = 0x1234_5678_9ABC_DEF0u64;
@@ -570,7 +958,9 @@ mod tests {
             if r % 3 == 0 && !wheel.is_empty() {
                 let a = wheel.pop();
                 let b = oracle.pop();
-                assert_eq!(a, b, "divergence at op {i}");
+                let c = inline.pop();
+                assert_eq!(a, b, "slab wheel diverged from heap at op {i}");
+                assert_eq!(a, c, "slab wheel diverged from inline wheel at op {i}");
             } else {
                 // Delays spanning ten orders of magnitude, with a bias
                 // toward ties (delay 0).
@@ -578,6 +968,7 @@ mod tests {
                 let delay = Duration::from_nanos(if r % 5 == 0 { 0 } else { r % (1 << shift) });
                 wheel.schedule_in(delay, i);
                 oracle.schedule_in(delay, i);
+                inline.schedule_in(delay, i);
             }
             assert_eq!(wheel.len(), oracle.len());
             assert_eq!(wheel.peek_time(), oracle.peek_time());
@@ -585,17 +976,31 @@ mod tests {
         }
         while let Some(a) = wheel.pop() {
             assert_eq!(Some(a), oracle.pop());
+            assert_eq!(a, inline.pop().expect("inline wheel in lockstep"));
         }
         assert!(oracle.is_empty());
+        assert!(inline.is_empty());
     }
 
     mod reference_contract {
-        //! The oracle itself honors the documented contract.
+        //! The oracles themselves honor the documented contract.
         use super::*;
 
         #[test]
         fn pops_in_time_order_with_fifo_ties() {
             let mut q = RefQueue::new();
+            let t = SimTime::from_millis(5);
+            q.schedule_at(SimTime::from_millis(9), 99);
+            for i in 0..4 {
+                q.schedule_at(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 99]);
+        }
+
+        #[test]
+        fn inline_wheel_pops_in_time_order_with_fifo_ties() {
+            let mut q = InlineWheel::new();
             let t = SimTime::from_millis(5);
             q.schedule_at(SimTime::from_millis(9), 99);
             for i in 0..4 {

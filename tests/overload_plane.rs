@@ -243,7 +243,7 @@ fn shed_operations_fail_fast_as_overloaded() {
         assert_eq!(r.retries, 0);
         assert_eq!(r.failovers, 0);
         match &r.outcome {
-            Err(OpError::Overloaded(name)) => assert_eq!(*name, r.object),
+            Err(OpError::Overloaded(name)) => assert_eq!(name.as_str(), r.object.as_str()),
             other => panic!("expected Overloaded, got {other:?}"),
         }
     }
