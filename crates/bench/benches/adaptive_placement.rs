@@ -17,7 +17,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use c4h_bench::{banner, mean_std, ms};
+use c4h_bench::{banner, mean_std, ms, BenchReport};
 use c4h_workloads::{hotset_fetches, HotsetConfig};
 use cloud4home::{Cloud4Home, Config, NodeId, Object, StorePolicy};
 
@@ -159,6 +159,13 @@ fn main() {
     );
     println!("workload: {fetch_hz_note}");
 
+    let mut report = BenchReport::new("adaptive_placement");
+    report.config("smoke", smoke());
+    report.config("catalog", workload.catalog);
+    report.config("object_bytes", OBJECT_BYTES);
+    report.config("phases", workload.phases);
+    report.config("phase_len_s", workload.phase_len.as_secs());
+
     let mut static_cfg = Config::paper_testbed(9200);
     static_cfg.replication = 3;
     static_cfg.replica_quorum = 1;
@@ -184,6 +191,19 @@ fn main() {
             a.ec_objects,
             a.loss_floor,
         );
+        report.push_row(vec![
+            ("arm", a.label.into()),
+            ("logical_bytes", a.logical_bytes.into()),
+            ("stored_bytes", a.stored_bytes.into()),
+            (
+                "overhead",
+                (a.stored_bytes as f64 / a.logical_bytes as f64).into(),
+            ),
+            ("fetch_mean_ms", a.fetch_mean_ms.into()),
+            ("fetch_p99_ms", a.fetch_p99_ms.into()),
+            ("ec_objects", a.ec_objects.into()),
+            ("loss_floor", a.loss_floor.into()),
+        ]);
     }
     println!(
         "\nThe adaptive arm converts cold objects to (3, 2) stripes — the\n\
@@ -192,15 +212,18 @@ fn main() {
     );
 
     // CI gates: the storage win and the conversion machinery must hold.
-    assert!(
+    report.check(
+        "cooldown_erasure_codes_cold_objects",
         adaptive_arm.ec_objects >= 1,
-        "the cool-down must erasure-code at least one cold object"
+        "the cool-down must erasure-code at least one cold object",
     );
-    assert!(
+    report.check(
+        "adaptive_beats_static_footprint",
         adaptive_arm.stored_bytes < static_arm.stored_bytes,
-        "adaptive placement ({} B) must beat static rep=3 ({} B) on footprint",
-        adaptive_arm.stored_bytes,
-        static_arm.stored_bytes
+        format!(
+            "adaptive placement ({} B) must beat static rep=3 ({} B) on footprint",
+            adaptive_arm.stored_bytes, static_arm.stored_bytes
+        ),
     );
     println!(
         "\nheadline: {} MiB adaptive vs {} MiB static ({:.0}% of the bytes)",
@@ -214,4 +237,5 @@ fn main() {
         write_artifact(&dir, &[static_arm, adaptive_arm]);
         println!("wrote adaptive_placement.json to {dir}/");
     }
+    report.finish();
 }

@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use c4h_bench::banner;
+use c4h_bench::{banner, BenchReport};
 use c4h_workloads::{arrivals, Arrival, OpKind, OpenLoopConfig};
 use cloud4home::{Cloud4Home, Config, NodeId, Object, OpError, OpReport, StorePolicy};
 
@@ -223,6 +223,13 @@ fn main() {
         }
     }
 
+    let mut report = BenchReport::new("capacity_frontier");
+    report.config("smoke", smoke());
+    report.config("seed", SEED);
+    report.config("horizon_s", horizon().as_secs());
+    report.config("fetch_slo_ms", FETCH_SLO_MS);
+    report.config("store_slo_ms", STORE_SLO_MS);
+
     println!(
         "{:>10} | {:>9} | {:>9} {:>7} {:>13} {:>12} {:>7}",
         "offered/s", "plane", "admitted", "shed", "fetch p99 ms", "goodput/s", "shed %"
@@ -240,12 +247,23 @@ fn main() {
             p.goodput_hz,
             100.0 * p.shed as f64 / total.max(1) as f64,
         );
+        report.push_row(vec![
+            ("offered_hz", p.offered_hz.into()),
+            ("protected", p.protected.into()),
+            ("admitted", p.admitted.into()),
+            ("shed", p.shed.into()),
+            ("fetch_p99_ms", p.fetch_p99_ms.into()),
+            ("goodput_hz", p.goodput_hz.into()),
+        ]);
     }
 
     // Property 1: the plane off never sheds.
-    for p in points.iter().filter(|p| !p.protected) {
-        assert_eq!(p.shed, 0, "plane off must never shed ({}/s)", p.offered_hz);
-    }
+    let off_shed: usize = points.iter().filter(|p| !p.protected).map(|p| p.shed).sum();
+    report.check(
+        "plane_off_never_sheds",
+        off_shed == 0,
+        format!("plane off must never shed (total shed {off_shed})"),
+    );
 
     // Property 2: at the top offered load the unprotected run blows the
     // fetch objective while the protected run stays within it and sheds.
@@ -258,21 +276,28 @@ fn main() {
         .iter()
         .find(|p| p.protected && p.offered_hz as u64 == top)
         .expect("swept the top rate protected");
-    assert!(
+    report.check(
+        "top_load_saturates_unprotected",
         unprot.fetch_p99_ms > FETCH_SLO_MS as f64,
-        "top load must saturate the unprotected testbed \
-         (p99 {:.1} ms vs slo {FETCH_SLO_MS} ms)",
-        unprot.fetch_p99_ms
+        format!(
+            "top load must saturate the unprotected testbed \
+             (p99 {:.1} ms vs slo {FETCH_SLO_MS} ms)",
+            unprot.fetch_p99_ms
+        ),
     );
-    assert!(
+    report.check(
+        "protected_sheds_at_top_load",
         prot.shed > 0,
-        "the protected run must shed at the top offered load"
+        "the protected run must shed at the top offered load",
     );
-    assert!(
+    report.check(
+        "protected_p99_within_slo",
         prot.fetch_p99_ms <= FETCH_SLO_MS as f64,
-        "the plane must keep the admitted fetch p99 within the objective \
-         (p99 {:.1} ms vs slo {FETCH_SLO_MS} ms)",
-        prot.fetch_p99_ms
+        format!(
+            "the plane must keep the admitted fetch p99 within the objective \
+             (p99 {:.1} ms vs slo {FETCH_SLO_MS} ms)",
+            prot.fetch_p99_ms
+        ),
     );
 
     if let Some(dir) = std::env::var_os("C4H_FRONTIER_DIR") {
@@ -281,4 +306,5 @@ fn main() {
         write_artifacts(&dir, &points, &home);
         println!("\nwrote frontier.json + frontier.prom to {dir}/");
     }
+    report.finish();
 }

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use c4h_bench::banner;
+use c4h_bench::{banner, BenchReport};
 use cloud4home::{Cloud4Home, Config, NodeId, Object, RoutePolicy, ServiceKind, StorePolicy};
 
 const SEED: u64 = 2024;
@@ -84,43 +84,43 @@ fn main() {
         "recording overhead of gauges, SLO windows, and attribution",
     );
 
+    let mut report = BenchReport::new("health_overhead");
+    report.config("smoke", smoke());
+    report.config("objects", objects());
+    report.config("seed", SEED);
+
     let (host_off, baseline) = timed(false, 500);
     let (host_500, at_500) = timed(true, 500);
     let (host_100, at_100) = timed(true, 100);
 
     // Property 1: the health plane never perturbs virtual time.
-    assert_eq!(
-        baseline.now(),
-        at_500.now(),
-        "health sampling must not perturb virtual time"
+    report.check(
+        "virtual_time_unperturbed_500ms",
+        baseline.now() == at_500.now(),
+        "health sampling must not perturb virtual time",
     );
-    assert_eq!(
-        baseline.now(),
-        at_100.now(),
-        "a 5x denser cadence must not perturb virtual time either"
+    report.check(
+        "virtual_time_unperturbed_100ms",
+        baseline.now() == at_100.now(),
+        "a 5x denser cadence must not perturb virtual time either",
     );
 
     // Property 2: disabled tracing means a completely dark health plane.
     let dark = baseline.telemetry().snapshot();
-    assert_eq!(
-        dark.events.len(),
-        0,
-        "disabled recorder must store no events"
+    report.check(
+        "disabled_recorder_is_dark",
+        dark.events.is_empty() && dark.series.is_empty() && dark.counters.is_empty(),
+        format!(
+            "disabled recorder must store nothing ({} events, {} series, {} counters)",
+            dark.events.len(),
+            dark.series.len(),
+            dark.counters.len()
+        ),
     );
-    assert_eq!(
-        dark.series.len(),
-        0,
-        "disabled recorder must store no gauges"
-    );
-    assert_eq!(
-        dark.counters.len(),
-        0,
-        "disabled recorder must count nothing"
-    );
-    assert_eq!(
-        baseline.postmortem_json(),
-        "[\n\n]\n",
-        "disabled recorder must cut no post-mortems"
+    report.check(
+        "disabled_recorder_no_postmortems",
+        baseline.postmortem_json() == "[\n\n]\n",
+        "disabled recorder must cut no post-mortems",
     );
 
     println!(
@@ -142,6 +142,16 @@ fn main() {
             points,
             (host.as_secs_f64() / host_off.as_secs_f64() - 1.0) * 100.0,
         );
+        report.push_row(vec![
+            ("configuration", label.into()),
+            ("host_ms", (host.as_secs_f64() * 1e3).into()),
+            ("series", snap.series.len().into()),
+            ("points", points.into()),
+            (
+                "overhead_pct",
+                ((host.as_secs_f64() / host_off.as_secs_f64() - 1.0) * 100.0).into(),
+            ),
+        ]);
     }
 
     // Denser cadence ⇒ strictly more gauge points, same virtual outcome.
@@ -159,9 +169,10 @@ fn main() {
         .values()
         .map(|s| s.len())
         .sum();
-    assert!(
+    report.check(
+        "denser_cadence_more_points",
         p100 > p500,
-        "100 ms cadence must sample more points than 500 ms ({p100} vs {p500})"
+        format!("100 ms cadence must sample more points than 500 ms ({p100} vs {p500})"),
     );
 
     let snap = at_500.telemetry().snapshot();
@@ -176,4 +187,5 @@ fn main() {
         at_500.stats().crit_lan_ns / 1_000_000,
         at_500.stats().crit_dht_ns / 1_000_000,
     );
+    report.finish();
 }

@@ -10,6 +10,10 @@ use std::time::Duration;
 
 use cloud4home::{Cloud4Home, OpId, OpReport};
 
+mod report;
+
+pub use report::{BenchReport, JsonVal};
+
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// A counting wrapper around the system allocator.

@@ -347,6 +347,8 @@ mod tests {
             failovers: 0,
             partial_replication: 0,
             critical_path: crate::report::PathAttribution::default(),
+            stages: Vec::new(),
+            ledger: Vec::new(),
             outcome: Ok(OpOutput {
                 bytes,
                 via_cloud,

@@ -17,8 +17,8 @@ use std::io::{self, BufRead, Write};
 use std::time::Duration;
 
 use cloud4home::{
-    Cloud4Home, Config, FaultEvent, FaultPlan, NodeId, Object, Placement, RoutePolicy, ServiceKind,
-    StorePolicy,
+    Cloud4Home, Config, FaultEvent, FaultPlan, NodeId, Object, OpId, Placement, RoutePolicy,
+    ServiceKind, StorePolicy,
 };
 
 fn main() {
@@ -43,6 +43,9 @@ fn main() {
     }
     if env_knob("C4H_ADAPTIVE").is_some_and(|v| v != 0.0) {
         config.adaptive.enabled = true;
+    }
+    if env_knob("C4H_LEDGER").is_some_and(|v| v != 0.0) {
+        config.ledger = true;
     }
     let mut home = Cloud4Home::new(config);
     println!(
@@ -125,6 +128,17 @@ fn run_command(home: &mut Cloud4Home, line: &str) -> CommandResult {
         "breaker" => CommandResult::Output(home.breaker_text().trim_end().to_owned()),
         "prom" => export_cmd(home, &tokens, "prom"),
         "postmortem" => export_cmd(home, &tokens, "postmortem"),
+        "ledger" => ledger_cmd(home, &tokens),
+        "explain" => explain_cmd(home, &tokens, false),
+        "explain_json" => explain_cmd(home, &tokens, true),
+        "slowest" => {
+            let n = tokens.get(1).and_then(|t| t.parse().ok()).unwrap_or(8);
+            CommandResult::Output(home.slowest_text(n).trim_end().to_owned())
+        }
+        "outliers" => {
+            let kind = tokens.get(1).copied().unwrap_or("fetch");
+            CommandResult::Output(home.outliers_text(kind).trim_end().to_owned())
+        }
         "wan" => match tokens.get(1).and_then(|t| t.parse::<f64>().ok()) {
             Some(f) if f > 0.0 && f <= 1.0 => {
                 home.set_wan_quality(f);
@@ -168,6 +182,11 @@ commands:
   breaker                                               circuit-breaker states
   prom [save <path>]                                    Prometheus text dump
   postmortem [save <path>]                              flight-recorder dumps
+  ledger on|off                                         toggle causal op ledger
+  explain <op>                                          critical-path timeline
+  explain_json <op> [save <path>]                       explain as JSON
+  slowest [n]                                           slowest recent ops
+  outliers [kind]                                       p99.9 tail ops by kind
   help / quit
 sizes: 512KB, 2MB …  durations: 500ms, 10s, 2m
 services: face-detect, face-recognize, x264-convert, archive-compress";
@@ -485,6 +504,60 @@ fn export_cmd(home: &mut Cloud4Home, tokens: &[&str], kind: &str) -> CommandResu
     }
 }
 
+/// `ledger on|off` — toggle the causal op ledger (decision tracing +
+/// engine-introspection gauges).
+fn ledger_cmd(home: &mut Cloud4Home, tokens: &[&str]) -> CommandResult {
+    match tokens.get(1).copied() {
+        Some("on") => {
+            home.set_ledger(true);
+            CommandResult::Output("ledger on".into())
+        }
+        Some("off") => {
+            home.set_ledger(false);
+            CommandResult::Output("ledger off".into())
+        }
+        _ => CommandResult::Error("usage: ledger on|off".into()),
+    }
+}
+
+/// Parses an op reference: `17` or the report-header form `op#17`.
+fn parse_op(token: &str) -> Option<OpId> {
+    let digits = token.strip_prefix("op#").unwrap_or(token);
+    digits.parse().ok().map(OpId)
+}
+
+/// `explain <op>` / `explain_json <op> [save <path>]` — render one
+/// completed op's causal critical-path DAG as a timeline or JSON.
+fn explain_cmd(home: &mut Cloud4Home, tokens: &[&str], json: bool) -> CommandResult {
+    let usage = if json {
+        "usage: explain_json <op> [save <path>]"
+    } else {
+        "usage: explain <op>"
+    };
+    let Some(op) = tokens.get(1).and_then(|t| parse_op(t)) else {
+        return CommandResult::Error(usage.into());
+    };
+    if !json {
+        return CommandResult::Output(home.explain_text(op).trim_end().to_owned());
+    }
+    let Some(body) = home.explain_json(op) else {
+        return CommandResult::Error(format!("no completed report for {op}"));
+    };
+    match tokens.get(2).copied() {
+        None => CommandResult::Output(body.trim_end().to_owned()),
+        Some("save") => {
+            let Some(&path) = tokens.get(3) else {
+                return CommandResult::Error(usage.into());
+            };
+            match std::fs::write(path, &body) {
+                Ok(()) => CommandResult::Output(format!("explain written to {path}")),
+                Err(e) => CommandResult::Error(format!("cannot write {path}: {e}")),
+            }
+        }
+        Some(_) => CommandResult::Error(usage.into()),
+    }
+}
+
 fn describe(report: &cloud4home::OpReport) -> String {
     match &report.outcome {
         Ok(out) => {
@@ -555,6 +628,63 @@ mod tests {
                 other => panic!("`{line}` -> {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn explain_plane_commands() {
+        let mut home = shell();
+        assert_eq!(
+            run_command(&mut home, "ledger on"),
+            CommandResult::Output("ledger on".into())
+        );
+        assert!(home.ledger_enabled());
+        run_command(&mut home, "store netbook-0 x/a.jpg 256KB jpeg home");
+        run_command(&mut home, "fetch desktop x/a.jpg");
+
+        // Ops 1 and 2 completed under the ledger: `explain` renders their
+        // timeline with the exact-sum footer, and the JSON form matches.
+        let CommandResult::Output(text) = run_command(&mut home, "explain op#1") else {
+            panic!("explain should print");
+        };
+        assert!(text.contains("op#1 store"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("(ok)"), "{text}");
+        let CommandResult::Output(json) = run_command(&mut home, "explain_json 2") else {
+            panic!("explain_json should print");
+        };
+        assert!(json.contains("\"op\":2"), "{json}");
+        assert!(json.contains("\"edges\":["), "{json}");
+
+        let CommandResult::Output(slow) = run_command(&mut home, "slowest 4") else {
+            panic!("slowest should print");
+        };
+        assert!(slow.contains("dominant="), "{slow}");
+        let CommandResult::Output(outliers) = run_command(&mut home, "outliers fetch") else {
+            panic!("outliers should print");
+        };
+        assert!(outliers.contains("outliers op.fetch"), "{outliers}");
+
+        // Unknown ops and bad args error instead of panicking.
+        assert!(matches!(
+            run_command(&mut home, "explain op#999"),
+            CommandResult::Output(t) if t.contains("no completed report")
+        ));
+        assert!(matches!(
+            run_command(&mut home, "explain"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "explain_json op#999"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            run_command(&mut home, "ledger maybe"),
+            CommandResult::Error(_)
+        ));
+        assert_eq!(
+            run_command(&mut home, "ledger off"),
+            CommandResult::Output("ledger off".into())
+        );
     }
 
     #[test]

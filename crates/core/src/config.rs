@@ -404,6 +404,18 @@ pub struct Config {
     /// How many worst critical-path rows the health plane retains for the
     /// `top` shell command.
     pub path_ring: usize,
+    /// Causal op ledger: record per-op decision events (admission, retries,
+    /// backoff, breaker actions, hedging, reassignment, adaptive moves) for
+    /// the `explain` plane. Off by default; the disabled path is one
+    /// relaxed atomic load per decision point, and default-config runs stay
+    /// byte-identical.
+    pub ledger: bool,
+    /// Per-op causal-ring depth: how many decision events one op retains
+    /// (eviction protects the live cause chain).
+    pub ledger_ring: usize,
+    /// How many completed op reports the explain plane keeps addressable
+    /// by `explain <op>` (oldest evicted first).
+    pub explain_ring: usize,
 }
 
 impl Config {
@@ -461,6 +473,9 @@ impl Config {
             gauge_ring: 8,
             dump_cap: 16,
             path_ring: 64,
+            ledger: false,
+            ledger_ring: 64,
+            explain_ring: 128,
         }
     }
 
@@ -486,6 +501,9 @@ impl Config {
     /// - a negative or non-finite `fetch_hedge`;
     /// - empty flight-recorder rings (`fault_ring`, `gauge_ring`, or
     ///   `path_ring` of 0; `dump_cap` may be 0 to discard post-mortems);
+    /// - with the causal ledger enabled: a `ledger_ring` below 2 (a ring
+    ///   that cannot hold a cause and its effect) or an `explain_ring` of 0
+    ///   (nothing would be addressable by `explain`);
     /// - with the overload plane enabled: `shed_max_permille > 1000`,
     ///   `breaker_failures == 0`, a positive `admit_rate` with
     ///   `admit_burst == 0`, or a positive `retry_refill_per_sec` with
@@ -542,6 +560,13 @@ impl Config {
             return Err("flight-recorder rings (fault_ring, gauge_ring, path_ring) \
                  must be non-empty"
                 .into());
+        }
+        if self.ledger && (self.ledger_ring < 2 || self.explain_ring == 0) {
+            return Err(format!(
+                "causal ledger needs ledger_ring >= 2 (a cause and its effect; \
+                 have {}) and explain_ring >= 1 (have {})",
+                self.ledger_ring, self.explain_ring
+            ));
         }
         if self.overload.enabled {
             let o = &self.overload;
@@ -737,6 +762,25 @@ mod tests {
         // dump_cap 0 just discards post-mortems; it stays legal.
         let mut c = Config::paper_testbed(1);
         c.dump_cap = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_ledger_rings() {
+        let mut c = Config::paper_testbed(1);
+        // Off by default, and degenerate rings are fine while off.
+        assert!(!c.ledger);
+        c.ledger_ring = 0;
+        c.explain_ring = 0;
+        assert_eq!(c.validate(), Ok(()));
+
+        c.ledger = true;
+        assert!(c.validate().unwrap_err().contains("ledger_ring"));
+        c.ledger_ring = 1; // cannot hold a cause and its effect
+        assert!(c.validate().is_err());
+        c.ledger_ring = 2;
+        assert!(c.validate().unwrap_err().contains("explain_ring"));
+        c.explain_ring = 1;
         assert_eq!(c.validate(), Ok(()));
     }
 

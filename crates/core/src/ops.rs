@@ -20,16 +20,16 @@ use c4h_kvstore::{
 use c4h_resources::Bin;
 use c4h_services::{ServiceDemand, ServiceId, ServiceOutput};
 use c4h_simnet::{Addr, FlowId, SimTime, Sym};
-use c4h_telemetry::ArgValue;
+use c4h_telemetry::{ArgValue, CauseKind, LEDGER_NONE};
 
 use crate::config::{NodeId, ServiceKind};
 use crate::decision::{choose, estimate_exec, meets_minimum, Candidate, LOCATE_TIME};
 use crate::ec::ErasureCode;
 use crate::health::{attribute, PathRow};
 use crate::object::{Blob, Object, SAMPLE_WINDOW};
-use crate::overload::AdmitDecision;
+use crate::overload::{shed_reason_code, AdmitDecision};
 use crate::policy::{PlacementClass, RoutePolicy, StorePolicy};
-use crate::report::{Breakdown, OpError, OpId, OpOutput, OpReport, PathAttribution};
+use crate::report::{Breakdown, CausalEvent, OpError, OpId, OpOutput, OpReport, PathAttribution};
 use crate::runtime::{
     ec_stripe_name, Cloud4Home, FanoutJob, CLOUD_ADDR, FANOUT_TRACK_BASE, STRIPE_TRACK_BASE,
 };
@@ -253,12 +253,21 @@ pub(crate) struct Op {
     /// Absolute recovery deadline; failovers past it fail with `Timeout`.
     pub(crate) deadline: SimTime,
     /// Sequential stage spans `(name, start_ns, end_ns)` recorded while
-    /// tracing is on; the critical-path analyzer buckets them at
-    /// completion. Empty when tracing is disabled.
+    /// tracing or the causal ledger is on; the critical-path analyzer
+    /// buckets them at completion and the explain plane tiles them into
+    /// the op's DAG. Empty when both are disabled.
     pub(crate) stage_log: Vec<(&'static str, u64, u64)>,
     /// Whether the overload plane rejected this op at admission. Shed ops
     /// never held a tenant slot and never enter the SLO windows.
     pub(crate) shed: bool,
+    /// Causal link carried between ledger events of the same recovery
+    /// chain (a transfer failure feeding the backoff it induces, a retry
+    /// chaining to the previous retry). `LEDGER_NONE` when the next
+    /// decision recorded is a root.
+    pub(crate) ledger_cause: u32,
+    /// Ledger seq of the hedge launch racing each stripe, so the losing
+    /// copy's cancellation links back to the launch that started the race.
+    pub(crate) hedge_launches: BTreeMap<u32, u32>,
 }
 
 impl Op {
@@ -311,6 +320,8 @@ impl Op {
             deadline: now + OP_DEADLINE,
             stage_log: Vec::new(),
             shed: false,
+            ledger_cause: LEDGER_NONE,
+            hedge_launches: BTreeMap::new(),
         }
     }
 
@@ -688,9 +699,19 @@ impl Cloud4Home {
             .overload
             .admit(op.kind, op.client, self.now().as_nanos())
         {
-            AdmitDecision::Admitted => Some(op),
+            AdmitDecision::Admitted => {
+                self.ledger_op(op.id, CauseKind::Admit, LEDGER_NONE, 0, 0);
+                Some(op)
+            }
             AdmitDecision::Shed(reason) => {
                 op.shed = true;
+                self.ledger_op(
+                    op.id,
+                    CauseKind::Shed,
+                    LEDGER_NONE,
+                    shed_reason_code(reason),
+                    0,
+                );
                 self.stats.ops_shed += 1;
                 self.telemetry.add(format!("shed.{}", op.kind), 1);
                 self.telemetry.instant_args(
@@ -738,6 +759,10 @@ impl Cloud4Home {
                 ("why", ArgValue::from(why)),
             ],
         );
+        // Causal ledger: the severed transfer is the inducing event for
+        // whatever recovery decision follows in this call chain.
+        let cause = std::mem::take(&mut op.ledger_cause);
+        op.ledger_cause = self.ledger_op(op.id, CauseKind::TransferFailed, cause, flow.raw(), 0);
         if !self.nodes[op.client].alive {
             // The requesting client itself is gone; nobody to recover for.
             self.complete_op(op, Err(OpError::OwnerUnreachable(why.to_owned())));
@@ -864,7 +889,9 @@ impl Cloud4Home {
         // p99 now exceeds the kind's objective. Shed ops never enter the
         // windows — their fast-fail latency would dilute the admitted-op
         // p99 the shed controller steers by.
-        let breach = if (self.telemetry.enabled() || self.overload.enabled) && !op.shed {
+        let breach = if (self.telemetry.enabled() || self.overload.enabled || self.ledger.enabled())
+            && !op.shed
+        {
             self.health.observe_latency(op.kind, now, total_ns)
         } else {
             None
@@ -873,7 +900,40 @@ impl Cloud4Home {
             self.overload.tenant_done(op.client);
             self.overload.observe_completion(breach.is_some());
         }
+        // Causal ledger: a breach stamps a terminal slo.breach event whose
+        // id the violation counter's exemplar (and the trace instant's
+        // `ledger` arg) point back at.
+        let mut breach_seq = LEDGER_NONE;
+        if self.ledger.enabled() {
+            if let Some(b) = breach {
+                breach_seq = self.ledger.record(
+                    op.id.0,
+                    CauseKind::SloBreach,
+                    LEDGER_NONE,
+                    now.as_nanos(),
+                    b.p99_ns,
+                    b.slo_ns,
+                );
+                self.telemetry.set_exemplar(
+                    format!("slo.violation.{}", op.kind),
+                    format!("op{}#{breach_seq}", op.id.0),
+                );
+            }
+        }
         let mut critical = PathAttribution::default();
+        if self.telemetry.enabled() || self.ledger.enabled() {
+            // Critical-path attribution: bucket the recorded stage spans,
+            // with queueing/control time as the remainder. The ledger
+            // needs it too: `slowest` ranks ops by these rows.
+            critical = attribute(&op.stage_log, total_ns, op.via_cloud).into();
+            self.health.record_path(PathRow {
+                op: op.id,
+                kind: op.kind,
+                object: op.name,
+                total_ns,
+                path: critical,
+            });
+        }
         if self.telemetry.enabled() {
             let ok = outcome.is_ok();
             self.telemetry.span_args(
@@ -895,9 +955,6 @@ impl Cloud4Home {
             self.telemetry
                 .observe(format!("op.{}.total_ns", op.kind), total_ns);
 
-            // Critical-path attribution: bucket the recorded stage spans,
-            // with queueing/control time as the remainder.
-            critical = attribute(&op.stage_log, total_ns, op.via_cloud).into();
             self.stats.crit_dht_ns += critical.dht_ns;
             self.stats.crit_disk_ns += critical.disk_ns;
             self.stats.crit_lan_ns += critical.lan_ns;
@@ -905,25 +962,22 @@ impl Cloud4Home {
             self.stats.crit_service_ns += critical.service_ns;
             self.stats.crit_backoff_ns += critical.backoff_ns;
             self.stats.crit_other_ns += critical.other_ns;
-            self.health.record_path(PathRow {
-                op: op.id,
-                kind: op.kind,
-                object: op.name,
-                total_ns,
-                path: critical,
-            });
 
             if let Some(breach) = breach {
+                let mut args = vec![
+                    ("kind", ArgValue::from(op.kind)),
+                    ("p99_ns", ArgValue::from(breach.p99_ns)),
+                    ("slo_ns", ArgValue::from(breach.slo_ns)),
+                ];
+                if breach_seq != LEDGER_NONE {
+                    args.push(("ledger", ArgValue::from(u64::from(breach_seq))));
+                }
                 self.telemetry.instant_args(
                     "health",
                     "slo.violation",
                     op.id.0,
                     now.as_nanos(),
-                    vec![
-                        ("kind", ArgValue::from(op.kind)),
-                        ("p99_ns", ArgValue::from(breach.p99_ns)),
-                        ("slo_ns", ArgValue::from(breach.slo_ns)),
-                    ],
+                    args,
                 );
                 self.telemetry.add(format!("slo.violation.{}", op.kind), 1);
             }
@@ -960,6 +1014,28 @@ impl Cloud4Home {
             self.object_heat
                 .observe_fetch(op.name, op.client, now.as_nanos());
         }
+        // Explain plane: completed with the ledger on, the report carries
+        // its stage spans and causal chain so the critical-path DAG can be
+        // materialized after the fact. The per-op ring is consumed (moved,
+        // not copied) either way, so disabled runs leak nothing.
+        let mut stages: Vec<(String, u64, u64)> = Vec::new();
+        let mut ledger: Vec<CausalEvent> = Vec::new();
+        if self.ledger.enabled() {
+            stages = op
+                .stage_log
+                .iter()
+                .map(|(n, s, e)| ((*n).to_owned(), *s, *e))
+                .collect();
+            ledger = self
+                .ledger
+                .finish(op.id.0)
+                .into_iter()
+                .map(CausalEvent::from)
+                .collect();
+        } else {
+            self.ledger.discard(op.id.0);
+        }
+        let has_detail = !stages.is_empty() || !ledger.is_empty();
         let report = OpReport {
             id: op.id,
             kind: op.kind,
@@ -971,9 +1047,26 @@ impl Cloud4Home {
             failovers: op.failovers,
             partial_replication: op.partial_replication,
             critical_path: critical,
+            stages,
+            ledger,
             outcome,
         };
         self.reports.insert(op.id, report);
+        // The explain ring bounds how many completed reports keep full
+        // detail: past capacity, the oldest report's stages and chain are
+        // released (the report itself survives for its outcome and
+        // breakdown).
+        if has_detail {
+            self.explain_ring.push_back(op.id);
+            while self.explain_ring.len() > self.config.explain_ring {
+                if let Some(old) = self.explain_ring.pop_front() {
+                    if let Some(r) = self.reports.get_mut(&old) {
+                        r.stages = Vec::new();
+                        r.ledger = Vec::new();
+                    }
+                }
+            }
+        }
     }
 
     /// Marks the start of a new timing phase, returning the previous
@@ -990,17 +1083,19 @@ impl Cloud4Home {
         let elapsed = now
             .checked_duration_since(op.phase_started)
             .unwrap_or_default();
-        if !elapsed.is_zero() && self.telemetry.enabled() {
+        if !elapsed.is_zero() && (self.telemetry.enabled() || self.ledger.enabled()) {
             let name = stage_name(&op.stage);
-            self.telemetry.span(
-                "stage",
-                name,
-                op.id.0,
-                op.phase_started.as_nanos(),
-                now.as_nanos(),
-            );
-            self.telemetry
-                .observe(format!("phase.{name}_ns"), elapsed.as_nanos() as u64);
+            if self.telemetry.enabled() {
+                self.telemetry.span(
+                    "stage",
+                    name,
+                    op.id.0,
+                    op.phase_started.as_nanos(),
+                    now.as_nanos(),
+                );
+                self.telemetry
+                    .observe(format!("phase.{name}_ns"), elapsed.as_nanos() as u64);
+            }
             op.stage_log
                 .push((name, op.phase_started.as_nanos(), now.as_nanos()));
         }
@@ -1050,7 +1145,16 @@ impl Cloud4Home {
                             ("retries", ArgValue::from(u64::from(op.retries))),
                         ],
                     );
+                    // Retries chain retry-to-retry: the first is a root,
+                    // each subsequent one links to its predecessor.
+                    let cause = std::mem::take(&mut op.ledger_cause);
+                    op.ledger_cause =
+                        self.ledger_op(op.id, CauseKind::DhtRetry, cause, u64::from(op.retries), 0);
                     return None;
+                }
+                if !budgeted {
+                    let cause = std::mem::take(&mut op.ledger_cause);
+                    self.ledger_op(op.id, CauseKind::RetryDenied, cause, 1, 0);
                 }
                 if !budgeted
                     && !matches!(
@@ -1683,7 +1787,7 @@ impl Cloud4Home {
             }
             PlacementClass::HomePeer => self.store_query_peers(op),
             PlacementClass::RemoteCloud => {
-                if self.cloud.is_some() && !self.breaker_blocks_path(CLOUD_ADDR) {
+                if self.cloud.is_some() && !self.breaker_blocks_path(CLOUD_ADDR, op.id) {
                     self.store_go_cloud(op)
                 } else {
                     // No cloud, or its uplink breaker is open: fall back to
@@ -1745,7 +1849,7 @@ impl Cloud4Home {
     fn store_spill_or_fail(&mut self, op: &mut Op) -> StepOutcome {
         if op.store_policy.may_spill_to_cloud()
             && self.cloud.is_some()
-            && !self.breaker_blocks_path(CLOUD_ADDR)
+            && !self.breaker_blocks_path(CLOUD_ADDR, op.id)
         {
             self.store_go_cloud(op)
         } else {
@@ -1911,6 +2015,7 @@ impl Cloud4Home {
     /// `at_quorum`, replica work still in flight detaches first.
     fn store_publish_meta(&mut self, op: &mut Op, at_quorum: bool) -> StepOutcome {
         if at_quorum {
+            let detached = op.replica_flows.len() as u64;
             self.detach_fanout(op);
             self.stats.quorum_publishes += 1;
             self.telemetry.instant_args(
@@ -1922,6 +2027,13 @@ impl Cloud4Home {
                     ("object", ArgValue::from(op.name.as_str())),
                     ("copies", ArgValue::from(1 + op.replicas_done.len() as u64)),
                 ],
+            );
+            self.ledger_op(
+                op.id,
+                CauseKind::QuorumDetach,
+                LEDGER_NONE,
+                1 + op.replicas_done.len() as u64,
+                detached,
             );
         }
         {
@@ -2170,7 +2282,7 @@ impl Cloud4Home {
                 // An open cloud-uplink breaker fails the fetch fast; the
                 // half-open probe after cooldown is the first op allowed
                 // through again.
-                if self.breaker_blocks_path(CLOUD_ADDR) {
+                if self.breaker_blocks_path(CLOUD_ADDR, op.id) {
                     return Some(Err(OpError::OwnerUnreachable(op.name.to_string())));
                 }
                 let Some(url) = S3Url::parse(url) else {
@@ -2237,7 +2349,7 @@ impl Cloud4Home {
                 && self.node_reachable(op.client, j)
                 && self.nodes[j].objects.contains_key(&op.name);
             let addr = self.nodes[j].addr;
-            if !servable || (j != op.client && self.breaker_blocks_path(addr)) {
+            if !servable || (j != op.client && self.breaker_blocks_path(addr, op.id)) {
                 // A holder that cannot serve us counts as a failover even on
                 // the first routing pass (e.g. the primary died before the
                 // fetch started and we go straight to a replica).
@@ -2297,6 +2409,8 @@ impl Cloud4Home {
             // budget: under overload the budget drains and the op fails
             // promptly instead of amplifying load until its deadline.
             if !self.retry_budget_take(op.client, "fetch", op.name) {
+                let cause = std::mem::take(&mut op.ledger_cause);
+                self.ledger_op(op.id, CauseKind::RetryDenied, cause, 2, 0);
                 return Some(Err(OpError::Timeout(op.name.to_string())));
             }
             let wait = op
@@ -2305,6 +2419,16 @@ impl Cloud4Home {
                 .min(remaining)
                 .max(Duration::from_millis(1));
             op.backoff = op.backoff.saturating_mul(2).min(MAX_FETCH_BACKOFF);
+            // The backoff chains to the failure (or previous backoff) that
+            // induced it; the wait it chose is the event's payload.
+            let cause = std::mem::take(&mut op.ledger_cause);
+            op.ledger_cause = self.ledger_op(
+                op.id,
+                CauseKind::Backoff,
+                cause,
+                wait.as_nanos() as u64,
+                u64::from(op.failovers),
+            );
             self.phase(op);
             op.stage = Stage::FetchRetry;
             self.wake_in(op.id, wait);
@@ -2374,6 +2498,10 @@ impl Cloud4Home {
         self.telemetry.add("fetch.rank.events", 1);
         let demoted = candidates.iter().filter(|&&j| !viable(self, j)).count();
         self.telemetry.add("fetch.rank.demotions", demoted as u64);
+        if demoted > 0 {
+            let cause = std::mem::take(&mut op.ledger_cause);
+            self.ledger_op(op.id, CauseKind::RankDemote, cause, demoted as u64, 0);
+        }
     }
 
     /// Splits the fetch into contiguous stripes pulled concurrently from
@@ -2585,6 +2713,17 @@ impl Cloud4Home {
         for t in stale {
             op.stripe_requests.remove(&t);
         }
+        // A resolved hedge race cancels the losing copy; the cancellation
+        // links back to the launch that started the race.
+        if let Some(launch) = op.hedge_launches.remove(&flight.stripe) {
+            self.ledger_op(
+                op.id,
+                CauseKind::HedgeCancel,
+                launch,
+                u64::from(flight.stripe),
+                0,
+            );
+        }
         if op.stripes_done >= op.stripes_total {
             debug_assert!(op.stripe_flows.is_empty() && op.stripe_requests.is_empty());
             return self.stripe_finish(op);
@@ -2716,6 +2855,16 @@ impl Cloud4Home {
             .observe("fetch.hedge.eta_us", (slowest_eta * 1e6) as u64);
         self.telemetry
             .observe("fetch.hedge.est_us", (est * 1e6) as u64);
+        let seq = self.ledger_op(
+            op.id,
+            CauseKind::HedgeLaunch,
+            LEDGER_NONE,
+            u64::from(flight.stripe),
+            idle as u64,
+        );
+        if seq != LEDGER_NONE {
+            op.hedge_launches.insert(flight.stripe, seq);
+        }
         self.stripe_issue_request(op, flight.stripe, idle, flight.offset, flight.bytes, true);
     }
 
@@ -2806,6 +2955,14 @@ impl Cloud4Home {
                         ("via", ArgValue::from(self.nodes[holder].name.as_str())),
                         ("why", ArgValue::from(why)),
                     ],
+                );
+                let cause = std::mem::take(&mut op.ledger_cause);
+                self.ledger_op(
+                    op.id,
+                    CauseKind::StripeReassign,
+                    cause,
+                    u64::from(stripe),
+                    holder as u64,
                 );
                 self.stripe_issue_request(op, stripe, holder, offset, bytes, false);
                 None

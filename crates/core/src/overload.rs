@@ -264,6 +264,17 @@ pub(crate) enum AdmitDecision {
     Shed(&'static str),
 }
 
+/// The stable numeric code of a shed reason, for compact causal-ledger
+/// events (`0` = unknown).
+pub(crate) fn shed_reason_code(reason: &str) -> u64 {
+    match reason {
+        "tenant_cap" => 1,
+        "slo" => 2,
+        "rate" => 3,
+        _ => 0,
+    }
+}
+
 /// The runtime's aggregate overload state. All entry points are no-ops (or
 /// unconditional allows) while `enabled` is false.
 #[derive(Debug)]
@@ -354,6 +365,13 @@ impl OverloadPlane {
         *self.tenant_inflight.entry(tenant).or_insert(0) += 1;
         self.total_inflight += 1;
         AdmitDecision::Admitted
+    }
+
+    /// Whole admission tokens currently available, one row per op kind
+    /// that has been rate-checked at least once. Sorted by kind (the map
+    /// is a `BTreeMap`), so introspection output is deterministic.
+    pub(crate) fn admit_token_rows(&self) -> Vec<(&'static str, u64)> {
+        self.admit.iter().map(|(k, b)| (*k, b.tokens())).collect()
     }
 
     /// Marks an admitted op complete, releasing its tenant slot.

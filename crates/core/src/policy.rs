@@ -98,6 +98,18 @@ pub enum AdaptiveAction {
     Erasure,
 }
 
+impl AdaptiveAction {
+    /// A stable short label for metrics and causal-ledger annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdaptiveAction::Hold => "hold",
+            AdaptiveAction::Grow => "grow",
+            AdaptiveAction::Shrink => "shrink",
+            AdaptiveAction::Erasure => "erasure",
+        }
+    }
+}
+
 /// Derives the adaptive action for one fully-replicated object from its
 /// decayed fetch heat, current copy count, and size. Pure, so the band
 /// semantics are testable without a runtime: one step per pass (grow and

@@ -204,6 +204,38 @@ impl From<CriticalPath> for PathAttribution {
     }
 }
 
+/// One causal-ledger decision event attached to a completed report: a
+/// serialization-friendly copy of `c4h_telemetry::LedgerEvent` with the
+/// kind resolved to its stable label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalEvent {
+    /// Sequence number within the op's ring (1-based; 0 never occurs).
+    pub seq: u32,
+    /// `seq` of the inducing event, or 0 for a root decision.
+    pub cause: u32,
+    /// Virtual-time instant of the decision, nanoseconds.
+    pub ts_ns: u64,
+    /// Stable kind label (`"backoff.wait"`, `"hedge.launch"`, …).
+    pub kind: String,
+    /// Kind-specific detail.
+    pub a: u64,
+    /// Kind-specific detail.
+    pub b: u64,
+}
+
+impl From<c4h_telemetry::LedgerEvent> for CausalEvent {
+    fn from(e: c4h_telemetry::LedgerEvent) -> Self {
+        CausalEvent {
+            seq: e.seq,
+            cause: e.cause,
+            ts_ns: e.ts_ns,
+            kind: e.kind.label().to_owned(),
+            a: e.a,
+            b: e.b,
+        }
+    }
+}
+
 /// The completed record of one operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpReport {
@@ -235,6 +267,16 @@ pub struct OpReport {
     /// timings are only collected while the recorder is on).
     #[serde(default)]
     pub critical_path: PathAttribution,
+    /// The op's completed stage spans as `(name, start_ns, end_ns)`,
+    /// sequential and non-overlapping. Populated only while the causal
+    /// ledger is enabled (the explain plane's DAG tiles these against the
+    /// op window); empty otherwise.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub stages: Vec<(String, u64, u64)>,
+    /// The op's causal-ledger decision events, in `seq` order. Populated
+    /// only while the causal ledger is enabled; empty otherwise.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub ledger: Vec<CausalEvent>,
     /// Success output or failure.
     pub outcome: Result<OpOutput, OpError>,
 }
@@ -288,6 +330,8 @@ mod tests {
             failovers: 0,
             partial_replication: 0,
             critical_path: PathAttribution::default(),
+            stages: Vec::new(),
+            ledger: Vec::new(),
             outcome: Ok(OpOutput {
                 bytes: 10,
                 via_cloud: false,
@@ -315,6 +359,8 @@ mod tests {
             failovers: 1,
             partial_replication: 0,
             critical_path: PathAttribution::default(),
+            stages: Vec::new(),
+            ledger: Vec::new(),
             outcome: Err(OpError::NotFound("ghost".into())),
         };
         r.expect_ok();

@@ -12,7 +12,7 @@
 //! [`OpReport`](crate::report::OpReport) carrying the Table-I-style cost
 //! breakdown.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,7 +30,7 @@ use c4h_simnet::{
     presets, Addr, ChunkSpec, DetRng, EventQueue, FlowEvent, FlowId, FlowNet, FxHashMap,
     GilbertElliott, Partition, SimTime, Sym, SymMap,
 };
-use c4h_telemetry::{ArgValue, Recorder, SpanId};
+use c4h_telemetry::{ArgValue, CauseKind, LedgerEvent, OpLedger, Recorder, SpanId, LEDGER_NONE};
 use c4h_vmm::{DiskModel, DomId, GrantTable, Machine, VmSpec, XenChannel};
 
 use crate::adaptive::{ObjectHeat, PeerBandwidth};
@@ -46,6 +46,10 @@ use crate::report::{OpId, OpReport};
 
 /// Address offset of the cloud site endpoint.
 pub(crate) const CLOUD_ADDR: Addr = Addr::new(10_000);
+
+/// Ledger ring key of the background plane (breaker trips, repair
+/// triggers, adaptive actions) — decisions with no single owning op.
+pub(crate) const BACKGROUND_RING: u64 = u64::MAX;
 
 /// Tick period driving overlay timers and resource publishing.
 const TICK_PERIOD: Duration = Duration::from_millis(500);
@@ -417,6 +421,15 @@ pub struct Cloud4Home {
     /// breakers (see [`crate::overload`]). Inert unless
     /// `config.overload.enabled`.
     pub(crate) overload: OverloadPlane,
+    /// The causal op ledger: bounded per-op decision rings feeding the
+    /// explain plane (see [`c4h_telemetry::OpLedger`]). `BACKGROUND_RING`
+    /// keys the shared background-plane ring. Inert (one relaxed atomic
+    /// load per decision point) unless enabled.
+    pub(crate) ledger: OpLedger,
+    /// Completed op ids still holding full explain detail (stage spans +
+    /// causal chain); bounded by `config.explain_ring` — past capacity the
+    /// oldest report's detail is released.
+    pub(crate) explain_ring: VecDeque<OpId>,
     tick_armed: bool,
     tick_horizon: SimTime,
 }
@@ -589,6 +602,8 @@ impl Cloud4Home {
             telemetry,
             health: HealthPlane::new(&config),
             overload: OverloadPlane::new(&config),
+            ledger: OpLedger::new(config.ledger_ring),
+            explain_ring: VecDeque::new(),
             tick_armed: false,
             tick_horizon: SimTime::ZERO,
             config,
@@ -597,6 +612,7 @@ impl Cloud4Home {
         // Recording starts after warm-up so traces cover only submitted
         // work, and identically so for every run of the same seed.
         home.telemetry.set_enabled(home.config.tracing);
+        home.ledger.set_enabled(home.config.ledger);
         home.ensure_health();
         home
     }
@@ -974,6 +990,118 @@ impl Cloud4Home {
         out
     }
 
+    /// Turns the causal op ledger on or off at runtime. While off, every
+    /// decision point costs one relaxed atomic load and no per-op causal
+    /// state is retained, so default-config runs stay byte-identical.
+    /// Engine-introspection gauges ride the health sampler's cadence and
+    /// only appear while the ledger is on.
+    pub fn set_ledger(&mut self, on: bool) {
+        self.ledger.set_enabled(on);
+    }
+
+    /// Whether the causal op ledger is currently recording.
+    pub fn ledger_enabled(&self) -> bool {
+        self.ledger.enabled()
+    }
+
+    /// Renders a completed op's annotated critical-path timeline: each DAG
+    /// edge with its offset, duration, and latency bucket, the causal
+    /// decisions that fell inside it, the full ledger chain, and the
+    /// exact-sum invariant restated with real numbers. Integer-only
+    /// formatting, deterministic per seed. Reports completed with the
+    /// ledger off render a one-line fallback.
+    pub fn explain_text(&self, op: OpId) -> String {
+        match self.reports.get(&op) {
+            Some(report) => crate::explain::explain_text(report),
+            None => format!("no completed report for {op}\n"),
+        }
+    }
+
+    /// Serializes a completed op's critical-path DAG and causal ledger as
+    /// a byte-stable JSON object, or `None` when no report exists for
+    /// `op`. Deterministic for a given seed and workload.
+    pub fn explain_json(&self, op: OpId) -> Option<String> {
+        self.reports.get(&op).map(crate::explain::explain_json)
+    }
+
+    /// One summary line for each of the `n` slowest recently completed
+    /// operations (the health plane's sliding window), with the dominant
+    /// critical-path edge when the op completed under the ledger.
+    /// Integer-only formatting, deterministic per seed.
+    pub fn slowest_text(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "slowest @ {} ms\n",
+            self.now().as_nanos() / 1_000_000
+        ));
+        let worst = self.health.worst_paths(n);
+        if worst.is_empty() {
+            out.push_str("no completed operations in the window\n");
+            return out;
+        }
+        for row in worst {
+            match self.reports.get(&row.op) {
+                Some(report) => {
+                    out.push_str(&crate::explain::summary_line(report));
+                    out.push('\n');
+                }
+                None => out.push_str(&format!(
+                    "{} {} object={} latency={}ns (report evicted)\n",
+                    row.op, row.kind, row.object, row.total_ns,
+                )),
+            }
+        }
+        out
+    }
+
+    /// Summary lines for completed ops of `kind` whose latency reached the
+    /// p99.9 of that kind's full-run histogram — the tail the SLO plane
+    /// cares about. Scans completed reports in (latency desc, op id)
+    /// order, capped at eight rows. Integer-only, deterministic per seed.
+    pub fn outliers_text(&self, kind: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "outliers op.{kind} @ {} ms\n",
+            self.now().as_nanos() / 1_000_000
+        ));
+        let snap = self.telemetry.snapshot();
+        let Some(h) = snap.histograms.get(&format!("op.{kind}.total_ns")) else {
+            out.push_str("no latency histogram for this kind (tracing off or no ops)\n");
+            return out;
+        };
+        let p999 = h.value_at_quantile(999, 1000);
+        out.push_str(&format!("n={} p99.9={}ns\n", h.count, p999));
+        let mut picks: Vec<(u64, u64, OpId)> = self
+            .reports
+            .iter()
+            .filter(|(_, r)| r.kind == kind)
+            .map(|(id, r)| {
+                let lat = r.completed.as_nanos() - r.submitted.as_nanos();
+                (lat, id.0, *id)
+            })
+            .filter(|(lat, _, _)| *lat >= p999)
+            .collect();
+        picks.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        picks.truncate(8);
+        if picks.is_empty() {
+            out.push_str("no retained reports at or above the threshold\n");
+        }
+        for (_, _, id) in picks {
+            if let Some(report) = self.reports.get(&id) {
+                out.push_str(&crate::explain::summary_line(report));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The background plane's causal events — breaker trips, repair
+    /// triggers, adaptive placement actions — in record order (bounded by
+    /// the configured ring size). Empty while the ledger is off.
+    pub fn background_ledger(&self) -> &[LedgerEvent] {
+        self.ledger.chain(BACKGROUND_RING)
+    }
+
     /// Mirrors [`RunStats`] into the metrics registry so dumps carry the
     /// runtime aggregates alongside subsystem counters.
     fn sync_stats_counters(&self) {
@@ -1011,6 +1139,39 @@ impl Cloud4Home {
         ] {
             self.telemetry.set_counter(name, v);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Causal-ledger hooks (one relaxed atomic load while disabled)
+    // ------------------------------------------------------------------
+
+    /// Records one causal decision event on an op's ledger ring. Returns
+    /// the event's seq for chaining, or `LEDGER_NONE` while the ledger is
+    /// disabled (in which case nothing is recorded).
+    pub(crate) fn ledger_op(
+        &mut self,
+        op: OpId,
+        kind: CauseKind,
+        cause: u32,
+        a: u64,
+        b: u64,
+    ) -> u32 {
+        if !self.ledger.enabled() {
+            return LEDGER_NONE;
+        }
+        let ts = self.now().as_nanos();
+        self.ledger.record(op.0, kind, cause, ts, a, b)
+    }
+
+    /// Records one background-plane causal event (breaker trips, repair
+    /// triggers, adaptive actions) on the shared background ring.
+    pub(crate) fn ledger_bg(&mut self, kind: CauseKind, a: u64, b: u64) {
+        if !self.ledger.enabled() {
+            return;
+        }
+        let ts = self.now().as_nanos();
+        self.ledger
+            .record(BACKGROUND_RING, kind, LEDGER_NONE, ts, a, b);
     }
 
     // ------------------------------------------------------------------
@@ -1059,6 +1220,7 @@ impl Cloud4Home {
         let now_ns = self.now().as_nanos();
         if self.overload.record_failure(addr.raw(), now_ns) {
             self.stats.breaker_trips += 1;
+            self.ledger_bg(CauseKind::BreakerTrip, addr.raw(), 0);
             let path = self.path_name(addr);
             self.telemetry.add("breaker.trip", 1);
             self.telemetry.instant_args(
@@ -1071,10 +1233,11 @@ impl Cloud4Home {
         }
     }
 
-    /// Whether `addr`'s breaker currently blocks traffic. Counts and traces
-    /// the fast-fail when it does; may move an open breaker to half-open
-    /// (the deterministic probe path).
-    pub(crate) fn breaker_blocks_path(&mut self, addr: Addr) -> bool {
+    /// Whether `addr`'s breaker currently blocks traffic for `op`. Counts
+    /// and traces the fast-fail when it does (and stamps a `breaker.skip`
+    /// event on the op's causal ledger); may move an open breaker to
+    /// half-open (the deterministic probe path).
+    pub(crate) fn breaker_blocks_path(&mut self, addr: Addr, op: OpId) -> bool {
         if !self.overload.enabled {
             return false;
         }
@@ -1083,6 +1246,7 @@ impl Cloud4Home {
             return false;
         }
         self.stats.breaker_fast_fails += 1;
+        self.ledger_op(op, CauseKind::BreakerSkip, LEDGER_NONE, addr.raw(), 0);
         let path = self.path_name(addr);
         self.telemetry.add("breaker.fast_fail", 1);
         self.telemetry.instant_args(
@@ -1907,6 +2071,55 @@ impl Cloud4Home {
                 self.overload.inflight() as i64,
             ));
         }
+        if self.ledger.enabled() {
+            // Engine introspection rides the same cadence but only when the
+            // causal ledger is on, so default-config gauge output (and with
+            // it the golden corpus) stays byte-identical.
+            let qs = self.queue.stats();
+            row.push(("engine.wheel.len".to_owned(), qs.len as i64));
+            row.push(("engine.wheel.ready".to_owned(), qs.ready as i64));
+            row.push(("engine.wheel.cascades".to_owned(), qs.cascades as i64));
+            row.push((
+                "engine.wheel.cascaded_slots".to_owned(),
+                qs.cascaded_slots as i64,
+            ));
+            for (lvl, occ) in qs.level_occupancy.iter().enumerate() {
+                row.push((format!("engine.wheel.l{lvl}_occupied"), i64::from(*occ)));
+            }
+            row.push(("engine.slab.cells".to_owned(), qs.slab_cells as i64));
+            row.push(("engine.slab.free".to_owned(), qs.free_cells as i64));
+            row.push(("engine.spare.buckets".to_owned(), qs.spare_buckets as i64));
+            row.push(("engine.spare.capacity".to_owned(), qs.spare_capacity as i64));
+            row.push((
+                "engine.intern.count".to_owned(),
+                Sym::interned_count() as i64,
+            ));
+            let fc = self.net.counters();
+            row.push(("engine.flows.started".to_owned(), fc.started as i64));
+            row.push(("engine.flows.completed".to_owned(), fc.completed as i64));
+            row.push(("engine.flows.canceled".to_owned(), fc.canceled as i64));
+            row.push((
+                "engine.flows.inflight".to_owned(),
+                self.net.in_flight() as i64,
+            ));
+            row.push((
+                "engine.ledger.rings".to_owned(),
+                self.ledger.rings_live() as i64,
+            ));
+            row.push((
+                "engine.ledger.recorded".to_owned(),
+                self.ledger.recorded() as i64,
+            ));
+            row.push((
+                "engine.ledger.dropped".to_owned(),
+                self.ledger.dropped() as i64,
+            ));
+            if self.overload.enabled {
+                for (kind, tokens) in self.overload.admit_token_rows() {
+                    row.push((format!("overload.admit_tokens.{kind}"), tokens as i64));
+                }
+            }
+        }
         row.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, value) in &row {
             self.telemetry.gauge(name.clone(), ts, *value);
@@ -2285,7 +2498,9 @@ impl Cloud4Home {
         let Some(dst) = dst else {
             return;
         };
-        self.start_replica_flow(name, src, dst, size);
+        if self.start_replica_flow(name, src, dst, size) {
+            self.ledger_bg(CauseKind::RepairTrigger, u64::from(name.id()), 0);
+        }
     }
 
     /// Starts one full-copy replica transfer `src` → `dst` for `name`,
@@ -2594,7 +2809,18 @@ impl Cloud4Home {
             return;
         }
         let rate = self.object_heat.rate_per_min(name, self.now().as_nanos());
-        match adaptive_action(rate, holders.len(), size, &self.config.adaptive) {
+        let action = adaptive_action(rate, holders.len(), size, &self.config.adaptive);
+        if self.ledger.enabled() && action != AdaptiveAction::Hold {
+            let kind = match action {
+                AdaptiveAction::Grow => CauseKind::AdaptiveGrow,
+                AdaptiveAction::Shrink => CauseKind::AdaptiveShrink,
+                _ => CauseKind::AdaptiveEncode,
+            };
+            self.ledger_bg(kind, u64::from(name.id()), holders.len() as u64);
+            self.telemetry
+                .add(format!("adaptive.action.{}", action.label()), 1);
+        }
+        match action {
             AdaptiveAction::Grow => self.adaptive_grow(name, &holders, size),
             AdaptiveAction::Shrink => self.adaptive_shrink(name, &holders),
             AdaptiveAction::Erasure => self.ec_begin_convert(name),

@@ -282,6 +282,20 @@ pub struct FlowNet {
     alloc_dirty: bool,
     recorder: Option<Recorder>,
     spans: BTreeMap<FlowId, SpanId>,
+    counters: FlowCounters,
+}
+
+/// Cumulative logical-transfer counts, maintained whether or not a
+/// telemetry recorder is attached — the engine-introspection view of the
+/// flow network (a chunked transfer counts once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowCounters {
+    /// Transfers started.
+    pub started: u64,
+    /// Transfers that delivered every byte.
+    pub completed: u64,
+    /// Transfers canceled in flight.
+    pub canceled: u64,
 }
 
 impl FlowNet {
@@ -296,6 +310,7 @@ impl FlowNet {
             alloc_dirty: false,
             recorder: None,
             spans: BTreeMap::new(),
+            counters: FlowCounters::default(),
         }
     }
 
@@ -338,6 +353,11 @@ impl FlowNet {
     /// Credits a finished or canceled flow's delivered bytes to the
     /// per-segment byte counters and closes its span.
     fn retire_flow_telemetry(&mut self, id: FlowId, sent: u64, path: &[SegmentId], done: bool) {
+        if done {
+            self.counters.completed += 1;
+        } else {
+            self.counters.canceled += 1;
+        }
         let span = self.spans.remove(&id);
         let Some(rec) = &self.recorder else { return };
         for seg in path {
@@ -386,6 +406,12 @@ impl FlowNet {
     /// counts once, however many chunk flows it has live).
     pub fn in_flight(&self) -> usize {
         self.flows.values().filter(|f| f.parent.is_none()).count() + self.transfers.len()
+    }
+
+    /// Cumulative started/completed/canceled logical-transfer counts (kept
+    /// with or without a recorder attached).
+    pub fn counters(&self) -> FlowCounters {
+        self.counters
     }
 
     /// Current load on every topology segment, in segment-id order.
@@ -492,6 +518,7 @@ impl FlowNet {
         };
         self.flows.insert(id, flow);
         self.alloc_dirty = true;
+        self.counters.started += 1;
         if let Some(rec) = &self.recorder {
             rec.add("net.flows_started", 1);
             let span = rec.begin_args(
@@ -571,6 +598,7 @@ impl FlowNet {
             live: Vec::new(),
             delivered: 0,
         };
+        self.counters.started += 1;
         if let Some(rec) = &self.recorder {
             rec.add("net.flows_started", 1);
             let span = rec.begin_args(

@@ -67,11 +67,12 @@ mod topology;
 
 pub use fault::{GilbertElliott, Partition};
 pub use flow::{
-    ChunkSpec, FlowEvent, FlowId, FlowNet, FlowProgress, NetError, SegmentLoad, NET_TRACK_BASE,
+    ChunkSpec, FlowCounters, FlowEvent, FlowId, FlowNet, FlowProgress, NetError, SegmentLoad,
+    NET_TRACK_BASE,
 };
 pub use hash::{FxHashMap, FxHashSet};
 pub use intern::{Interner, Sym, SymMap, SymSet};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats, LEVELS as WHEEL_LEVELS};
 pub use rng::DetRng;
 pub use tcp::{mbps, mib, SustainedCap, TcpProfile};
 pub use time::{duration_from_secs_f64, SimTime};

@@ -65,7 +65,8 @@ const SLOT_BITS: usize = 6;
 /// Slots per level (`2^SLOT_BITS`).
 const SLOTS: usize = 1 << SLOT_BITS;
 /// Levels needed to cover all 64 timestamp bits (`ceil(64 / 6)`).
-const LEVELS: usize = 11;
+/// Public so introspection consumers can size per-level views.
+pub const LEVELS: usize = 11;
 
 /// A pending wheel slot: the scheduled instant (nanoseconds), the
 /// insertion sequence number breaking same-instant ties, and the payload's
@@ -157,6 +158,35 @@ pub struct EventQueue<E> {
     now: u64,
     len: usize,
     next_seq: u64,
+    /// Coarse-bucket cascades performed by `pop` since creation.
+    cascades: u64,
+    /// Total slots re-placed by those cascades.
+    cascaded_slots: u64,
+}
+
+/// A point-in-time view of an [`EventQueue`]'s internals, for the engine
+/// introspection surface. Pure observation: taking one never mutates the
+/// queue, draws no randomness, and costs a handful of popcounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Pending events.
+    pub len: usize,
+    /// Events drained into the same-instant ready run, not yet popped.
+    pub ready: usize,
+    /// Coarse-bucket cascades performed since creation.
+    pub cascades: u64,
+    /// Total slots re-placed by those cascades.
+    pub cascaded_slots: u64,
+    /// Occupied slots per wheel level (popcount of each occupancy bitmap).
+    pub level_occupancy: [u32; LEVELS],
+    /// Payload slab cells allocated (live + free).
+    pub slab_cells: usize,
+    /// Slab cells on the free list.
+    pub free_cells: usize,
+    /// Bucket allocations parked in the spare pool.
+    pub spare_buckets: usize,
+    /// Total slot capacity of the spare pool.
+    pub spare_capacity: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -192,6 +222,8 @@ impl<E> EventQueue<E> {
             now: 0,
             len: 0,
             next_seq: 0,
+            cascades: 0,
+            cascaded_slots: 0,
         }
     }
 
@@ -208,6 +240,25 @@ impl<E> EventQueue<E> {
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Snapshots the wheel's internals (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        let mut level_occupancy = [0u32; LEVELS];
+        for (l, bits) in self.occupied.iter().enumerate() {
+            level_occupancy[l] = bits.count_ones();
+        }
+        QueueStats {
+            len: self.len,
+            ready: self.ready.len(),
+            cascades: self.cascades,
+            cascaded_slots: self.cascaded_slots,
+            level_occupancy,
+            slab_cells: self.slab.len(),
+            free_cells: self.free.len(),
+            spare_buckets: self.spare.len(),
+            spare_capacity: self.spare.iter().map(Vec::capacity).sum(),
+        }
     }
 
     /// Schedules `payload` at the absolute instant `at`.
@@ -295,6 +346,8 @@ impl<E> EventQueue<E> {
                 // emptied allocation straight back to its bucket.
                 self.buckets[idx].entries = drained;
             } else {
+                self.cascades += 1;
+                self.cascaded_slots += drained.len() as u64;
                 for s in drained.drain(..) {
                     self.insert(s);
                 }
@@ -856,6 +909,36 @@ mod tests {
         q.schedule_at(t, 2);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![0, 1, 2], "seq order must survive cascades");
+    }
+
+    /// `stats()` observes cascades, occupancy, and slab population without
+    /// perturbing the queue.
+    #[test]
+    fn stats_observe_without_mutating() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats().cascades, 0);
+        for i in 0..100u64 {
+            q.schedule_at(SimTime::from_millis(1 + i * 7), i);
+        }
+        let s = q.stats();
+        assert_eq!(s.len, 100);
+        assert_eq!(s.slab_cells, 100);
+        assert!(s.level_occupancy.iter().map(|&n| n as u64).sum::<u64>() > 0);
+        let before = q.peek_time();
+        assert_eq!(q.peek_time(), before, "stats took no events");
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        let s = q.stats();
+        assert_eq!(popped, 100);
+        assert_eq!(s.len, 0);
+        assert!(
+            s.cascades > 0,
+            "multi-millisecond spread must cascade coarse buckets"
+        );
+        assert!(s.cascaded_slots >= s.cascades);
+        assert_eq!(s.free_cells, 100, "all payload cells returned to free");
     }
 
     /// Far-future events (including the `SimTime::MAX` sentinel) park in

@@ -170,7 +170,13 @@ pub(crate) fn prometheus_text(inner: &Inner) -> String {
         prom_name_into(&mut out, name);
         out.push_str(" counter\n");
         prom_name_into(&mut out, name);
-        let _ = writeln!(out, " {value}");
+        let _ = write!(out, " {value}");
+        if let Some(label) = inner.exemplars.get(name) {
+            out.push_str(" # {ledger=\"");
+            escape_into(&mut out, label);
+            out.push_str("\"}");
+        }
+        out.push('\n');
     }
     for (name, series) in &inner.series {
         let Some((_, value)) = series.last() else {
@@ -305,6 +311,20 @@ mod tests {
         assert!(text.contains("c4h_op_fetch_total_us_bucket{le=\"+Inf\"} 1\n"));
         assert!(text.contains("c4h_op_fetch_total_us_sum 2222\n"));
         assert!(text.contains("c4h_op_fetch_total_us_count 1\n"));
+    }
+
+    #[test]
+    fn counter_exemplars_render_openmetrics_style() {
+        let rec = sample();
+        rec.set_exemplar("op.fetch.ok", "op7#3".into());
+        rec.set_exemplar("op.fetch.ok", "op9#1".into()); // latest wins
+        rec.set_exemplar("absent.counter", "op1#1".into()); // no such counter
+        let text = rec.prometheus_text();
+        assert!(text.contains("c4h_op_fetch_ok 1 # {ledger=\"op9#1\"}\n"));
+        assert!(!text.contains("op7#3"));
+        assert!(!text.contains("absent"));
+        // Without exemplars the exposition is unchanged.
+        assert!(sample().prometheus_text().contains("c4h_op_fetch_ok 1\n"));
     }
 
     #[test]

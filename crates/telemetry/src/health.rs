@@ -190,6 +190,11 @@ impl CriticalPath {
 /// without replaying the run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Postmortem {
+    /// Deterministic dump id, `pm-<ts_ns>-<seq>`. The per-instant `seq`
+    /// disambiguates dumps cut in the same virtual instant (a burst of
+    /// timeouts at one deadline), which would otherwise collide on a
+    /// timestamp-only id.
+    pub id: String,
     /// Virtual time the failure was recorded.
     pub ts_ns: TimeNs,
     /// Failing operation's id.
@@ -216,9 +221,11 @@ impl Postmortem {
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(512);
+        out.push_str("{\"id\":\"");
+        crate::export::escape_into(&mut out, &self.id);
         let _ = write!(
             out,
-            "{{\"ts_ns\":{},\"op\":{},\"kind\":\"",
+            "\",\"ts_ns\":{},\"op\":{},\"kind\":\"",
             self.ts_ns, self.op_id
         );
         crate::export::escape_into(&mut out, &self.kind);
@@ -285,6 +292,8 @@ pub struct FlightRecorder {
     gauges: VecDeque<(TimeNs, Vec<(String, i64)>)>,
     dumps: Vec<Postmortem>,
     dropped: u64,
+    /// `(ts, next seq)` for per-instant dump-id disambiguation.
+    id_cursor: (TimeNs, u32),
 }
 
 impl FlightRecorder {
@@ -299,6 +308,7 @@ impl FlightRecorder {
             gauges: VecDeque::new(),
             dumps: Vec::new(),
             dropped: 0,
+            id_cursor: (0, 0),
         }
     }
 
@@ -335,7 +345,14 @@ impl FlightRecorder {
             self.dropped += 1;
             return;
         }
+        let seq = if self.id_cursor.0 == ts_ns {
+            self.id_cursor.1
+        } else {
+            0
+        };
+        self.id_cursor = (ts_ns, seq + 1);
         self.dumps.push(Postmortem {
+            id: format!("pm-{ts_ns}-{seq}"),
             ts_ns,
             op_id,
             kind: kind.to_owned(),
@@ -435,12 +452,30 @@ mod tests {
         assert_eq!(d.gauges.len(), 2);
         let json = fr.dumps_json();
         assert!(json.contains("\"error\":\"Timeout\""));
-        assert!(json.starts_with("[\n{\"ts_ns\":9"));
+        assert!(json.starts_with("[\n{\"id\":\"pm-9-0\",\"ts_ns\":9"));
+    }
+
+    #[test]
+    fn same_instant_dumps_get_distinct_ids() {
+        // Regression: two ops timing out at the same virtual instant used
+        // to collide on a timestamp-only post-mortem id.
+        let mut fr = FlightRecorder::new(2, 2, 8);
+        fr.record(100, 1, "fetch", "a", "Timeout", 0, vec![]);
+        fr.record(100, 2, "fetch", "b", "Timeout", 0, vec![]);
+        fr.record(100, 3, "store", "c", "Timeout", 0, vec![]);
+        fr.record(250, 4, "fetch", "d", "Timeout", 0, vec![]);
+        let ids: Vec<&str> = fr.dumps().iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids, vec!["pm-100-0", "pm-100-1", "pm-100-2", "pm-250-0"]);
+        let mut uniq = ids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids.len(), "post-mortem ids must be unique");
     }
 
     #[test]
     fn postmortem_json_is_reproducible() {
         let d = Postmortem {
+            id: "pm-5-0".into(),
             ts_ns: 5,
             op_id: 3,
             kind: "store".into(),

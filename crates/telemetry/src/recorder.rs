@@ -334,6 +334,7 @@ pub(crate) struct Inner {
     pub(crate) counters: BTreeMap<Cow<'static, str>, u64>,
     pub(crate) hists: BTreeMap<Cow<'static, str>, Histogram>,
     pub(crate) series: BTreeMap<Cow<'static, str>, GaugeSeries>,
+    pub(crate) exemplars: BTreeMap<Cow<'static, str>, String>,
 }
 
 #[derive(Debug)]
@@ -387,6 +388,7 @@ impl Recorder {
         inner.counters.clear();
         inner.hists.clear();
         inner.series.clear();
+        inner.exemplars.clear();
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -556,6 +558,17 @@ impl Recorder {
             .observe(value);
     }
 
+    /// Attaches an OpenMetrics-style exemplar to a counter: the Prometheus
+    /// export appends `# {ledger="<label>"}` to that counter's sample line,
+    /// linking the aggregate to one concrete causal-ledger entry (the most
+    /// recent one wins). No-op while disabled.
+    pub fn set_exemplar(&self, name: impl Into<Cow<'static, str>>, label: String) {
+        if !self.enabled() {
+            return;
+        }
+        self.lock().exemplars.insert(name.into(), label);
+    }
+
     /// Appends one point to a named gauge time series.
     ///
     /// Gauges are sampled values (queue depths, utilizations, cache ratios)
@@ -591,6 +604,11 @@ impl Recorder {
                 .collect(),
             series: inner
                 .series
+                .iter()
+                .map(|(k, v)| (k.clone().into_owned(), v.clone()))
+                .collect(),
+            exemplars: inner
+                .exemplars
                 .iter()
                 .map(|(k, v)| (k.clone().into_owned(), v.clone()))
                 .collect(),
@@ -630,6 +648,8 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, Histogram>,
     /// Gauge time series by name.
     pub series: BTreeMap<String, GaugeSeries>,
+    /// Exemplar labels by counter name.
+    pub exemplars: BTreeMap<String, String>,
 }
 
 impl Snapshot {

@@ -5,8 +5,10 @@
 //!
 //! Writes `chaos_trace.json` (open in `chrome://tracing` or Perfetto),
 //! `chaos_metrics.json` (flat counters + histograms), `chaos_health.prom`
-//! (Prometheus text snapshot), `chaos_series.json` (gauge time series), and
-//! `chaos_postmortem.json` (flight-recorder dumps) to the current
+//! (Prometheus text snapshot), `chaos_series.json` (gauge time series),
+//! `chaos_postmortem.json` (flight-recorder dumps), and — with the causal
+//! ledger on — `chaos_explain.txt` (the slowest op's annotated
+//! critical-path timeline plus the `slowest` summary) to the current
 //! directory, or to the directory given as the first argument. The output
 //! is byte-deterministic: same seed, same bytes.
 //!
@@ -23,6 +25,7 @@ fn main() {
     let mut config = Config::paper_testbed(53);
     config.replication = 2;
     config.tracing = true;
+    config.ledger = true;
     let mut home = Cloud4Home::new(config);
     home.inject_faults(
         FaultPlan::new()
@@ -48,6 +51,7 @@ fn main() {
 
     const CLIENTS: [usize; 4] = [0, 1, 3, 5];
     let (mut ok, mut failed) = (0u32, 0u32);
+    let mut slowest = None;
     for top in &trace.ops {
         let client = NodeId(CLIENTS[top.client % CLIENTS.len()]);
         let file = &trace.files[top.file];
@@ -63,10 +67,14 @@ fn main() {
             }
             OpKind::Fetch => home.fetch_object(client, &file.name),
         };
-        if home.run_until_complete(op).outcome.is_ok() {
+        let report = home.run_until_complete(op);
+        if report.outcome.is_ok() {
             ok += 1;
         } else {
             failed += 1;
+        }
+        if slowest.is_none_or(|(_, worst)| report.total() > worst) {
+            slowest = Some((report.id, report.total()));
         }
     }
 
@@ -82,10 +90,18 @@ fn main() {
     std::fs::write(&prom_path, home.prometheus_text()).expect("write prom");
     std::fs::write(&series_path, home.series_json()).expect("write series");
     std::fs::write(&postmortem_path, home.postmortem_json()).expect("write postmortem");
+    let explain_path = format!("{dir}/chaos_explain.txt");
+    let (worst_id, _) = slowest.expect("the trace replays at least one op");
+    let explain = format!("{}\n{}", home.slowest_text(5), home.explain_text(worst_id));
+    std::fs::write(&explain_path, &explain).expect("write explain");
     println!(
         "{ok} ops ok, {failed} failed under chaos across {} of virtual time",
         format_args!("{:.1}s", home.now().as_secs_f64()),
     );
     print!("{}", home.health_text());
-    println!("wrote {trace_path}, {metrics_path}, {prom_path}, {series_path}, {postmortem_path}");
+    print!("{explain}");
+    println!(
+        "wrote {trace_path}, {metrics_path}, {prom_path}, {series_path}, {postmortem_path}, \
+         {explain_path}"
+    );
 }
